@@ -1,0 +1,51 @@
+//! CLI for regenerating the paper's figures.
+//!
+//! ```text
+//! figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig11|fig12|fig13|fig14|
+//!          fig15|fig16|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|
+//!          fig25|all>
+//! ```
+
+use chameleon_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: figures <figN|all> [figM ...]");
+        eprintln!("figures: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig11 fig12 fig13");
+        eprintln!("         fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22");
+        eprintln!("         fig23 fig24 fig25 all");
+        std::process::exit(2);
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "fig2" => figures::fig2(),
+            "fig3" => figures::fig3(),
+            "fig4" => figures::fig4(),
+            "fig5" => figures::fig5(),
+            "fig6" => figures::fig6(),
+            "fig7" => figures::fig7(),
+            "fig8" => figures::fig8(),
+            "fig11" => figures::fig11(),
+            "fig12" => figures::fig12(),
+            "fig13" => figures::fig13(),
+            "fig14" => figures::fig14(),
+            "fig15" => figures::fig15(),
+            "fig16" => figures::fig16(),
+            "fig17" => figures::fig17(),
+            "fig18" => figures::fig18(),
+            "fig19" => figures::fig19(),
+            "fig20" => figures::fig20(),
+            "fig21" => figures::fig21(),
+            "fig22" => figures::fig22(),
+            "fig23" => figures::fig23(),
+            "fig24" => figures::fig24(),
+            "fig25" => figures::fig25(),
+            "all" => figures::all(),
+            other => {
+                eprintln!("unknown figure: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The Chameleon Adapter Cache (§4.2).
+//!
+//! A software-managed cache of LoRA adapter weights in otherwise-idle GPU
+//! memory. Three properties from the paper define it:
+//!
+//! 1. **Dynamic sizing** — the cache has no fixed capacity; it grows into
+//!    idle memory and shrinks (evicts) the moment running requests need the
+//!    space. [`AdapterCache::make_room`] implements the shrink path.
+//! 2. **Cost-aware eviction** — misses have different costs because
+//!    adapters have different sizes, and popularity is skewed. The
+//!    [`EvictionPolicy`] enum implements the paper's compound score
+//!    (`F·Frequency + R·Recency + S·Size` with F=0.45, R=0.10, S=0.45),
+//!    the equal-weight `FairShare` variant, plain LRU/LFU, and the GDSF
+//!    comparator from the §5.3 discussion.
+//! 3. **Reference-count pinning** — adapters used by running requests are
+//!    never evicted; adapters of *queued* requests are protected unless
+//!    memory constraints make eviction unavoidable (two-pass eviction).
+
+pub mod policy;
+pub mod store;
+
+pub use policy::EvictionPolicy;
+pub use store::{AdapterCache, CacheStats};

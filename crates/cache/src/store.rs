@@ -1,0 +1,554 @@
+//! The adapter cache store: residency, reference counts, dynamic sizing.
+//!
+//! Memory accounting convention (shared with the engine):
+//!
+//! * adapters with `ref_count > 0` are billed to [`Region::AdaptersInUse`];
+//! * idle cached adapters (`ref_count == 0`) are billed to
+//!   [`Region::AdapterCache`];
+//! * `release` moves an adapter from in-use to cache (Chameleon) or frees
+//!   it outright (the S-LoRA discard-on-completion baseline, §2).
+
+use crate::policy::{Candidate, EvictionPolicy};
+use chameleon_gpu::memory::{MemoryPool, OutOfMemory, Region};
+use chameleon_models::{AdapterId, AdapterSpec};
+use chameleon_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Aggregate cache statistics (Figure 14 and §5.3 report these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found the adapter resident.
+    pub hits: u64,
+    /// Lookups that required a host→GPU load.
+    pub misses: u64,
+    /// Idle adapters evicted to make room.
+    pub evictions: u64,
+    /// Bytes of evicted adapter weights.
+    pub bytes_evicted: u64,
+    /// Bytes of adapter weights loaded from host.
+    pub bytes_loaded: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    bytes: u64,
+    last_used: SimTime,
+    frequency: u32,
+    ref_count: u32,
+}
+
+/// The Chameleon Adapter Cache (§4.2) plus the in-use residency table.
+///
+/// One instance exists per engine ("each LLM replica has its own local
+/// adapter cache").
+#[derive(Debug, Clone)]
+pub struct AdapterCache {
+    policy: EvictionPolicy,
+    /// Keep idle adapters on release (Chameleon) vs discard them (S-LoRA).
+    retain_on_release: bool,
+    entries: HashMap<AdapterId, Entry>,
+    stats: CacheStats,
+    gdsf_floor: f64,
+}
+
+impl AdapterCache {
+    /// Creates a Chameleon-style cache with the given eviction policy.
+    pub fn new(policy: EvictionPolicy) -> Self {
+        AdapterCache {
+            policy,
+            retain_on_release: true,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+            gdsf_floor: 0.0,
+        }
+    }
+
+    /// Creates the S-LoRA baseline residency table: adapters are discarded
+    /// the moment no running request uses them (§2), so nothing is ever
+    /// cached idle.
+    pub fn discard_mode() -> Self {
+        AdapterCache {
+            policy: EvictionPolicy::Lru, // irrelevant: no idle entries exist
+            retain_on_release: false,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+            gdsf_floor: 0.0,
+        }
+    }
+
+    /// The configured eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Whether idle adapters are retained (Chameleon) or discarded (S-LoRA).
+    pub fn retains_idle(&self) -> bool {
+        self.retain_on_release
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// True when the adapter's weights are on the GPU (idle or in use).
+    pub fn is_resident(&self, id: AdapterId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Reference count of a resident adapter (0 = idle in cache).
+    pub fn ref_count(&self, id: AdapterId) -> Option<u32> {
+        self.entries.get(&id).map(|e| e.ref_count)
+    }
+
+    /// Number of resident adapters (idle + in use).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of idle (evictable) cached adapters.
+    pub fn idle_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.ref_count == 0)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Bytes of in-use (pinned) adapters.
+    pub fn in_use_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.ref_count > 0)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Looks up `id` for a new request at `now`.
+    ///
+    /// On a hit the adapter's metadata is refreshed, its reference count
+    /// incremented (moving it from the cache region to in-use if it was
+    /// idle), and `true` returned. On a miss nothing changes and `false` is
+    /// returned — the caller is expected to load the weights and then call
+    /// [`insert_loaded`](Self::insert_loaded).
+    pub fn acquire(&mut self, pool: &mut MemoryPool, id: AdapterId, now: SimTime) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                if e.ref_count == 0 {
+                    pool.transfer(Region::AdapterCache, Region::AdaptersInUse, e.bytes);
+                }
+                e.ref_count += 1;
+                e.last_used = now;
+                e.frequency += 1;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Registers a freshly loaded adapter with `initial_refs` waiting
+    /// requests, billing [`Region::AdaptersInUse`] (or the cache region when
+    /// `initial_refs == 0`, i.e. a prefetch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the bytes don't fit — callers should
+    /// [`make_room`](Self::make_room) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adapter is already resident.
+    pub fn insert_loaded(
+        &mut self,
+        pool: &mut MemoryPool,
+        spec: &AdapterSpec,
+        now: SimTime,
+        initial_refs: u32,
+    ) -> Result<(), OutOfMemory> {
+        assert!(
+            !self.entries.contains_key(&spec.id()),
+            "{} already resident",
+            spec.id()
+        );
+        let region = if initial_refs > 0 {
+            Region::AdaptersInUse
+        } else {
+            Region::AdapterCache
+        };
+        pool.reserve(region, spec.bytes())?;
+        self.entries.insert(
+            spec.id(),
+            Entry {
+                bytes: spec.bytes(),
+                last_used: now,
+                frequency: initial_refs.max(1),
+                ref_count: initial_refs,
+            },
+        );
+        self.stats.bytes_loaded += spec.bytes();
+        Ok(())
+    }
+
+    /// Adds a reference to an already-resident adapter (a second concurrent
+    /// request for the same adapter while it is in use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adapter is not resident.
+    pub fn add_ref(&mut self, pool: &mut MemoryPool, id: AdapterId, now: SimTime) {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("{id} not resident"));
+        if e.ref_count == 0 {
+            pool.transfer(Region::AdapterCache, Region::AdaptersInUse, e.bytes);
+        }
+        e.ref_count += 1;
+        e.last_used = now;
+    }
+
+    /// Drops one reference when a request finishes. At zero references the
+    /// adapter either moves into the idle cache (Chameleon) or is freed
+    /// immediately (S-LoRA discard mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adapter is not resident or has no references.
+    pub fn release(&mut self, pool: &mut MemoryPool, id: AdapterId, now: SimTime) {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("{id} not resident"));
+        assert!(e.ref_count > 0, "{id} released with zero refs");
+        e.ref_count -= 1;
+        e.last_used = now;
+        if e.ref_count == 0 {
+            let bytes = e.bytes;
+            if self.retain_on_release {
+                pool.transfer(Region::AdaptersInUse, Region::AdapterCache, bytes);
+            } else {
+                pool.release(Region::AdaptersInUse, bytes);
+                self.entries.remove(&id);
+            }
+        }
+    }
+
+    /// Ensures at least `needed` bytes are free in `pool`, evicting idle
+    /// adapters by policy. Adapters in `protected` (those of queued
+    /// requests, §4.2) are spared in the first pass and evicted only if the
+    /// first pass was insufficient. Referenced adapters are never evicted.
+    ///
+    /// Returns `true` when the pool ended with `needed` bytes free.
+    pub fn make_room(
+        &mut self,
+        pool: &mut MemoryPool,
+        needed: u64,
+        now: SimTime,
+        protected: &HashSet<AdapterId>,
+    ) -> bool {
+        if pool.free() >= needed {
+            return true;
+        }
+        self.evict_pass(pool, needed, now, Some(protected));
+        if pool.free() >= needed {
+            return true;
+        }
+        // §4.2: "The adapters of queued requests are considered for
+        // eviction only when memory constraints make it necessary."
+        self.evict_pass(pool, needed, now, None);
+        pool.free() >= needed
+    }
+
+    fn evict_pass(
+        &mut self,
+        pool: &mut MemoryPool,
+        needed: u64,
+        now: SimTime,
+        protected: Option<&HashSet<AdapterId>>,
+    ) {
+        while pool.free() < needed {
+            let candidates: Vec<(AdapterId, Candidate)> = self
+                .entries
+                .iter()
+                .filter(|(id, e)| {
+                    e.ref_count == 0 && protected.is_none_or(|p| !p.contains(id))
+                })
+                .enumerate()
+                .map(|(i, (&id, e))| {
+                    (
+                        id,
+                        Candidate {
+                            index: i,
+                            bytes: e.bytes,
+                            frequency: e.frequency,
+                            last_used: e.last_used,
+                        },
+                    )
+                })
+                .collect();
+            let cands: Vec<Candidate> = candidates.iter().map(|&(_, c)| c).collect();
+            let Some(victim_idx) = self.policy.pick_victim(&cands, now, self.gdsf_floor) else {
+                return; // nothing evictable left
+            };
+            let (victim_id, victim) = candidates[victim_idx];
+            if matches!(self.policy, EvictionPolicy::Gdsf) {
+                // GreedyDual aging: the floor rises to the evicted score.
+                self.gdsf_floor = EvictionPolicy::gdsf_score(&victim, self.gdsf_floor);
+            }
+            self.entries.remove(&victim_id);
+            pool.release(Region::AdapterCache, victim.bytes);
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += victim.bytes;
+        }
+    }
+
+    /// Halves all frequency counters — called every `T_refresh` so that
+    /// popularity tracks the current workload rather than all of history.
+    pub fn decay_frequencies(&mut self) {
+        for e in self.entries.values_mut() {
+            e.frequency /= 2;
+        }
+    }
+
+    /// Ids of all idle (evictable) adapters.
+    pub fn idle_adapters(&self) -> Vec<AdapterId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.ref_count == 0)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_models::{AdapterRank, LlmSpec};
+    use proptest::prelude::*;
+
+    fn spec(id: u32, rank: u32) -> AdapterSpec {
+        AdapterSpec::new(AdapterId(id), AdapterRank::new(rank), &LlmSpec::llama_7b())
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn pool_gb(gb: u64) -> MemoryPool {
+        MemoryPool::new(gb << 30)
+    }
+
+    #[test]
+    fn miss_then_load_then_hit() {
+        let mut pool = pool_gb(1);
+        let mut c = AdapterCache::new(EvictionPolicy::chameleon());
+        let a = spec(1, 32); // 64 MB
+        assert!(!c.acquire(&mut pool, a.id(), t(0.0)));
+        c.insert_loaded(&mut pool, &a, t(0.0), 1).unwrap();
+        assert_eq!(pool.used(Region::AdaptersInUse), 64 << 20);
+        c.release(&mut pool, a.id(), t(1.0));
+        assert_eq!(pool.used(Region::AdapterCache), 64 << 20);
+        assert_eq!(pool.used(Region::AdaptersInUse), 0);
+        // Second request hits.
+        assert!(c.acquire(&mut pool, a.id(), t(2.0)));
+        assert_eq!(pool.used(Region::AdaptersInUse), 64 << 20);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discard_mode_frees_immediately() {
+        let mut pool = pool_gb(1);
+        let mut c = AdapterCache::discard_mode();
+        let a = spec(1, 32);
+        c.insert_loaded(&mut pool, &a, t(0.0), 1).unwrap();
+        c.release(&mut pool, a.id(), t(1.0));
+        assert_eq!(pool.total_used(), 0);
+        assert!(!c.is_resident(a.id()));
+        // Next request misses again — the S-LoRA reload tax.
+        assert!(!c.acquire(&mut pool, a.id(), t(2.0)));
+        assert!(!c.retains_idle());
+    }
+
+    #[test]
+    fn shared_adapter_refcounting() {
+        let mut pool = pool_gb(1);
+        let mut c = AdapterCache::new(EvictionPolicy::chameleon());
+        let a = spec(1, 16);
+        c.insert_loaded(&mut pool, &a, t(0.0), 1).unwrap();
+        c.add_ref(&mut pool, a.id(), t(0.5));
+        assert_eq!(c.ref_count(a.id()), Some(2));
+        c.release(&mut pool, a.id(), t(1.0));
+        assert_eq!(c.ref_count(a.id()), Some(1));
+        assert_eq!(pool.used(Region::AdaptersInUse), 32 << 20);
+        c.release(&mut pool, a.id(), t(2.0));
+        assert_eq!(c.ref_count(a.id()), Some(0));
+        assert_eq!(c.idle_bytes(), 32 << 20);
+        assert_eq!(c.in_use_bytes(), 0);
+    }
+
+    #[test]
+    fn make_room_evicts_idle_only() {
+        // Pool sized to hold exactly three rank-32 adapters (64 MB each).
+        let mut pool = MemoryPool::new(3 * (64 << 20));
+        let mut c = AdapterCache::new(EvictionPolicy::Lru);
+        let (a, b, d) = (spec(1, 32), spec(2, 32), spec(3, 32));
+        c.insert_loaded(&mut pool, &a, t(0.0), 1).unwrap(); // pinned
+        c.insert_loaded(&mut pool, &b, t(1.0), 0).unwrap(); // idle, older
+        c.insert_loaded(&mut pool, &d, t(2.0), 0).unwrap(); // idle, newer
+        assert_eq!(pool.free(), 0);
+        // Need one slot: LRU evicts b (oldest idle), never a (pinned).
+        assert!(c.make_room(&mut pool, 64 << 20, t(3.0), &HashSet::new()));
+        assert!(!c.is_resident(b.id()));
+        assert!(c.is_resident(a.id()));
+        assert!(c.is_resident(d.id()));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().bytes_evicted, 64 << 20);
+    }
+
+    #[test]
+    fn make_room_respects_protection_then_overrides() {
+        let mut pool = MemoryPool::new(2 * (64 << 20));
+        let mut c = AdapterCache::new(EvictionPolicy::Lru);
+        let (a, b) = (spec(1, 32), spec(2, 32));
+        c.insert_loaded(&mut pool, &a, t(0.0), 0).unwrap();
+        c.insert_loaded(&mut pool, &b, t(1.0), 0).unwrap();
+        let protect_a: HashSet<AdapterId> = [a.id()].into();
+        // One slot needed: b (unprotected) goes first even though a is older.
+        assert!(c.make_room(&mut pool, 64 << 20, t(2.0), &protect_a));
+        assert!(c.is_resident(a.id()));
+        assert!(!c.is_resident(b.id()));
+        // Two slots needed: protection must yield (§4.2 second pass).
+        assert!(c.make_room(&mut pool, 2 * (64 << 20), t(3.0), &protect_a));
+        assert!(!c.is_resident(a.id()));
+    }
+
+    #[test]
+    fn make_room_fails_when_everything_pinned() {
+        let mut pool = MemoryPool::new(64 << 20);
+        let mut c = AdapterCache::new(EvictionPolicy::chameleon());
+        let a = spec(1, 32);
+        c.insert_loaded(&mut pool, &a, t(0.0), 1).unwrap();
+        assert!(!c.make_room(&mut pool, 64 << 20, t(1.0), &HashSet::new()));
+        assert!(c.is_resident(a.id()), "pinned adapter survived");
+    }
+
+    #[test]
+    fn insert_requires_room() {
+        let mut pool = MemoryPool::new(32 << 20);
+        let mut c = AdapterCache::new(EvictionPolicy::chameleon());
+        let a = spec(1, 32); // 64 MB > 32 MB pool
+        assert!(c.insert_loaded(&mut pool, &a, t(0.0), 1).is_err());
+        assert!(!c.is_resident(a.id()));
+    }
+
+    #[test]
+    fn frequency_decay() {
+        let mut pool = pool_gb(1);
+        let mut c = AdapterCache::new(EvictionPolicy::Lfu);
+        let a = spec(1, 8);
+        c.insert_loaded(&mut pool, &a, t(0.0), 0).unwrap();
+        for i in 0..7 {
+            c.add_ref(&mut pool, a.id(), t(i as f64));
+            c.release(&mut pool, a.id(), t(i as f64 + 0.5));
+        }
+        c.decay_frequencies();
+        // Frequency halved but entry retained.
+        assert!(c.is_resident(a.id()));
+        assert_eq!(c.idle_adapters(), vec![a.id()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut pool = pool_gb(1);
+        let mut c = AdapterCache::new(EvictionPolicy::chameleon());
+        let a = spec(1, 8);
+        c.insert_loaded(&mut pool, &a, t(0.0), 0).unwrap();
+        let _ = c.insert_loaded(&mut pool, &a, t(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero refs")]
+    fn over_release_panics() {
+        let mut pool = pool_gb(1);
+        let mut c = AdapterCache::new(EvictionPolicy::chameleon());
+        let a = spec(1, 8);
+        c.insert_loaded(&mut pool, &a, t(0.0), 0).unwrap();
+        c.release(&mut pool, a.id(), t(1.0));
+    }
+
+    proptest! {
+        /// Under arbitrary acquire/insert/release/make_room interleavings:
+        /// pinned adapters are never evicted, pool accounting matches the
+        /// cache's view, and capacity is never exceeded.
+        #[test]
+        fn prop_cache_invariants(ops in proptest::collection::vec((0u32..6, 0u8..4), 1..300)) {
+            let mut pool = MemoryPool::new(5 * (16 << 20)); // five rank-8 slots
+            let mut c = AdapterCache::new(EvictionPolicy::chameleon());
+            let mut live_refs: HashMap<AdapterId, u32> = HashMap::new();
+            let mut clock = 0.0;
+            for (aid, op) in ops {
+                clock += 0.1;
+                let a = spec(aid, 8);
+                match op {
+                    0 => {
+                        // acquire-or-load path
+                        if !c.acquire(&mut pool, a.id(), t(clock)) {
+                            if c.make_room(&mut pool, a.bytes(), t(clock), &HashSet::new())
+                                && c.insert_loaded(&mut pool, &a, t(clock), 1).is_ok() {
+                                *live_refs.entry(a.id()).or_insert(0) += 1;
+                            }
+                        } else {
+                            *live_refs.entry(a.id()).or_insert(0) += 1;
+                        }
+                    }
+                    1 => {
+                        // release if we hold a ref
+                        if live_refs.get(&a.id()).copied().unwrap_or(0) > 0 {
+                            c.release(&mut pool, a.id(), t(clock));
+                            *live_refs.get_mut(&a.id()).unwrap() -= 1;
+                        }
+                    }
+                    2 => {
+                        let _ = c.make_room(&mut pool, 16 << 20, t(clock), &HashSet::new());
+                    }
+                    _ => c.decay_frequencies(),
+                }
+                // Invariants.
+                prop_assert!(pool.total_used() <= pool.capacity());
+                prop_assert_eq!(c.idle_bytes(), pool.used(Region::AdapterCache));
+                prop_assert_eq!(c.in_use_bytes(), pool.used(Region::AdaptersInUse));
+                for (&id, &refs) in &live_refs {
+                    if refs > 0 {
+                        prop_assert!(c.is_resident(id), "pinned adapter evicted");
+                        prop_assert_eq!(c.ref_count(id), Some(refs));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Isolated-execution oracle (§3.3, §5.1).
+//!
+//! The paper's slowdown metric divides each request's observed response
+//! time by "the response time in an isolated environment where the request
+//! executes alone", including adapter loading. The SLO is defined as 5×
+//! the average request execution time in a low-load system. Both need the
+//! isolated latency of a request, which the cost model provides directly.
+
+use chameleon_gpu::CostModel;
+use chameleon_models::adapter::adapter_bytes;
+use chameleon_simcore::SimDuration;
+use chameleon_workload::{Request, Trace};
+
+/// Isolated (alone-on-the-GPU) latencies of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsolatedLatency {
+    /// Time to first token, including a cold adapter load.
+    pub ttft: SimDuration,
+    /// End-to-end latency.
+    pub e2e: SimDuration,
+}
+
+/// Computes the isolated latency of `req` on `cost`'s engine.
+///
+/// `with_lora` false runs the request on the bare base model (the
+/// Figure 7 "base LLM" curve).
+pub fn isolated(cost: &CostModel, req: &Request, with_lora: bool) -> IsolatedLatency {
+    let rank = with_lora.then_some(req.rank());
+    let (ttft, e2e) =
+        cost.isolated_latency(req.input_tokens(), req.output_tokens(), rank, with_lora);
+    IsolatedLatency { ttft, e2e }
+}
+
+/// Mean isolated E2E latency over (a sample of) the trace — the base of
+/// the §5.1 SLO definition.
+pub fn mean_isolated_e2e(cost: &CostModel, trace: &Trace, sample_cap: usize) -> SimDuration {
+    let n = trace.len().min(sample_cap.max(1));
+    if n == 0 {
+        return SimDuration::ZERO;
+    }
+    let step = (trace.len() / n).max(1);
+    let mut total = SimDuration::ZERO;
+    let mut count = 0u64;
+    for req in trace.iter().step_by(step) {
+        total += isolated(cost, req, true).e2e;
+        count += 1;
+    }
+    total / count.max(1)
+}
+
+/// The paper's SLO: 5× the mean isolated E2E latency (§5.1).
+pub fn derive_slo(cost: &CostModel, trace: &Trace) -> SimDuration {
+    mean_isolated_e2e(cost, trace, 500).mul_f64(5.0)
+}
+
+/// Checks that the adapter-rank dependence of isolated latency matches the
+/// adapter bytes formula (exposed for tests and the Figure 7 harness).
+pub fn adapter_bytes_of(cost: &CostModel, req: &Request) -> u64 {
+    adapter_bytes(cost.llm(), req.rank())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_models::{AdapterId, AdapterRank, GpuSpec, LlmSpec};
+    use chameleon_simcore::SimTime;
+    use chameleon_workload::RequestId;
+
+    fn cost() -> CostModel {
+        CostModel::new(LlmSpec::llama_7b(), GpuSpec::a40(), 1)
+    }
+
+    fn req(input: u32, output: u32, rank: u32) -> Request {
+        Request::new(
+            RequestId(0),
+            SimTime::ZERO,
+            input,
+            output,
+            AdapterId(0),
+            AdapterRank::new(rank),
+        )
+    }
+
+    #[test]
+    fn lora_slows_down_isolated_requests() {
+        let c = cost();
+        let r = req(256, 32, 64);
+        let with = isolated(&c, &r, true);
+        let without = isolated(&c, &r, false);
+        assert!(with.ttft > without.ttft);
+        assert!(with.e2e > without.e2e);
+    }
+
+    #[test]
+    fn e2e_grows_with_output() {
+        let c = cost();
+        let short = isolated(&c, &req(128, 8, 32), true);
+        let long = isolated(&c, &req(128, 64, 32), true);
+        assert!(long.e2e > short.e2e + SimDuration::from_millis(50 * 25));
+        assert_eq!(
+            short.ttft, long.ttft,
+            "TTFT independent of output length"
+        );
+    }
+
+    #[test]
+    fn slo_is_five_times_mean() {
+        let c = cost();
+        let trace = Trace::new(vec![
+            req(128, 16, 32),
+            req(128, 16, 32).with_arrival(SimTime::from_secs_f64(1.0)),
+        ]);
+        let mean = mean_isolated_e2e(&c, &trace, 100);
+        let slo = derive_slo(&c, &trace);
+        assert_eq!(slo, mean.mul_f64(5.0));
+        assert!(slo > SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn empty_trace_slo_zero() {
+        let c = cost();
+        assert_eq!(mean_isolated_e2e(&c, &Trace::new(vec![]), 10), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn adapter_bytes_consistent() {
+        let c = cost();
+        assert_eq!(adapter_bytes_of(&c, &req(1, 1, 32)), 64 << 20);
+    }
+}

@@ -1,0 +1,209 @@
+//! Named systems from the paper's evaluation.
+
+use crate::system::{CachePolicy, SchedPolicy, SystemConfig};
+
+/// S-LoRA (§5.1 baseline): FIFO iteration-level scheduling, asynchronous
+/// adapter prefetching for queued requests, **no** adapter caching
+/// (adapters are discarded when unused).
+pub fn slora() -> SystemConfig {
+    SystemConfig {
+        sched: SchedPolicy::Fifo,
+        cache: CachePolicy::Discard,
+        // S-LoRA has no output-length predictor: admission must reserve
+        // worst-case KV memory (§5.2.1).
+        worst_case_predictor: true,
+        ..SystemConfig::base("S-LoRA")
+    }
+}
+
+/// S-LoRA with μServe's SJF scheduler (§5.3 "S-LoRA+SJF").
+pub fn slora_sjf() -> SystemConfig {
+    SystemConfig {
+        sched: SchedPolicy::Sjf {
+            aging_tokens_per_sec: chameleon_sched::sjf::DEFAULT_AGING_TOKENS_PER_SEC,
+        },
+        cache: CachePolicy::Discard,
+        ..SystemConfig::base("S-LoRA+SJF")
+    }
+}
+
+/// S-LoRA with chunked-prefill iteration-level scheduling (the Figure 8
+/// "Chunk-Prefill" baseline).
+pub fn slora_chunked() -> SystemConfig {
+    SystemConfig {
+        sched: SchedPolicy::Fifo,
+        cache: CachePolicy::Discard,
+        chunked_prefill: true,
+        worst_case_predictor: true,
+        ..SystemConfig::base("Chunk-Prefill")
+    }
+}
+
+/// The full Chameleon system: adapter cache with the tuned cost-aware
+/// eviction policy + the adapter-aware multi-level-queue scheduler.
+pub fn chameleon() -> SystemConfig {
+    SystemConfig {
+        sched: SchedPolicy::ChameleonMlq {
+            dynamic: true,
+            bypass: true,
+            output_only: false,
+        },
+        cache: CachePolicy::Chameleon,
+        ..SystemConfig::base("Chameleon")
+    }
+}
+
+/// Ablation: Chameleon's scheduler without its cache (Figure 11
+/// "ChNoCache").
+pub fn chameleon_no_cache() -> SystemConfig {
+    SystemConfig {
+        cache: CachePolicy::Discard,
+        ..chameleon()
+    }
+    .with_label("ChameleonNoCache")
+}
+
+/// Ablation: Chameleon's cache without its scheduler (Figure 11
+/// "ChNoSch").
+pub fn chameleon_no_sched() -> SystemConfig {
+    SystemConfig {
+        sched: SchedPolicy::Fifo,
+        ..chameleon()
+    }
+    .with_label("ChameleonNoSched")
+}
+
+/// Chameleon plus histogram-based predictive prefetching (Figure 18
+/// "Chameleon+Prefetch").
+pub fn chameleon_prefetch() -> SystemConfig {
+    SystemConfig {
+        predictive_prefetch: true,
+        ..chameleon()
+    }
+    .with_label("Chameleon+Prefetch")
+}
+
+/// Chameleon's cache with LRU eviction (Figure 17 "Ch-LRU").
+pub fn chameleon_lru() -> SystemConfig {
+    SystemConfig {
+        cache: CachePolicy::Lru,
+        ..chameleon()
+    }
+    .with_label("Ch-LRU")
+}
+
+/// Chameleon's cache with the equal-weight compound score (Figure 17
+/// "Ch-FairShare").
+pub fn chameleon_fairshare() -> SystemConfig {
+    SystemConfig {
+        cache: CachePolicy::FairShare,
+        ..chameleon()
+    }
+    .with_label("Ch-FairShare")
+}
+
+/// Chameleon's cache with the GDSF web-caching score (§5.3 discussion).
+pub fn chameleon_gdsf() -> SystemConfig {
+    SystemConfig {
+        cache: CachePolicy::Gdsf,
+        ..chameleon()
+    }
+    .with_label("Ch-GDSF")
+}
+
+/// The §5.4.5 "Static" queue configuration: 4 equal queues, equal quotas,
+/// no dynamic reconfiguration (cache identical to Chameleon's).
+pub fn static_mlq() -> SystemConfig {
+    SystemConfig {
+        sched: SchedPolicy::StaticMlq,
+        ..chameleon()
+    }
+    .with_label("Static")
+}
+
+/// Chameleon with the degree-1 linear WRS (§4.3.1's "polynomial of degree
+/// 1" ablation).
+pub fn chameleon_linear_wrs() -> SystemConfig {
+    SystemConfig {
+        sched: SchedPolicy::ChameleonLinearWrs,
+        ..chameleon()
+    }
+    .with_label("Ch-LinearWRS")
+}
+
+/// Chameleon with the WRS reduced to predicted output length only
+/// (Figure 19 "OutputOnly").
+pub fn chameleon_output_only() -> SystemConfig {
+    SystemConfig {
+        sched: SchedPolicy::ChameleonMlq {
+            dynamic: true,
+            bypass: true,
+            output_only: true,
+        },
+        ..chameleon()
+    }
+    .with_label("OutputOnly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_have_no_cache() {
+        assert_eq!(slora().cache, CachePolicy::Discard);
+        assert_eq!(slora_sjf().cache, CachePolicy::Discard);
+        assert_eq!(chameleon_no_cache().cache, CachePolicy::Discard);
+    }
+
+    #[test]
+    fn chameleon_is_fully_enabled() {
+        let c = chameleon();
+        assert_eq!(c.cache, CachePolicy::Chameleon);
+        assert!(matches!(
+            c.sched,
+            SchedPolicy::ChameleonMlq {
+                dynamic: true,
+                bypass: true,
+                output_only: false
+            }
+        ));
+        assert!(!c.predictive_prefetch);
+        assert!(c.prefetch_queued);
+    }
+
+    #[test]
+    fn ablations_differ_in_exactly_one_axis() {
+        let full = chameleon();
+        let no_cache = chameleon_no_cache();
+        assert_eq!(no_cache.sched, full.sched);
+        assert_ne!(no_cache.cache, full.cache);
+        let no_sched = chameleon_no_sched();
+        assert_eq!(no_sched.cache, full.cache);
+        assert_ne!(no_sched.sched, full.sched);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            slora(),
+            slora_sjf(),
+            slora_chunked(),
+            chameleon(),
+            chameleon_no_cache(),
+            chameleon_no_sched(),
+            chameleon_prefetch(),
+            chameleon_lru(),
+            chameleon_fairshare(),
+            chameleon_gdsf(),
+            static_mlq(),
+            chameleon_output_only(),
+            chameleon_linear_wrs(),
+        ]
+        .iter()
+        .map(|c| c.label.clone())
+        .collect();
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), labels.len());
+    }
+}

@@ -1,0 +1,386 @@
+//! Experiment-level run reports.
+
+use chameleon_cache::CacheStats;
+use chameleon_engine::EngineReport;
+use chameleon_gpu::pcie::TransferRecord;
+use chameleon_metrics::series::BinnedSeries;
+use chameleon_metrics::{LatencySummary, MemorySample, RequestRecord, SizeClass};
+use chameleon_models::adapter::adapter_bytes;
+use chameleon_models::LlmSpec;
+use chameleon_sched::WrsConfig;
+use chameleon_simcore::stats::percentile;
+use chameleon_simcore::{SimDuration, SimTime};
+use chameleon_workload::RequestId;
+use std::collections::HashMap;
+
+/// Everything measured in one run of one system over one trace.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// System label (preset name).
+    pub label: String,
+    /// Base model served (for rank → bytes in per-rank breakdowns).
+    pub llm: LlmSpec,
+    /// Per-request records sorted by arrival.
+    pub records: Vec<RequestRecord>,
+    /// Adapter-cache statistics.
+    pub cache_stats: CacheStats,
+    /// Total bytes over the host link.
+    pub pcie_total_bytes: u64,
+    /// Total host-link busy time.
+    pub pcie_busy: SimDuration,
+    /// Raw transfer history for binned bandwidth.
+    pub pcie_history: Vec<TransferRecord>,
+    /// GPU memory-occupancy series (Figure 6).
+    pub mem_series: Vec<MemorySample>,
+    /// Squash count (§4.3.3).
+    pub squashes: u64,
+    /// The TTFT SLO in effect.
+    pub slo: SimDuration,
+    /// Instant of the last processed event.
+    pub horizon: SimTime,
+    /// Per-request isolated E2E latency (slowdown denominator, §3.3).
+    pub isolated_e2e: HashMap<RequestId, SimDuration>,
+    /// WRS configuration used (for post-hoc classification).
+    pub wrs: WrsConfig,
+    /// Mean offered load of the trace, requests/second.
+    pub offered_rps: f64,
+    /// Scheduler label.
+    pub scheduler: &'static str,
+}
+
+impl RunReport {
+    /// Assembles a report from an engine report plus run context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        label: String,
+        llm: LlmSpec,
+        engine: EngineReport,
+        slo: SimDuration,
+        horizon: SimTime,
+        isolated_e2e: HashMap<RequestId, SimDuration>,
+        wrs: WrsConfig,
+        offered_rps: f64,
+    ) -> Self {
+        RunReport {
+            label,
+            llm,
+            records: engine.records,
+            cache_stats: engine.cache_stats,
+            pcie_total_bytes: engine.pcie_total_bytes,
+            pcie_busy: engine.pcie_busy,
+            pcie_history: engine.pcie_history,
+            mem_series: engine.mem_series,
+            squashes: engine.squashes,
+            slo,
+            horizon,
+            isolated_e2e,
+            wrs,
+            offered_rps,
+            scheduler: engine.scheduler,
+        }
+    }
+
+    /// Completed requests.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.is_complete()).count()
+    }
+
+    /// TTFT samples in seconds (completed requests only).
+    pub fn ttft_seconds(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.ttft())
+            .map(|d| d.as_secs_f64())
+            .collect()
+    }
+
+    /// E2E samples in seconds.
+    pub fn e2e_seconds(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.e2e())
+            .map(|d| d.as_secs_f64())
+            .collect()
+    }
+
+    /// All inter-token gaps in seconds (TBT samples).
+    pub fn tbt_seconds(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .flat_map(|r| r.tbt_gaps.iter())
+            .map(|d| d.as_secs_f64())
+            .collect()
+    }
+
+    /// TTFT percentile summary.
+    pub fn ttft_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_seconds(&self.ttft_seconds())
+    }
+
+    /// TBT percentile summary.
+    pub fn tbt_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_seconds(&self.tbt_seconds())
+    }
+
+    /// E2E percentile summary.
+    pub fn e2e_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_seconds(&self.e2e_seconds())
+    }
+
+    /// P99 TTFT in seconds (0 when empty) — the headline metric.
+    pub fn p99_ttft(&self) -> f64 {
+        self.ttft_summary().map(|s| s.p99).unwrap_or(0.0)
+    }
+
+    /// P50 TTFT in seconds (0 when empty).
+    pub fn p50_ttft(&self) -> f64 {
+        self.ttft_summary().map(|s| s.p50).unwrap_or(0.0)
+    }
+
+    /// Fraction of requests whose TTFT exceeds the SLO.
+    pub fn slo_violation_fraction(&self) -> f64 {
+        LatencySummary::violation_fraction(&self.ttft_seconds(), self.slo.as_secs_f64())
+    }
+
+    /// Adapter-cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache_stats.hit_rate()
+    }
+
+    /// Mean consumed PCIe bandwidth over the run (bytes/second).
+    pub fn pcie_mean_bandwidth(&self) -> f64 {
+        let secs = self.horizon.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.pcie_total_bytes as f64 / secs
+        }
+    }
+
+    /// Per-request slowdowns: observed E2E / isolated E2E (§3.3).
+    pub fn slowdowns(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| {
+                let e2e = r.e2e()?;
+                let iso = self.isolated_e2e.get(&r.id)?;
+                Some(e2e.as_secs_f64() / iso.as_secs_f64().max(1e-9))
+            })
+            .collect()
+    }
+
+    /// Adapter-load latency on the critical path, in seconds (Figure 14).
+    pub fn load_on_path_seconds(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.is_complete())
+            .map(|r| r.load_on_critical_path.as_secs_f64())
+            .collect()
+    }
+
+    /// The WRS of a record, using its *true* lengths (post-hoc analysis).
+    pub fn wrs_of(&self, r: &RequestRecord) -> f64 {
+        self.wrs.compute(
+            r.input_tokens,
+            r.output_tokens,
+            adapter_bytes(&self.llm, r.rank),
+        )
+    }
+
+    /// Classifies records into small/medium/large by WRS tertiles of this
+    /// run (the cross-policy classification Figure 16 needs) and returns
+    /// the mean queue delay per class in seconds.
+    pub fn queue_delay_by_class(&self) -> Vec<(SizeClass, f64, usize)> {
+        let wrs: Vec<f64> = self.records.iter().map(|r| self.wrs_of(r)).collect();
+        if wrs.is_empty() {
+            return Vec::new();
+        }
+        let t1 = percentile(&wrs, 33.3).expect("non-empty");
+        let t2 = percentile(&wrs, 66.6).expect("non-empty");
+        let mut sums = [0.0f64; 3];
+        let mut counts = [0usize; 3];
+        for (r, &w) in self.records.iter().zip(&wrs) {
+            let Some(delay) = r.queue_delay() else {
+                continue;
+            };
+            let class = if w < t1 {
+                0
+            } else if w < t2 {
+                1
+            } else {
+                2
+            };
+            sums[class] += delay.as_secs_f64();
+            counts[class] += 1;
+        }
+        vec![
+            (SizeClass::Small, avg(sums[0], counts[0]), counts[0]),
+            (SizeClass::Medium, avg(sums[1], counts[1]), counts[1]),
+            (SizeClass::Large, avg(sums[2], counts[2]), counts[2]),
+        ]
+    }
+
+    /// Per-time-bin P99 TTFT (Figures 15/19), keyed by arrival time.
+    pub fn ttft_over_time(&self, bin: SimDuration) -> Vec<(SimTime, f64)> {
+        let mut series = BinnedSeries::new();
+        for r in &self.records {
+            if let Some(ttft) = r.ttft() {
+                series.push(r.arrival, ttft.as_secs_f64());
+            }
+        }
+        series.p99_bins(bin)
+    }
+
+    /// P99 TTFT restricted to requests of one adapter rank (Figure 17/18).
+    pub fn p99_ttft_for_rank(&self, rank: u32) -> Option<f64> {
+        let xs: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.rank.get() == rank)
+            .filter_map(|r| r.ttft())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        percentile(&xs, 99.0)
+    }
+
+    /// Fraction of requests squashed at least once (§4.3.3 bound check).
+    pub fn squash_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.squashes > 0).count() as f64 / self.records.len() as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<20} rps={:>5.1} n={:>5} p50={:>7.3}s p99={:>7.3}s hit={:>5.1}% viol={:>5.1}%",
+            self.label,
+            self.offered_rps,
+            self.completed(),
+            self.p50_ttft(),
+            self.p99_ttft(),
+            self.hit_rate() * 100.0,
+            self.slo_violation_fraction() * 100.0,
+        )
+    }
+}
+
+fn avg(sum: f64, n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_models::{AdapterId, AdapterRank};
+
+    fn record(id: u64, arrival: f64, ttft: f64, e2e: f64, rank: u32) -> RequestRecord {
+        let mut r = RequestRecord::arrive(
+            RequestId(id),
+            SimTime::from_secs_f64(arrival),
+            100,
+            20,
+            AdapterId(0),
+            AdapterRank::new(rank),
+        );
+        r.admitted = Some(SimTime::from_secs_f64(arrival + ttft / 2.0));
+        r.first_token = Some(SimTime::from_secs_f64(arrival + ttft));
+        r.finished = Some(SimTime::from_secs_f64(arrival + e2e));
+        r
+    }
+
+    fn report(records: Vec<RequestRecord>) -> RunReport {
+        let iso: HashMap<RequestId, SimDuration> = records
+            .iter()
+            .map(|r| (r.id, SimDuration::from_secs(1)))
+            .collect();
+        RunReport {
+            label: "test".into(),
+            llm: LlmSpec::llama_7b(),
+            records,
+            cache_stats: CacheStats::default(),
+            pcie_total_bytes: 1_000_000,
+            pcie_busy: SimDuration::from_millis(10),
+            pcie_history: Vec::new(),
+            mem_series: Vec::new(),
+            squashes: 0,
+            slo: SimDuration::from_secs(5),
+            horizon: SimTime::from_secs_f64(100.0),
+            isolated_e2e: iso,
+            wrs: WrsConfig::paper(1000.0, 1000.0, (256u64 << 20) as f64),
+            offered_rps: 1.0,
+            scheduler: "test",
+        }
+    }
+
+    #[test]
+    fn summaries_and_percentiles() {
+        let r = report(vec![
+            record(0, 0.0, 0.1, 2.0, 8),
+            record(1, 1.0, 0.2, 3.0, 16),
+            record(2, 2.0, 0.3, 4.0, 32),
+        ]);
+        assert_eq!(r.completed(), 3);
+        let s = r.ttft_summary().unwrap();
+        assert!((s.p50 - 0.2).abs() < 1e-9);
+        assert!(r.p99_ttft() > 0.29);
+        assert_eq!(r.slo_violation_fraction(), 0.0);
+        // Slowdowns: e2e / 1s isolated.
+        let sd = r.slowdowns();
+        assert_eq!(sd.len(), 3);
+        assert!((sd[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violation_fraction_counts() {
+        let mut rep = report(vec![record(0, 0.0, 6.0, 7.0, 8), record(1, 0.0, 1.0, 2.0, 8)]);
+        rep.slo = SimDuration::from_secs(5);
+        assert!((rep.slo_violation_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_rank_p99() {
+        let r = report(vec![
+            record(0, 0.0, 0.1, 1.0, 8),
+            record(1, 0.0, 0.5, 1.0, 128),
+        ]);
+        assert!(r.p99_ttft_for_rank(128).unwrap() > r.p99_ttft_for_rank(8).unwrap());
+        assert!(r.p99_ttft_for_rank(64).is_none());
+    }
+
+    #[test]
+    fn class_delays_partition_records() {
+        // Ranks 8 vs 128 put requests in different WRS classes.
+        let recs: Vec<RequestRecord> = (0..30)
+            .map(|i| record(i, 0.0, 0.2, 1.0, if i < 10 { 8 } else if i < 20 { 32 } else { 128 }))
+            .collect();
+        let by_class = report(recs).queue_delay_by_class();
+        assert_eq!(by_class.len(), 3);
+        let total: usize = by_class.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn ttft_over_time_bins_by_arrival() {
+        let r = report(vec![
+            record(0, 0.5, 0.1, 1.0, 8),
+            record(1, 0.6, 0.3, 1.0, 8),
+            record(2, 5.0, 0.9, 1.5, 8),
+        ]);
+        let series = r.ttft_over_time(SimDuration::from_secs(1));
+        assert_eq!(series.len(), 2);
+        assert!(series[0].1 >= 0.29);
+        assert!((series[1].1 - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_line_contains_label() {
+        let r = report(vec![record(0, 0.0, 0.1, 1.0, 8)]);
+        assert!(r.summary_line().contains("test"));
+    }
+}

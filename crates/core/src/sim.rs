@@ -1,0 +1,260 @@
+//! The simulation runner: configured system × trace → report.
+
+use crate::isolated;
+use crate::report::RunReport;
+use crate::system::{SchedPolicy, SystemConfig};
+use chameleon_cache::AdapterCache;
+use chameleon_engine::{driver, Cluster, Engine, EngineConfig};
+use chameleon_gpu::CostModel;
+use chameleon_models::AdapterPool;
+use chameleon_predictor::{NoisyBucketPredictor, OraclePredictor, OutputLenPredictor};
+use chameleon_sched::{
+    ChameleonConfig, ChameleonScheduler, FifoScheduler, Scheduler, SjfScheduler,
+    StaticMlqScheduler, WrsConfig,
+};
+use chameleon_simcore::{SimDuration, SimRng};
+use chameleon_workload::Trace;
+
+/// Runs traces through one configured serving system.
+///
+/// See the crate docs for a quickstart. The adapter pool is generated once
+/// per simulation (from the config and seed) so that different policies
+/// compared under the same seed see the same adapters.
+pub struct Simulation {
+    cfg: SystemConfig,
+    seed: u64,
+    pool: AdapterPool,
+    cost: CostModel,
+}
+
+impl Simulation {
+    /// Creates a simulation of `cfg` with a deterministic `seed`.
+    pub fn new(cfg: SystemConfig, seed: u64) -> Self {
+        let pool = AdapterPool::generate(&cfg.llm, &cfg.pool_config());
+        let cost = CostModel::new(cfg.llm.clone(), cfg.gpu.clone(), cfg.tp_degree);
+        Simulation {
+            pool,
+            cost,
+            cfg,
+            seed,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The adapter pool requests draw from.
+    pub fn pool(&self) -> &AdapterPool {
+        &self.pool
+    }
+
+    /// The cost model of the configured engine (isolated-latency oracle).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The WRS normalisation for a given trace envelope.
+    fn wrs_config(&self, trace: &Trace) -> WrsConfig {
+        let s = trace.summary();
+        let max_in = f64::from(s.max_input.max(1));
+        let max_out = f64::from(s.max_output.max(1));
+        let cfg = WrsConfig::paper(max_in, max_out, self.pool.max_adapter_bytes().max(1) as f64);
+        match self.cfg.sched {
+            SchedPolicy::ChameleonMlq {
+                output_only: true, ..
+            } => cfg.output_only(),
+            SchedPolicy::ChameleonLinearWrs => cfg.linear(),
+            _ => cfg,
+        }
+    }
+
+    /// The TTFT SLO in effect for `trace` (§5.1: configured, or 5× the
+    /// mean isolated E2E).
+    pub fn slo_for(&self, trace: &Trace) -> SimDuration {
+        self.cfg
+            .slo
+            .unwrap_or_else(|| isolated::derive_slo(&self.cost, trace))
+    }
+
+    fn build_scheduler(
+        &self,
+        slo: SimDuration,
+        wrs: WrsConfig,
+        k_max: Option<usize>,
+    ) -> Box<dyn Scheduler> {
+        let apply_k = |mut cfg: ChameleonConfig| {
+            if let Some(k) = k_max {
+                cfg.k_max = k;
+            }
+            cfg
+        };
+        match &self.cfg.sched {
+            SchedPolicy::Fifo => Box::new(FifoScheduler::new()),
+            SchedPolicy::Sjf {
+                aging_tokens_per_sec,
+            } => Box::new(SjfScheduler::with_aging(*aging_tokens_per_sec)),
+            SchedPolicy::ChameleonMlq {
+                dynamic, bypass, ..
+            } => {
+                let cfg = apply_k(ChameleonConfig {
+                    dynamic: *dynamic,
+                    enable_bypass: *bypass,
+                    ..ChameleonConfig::paper(slo)
+                });
+                Box::new(ChameleonScheduler::new(cfg, wrs))
+            }
+            SchedPolicy::ChameleonLinearWrs => {
+                let cfg = apply_k(ChameleonConfig::paper(slo));
+                Box::new(ChameleonScheduler::new(cfg, wrs))
+            }
+            SchedPolicy::StaticMlq => Box::new(StaticMlqScheduler::new(slo, wrs, 0.0, 1.0)),
+        }
+    }
+
+    fn build_predictor(&self, engine_idx: usize, max_output: u32) -> Box<dyn OutputLenPredictor> {
+        if self.cfg.worst_case_predictor {
+            return Box::new(chameleon_predictor::WorstCasePredictor::new(max_output.max(1)));
+        }
+        if self.cfg.predictor_accuracy >= 1.0 {
+            Box::new(OraclePredictor::new())
+        } else {
+            let mut rng = SimRng::seed(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+            let rng = rng.fork(&format!("predictor-{engine_idx}"));
+            Box::new(NoisyBucketPredictor::new(self.cfg.predictor_accuracy, rng))
+        }
+    }
+
+    fn build_engine(
+        &self,
+        slo: SimDuration,
+        wrs: WrsConfig,
+        idx: usize,
+        max_output: u32,
+        k_max: Option<usize>,
+    ) -> Engine {
+        let mut ecfg = EngineConfig::new(self.cfg.llm.clone(), self.cfg.gpu.clone())
+            .with_tp(self.cfg.tp_degree);
+        ecfg.max_batch_requests = self.cfg.max_batch_requests;
+        ecfg.chunked_prefill = self.cfg.chunked_prefill;
+        ecfg.prefetch_queued = self.cfg.prefetch_queued;
+        ecfg.predictive_prefetch = self.cfg.predictive_prefetch;
+        // Systems without the Chameleon cache follow S-LoRA's synchronous
+        // load-before-batch semantics (§2); the cache manager is async.
+        ecfg.block_on_load = matches!(self.cfg.cache, crate::system::CachePolicy::Discard);
+        let cache = match self.cfg.cache.to_eviction() {
+            Some(policy) => AdapterCache::new(policy),
+            None => AdapterCache::discard_mode(),
+        };
+        Engine::new(
+            ecfg,
+            self.pool.clone(),
+            self.build_scheduler(slo, wrs, k_max),
+            self.build_predictor(idx, max_output),
+            cache,
+            wrs,
+        )
+    }
+
+    /// Runs `trace` to completion and reports.
+    pub fn run(&mut self, trace: &Trace) -> RunReport {
+        self.run_inner(trace, None)
+    }
+
+    /// Runs `trace` with the Chameleon scheduler's `K_max` overridden —
+    /// the §4.3.4 queue-count ablation. Non-Chameleon schedulers ignore it.
+    pub fn run_with_k_max(&mut self, trace: &Trace, k_max: usize) -> RunReport {
+        self.run_inner(trace, Some(k_max))
+    }
+
+    fn run_inner(&mut self, trace: &Trace, k_max: Option<usize>) -> RunReport {
+        let slo = self.slo_for(trace);
+        let wrs = self.wrs_config(trace);
+        let max_output = trace.summary().max_output;
+        let (engine_report, horizon) = if self.cfg.data_parallel > 1 {
+            let mut cluster = Cluster::new(self.cfg.data_parallel, |i| {
+                self.build_engine(slo, wrs, i, max_output, k_max)
+            });
+            let last = cluster.run(trace);
+            (cluster.into_report(), last)
+        } else {
+            let mut engine = self.build_engine(slo, wrs, 0, max_output, k_max);
+            let last = driver::run_engine(&mut engine, trace);
+            (engine.into_report(), last)
+        };
+        let isolated_e2e = engine_report
+            .records
+            .iter()
+            .map(|r| {
+                let req = chameleon_workload::Request::new(
+                    r.id, r.arrival, r.input_tokens, r.output_tokens, r.adapter, r.rank,
+                );
+                (r.id, isolated::isolated(&self.cost, &req, true).e2e)
+            })
+            .collect();
+        RunReport::new(
+            self.cfg.label.clone(),
+            self.cfg.llm.clone(),
+            engine_report,
+            slo,
+            horizon,
+            isolated_e2e,
+            wrs,
+            trace.summary().mean_rps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preset;
+    use crate::workloads;
+
+    #[test]
+    fn slora_runs_a_small_trace() {
+        let mut sim = Simulation::new(preset::slora(), 1);
+        let trace = workloads::splitwise(4.0, 20.0, 1, sim.pool());
+        let n = trace.len();
+        let report = sim.run(&trace);
+        assert_eq!(report.completed(), n);
+        assert!(report.ttft_summary().is_some());
+        assert!(report.slo.as_secs_f64() > 0.1);
+    }
+
+    #[test]
+    fn chameleon_runs_and_caches() {
+        let mut sim = Simulation::new(preset::chameleon(), 1);
+        let trace = workloads::splitwise(4.0, 30.0, 1, sim.pool());
+        let report = sim.run(&trace);
+        assert!(report.hit_rate() > 0.0, "some adapter reuse expected");
+        assert_eq!(report.scheduler, "chameleon-mlq");
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut sim = Simulation::new(preset::chameleon(), 9);
+            let trace = workloads::splitwise(5.0, 15.0, 9, sim.pool());
+            let r = sim.run(&trace);
+            (
+                r.completed(),
+                r.ttft_summary().map(|s| s.p99),
+                r.cache_stats.hits,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn data_parallel_runs() {
+        let mut cfg = preset::chameleon();
+        cfg.data_parallel = 2;
+        let mut sim = Simulation::new(cfg, 2);
+        let trace = workloads::splitwise(6.0, 15.0, 2, sim.pool());
+        let n = trace.len();
+        let report = sim.run(&trace);
+        assert_eq!(report.completed(), n);
+    }
+}

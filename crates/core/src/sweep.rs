@@ -1,0 +1,162 @@
+//! Load sweeps and SLO-bounded throughput (§5.2).
+//!
+//! The paper's throughput metric is "the load that a system can sustain
+//! without violating this SLO" (§5.2.2), read off a sweep of P99 TTFT
+//! against offered load (Figure 11). [`LoadSweep`] runs that sweep.
+
+use crate::report::RunReport;
+use crate::sim::Simulation;
+use crate::system::SystemConfig;
+use crate::workloads;
+use chameleon_metrics::summary::throughput_at_slo;
+use chameleon_models::AdapterPool;
+use chameleon_workload::Trace;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered load, requests/second.
+    pub rps: f64,
+    /// The full report at that load.
+    pub report: RunReport,
+}
+
+/// Result of sweeping one system across loads.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// System label.
+    pub label: String,
+    /// Points in ascending load order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// `(load, p99_ttft_seconds)` pairs.
+    pub fn p99_curve(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.rps, p.report.p99_ttft()))
+            .collect()
+    }
+
+    /// `(load, p50_ttft_seconds)` pairs.
+    pub fn p50_curve(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.rps, p.report.p50_ttft()))
+            .collect()
+    }
+
+    /// `(load, p99_tbt_seconds)` pairs.
+    pub fn p99_tbt_curve(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.rps,
+                    p.report.tbt_summary().map(|s| s.p99).unwrap_or(0.0),
+                )
+            })
+            .collect()
+    }
+
+    /// SLO-bounded throughput (§5.2.2) against `slo` seconds.
+    pub fn throughput(&self, slo: f64) -> Option<f64> {
+        throughput_at_slo(&self.p99_curve(), slo)
+    }
+}
+
+/// Sweeps a system configuration across offered loads using the scaled
+/// Splitwise workload (§5.1 methodology).
+pub struct LoadSweep {
+    cfg: SystemConfig,
+    seed: u64,
+    /// Trace duration per load point, seconds.
+    pub trace_secs: f64,
+}
+
+impl LoadSweep {
+    /// Creates a sweep of `cfg`.
+    pub fn new(cfg: SystemConfig, seed: u64) -> Self {
+        LoadSweep {
+            cfg,
+            seed,
+            trace_secs: 120.0,
+        }
+    }
+
+    /// Sets the per-point trace duration.
+    pub fn with_trace_secs(mut self, secs: f64) -> Self {
+        self.trace_secs = secs;
+        self
+    }
+
+    /// Runs the sweep at each load in `loads` (requests/second).
+    ///
+    /// The same seed produces the same trace per load across systems, so
+    /// policies are compared on identical request streams.
+    pub fn run(&self, loads: &[f64]) -> SweepResult {
+        let points = loads
+            .iter()
+            .map(|&rps| {
+                let mut sim = Simulation::new(self.cfg.clone(), self.seed);
+                let trace =
+                    workloads::splitwise(rps, self.trace_secs, self.seed ^ rps.to_bits(), sim.pool());
+                let report = sim.run(&trace);
+                SweepPoint { rps, report }
+            })
+            .collect();
+        SweepResult {
+            label: self.cfg.label.clone(),
+            points,
+        }
+    }
+
+    /// Runs the sweep over custom traces (one per load), for non-default
+    /// workloads.
+    pub fn run_traces(&self, traces: &[(f64, Trace)]) -> SweepResult {
+        let points = traces
+            .iter()
+            .map(|(rps, trace)| {
+                let mut sim = Simulation::new(self.cfg.clone(), self.seed);
+                let report = sim.run(trace);
+                SweepPoint { rps: *rps, report }
+            })
+            .collect();
+        SweepResult {
+            label: self.cfg.label.clone(),
+            points,
+        }
+    }
+
+    /// The adapter pool the sweep's simulations will use (for generating
+    /// matching traces externally).
+    pub fn pool(&self) -> AdapterPool {
+        AdapterPool::generate(&self.cfg.llm, &self.cfg.pool_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preset;
+
+    #[test]
+    fn sweep_produces_monotone_load_points() {
+        let sweep = LoadSweep::new(preset::slora(), 3).with_trace_secs(10.0);
+        let result = sweep.run(&[2.0, 6.0]);
+        assert_eq!(result.points.len(), 2);
+        assert!(result.points[0].rps < result.points[1].rps);
+        let curve = result.p99_curve();
+        assert!(curve.iter().all(|&(_, p99)| p99 > 0.0));
+    }
+
+    #[test]
+    fn throughput_reads_off_curve() {
+        let sweep = LoadSweep::new(preset::slora(), 4).with_trace_secs(10.0);
+        let result = sweep.run(&[1.0, 2.0]);
+        // With a generous SLO nothing violates: throughput = max load.
+        let t = result.throughput(1e9).unwrap();
+        assert_eq!(t, 2.0);
+    }
+}

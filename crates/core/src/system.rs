@@ -1,0 +1,227 @@
+//! System configuration: every knob of a serving system under study.
+
+use chameleon_models::{GpuSpec, LlmSpec, PoolConfig, PopularityDist};
+use chameleon_simcore::SimDuration;
+
+/// Which iteration-level scheduling policy the system runs (§3.3, §4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedPolicy {
+    /// S-LoRA's FIFO.
+    Fifo,
+    /// μServe's speculative SJF with aging (tokens/second of credit).
+    Sjf {
+        /// Aging credit in predicted-tokens per second of waiting.
+        aging_tokens_per_sec: f64,
+    },
+    /// The Chameleon multi-level queue (§4.3).
+    ChameleonMlq {
+        /// Re-derive queues/quotas every `T_refresh` (§4.3.4); false gives
+        /// the §5.4.5 "Static" behaviour when combined with fixed cutoffs.
+        dynamic: bool,
+        /// Opportunistic bypass (§4.3.3).
+        bypass: bool,
+        /// Use only the predicted output length in the WRS (§5.4
+        /// "OutputOnly") instead of the full formula.
+        output_only: bool,
+    },
+    /// Chameleon with the degree-1 (linear) WRS — the §4.3.1 ablation.
+    ChameleonLinearWrs,
+    /// The §5.4.5 static four-queue baseline.
+    StaticMlq,
+}
+
+/// Which adapter-cache policy the system runs (§4.2, §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// No cache: discard adapters when unused (S-LoRA, §2).
+    Discard,
+    /// LRU eviction.
+    Lru,
+    /// LFU eviction.
+    Lfu,
+    /// Equal-weight compound score (§5.3 "FairShare").
+    FairShare,
+    /// The tuned Chameleon compound score (F=0.45, R=0.10, S=0.45).
+    Chameleon,
+    /// Greedy-Dual-Size-Frequency (§5.3 comparison).
+    Gdsf,
+}
+
+impl CachePolicy {
+    /// Converts to the cache crate's policy (None = discard mode).
+    pub fn to_eviction(self) -> Option<chameleon_cache::EvictionPolicy> {
+        use chameleon_cache::EvictionPolicy as E;
+        match self {
+            CachePolicy::Discard => None,
+            CachePolicy::Lru => Some(E::Lru),
+            CachePolicy::Lfu => Some(E::Lfu),
+            CachePolicy::FairShare => Some(E::FairShare),
+            CachePolicy::Chameleon => Some(E::chameleon()),
+            CachePolicy::Gdsf => Some(E::Gdsf),
+        }
+    }
+}
+
+/// Full description of a serving system plus its adapter environment.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Human-readable label used in reports.
+    pub label: String,
+    /// Base LLM.
+    pub llm: LlmSpec,
+    /// GPU platform.
+    pub gpu: GpuSpec,
+    /// Tensor-parallel degree.
+    pub tp_degree: u32,
+    /// Data-parallel engine count.
+    pub data_parallel: usize,
+    /// Number of distinct adapters `N_a` (§5.1; default 100).
+    pub num_adapters: usize,
+    /// Rank-popularity distribution (§5.1: uniform by default).
+    pub rank_popularity: PopularityDist,
+    /// Within-rank adapter popularity (§5.1: power-law by default).
+    pub within_rank_popularity: PopularityDist,
+    /// Scheduling policy.
+    pub sched: SchedPolicy,
+    /// Adapter-cache policy.
+    pub cache: CachePolicy,
+    /// Chunked-prefill execution (the Figure 8 baseline).
+    pub chunked_prefill: bool,
+    /// Prefetch adapters of queued requests (S-LoRA and Chameleon both do).
+    pub prefetch_queued: bool,
+    /// Histogram-based predictive prefetch (Chameleon+Prefetch, Fig. 18).
+    pub predictive_prefetch: bool,
+    /// Output-length predictor accuracy in `[0, 1]`; `1.0` uses the oracle.
+    pub predictor_accuracy: f64,
+    /// The system has no output-length predictor and must provision KV
+    /// memory for the worst case (S-LoRA, §5.2.1).
+    pub worst_case_predictor: bool,
+    /// TTFT SLO; `None` derives 5× the mean isolated E2E latency (§5.1).
+    pub slo: Option<SimDuration>,
+    /// Maximum concurrent requests per engine.
+    pub max_batch_requests: usize,
+}
+
+impl SystemConfig {
+    /// Baseline skeleton on the paper's primary platform (Llama-7B, A40,
+    /// 100 adapters).
+    pub fn base(label: impl Into<String>) -> Self {
+        SystemConfig {
+            label: label.into(),
+            llm: LlmSpec::llama_7b(),
+            gpu: GpuSpec::a40(),
+            tp_degree: 1,
+            data_parallel: 1,
+            num_adapters: 100,
+            rank_popularity: PopularityDist::Uniform,
+            within_rank_popularity: PopularityDist::power_law(),
+            sched: SchedPolicy::Fifo,
+            cache: CachePolicy::Discard,
+            chunked_prefill: false,
+            prefetch_queued: true,
+            predictive_prefetch: false,
+            predictor_accuracy: 0.8,
+            worst_case_predictor: false,
+            slo: None,
+            max_batch_requests: 256,
+        }
+    }
+
+    /// The adapter-pool configuration implied by this system.
+    pub fn pool_config(&self) -> PoolConfig {
+        PoolConfig {
+            num_adapters: self.num_adapters,
+            ranks: chameleon_models::AdapterRank::PAPER_SET.to_vec(),
+            rank_popularity: self.rank_popularity,
+            within_rank_popularity: self.within_rank_popularity,
+        }
+    }
+
+    /// Builder-style: sets the model.
+    pub fn with_llm(mut self, llm: LlmSpec) -> Self {
+        self.llm = llm;
+        self
+    }
+
+    /// Builder-style: sets the GPU.
+    pub fn with_gpu(mut self, gpu: GpuSpec) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Builder-style: sets the adapter count.
+    pub fn with_adapters(mut self, n: usize) -> Self {
+        self.num_adapters = n;
+        self
+    }
+
+    /// Builder-style: sets tensor parallelism.
+    pub fn with_tp(mut self, tp: u32) -> Self {
+        self.tp_degree = tp;
+        self
+    }
+
+    /// Builder-style: sets the predictor accuracy.
+    pub fn with_predictor_accuracy(mut self, acc: f64) -> Self {
+        self.predictor_accuracy = acc;
+        self
+    }
+
+    /// Builder-style: relabels the system.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_paper_defaults() {
+        let c = SystemConfig::base("test");
+        assert_eq!(c.num_adapters, 100);
+        assert_eq!(c.llm.name(), "Llama-7B");
+        assert_eq!(c.gpu.name(), "A40");
+        assert_eq!(c.rank_popularity, PopularityDist::Uniform);
+        assert!(matches!(
+            c.within_rank_popularity,
+            PopularityDist::PowerLaw { .. }
+        ));
+    }
+
+    #[test]
+    fn cache_policy_mapping() {
+        assert!(CachePolicy::Discard.to_eviction().is_none());
+        assert!(CachePolicy::Chameleon.to_eviction().is_some());
+        assert_eq!(
+            CachePolicy::Lru.to_eviction(),
+            Some(chameleon_cache::EvictionPolicy::Lru)
+        );
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SystemConfig::base("x")
+            .with_llm(LlmSpec::llama_13b())
+            .with_gpu(GpuSpec::a100_80gb())
+            .with_adapters(500)
+            .with_tp(4)
+            .with_predictor_accuracy(0.6)
+            .with_label("y");
+        assert_eq!(c.llm.name(), "Llama-13B");
+        assert_eq!(c.num_adapters, 500);
+        assert_eq!(c.tp_degree, 4);
+        assert_eq!(c.predictor_accuracy, 0.6);
+        assert_eq!(c.label, "y");
+    }
+
+    #[test]
+    fn pool_config_reflects_distributions() {
+        let c = SystemConfig::base("x").with_adapters(50);
+        let p = c.pool_config();
+        assert_eq!(p.num_adapters, 50);
+        assert_eq!(p.ranks.len(), 5);
+    }
+}

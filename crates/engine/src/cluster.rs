@@ -1,0 +1,227 @@
+//! Data-parallel multi-engine cluster (§4.4).
+//!
+//! "In DP, Chameleon uses a two-level scheduler: a global scheduler
+//! dispatches requests to the different engines, and each engine has its
+//! local scheduler." The global scheduler here is join-shortest-queue over
+//! outstanding resource tokens, the standard production choice. Each engine
+//! keeps its own local scheduler and its own replica of the adapter cache
+//! ("in DP, Chameleon replicates the adapter cache across engines").
+
+use crate::engine::{Engine, EngineEvent};
+use crate::report::EngineReport;
+use chameleon_simcore::{EventQueue, SimTime};
+use chameleon_workload::Trace;
+
+/// Events at cluster scope: an undispatched arrival or an engine-local
+/// event.
+#[derive(Debug)]
+enum ClusterEvent {
+    Arrival(chameleon_workload::Request),
+    Engine(usize, EngineEvent),
+}
+
+/// A data-parallel group of engines behind a global dispatcher.
+pub struct Cluster {
+    engines: Vec<Engine>,
+    dispatched: Vec<u64>,
+}
+
+impl Cluster {
+    /// Builds a cluster of `n` engines from a factory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new<F: FnMut(usize) -> Engine>(n: usize, mut factory: F) -> Self {
+        assert!(n > 0, "empty cluster");
+        Cluster {
+            engines: (0..n).map(&mut factory).collect(),
+            dispatched: vec![0; n],
+        }
+    }
+
+    /// Number of engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True when the cluster has no engines (never: constructor forbids).
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// Requests dispatched to each engine.
+    pub fn dispatch_counts(&self) -> &[u64] {
+        &self.dispatched
+    }
+
+    /// Runs `trace` through the cluster until drained. Returns the instant
+    /// of the last processed event.
+    pub fn run(&mut self, trace: &Trace) -> SimTime {
+        let mut q: EventQueue<ClusterEvent> = EventQueue::with_capacity(trace.len() * 4);
+        let mut arrivals_left = trace.len();
+        for r in trace {
+            q.push(r.arrival(), ClusterEvent::Arrival(*r));
+        }
+        let mem_int = self.engines[0].config().mem_sample_interval;
+        let refresh_int = self.engines[0].config().refresh_interval;
+        for i in 0..self.engines.len() {
+            q.push(
+                SimTime::ZERO + mem_int,
+                ClusterEvent::Engine(i, EngineEvent::MemSample),
+            );
+            q.push(
+                SimTime::ZERO + refresh_int,
+                ClusterEvent::Engine(i, EngineEvent::Refresh),
+            );
+        }
+        let mut out = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((t, ev)) = q.pop() {
+            last = t;
+            match ev {
+                ClusterEvent::Arrival(req) => {
+                    arrivals_left -= 1;
+                    // Global scheduler: least outstanding work at arrival.
+                    let target = (0..self.engines.len())
+                        .min_by_key(|&i| self.engines[i].outstanding_tokens())
+                        .expect("non-empty cluster");
+                    self.dispatched[target] += 1;
+                    self.engines[target].handle(t, EngineEvent::Arrival(req), &mut out);
+                    for (at, e) in out.drain(..) {
+                        q.push(at, ClusterEvent::Engine(target, e));
+                    }
+                }
+                ClusterEvent::Engine(i, ev) => {
+                    let reschedule = match &ev {
+                        EngineEvent::MemSample => Some((t + mem_int, EngineEvent::MemSample)),
+                        EngineEvent::Refresh => Some((t + refresh_int, EngineEvent::Refresh)),
+                        _ => None,
+                    };
+                    let periodic = reschedule.is_some();
+                    self.engines[i].handle(t, ev, &mut out);
+                    for (at, e) in out.drain(..) {
+                        q.push(at, ClusterEvent::Engine(i, e));
+                    }
+                    if periodic && (arrivals_left > 0 || self.engines[i].has_work()) {
+                        let (at, e) = reschedule.expect("periodic");
+                        q.push(at, ClusterEvent::Engine(i, e));
+                    }
+                }
+            }
+        }
+        last
+    }
+
+    /// Total completed requests across engines.
+    pub fn completed(&self) -> u64 {
+        self.engines.iter().map(|e| e.completed()).sum()
+    }
+
+    /// Finalises into one merged report.
+    pub fn into_report(self) -> EngineReport {
+        let mut reports = self.engines.into_iter().map(Engine::into_report);
+        let mut merged = reports.next().expect("non-empty cluster");
+        for r in reports {
+            merged.merge(r);
+        }
+        merged
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("engines", &self.engines.len())
+            .field("dispatched", &self.dispatched)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use chameleon_cache::{AdapterCache, EvictionPolicy};
+    use chameleon_models::{AdapterPool, GpuSpec, LlmSpec, PoolConfig};
+    use chameleon_predictor::OraclePredictor;
+    use chameleon_sched::{FifoScheduler, WrsConfig};
+    use chameleon_simcore::SimRng;
+    use chameleon_workload::{ArrivalModel, LengthModel, TraceGenerator};
+
+    fn cluster_and_trace(n_engines: usize, n_reqs: usize) -> (Cluster, Trace) {
+        let llm = LlmSpec::llama_7b();
+        let pool = AdapterPool::generate(&llm, &PoolConfig::paper_default(10));
+        let gen = TraceGenerator::new(
+            LengthModel::Custom {
+                input: chameleon_workload::generator::TokenLengthModel {
+                    median: 64.0,
+                    sigma: 0.5,
+                    min: 8,
+                    max: 256,
+                },
+                output: chameleon_workload::generator::TokenLengthModel {
+                    median: 8.0,
+                    sigma: 0.5,
+                    min: 2,
+                    max: 32,
+                },
+            },
+            ArrivalModel::poisson(20.0),
+        );
+        let mut rng = SimRng::seed(7);
+        let trace = gen.generate_n(&pool, n_reqs, &mut rng);
+        let cluster = Cluster::new(n_engines, |_| {
+            Engine::new(
+                EngineConfig::new(LlmSpec::llama_7b(), GpuSpec::a40()),
+                pool.clone(),
+                Box::new(FifoScheduler::new()),
+                Box::new(OraclePredictor::new()),
+                AdapterCache::new(EvictionPolicy::chameleon()),
+                WrsConfig::paper(2048.0, 1024.0, (256 << 20) as f64),
+            )
+        });
+        (cluster, trace)
+    }
+
+    #[test]
+    fn completes_everything_and_balances() {
+        let (mut c, trace) = cluster_and_trace(3, 60);
+        c.run(&trace);
+        assert_eq!(c.completed(), 60);
+        // JSQ keeps dispatch counts reasonably balanced.
+        let counts = c.dispatch_counts().to_vec();
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 4.0, "imbalanced: {counts:?}");
+        let report = c.into_report();
+        assert_eq!(report.records.len(), 60);
+        assert!(report.records.iter().all(|r| r.is_complete()));
+    }
+
+    #[test]
+    fn more_engines_cut_latency_under_load() {
+        let (mut one, trace) = cluster_and_trace(1, 80);
+        let (mut four, _) = cluster_and_trace(4, 0);
+        one.run(&trace);
+        four.run(&trace);
+        let p99 = |rep: &EngineReport| {
+            let mut v: Vec<f64> = rep
+                .records
+                .iter()
+                .filter_map(|r| r.ttft())
+                .map(|d| d.as_secs_f64())
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let i = ((v.len() as f64 * 0.99) as usize).min(v.len() - 1);
+            v[i]
+        };
+        let r1 = one.into_report();
+        let r4 = four.into_report();
+        assert_eq!(r4.records.len(), 80);
+        assert!(
+            p99(&r4) <= p99(&r1),
+            "4 engines should not be slower than 1"
+        );
+    }
+}

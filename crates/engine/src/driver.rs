@@ -1,0 +1,132 @@
+//! Single-engine simulation driver.
+
+use crate::engine::{Engine, EngineEvent};
+use chameleon_simcore::{EventQueue, SimTime};
+use chameleon_workload::Trace;
+
+/// Drives `engine` through `trace` until every request completes and the
+/// system drains. Returns the instant of the last processed event.
+///
+/// Periodic [`EngineEvent::MemSample`] and [`EngineEvent::Refresh`] events
+/// fire at the intervals in the engine's configuration while work remains.
+pub fn run_engine(engine: &mut Engine, trace: &Trace) -> SimTime {
+    let mut q: EventQueue<EngineEvent> = EventQueue::with_capacity(trace.len() * 4);
+    let mut arrivals_left = trace.len();
+    for r in trace {
+        q.push(r.arrival(), EngineEvent::Arrival(*r));
+    }
+    let mem_int = engine.config().mem_sample_interval;
+    let refresh_int = engine.config().refresh_interval;
+    q.push(SimTime::ZERO + mem_int, EngineEvent::MemSample);
+    q.push(SimTime::ZERO + refresh_int, EngineEvent::Refresh);
+
+    let mut out = Vec::new();
+    let mut last = SimTime::ZERO;
+    while let Some((t, ev)) = q.pop() {
+        last = t;
+        let periodic = matches!(ev, EngineEvent::MemSample | EngineEvent::Refresh);
+        if matches!(ev, EngineEvent::Arrival(_)) {
+            arrivals_left -= 1;
+        }
+        let reschedule = match &ev {
+            EngineEvent::MemSample => Some((t + mem_int, EngineEvent::MemSample)),
+            EngineEvent::Refresh => Some((t + refresh_int, EngineEvent::Refresh)),
+            _ => None,
+        };
+        engine.handle(t, ev, &mut out);
+        for (at, e) in out.drain(..) {
+            q.push(at, e);
+        }
+        if periodic && (arrivals_left > 0 || engine.has_work()) {
+            let (at, e) = reschedule.expect("periodic events always reschedule");
+            q.push(at, e);
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use chameleon_cache::{AdapterCache, EvictionPolicy};
+    use chameleon_models::{AdapterPool, GpuSpec, LlmSpec, PoolConfig};
+    use chameleon_predictor::OraclePredictor;
+    use chameleon_sched::{FifoScheduler, WrsConfig};
+    use chameleon_simcore::SimRng;
+    use chameleon_workload::{ArrivalModel, LengthModel, TraceGenerator};
+
+    fn small_trace(n: usize, rps: f64) -> (AdapterPool, Trace) {
+        let llm = LlmSpec::llama_7b();
+        let pool = AdapterPool::generate(&llm, &PoolConfig::paper_default(20));
+        let gen = TraceGenerator::new(
+            LengthModel::Custom {
+                input: chameleon_workload::generator::TokenLengthModel {
+                    median: 64.0,
+                    sigma: 0.5,
+                    min: 8,
+                    max: 256,
+                },
+                output: chameleon_workload::generator::TokenLengthModel {
+                    median: 16.0,
+                    sigma: 0.5,
+                    min: 2,
+                    max: 64,
+                },
+            },
+            ArrivalModel::poisson(rps),
+        );
+        let mut rng = SimRng::seed(42);
+        let trace = gen.generate_n(&pool, n, &mut rng);
+        (pool, trace)
+    }
+
+    fn engine(pool: AdapterPool) -> Engine {
+        let cfg = EngineConfig::new(LlmSpec::llama_7b(), GpuSpec::a40());
+        Engine::new(
+            cfg,
+            pool,
+            Box::new(FifoScheduler::new()),
+            Box::new(OraclePredictor::new()),
+            AdapterCache::new(EvictionPolicy::chameleon()),
+            WrsConfig::paper(2048.0, 1024.0, (256 << 20) as f64),
+        )
+    }
+
+    #[test]
+    fn drains_full_trace() {
+        let (pool, trace) = small_trace(50, 5.0);
+        let mut e = engine(pool);
+        let last = run_engine(&mut e, &trace);
+        assert_eq!(e.completed(), 50);
+        assert!(!e.has_work());
+        assert!(last >= trace.requests().last().unwrap().arrival());
+        let report = e.into_report();
+        assert!(report.records.iter().all(|r| r.is_complete()));
+        assert!(!report.mem_series.is_empty(), "memory was sampled");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (pool, trace) = small_trace(40, 8.0);
+        let run = || {
+            let mut e = engine(pool.clone());
+            run_engine(&mut e, &trace);
+            let rep = e.into_report();
+            rep.records
+                .iter()
+                .map(|r| (r.id, r.first_token, r.finished))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let (pool, _) = small_trace(1, 1.0);
+        let mut e = engine(pool);
+        let last = run_engine(&mut e, &Trace::new(vec![]));
+        assert_eq!(e.completed(), 0);
+        assert!(last >= SimTime::ZERO);
+    }
+}

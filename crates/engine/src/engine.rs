@@ -1,0 +1,1158 @@
+//! The engine state machine.
+//!
+//! [`Engine`] is deliberately reactive: it owns no event queue. A driver
+//! ([`crate::driver`] or [`crate::cluster`]) feeds it [`EngineEvent`]s and
+//! collects the future events the engine wants scheduled. This keeps one
+//! implementation reusable for both single-engine runs and data-parallel
+//! clusters, and makes every transition unit-testable.
+
+use crate::config::EngineConfig;
+use crate::probe::EngineProbe;
+use crate::report::EngineReport;
+use chameleon_cache::AdapterCache;
+use chameleon_gpu::cost::{DecodeItem, PrefillItem};
+use chameleon_gpu::memory::{MemoryPool, Region};
+use chameleon_gpu::{CostModel, KvAllocator, PcieLink};
+use chameleon_metrics::{Collector, MemorySample, SizeClass};
+use chameleon_models::{AdapterId, AdapterPool};
+use chameleon_predictor::{HistogramLoadPredictor, OutputLenPredictor};
+use chameleon_sched::{QueuedRequest, Scheduler, WrsConfig};
+use chameleon_simcore::{SimDuration, SimTime};
+use chameleon_workload::{Request, RequestId};
+use std::collections::{HashMap, HashSet};
+
+/// Events driving the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A request reached the frontend.
+    Arrival(Request),
+    /// The iteration started earlier finished (tagged with its sequence
+    /// number so stale completions are ignored).
+    StepDone(u64),
+    /// An adapter load (or prefetch) completed.
+    LoadDone(AdapterId),
+    /// Periodic reconfiguration tick (`T_refresh`).
+    Refresh,
+    /// Periodic memory-occupancy sample (Figure 6).
+    MemSample,
+    /// Retry dispatch after a fully idle engine could not admit a waiting
+    /// request (e.g. a blocked head banking memory across cycles).
+    Poke,
+}
+
+/// A request in the running batch.
+#[derive(Debug, Clone)]
+struct Running {
+    req: Request,
+    queue_index: usize,
+    charged_tokens: u64,
+    predicted_output: u32,
+    /// Prompt tokens not yet prefilled.
+    prefill_remaining: u32,
+    /// Output tokens produced.
+    produced: u32,
+    /// KV tokens currently reserved for this request.
+    kv_reserved: u32,
+    admitted_at: SimTime,
+}
+
+impl Running {
+    fn finished(&self) -> bool {
+        self.prefill_remaining == 0 && self.produced >= self.req.output_tokens()
+    }
+}
+
+/// An in-flight adapter transfer.
+#[derive(Debug, Clone)]
+struct Loading {
+    ready_at: SimTime,
+    bytes: u64,
+    /// Requests already admitted and waiting on this adapter.
+    waiters: u32,
+}
+
+/// What the engine is executing right now.
+#[derive(Debug, Clone)]
+enum StepPlan {
+    /// Full (or chunked) prefill for these requests; `chunks[i]` prompt
+    /// tokens are processed for request `ids[i]`.
+    Prefill { ids: Vec<RequestId>, chunks: Vec<u32> },
+    /// One decode iteration for these requests, plus (in chunked-prefill
+    /// mode) prompt chunks folded in.
+    Decode {
+        ids: Vec<RequestId>,
+        folded_prefill: Vec<(RequestId, u32)>,
+    },
+}
+
+/// A record of an opportunistic bypass: `r2` jumped over blocked `r1`
+/// needing `r1_tokens`; if that much frees while `r2` runs, `r2` squashes.
+#[derive(Debug, Clone, Copy)]
+struct BypassPair {
+    r2: RequestId,
+    r1: RequestId,
+    r1_tokens: u64,
+}
+
+/// One LLM serving engine (a GPU or TP group).
+pub struct Engine {
+    cfg: EngineConfig,
+    cost: CostModel,
+    pool: AdapterPool,
+    mem: MemoryPool,
+    kv: KvAllocator,
+    link: PcieLink,
+    cache: AdapterCache,
+    sched: Box<dyn Scheduler>,
+    predictor: Box<dyn OutputLenPredictor>,
+    wrs_cfg: WrsConfig,
+    load_predictor: HistogramLoadPredictor,
+    collector: Collector,
+    running: Vec<Running>,
+    loading: HashMap<AdapterId, Loading>,
+    current_step: Option<StepPlan>,
+    step_seq: u64,
+    busy_until: SimTime,
+    bypass_pairs: Vec<BypassPair>,
+    poke_pending: bool,
+    mem_series: Vec<MemorySample>,
+    squashes: u64,
+    completed: u64,
+    kv_bytes_per_token: u64,
+}
+
+impl Engine {
+    /// Builds an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base model does not fit in the configured GPU memory.
+    pub fn new(
+        cfg: EngineConfig,
+        pool: AdapterPool,
+        sched: Box<dyn Scheduler>,
+        predictor: Box<dyn OutputLenPredictor>,
+        cache: AdapterCache,
+        wrs_cfg: WrsConfig,
+    ) -> Self {
+        let cost = CostModel::new(cfg.llm.clone(), cfg.gpu.clone(), cfg.tp_degree);
+        let total_mem = cfg.total_memory_bytes();
+        let mut mem = MemoryPool::new(total_mem);
+        mem.reserve(Region::Weights, cfg.llm.weight_bytes())
+            .expect("base model must fit in GPU memory");
+        let headroom = (total_mem as f64 * cfg.activation_headroom) as u64;
+        mem.reserve(Region::Activations, headroom)
+            .expect("activation headroom must fit");
+        let kv_bytes_per_token = cfg.llm.kv_bytes_per_token();
+        let kv = KvAllocator::new(kv_bytes_per_token, cfg.kv_block_tokens);
+        let link = PcieLink::new(cfg.gpu.effective_copy_bytes_per_sec());
+        Engine {
+            cost,
+            pool,
+            mem,
+            kv,
+            link,
+            cache,
+            sched,
+            predictor,
+            wrs_cfg,
+            load_predictor: HistogramLoadPredictor::new(),
+            collector: Collector::new(),
+            running: Vec::new(),
+            loading: HashMap::new(),
+            current_step: None,
+            step_seq: 0,
+            busy_until: SimTime::ZERO,
+            bypass_pairs: Vec::new(),
+            poke_pending: false,
+            mem_series: Vec::new(),
+            squashes: 0,
+            completed: 0,
+            kv_bytes_per_token,
+            cfg,
+        }
+    }
+
+    /// The engine's WRS configuration (used by drivers for reporting).
+    pub fn wrs_config(&self) -> &WrsConfig {
+        &self.wrs_cfg
+    }
+
+    /// The engine's static configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The engine's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// True while any request is queued, running, or loading an adapter.
+    pub fn has_work(&self) -> bool {
+        !self.running.is_empty() || self.sched.len() > 0 || !self.loading.is_empty()
+    }
+
+    /// Outstanding resource tokens (running + queued) — the JSQ signal for
+    /// the cluster's global scheduler.
+    pub fn outstanding_tokens(&self) -> u64 {
+        let running: u64 = self.running.iter().map(|r| r.charged_tokens).sum();
+        // Queued work approximated by queue length × mean running charge.
+        let mean = if self.running.is_empty() {
+            256
+        } else {
+            running / self.running.len() as u64
+        };
+        running + self.sched.len() as u64 * mean
+    }
+
+    /// Number of requests in the running batch.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Number of queued requests.
+    pub fn queue_len(&self) -> usize {
+        self.sched.len()
+    }
+
+    /// Total completed requests.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Scheduler-internal state dump for diagnostics.
+    pub fn scheduler_debug(&self) -> String {
+        format!(
+            "sched[{}] queued={} running={} loading={} :: {}",
+            self.sched.name(),
+            self.sched.len(),
+            self.running.len(),
+            self.loading.len(),
+            self.sched.debug_state()
+        )
+    }
+
+    /// Handles one event at `now`, appending any future events to `out`.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        event: EngineEvent,
+        out: &mut Vec<(SimTime, EngineEvent)>,
+    ) {
+        match event {
+            EngineEvent::Arrival(req) => self.on_arrival(now, req, out),
+            EngineEvent::StepDone(seq) => self.on_step_done(now, seq, out),
+            EngineEvent::LoadDone(id) => self.on_load_done(now, id, out),
+            EngineEvent::Refresh => self.on_refresh(now),
+            EngineEvent::MemSample => self.sample_memory(now),
+            EngineEvent::Poke => {
+                self.poke_pending = false;
+                self.try_dispatch(now, out);
+            }
+        }
+    }
+
+    /// Finalises the engine into its report.
+    pub fn into_report(self) -> EngineReport {
+        EngineReport {
+            records: self.collector.into_records(),
+            cache_stats: self.cache.stats(),
+            pcie_total_bytes: self.link.total_bytes(),
+            pcie_busy: self.link.total_busy(),
+            pcie_history: self.link.history().to_vec(),
+            mem_series: self.mem_series,
+            squashes: self.squashes,
+            scheduler: self.sched.name(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_arrival(&mut self, now: SimTime, req: Request, out: &mut Vec<(SimTime, EngineEvent)>) {
+        let spec = self
+            .pool
+            .get(req.adapter())
+            .unwrap_or_else(|| panic!("unknown adapter {}", req.adapter()))
+            .clone();
+        self.collector.on_arrival(
+            req.id(),
+            now,
+            req.input_tokens(),
+            req.output_tokens(),
+            req.adapter(),
+            req.rank(),
+        );
+        self.load_predictor.observe(req.adapter(), now);
+        let predicted = self.predictor.predict(&req);
+        let wrs = self
+            .wrs_cfg
+            .compute(req.input_tokens(), predicted, spec.bytes());
+        let adapter_token_equiv = spec.bytes() / self.kv_bytes_per_token;
+        let queued = QueuedRequest::new(req, predicted, spec.bytes(), adapter_token_equiv, wrs, now);
+        let class = SizeClass::from_queue_index(
+            self.sched.queue_index_for(wrs),
+            self.sched.num_queues().max(1),
+        );
+        self.collector.on_classified(queued.id(), class);
+        self.sched.enqueue(queued);
+        self.try_dispatch(now, out);
+        self.prefetch(now, out);
+    }
+
+    fn on_load_done(&mut self, now: SimTime, id: AdapterId, out: &mut Vec<(SimTime, EngineEvent)>) {
+        let Some(loading) = self.loading.remove(&id) else {
+            return; // duplicate completion (cannot normally happen)
+        };
+        // The load reservation becomes a cache entry with the waiting
+        // requests' references.
+        self.mem.release(Region::AdaptersInUse, loading.bytes);
+        let spec = self.pool.get(id).expect("loaded adapter exists").clone();
+        self.cache
+            .insert_loaded(&mut self.mem, &spec, now, loading.waiters)
+            .expect("reservation was released just above");
+        self.try_dispatch(now, out);
+    }
+
+    fn on_refresh(&mut self, now: SimTime) {
+        let probe = self.probe(now);
+        self.sched.on_refresh(&probe);
+        self.cache.decay_frequencies();
+    }
+
+    fn sample_memory(&mut self, now: SimTime) {
+        self.mem_series.push(MemorySample {
+            at: now,
+            weights: self.mem.used(Region::Weights),
+            kv: self.mem.used(Region::KvCache),
+            adapters_in_use: self.mem.used(Region::AdaptersInUse),
+            adapter_cache: self.mem.used(Region::AdapterCache),
+            capacity: self.mem.capacity(),
+        });
+    }
+
+    fn on_step_done(&mut self, now: SimTime, seq: u64, out: &mut Vec<(SimTime, EngineEvent)>) {
+        if seq != self.step_seq {
+            return; // stale completion from a squashed plan
+        }
+        let Some(plan) = self.current_step.take() else {
+            return;
+        };
+        match plan {
+            StepPlan::Prefill { ids, chunks } => {
+                for (id, chunk) in ids.iter().zip(chunks) {
+                    self.apply_prefill_progress(*id, chunk, now);
+                }
+            }
+            StepPlan::Decode { ids, folded_prefill } => {
+                for (id, chunk) in folded_prefill {
+                    self.apply_prefill_progress(id, chunk, now);
+                }
+                for id in ids {
+                    self.apply_decode_progress(id, now);
+                }
+            }
+        }
+        self.retire_finished(now);
+        self.try_dispatch(now, out);
+        self.prefetch(now, out);
+    }
+
+    fn apply_prefill_progress(&mut self, id: RequestId, chunk: u32, now: SimTime) {
+        let Some(r) = self.running.iter_mut().find(|r| r.req.id() == id) else {
+            return; // squashed mid-step
+        };
+        r.prefill_remaining = r.prefill_remaining.saturating_sub(chunk);
+        if r.prefill_remaining == 0 && r.produced == 0 {
+            // Prefill completion produces the first token.
+            r.produced = 1;
+            self.collector.on_token(id, now);
+        }
+    }
+
+    fn apply_decode_progress(&mut self, id: RequestId, now: SimTime) {
+        let Some(idx) = self.running.iter().position(|r| r.req.id() == id) else {
+            return; // squashed mid-step
+        };
+        {
+            let r = &mut self.running[idx];
+            r.produced += 1;
+            self.collector.on_token(id, now);
+        }
+        // Grow KV beyond the admission reservation when the request
+        // outlives its prediction.
+        let (needed, reserved) = {
+            let r = &self.running[idx];
+            (r.req.input_tokens() + r.produced, r.kv_reserved)
+        };
+        if needed > reserved {
+            if !self.ensure_kv_growth(id, now) {
+                // OOM during decode: squash the youngest running request
+                // (recompute-style preemption) to relieve pressure.
+                self.squash_youngest_except(id, now);
+                // Retry; if it still fails the request stalls one token —
+                // growth will be retried next iteration.
+                let _ = self.ensure_kv_growth(id, now);
+            }
+        }
+    }
+
+    /// Tries to grow `id`'s KV reservation by one token, evicting idle
+    /// cached adapters if needed. Returns success.
+    fn ensure_kv_growth(&mut self, id: RequestId, now: SimTime) -> bool {
+        let protected: HashSet<AdapterId> = self.sched.queued_adapters().into_iter().collect();
+        let need_block = self.kv.block_bytes();
+        if self.mem.free() < need_block
+            && !self.cache.make_room(&mut self.mem, need_block, now, &protected)
+        {
+            return false;
+        }
+        match self.kv.grow(&mut self.mem, id, 1) {
+            Ok(()) => {
+                if let Some(r) = self.running.iter_mut().find(|r| r.req.id() == id) {
+                    r.kv_reserved += 1;
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn retire_finished(&mut self, now: SimTime) {
+        let finished: Vec<usize> = self
+            .running
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.finished())
+            .map(|(i, _)| i)
+            .collect();
+        for idx in finished.into_iter().rev() {
+            let r = self.running.swap_remove(idx);
+            let id = r.req.id();
+            self.collector.on_finish(id, now);
+            self.kv.free(&mut self.mem, id);
+            self.cache.release(&mut self.mem, r.req.adapter(), now);
+            self.sched.on_finish(r.queue_index, r.charged_tokens);
+            self.completed += 1;
+            self.bypass_pairs.retain(|p| p.r2 != id && p.r1 != id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn is_idle(&self, now: SimTime) -> bool {
+        self.current_step.is_none() && now >= self.busy_until
+    }
+
+    fn probe(&self, now: SimTime) -> EngineProbe {
+        // Evictable idle cache bytes count as available.
+        let available_bytes = self.mem.free() + self.cache.idle_bytes();
+        let available_tokens = available_bytes / self.kv_bytes_per_token;
+        let resident: HashSet<AdapterId> = self
+            .cache
+            .idle_adapters()
+            .into_iter()
+            .chain(self.running.iter().map(|r| r.req.adapter()))
+            .chain(self.loading.keys().copied())
+            .collect();
+        // Per-token execution estimates at the current batch size: a decode
+        // token costs one full (shared) iteration of wall time; a prefill
+        // token costs its compute share.
+        let batch = self.running.len().max(1);
+        let step = self.cost.decode_step_time(
+            &vec![
+                DecodeItem {
+                    kv_tokens: 256,
+                    rank: None,
+                };
+                batch
+            ],
+        );
+        let decode_secs_per_token = step.as_secs_f64();
+        let prefill_secs_per_token = {
+            let t1k = self.cost.base_prefill_time(1024).as_secs_f64();
+            let t0 = self.cost.base_prefill_time(1).as_secs_f64();
+            (t1k - t0) / 1023.0
+        };
+        let secs_per_token = step.as_secs_f64() / batch as f64;
+        // Predicted release schedule: when each running request is expected
+        // to finish and how many bytes it would free.
+        let mut rel: Vec<(SimTime, u64)> = self
+            .running
+            .iter()
+            .map(|r| {
+                let remaining = u64::from(
+                    r.predicted_output
+                        .max(r.produced)
+                        .saturating_sub(r.produced),
+                ) + u64::from(r.prefill_remaining) / 64;
+                let finish = now + step.mul_f64(remaining as f64);
+                let freed = u64::from(r.kv_reserved) * self.kv_bytes_per_token
+                    + self
+                        .pool
+                        .get(r.req.adapter())
+                        .map(|a| a.bytes())
+                        .unwrap_or(0);
+                (finish, freed)
+            })
+            .collect();
+        rel.sort_by_key(|&(t, _)| t);
+        let mut acc = 0u64;
+        for item in &mut rel {
+            acc += item.1;
+            item.1 = acc;
+        }
+        let usable = self
+            .mem
+            .capacity()
+            .saturating_sub(self.mem.used(Region::Weights))
+            .saturating_sub(self.mem.used(Region::Activations));
+        EngineProbe {
+            now,
+            available_tokens,
+            batch_slots: self
+                .cfg
+                .max_batch_requests
+                .saturating_sub(self.running.len()),
+            resident,
+            secs_per_token,
+            decode_secs_per_token,
+            prefill_secs_per_token,
+            mem_release_schedule: rel,
+            total_token_capacity: usable / self.kv_bytes_per_token,
+        }
+    }
+
+    fn try_dispatch(&mut self, now: SimTime, out: &mut Vec<(SimTime, EngineEvent)>) {
+        if !self.is_idle(now) {
+            return;
+        }
+        self.check_squash(now);
+        let probe = self.probe(now);
+        let admissions = self.sched.form_batch(&probe);
+        let mut iter = admissions.into_iter();
+        while let Some(adm) = iter.next() {
+            if !self.admit(adm, now, out) {
+                // The scheduler already dequeued and charged the remaining
+                // admissions; give their quota back and return them to the
+                // front of their queues (in reverse, preserving order).
+                let rest: Vec<_> = iter.collect();
+                for adm in rest.into_iter().rev() {
+                    self.sched.on_finish(adm.queue_index, adm.charged_tokens);
+                    self.sched.requeue_front(adm.request.requeued_at(now));
+                }
+                break;
+            }
+        }
+        self.launch_step(now, out);
+        // Liveness: if the engine is now completely idle but requests are
+        // still queued (blocked head waiting on banked memory or an aging
+        // gate), wake up again shortly — no other event would.
+        if self.current_step.is_none()
+            && self.running.is_empty()
+            && self.loading.is_empty()
+            && self.sched.len() > 0
+            && !self.poke_pending
+        {
+            self.poke_pending = true;
+            out.push((now + SimDuration::from_millis(50), EngineEvent::Poke));
+        }
+    }
+
+    /// Applies one admission. Returns `false` when resources ran out and
+    /// admission processing should stop.
+    fn admit(
+        &mut self,
+        adm: chameleon_sched::AdmissionOutcome,
+        now: SimTime,
+        out: &mut Vec<(SimTime, EngineEvent)>,
+    ) -> bool {
+        let queued = adm.request;
+        let id = queued.id();
+        let req = *queued.request();
+        let adapter = req.adapter();
+        let spec = self.pool.get(adapter).expect("known adapter").clone();
+        let protected: HashSet<AdapterId> = self.sched.queued_adapters().into_iter().collect();
+
+        // 1. KV reservation for input + predicted output.
+        let kv_tokens = req.input_tokens() + queued.predicted_output();
+        let kv_bytes = self.kv.bytes_for(kv_tokens);
+        if self.mem.free() < kv_bytes {
+            self.cache.make_room(&mut self.mem, kv_bytes, now, &protected);
+        }
+        if self.kv.allocate(&mut self.mem, id, kv_tokens).is_err() {
+            // Snapshot was optimistic; push back and stop.
+            self.sched.on_finish(adm.queue_index, adm.charged_tokens);
+            self.sched.requeue_front(queued.requeued_at(now));
+            return false;
+        }
+
+        // 2. Adapter residency.
+        let mut load_on_path = SimDuration::ZERO;
+        if self.cache.acquire(&mut self.mem, adapter, now) {
+            // Hit: nothing to do.
+        } else if let Some(l) = self.loading.get_mut(&adapter) {
+            // Already in flight (prefetch or earlier admission).
+            l.waiters += 1;
+            load_on_path = l.ready_at.saturating_since(now);
+        } else {
+            // Cold: reserve memory and start the transfer.
+            if self.mem.free() < spec.bytes() {
+                self.cache
+                    .make_room(&mut self.mem, spec.bytes(), now, &protected);
+            }
+            if self
+                .mem
+                .reserve(Region::AdaptersInUse, spec.bytes())
+                .is_err()
+            {
+                // No memory for the adapter: undo the KV reservation.
+                self.kv.free(&mut self.mem, id);
+                self.sched.on_finish(adm.queue_index, adm.charged_tokens);
+                self.sched.requeue_front(queued.requeued_at(now));
+                return false;
+            }
+            let occupancy = self.cost.adapter_link_occupancy(spec.bytes());
+            let rec = self.link.transfer_with_duration(spec.bytes(), occupancy, now);
+            let ready_at = rec.start + self.cost.adapter_load_time(spec.bytes());
+            self.loading.insert(
+                adapter,
+                Loading {
+                    ready_at,
+                    bytes: spec.bytes(),
+                    waiters: 1,
+                },
+            );
+            out.push((ready_at, EngineEvent::LoadDone(adapter)));
+            load_on_path = ready_at.saturating_since(now);
+        }
+
+        // 3. Bookkeeping.
+        if adm.bypassed {
+            self.collector.on_bypass(id);
+            // Identify the blocked head (r1) as the current head of the
+            // same queue, if any, for the squash rule.
+            if let Some(r1) = self.sched.queued_adapters().first().copied() {
+                // Approximation: protect against squashing storms by
+                // recording the blocked adapter's byte need as tokens.
+                let r1_tokens = self
+                    .pool
+                    .get(r1)
+                    .map(|a| a.bytes() / self.kv_bytes_per_token)
+                    .unwrap_or(0)
+                    + u64::from(req.input_tokens());
+                self.bypass_pairs.push(BypassPair {
+                    r2: id,
+                    r1: RequestId(u64::MAX), // matched by adapter need only
+                    r1_tokens,
+                });
+            }
+        }
+        self.collector.on_admitted(id, now, load_on_path);
+        self.running.push(Running {
+            prefill_remaining: req.input_tokens(),
+            produced: 0,
+            kv_reserved: kv_tokens,
+            predicted_output: queued.predicted_output(),
+            charged_tokens: adm.charged_tokens,
+            queue_index: adm.queue_index,
+            admitted_at: now,
+            req,
+        });
+        true
+    }
+
+    /// §4.3.3 squash rule: if memory sufficient for a previously blocked
+    /// request has freed while a bypasser is still running, squash the
+    /// bypasser for later re-execution.
+    fn check_squash(&mut self, now: SimTime) {
+        if self.bypass_pairs.is_empty() {
+            return;
+        }
+        let free_tokens = (self.mem.free() + self.cache.idle_bytes()) / self.kv_bytes_per_token;
+        let pairs = std::mem::take(&mut self.bypass_pairs);
+        let mut remaining = Vec::new();
+        for pair in pairs {
+            let r2_running = self.running.iter().any(|r| r.req.id() == pair.r2);
+            if !r2_running {
+                continue; // bypasser finished: pair dissolves
+            }
+            // Memory for the blocked request is now available even without
+            // squashing: the pair dissolves (r1 will admit normally).
+            if free_tokens >= pair.r1_tokens {
+                continue;
+            }
+            // Would squashing r2 free enough?
+            let r2 = self
+                .running
+                .iter()
+                .find(|r| r.req.id() == pair.r2)
+                .expect("checked running");
+            let r2_frees = u64::from(r2.kv_reserved)
+                + self
+                    .pool
+                    .get(r2.req.adapter())
+                    .map(|a| a.bytes() / self.kv_bytes_per_token)
+                    .unwrap_or(0);
+            if free_tokens + r2_frees >= pair.r1_tokens {
+                self.squash(pair.r2, now);
+            } else {
+                remaining.push(pair);
+            }
+        }
+        self.bypass_pairs = remaining;
+    }
+
+    /// Squashes a running request: its generated state is discarded and it
+    /// returns to the front of its queue for re-execution.
+    fn squash(&mut self, id: RequestId, now: SimTime) {
+        let Some(idx) = self.running.iter().position(|r| r.req.id() == id) else {
+            return;
+        };
+        let r = self.running.swap_remove(idx);
+        self.kv.free(&mut self.mem, id);
+        // The adapter may still be in flight (a request can be squashed
+        // before its prefill ever started): drop the waiter instead of
+        // releasing a cache reference that does not exist yet.
+        if let Some(l) = self.loading.get_mut(&r.req.adapter()) {
+            l.waiters = l.waiters.saturating_sub(1);
+        } else {
+            self.cache.release(&mut self.mem, r.req.adapter(), now);
+        }
+        self.sched.on_finish(r.queue_index, r.charged_tokens);
+        self.collector.on_squash(id);
+        self.squashes += 1;
+        // Re-annotate and requeue at the front. The system has observed the
+        // request produce `produced` tokens already, so the re-execution
+        // reserves at least that much plus a block of headroom — otherwise
+        // an under-predicted request would OOM and squash again forever.
+        let spec = self.pool.get(r.req.adapter()).expect("known").clone();
+        let predicted = r
+            .predicted_output
+            .max(r.produced + self.cfg.kv_block_tokens)
+            .min(r.req.output_tokens().max(1));
+        let wrs = self
+            .wrs_cfg
+            .compute(r.req.input_tokens(), predicted, spec.bytes());
+        let queued = QueuedRequest::new(
+            r.req,
+            predicted,
+            spec.bytes(),
+            spec.bytes() / self.kv_bytes_per_token,
+            wrs,
+            now,
+        );
+        self.sched.requeue_front(queued);
+        self.bypass_pairs.retain(|p| p.r2 != id);
+    }
+
+    fn squash_youngest_except(&mut self, keep: RequestId, now: SimTime) {
+        let youngest = self
+            .running
+            .iter()
+            .filter(|r| r.req.id() != keep)
+            .max_by_key(|r| (r.admitted_at, r.req.id()))
+            .map(|r| r.req.id());
+        if let Some(id) = youngest {
+            self.squash(id, now);
+        }
+    }
+
+    /// Chooses and launches the next iteration.
+    fn launch_step(&mut self, now: SimTime, out: &mut Vec<(SimTime, EngineEvent)>) {
+        if self.current_step.is_some() {
+            return;
+        }
+        let adapter_ready = |e: &Engine, a: AdapterId| -> bool { e.cache.is_resident(a) };
+        // S-LoRA batch semantics (§2): the engine does not launch the next
+        // iteration while an admitted request's adapter is still loading —
+        // the scheduler synchronously loads missing adapters before sending
+        // the batch. Chameleon's asynchronous cache manager avoids this.
+        if self.cfg.block_on_load
+            && self
+                .running
+                .iter()
+                .any(|r| r.prefill_remaining > 0 && !adapter_ready(self, r.req.adapter()))
+        {
+            return; // a LoadDone event will re-trigger dispatch
+        }
+        let ready_prefills: Vec<usize> = self
+            .running
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.prefill_remaining > 0 && adapter_ready(self, r.req.adapter()))
+            .map(|(i, _)| i)
+            .collect();
+        let decodes: Vec<usize> = self
+            .running
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.prefill_remaining == 0 && !r.finished() && adapter_ready(self, r.req.adapter())
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        let plan = if self.cfg.chunked_prefill {
+            self.plan_chunked(&ready_prefills, &decodes)
+        } else {
+            self.plan_plain(&ready_prefills, &decodes)
+        };
+        let Some((plan, duration)) = plan else {
+            return; // nothing executable: waiting on loads or truly idle
+        };
+        self.step_seq += 1;
+        self.current_step = Some(plan);
+        self.busy_until = now + duration;
+        out.push((self.busy_until, EngineEvent::StepDone(self.step_seq)));
+    }
+
+    /// Default (LightLLM/S-LoRA-style) execution: pending prefills run as a
+    /// dedicated prefill iteration before decoding continues.
+    fn plan_plain(
+        &self,
+        ready_prefills: &[usize],
+        decodes: &[usize],
+    ) -> Option<(StepPlan, SimDuration)> {
+        if !ready_prefills.is_empty() {
+            // Cap the prompt tokens processed this iteration so a wave of
+            // admissions cannot stall running decodes indefinitely.
+            let mut budget = self.cfg.max_prefill_batch_tokens;
+            let mut ids = Vec::new();
+            let mut chunks = Vec::new();
+            let mut items = Vec::new();
+            for &i in ready_prefills {
+                if budget == 0 {
+                    break;
+                }
+                let r = &self.running[i];
+                let take = r.prefill_remaining.min(budget);
+                budget -= take;
+                ids.push(r.req.id());
+                chunks.push(take);
+                items.push(PrefillItem {
+                    tokens: take,
+                    rank: Some(r.req.rank()),
+                });
+            }
+            let dur = self.cost.prefill_time(&items);
+            return Some((StepPlan::Prefill { ids, chunks }, dur));
+        }
+        if decodes.is_empty() {
+            return None;
+        }
+        let ids: Vec<RequestId> = decodes.iter().map(|&i| self.running[i].req.id()).collect();
+        let items: Vec<DecodeItem> = decodes
+            .iter()
+            .map(|&i| {
+                let r = &self.running[i];
+                DecodeItem {
+                    kv_tokens: r.req.input_tokens() + r.produced,
+                    rank: Some(r.req.rank()),
+                }
+            })
+            .collect();
+        let dur = self.cost.decode_step_time(&items);
+        Some((
+            StepPlan::Decode {
+                ids,
+                folded_prefill: Vec::new(),
+            },
+            dur,
+        ))
+    }
+
+    /// Sarathi-style chunked prefill: decode every iteration, folding in up
+    /// to `prefill_chunk_tokens` of pending prompt work.
+    fn plan_chunked(
+        &self,
+        ready_prefills: &[usize],
+        decodes: &[usize],
+    ) -> Option<(StepPlan, SimDuration)> {
+        if ready_prefills.is_empty() && decodes.is_empty() {
+            return None;
+        }
+        let mut budget = self.cfg.prefill_chunk_tokens;
+        let mut folded = Vec::new();
+        let mut prefill_items = Vec::new();
+        for &i in ready_prefills {
+            if budget == 0 {
+                break;
+            }
+            let r = &self.running[i];
+            let chunk = r.prefill_remaining.min(budget);
+            budget -= chunk;
+            folded.push((r.req.id(), chunk));
+            prefill_items.push(PrefillItem {
+                tokens: chunk,
+                rank: Some(r.req.rank()),
+            });
+        }
+        let ids: Vec<RequestId> = decodes.iter().map(|&i| self.running[i].req.id()).collect();
+        let decode_items: Vec<DecodeItem> = decodes
+            .iter()
+            .map(|&i| {
+                let r = &self.running[i];
+                DecodeItem {
+                    kv_tokens: r.req.input_tokens() + r.produced,
+                    rank: Some(r.req.rank()),
+                }
+            })
+            .collect();
+        // Folding shares one iteration: the chunk's compute rides along,
+        // minus one duplicated fixed overhead.
+        let mut dur = self.cost.decode_step_time(&decode_items);
+        if !prefill_items.is_empty() {
+            let pf = self.cost.prefill_time(&prefill_items);
+            let overhead = self.cost.calibration().prefill_overhead;
+            dur = if dur.is_zero() {
+                pf
+            } else {
+                dur + pf.saturating_sub(overhead)
+            };
+        }
+        Some((
+            StepPlan::Decode {
+                ids,
+                folded_prefill: folded,
+            },
+            dur,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetch
+    // ------------------------------------------------------------------
+
+    /// Issues asynchronous adapter loads for queued requests (§2) and,
+    /// when enabled, for predicted future requests (§4.2 3).
+    fn prefetch(&mut self, now: SimTime, out: &mut Vec<(SimTime, EngineEvent)>) {
+        if !self.cfg.prefetch_queued && !self.cfg.predictive_prefetch {
+            return;
+        }
+        let mut candidates: Vec<AdapterId> = Vec::new();
+        if self.cfg.prefetch_queued {
+            candidates.extend(self.sched.queued_adapters());
+        }
+        if self.cfg.predictive_prefetch {
+            candidates.extend(
+                self.load_predictor
+                    .candidates(now, self.cfg.prefetch_window),
+            );
+        }
+        let mut issued = 0;
+        for adapter in candidates {
+            if issued >= self.cfg.prefetch_depth {
+                break;
+            }
+            if self.cache.is_resident(adapter) || self.loading.contains_key(&adapter) {
+                continue;
+            }
+            let spec = self.pool.get(adapter).expect("known adapter").clone();
+            // Prefetch never evicts: it only uses genuinely free memory,
+            // and keeps headroom for a KV block.
+            if self.mem.free() < spec.bytes() + 4 * self.kv.block_bytes() {
+                continue;
+            }
+            if self
+                .mem
+                .reserve(Region::AdaptersInUse, spec.bytes())
+                .is_err()
+            {
+                continue;
+            }
+            let occupancy = self.cost.adapter_link_occupancy(spec.bytes());
+            let rec = self.link.transfer_with_duration(spec.bytes(), occupancy, now);
+            let ready_at = rec.start + self.cost.adapter_load_time(spec.bytes());
+            self.loading.insert(
+                adapter,
+                Loading {
+                    ready_at,
+                    bytes: spec.bytes(),
+                    waiters: 0,
+                },
+            );
+            out.push((ready_at, EngineEvent::LoadDone(adapter)));
+            issued += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("scheduler", &self.sched.name())
+            .field("running", &self.running.len())
+            .field("queued", &self.sched.len())
+            .field("loading", &self.loading.len())
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_cache::EvictionPolicy;
+    use chameleon_models::{AdapterRank, GpuSpec, LlmSpec, PoolConfig};
+    use chameleon_predictor::OraclePredictor;
+    use chameleon_sched::FifoScheduler;
+
+    fn mk_engine() -> Engine {
+        let llm = LlmSpec::llama_7b();
+        let pool = AdapterPool::generate(&llm, &PoolConfig::paper_default(10));
+        let cfg = EngineConfig::new(llm, GpuSpec::a40());
+        let wrs = WrsConfig::paper(2048.0, 1024.0, (256 << 20) as f64);
+        Engine::new(
+            cfg,
+            pool,
+            Box::new(FifoScheduler::new()),
+            Box::new(OraclePredictor::new()),
+            AdapterCache::new(EvictionPolicy::chameleon()),
+            wrs,
+        )
+    }
+
+    fn drive(engine: &mut Engine, mut pending: Vec<(SimTime, EngineEvent)>) -> SimTime {
+        use chameleon_simcore::EventQueue;
+        let mut q = EventQueue::new();
+        for (t, e) in pending.drain(..) {
+            q.push(t, e);
+        }
+        let mut last = SimTime::ZERO;
+        let mut out = Vec::new();
+        while let Some((t, ev)) = q.pop() {
+            last = t;
+            engine.handle(t, ev, &mut out);
+            for (at, e) in out.drain(..) {
+                q.push(at, e);
+            }
+        }
+        last
+    }
+
+    fn request(id: u64, at: f64, input: u32, output: u32, adapter: u32) -> Request {
+        Request::new(
+            RequestId(id),
+            SimTime::from_secs_f64(at),
+            input,
+            output,
+            AdapterId(adapter),
+            AdapterRank::new(8), // pool adapter 0 has rank 8
+        )
+    }
+
+    #[test]
+    fn single_request_full_lifecycle() {
+        let mut e = mk_engine();
+        let last = drive(
+            &mut e,
+            vec![(
+                SimTime::ZERO,
+                EngineEvent::Arrival(request(0, 0.0, 256, 8, 0)),
+            )],
+        );
+        assert_eq!(e.completed(), 1);
+        assert!(!e.has_work());
+        let report = e.into_report();
+        let rec = &report.records[0];
+        assert!(rec.is_complete());
+        let ttft = rec.ttft().unwrap();
+        // Cold adapter + prefill: tens of milliseconds.
+        assert!(
+            (0.030..0.200).contains(&ttft.as_secs_f64()),
+            "TTFT {ttft}"
+        );
+        // 8 tokens: 7 decode gaps.
+        assert_eq!(rec.tbt_gaps.len(), 7);
+        assert!(rec.load_on_critical_path > SimDuration::ZERO, "cold load");
+        assert!(last > SimTime::ZERO);
+        // All memory returned except weights + headroom... the adapter
+        // stays cached (Chameleon retains idle adapters).
+        assert_eq!(report.cache_stats.misses, 1);
+    }
+
+    #[test]
+    fn second_request_same_adapter_hits_cache() {
+        let mut e = mk_engine();
+        drive(
+            &mut e,
+            vec![
+                (
+                    SimTime::ZERO,
+                    EngineEvent::Arrival(request(0, 0.0, 128, 4, 0)),
+                ),
+                (
+                    SimTime::from_secs_f64(5.0),
+                    EngineEvent::Arrival(request(1, 5.0, 128, 4, 0)),
+                ),
+            ],
+        );
+        let report = e.into_report();
+        assert_eq!(report.cache_stats.hits, 1);
+        assert_eq!(report.cache_stats.misses, 1);
+        let second = &report.records[1];
+        assert_eq!(second.load_on_critical_path, SimDuration::ZERO);
+        // Warm TTFT strictly below cold TTFT.
+        assert!(second.ttft().unwrap() < report.records[0].ttft().unwrap());
+    }
+
+    #[test]
+    fn concurrent_requests_batch_and_finish() {
+        let mut e = mk_engine();
+        let events: Vec<(SimTime, EngineEvent)> = (0..8)
+            .map(|i| {
+                (
+                    SimTime::from_secs_f64(i as f64 * 0.01),
+                    EngineEvent::Arrival(request(i, i as f64 * 0.01, 64, 16, (i % 3) as u32)),
+                )
+            })
+            .collect();
+        drive(&mut e, events);
+        assert_eq!(e.completed(), 8);
+        let report = e.into_report();
+        assert!(report.records.iter().all(|r| r.is_complete()));
+        // Batching: total time far below the sum of isolated times.
+        let finish = report
+            .records
+            .iter()
+            .map(|r| r.finished.unwrap())
+            .max()
+            .unwrap();
+        assert!(finish < SimTime::from_secs_f64(8.0 * 16.0 * 0.03));
+    }
+
+    #[test]
+    fn memory_sampling_and_refresh_events() {
+        let mut e = mk_engine();
+        drive(
+            &mut e,
+            vec![
+                (
+                    SimTime::ZERO,
+                    EngineEvent::Arrival(request(0, 0.0, 64, 4, 0)),
+                ),
+                (SimTime::from_secs_f64(0.01), EngineEvent::MemSample),
+                (SimTime::from_secs_f64(0.02), EngineEvent::Refresh),
+            ],
+        );
+        let report = e.into_report();
+        assert_eq!(report.mem_series.len(), 1);
+        let s = &report.mem_series[0];
+        assert_eq!(s.weights, LlmSpec::llama_7b().weight_bytes());
+        assert!(s.kv > 0, "request holds KV during sampling");
+    }
+
+    #[test]
+    fn stale_step_done_is_ignored() {
+        let mut e = mk_engine();
+        let mut out = Vec::new();
+        e.handle(SimTime::ZERO, EngineEvent::StepDone(99), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(e.completed(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! The serving engine: event-driven continuous batching with adapter
+//! orchestration (§2, §4).
+//!
+//! [`Engine`] models one inference engine — a GPU (or tensor-parallel GPU
+//! group) running a base LLM with LoRA adapters:
+//!
+//! * **Iteration-level scheduling** (Orca-style continuous batching): at
+//!   every iteration boundary the active [`Scheduler`] may admit waiting
+//!   requests into the running batch and completed requests leave.
+//! * **Adapter orchestration**: admissions acquire their adapter from the
+//!   [`AdapterCache`] (hit) or trigger a host→GPU load over the shared
+//!   [`PcieLink`] (miss); prefill cannot start before the adapter is
+//!   resident, which puts loading on the TTFT critical path exactly as in
+//!   S-LoRA (§3.2). Queued-request adapters are prefetched asynchronously.
+//! * **Memory discipline**: KV blocks, in-use adapters and cached adapters
+//!   share one [`MemoryPool`]; the cache dynamically shrinks under load
+//!   (§4.2 dynamic sizing) and admission is bounded by real memory.
+//! * **Bypass & squash** (§4.3.3): memory-blocked heads can be bypassed by
+//!   the Chameleon scheduler; the engine squashes the bypasser if the
+//!   blocked request's memory frees early, and squashes the youngest
+//!   running request if KV growth hits an out-of-memory condition.
+//!
+//! [`driver::run_engine`] drives a single engine through a trace;
+//! [`cluster::Cluster`] runs N data-parallel engines behind a two-level
+//! (global + local) scheduler (§4.4).
+//!
+//! [`Scheduler`]: chameleon_sched::Scheduler
+//! [`AdapterCache`]: chameleon_cache::AdapterCache
+//! [`PcieLink`]: chameleon_gpu::PcieLink
+//! [`MemoryPool`]: chameleon_gpu::MemoryPool
+
+pub mod cluster;
+pub mod config;
+pub mod driver;
+pub mod engine;
+pub mod probe;
+pub mod report;
+
+pub use cluster::Cluster;
+pub use config::EngineConfig;
+pub use engine::{Engine, EngineEvent};
+pub use report::EngineReport;

@@ -1,0 +1,116 @@
+//! Per-engine run reports.
+
+use chameleon_cache::CacheStats;
+use chameleon_gpu::pcie::TransferRecord;
+use chameleon_metrics::{MemorySample, RequestRecord};
+use chameleon_simcore::SimDuration;
+
+/// Everything one engine measured over a run. The core crate aggregates
+/// this into the experiment-level [`RunReport`](https://docs.rs/chameleon-core).
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-request records, sorted by arrival.
+    pub records: Vec<RequestRecord>,
+    /// Adapter-cache statistics.
+    pub cache_stats: CacheStats,
+    /// Total bytes moved over the host link.
+    pub pcie_total_bytes: u64,
+    /// Total time the host link was busy.
+    pub pcie_busy: SimDuration,
+    /// Individual transfers (for binned bandwidth series).
+    pub pcie_history: Vec<TransferRecord>,
+    /// Memory-occupancy samples (Figure 6).
+    pub mem_series: Vec<MemorySample>,
+    /// Requests squashed for re-execution (§4.3.3).
+    pub squashes: u64,
+    /// Scheduler label.
+    pub scheduler: &'static str,
+}
+
+impl EngineReport {
+    /// Number of completed requests.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.is_complete()).count()
+    }
+
+    /// Fraction of requests that were squashed at least once.
+    pub fn squash_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.squashes > 0).count() as f64 / self.records.len() as f64
+    }
+
+    /// Merges another engine's report into this one (data-parallel
+    /// clusters aggregate per-engine reports).
+    pub fn merge(&mut self, other: EngineReport) {
+        self.records.extend(other.records);
+        self.records.sort_by_key(|r| (r.arrival, r.id));
+        self.cache_stats.hits += other.cache_stats.hits;
+        self.cache_stats.misses += other.cache_stats.misses;
+        self.cache_stats.evictions += other.cache_stats.evictions;
+        self.cache_stats.bytes_evicted += other.cache_stats.bytes_evicted;
+        self.cache_stats.bytes_loaded += other.cache_stats.bytes_loaded;
+        self.pcie_total_bytes += other.pcie_total_bytes;
+        self.pcie_busy += other.pcie_busy;
+        self.pcie_history.extend(other.pcie_history);
+        self.mem_series.extend(other.mem_series);
+        self.squashes += other.squashes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_models::{AdapterId, AdapterRank};
+    use chameleon_simcore::SimTime;
+    use chameleon_workload::RequestId;
+
+    fn report_with(n: usize, squashed: usize) -> EngineReport {
+        let records = (0..n)
+            .map(|i| {
+                let mut r = RequestRecord::arrive(
+                    RequestId(i as u64),
+                    SimTime::from_secs_f64(i as f64),
+                    10,
+                    10,
+                    AdapterId(0),
+                    AdapterRank::new(8),
+                );
+                r.finished = Some(SimTime::from_secs_f64(i as f64 + 1.0));
+                if i < squashed {
+                    r.squashes = 1;
+                }
+                r
+            })
+            .collect();
+        EngineReport {
+            records,
+            cache_stats: CacheStats::default(),
+            pcie_total_bytes: 100,
+            pcie_busy: SimDuration::from_millis(5),
+            pcie_history: Vec::new(),
+            mem_series: Vec::new(),
+            squashes: squashed as u64,
+            scheduler: "test",
+        }
+    }
+
+    #[test]
+    fn squash_fraction() {
+        let r = report_with(10, 2);
+        assert!((r.squash_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(r.completed(), 10);
+        assert_eq!(report_with(0, 0).squash_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_aggregates() {
+        let mut a = report_with(3, 1);
+        let b = report_with(2, 0);
+        a.merge(b);
+        assert_eq!(a.records.len(), 5);
+        assert_eq!(a.pcie_total_bytes, 200);
+        assert_eq!(a.squashes, 1);
+    }
+}

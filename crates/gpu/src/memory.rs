@@ -1,0 +1,274 @@
+//! GPU memory accounting.
+//!
+//! [`MemoryPool`] tracks how every byte of device memory is spent, split
+//! into the regions Figure 6 plots. It enforces the capacity invariant that
+//! drives the whole paper: the adapter cache may only ever use memory that
+//! nothing else needs, and must shrink the moment running requests need
+//! the space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a span of GPU memory is used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Base model weights (static for the lifetime of the engine).
+    Weights,
+    /// KV-cache blocks of running requests.
+    KvCache,
+    /// Adapters referenced by currently running requests.
+    AdaptersInUse,
+    /// The Chameleon adapter cache (idle adapters kept for reuse).
+    AdapterCache,
+    /// Transient activation workspace.
+    Activations,
+}
+
+impl Region {
+    /// All regions, in Figure 6's stacking order.
+    pub const ALL: [Region; 5] = [
+        Region::Weights,
+        Region::KvCache,
+        Region::AdaptersInUse,
+        Region::AdapterCache,
+        Region::Activations,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Region::Weights => 0,
+            Region::KvCache => 1,
+            Region::AdaptersInUse => 2,
+            Region::AdapterCache => 3,
+            Region::Activations => 4,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Region::Weights => "weights",
+            Region::KvCache => "kv-cache",
+            Region::AdaptersInUse => "adapters-in-use",
+            Region::AdapterCache => "adapter-cache",
+            Region::Activations => "activations",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when a reservation would exceed device capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes that were requested.
+    pub requested: u64,
+    /// Bytes that were free at the time.
+    pub free: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of GPU memory: requested {} bytes with {} free",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Byte-accurate accounting of one GPU's memory.
+///
+/// ```
+/// use chameleon_gpu::memory::{MemoryPool, Region};
+///
+/// let mut pool = MemoryPool::new(1_000);
+/// pool.reserve(Region::Weights, 600).unwrap();
+/// assert_eq!(pool.free(), 400);
+/// assert!(pool.reserve(Region::KvCache, 500).is_err());
+/// pool.release(Region::Weights, 600);
+/// assert_eq!(pool.free(), 1_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryPool {
+    capacity: u64,
+    used: [u64; 5],
+}
+
+impl MemoryPool {
+    /// Creates a pool with `capacity` bytes of device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "zero-capacity GPU");
+        MemoryPool {
+            capacity,
+            used: [0; 5],
+        }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently reserved in `region`.
+    pub fn used(&self, region: Region) -> u64 {
+        self.used[region.index()]
+    }
+
+    /// Total bytes reserved across all regions.
+    pub fn total_used(&self) -> u64 {
+        self.used.iter().sum()
+    }
+
+    /// Bytes currently free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.total_used()
+    }
+
+    /// Reserves `bytes` in `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] (and reserves nothing) when fewer than
+    /// `bytes` are free.
+    pub fn reserve(&mut self, region: Region, bytes: u64) -> Result<(), OutOfMemory> {
+        if bytes > self.free() {
+            return Err(OutOfMemory {
+                requested: bytes,
+                free: self.free(),
+            });
+        }
+        self.used[region.index()] += bytes;
+        Ok(())
+    }
+
+    /// Releases `bytes` from `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` holds fewer than `bytes` — releasing memory that
+    /// was never reserved is always an accounting bug.
+    pub fn release(&mut self, region: Region, bytes: u64) {
+        let u = &mut self.used[region.index()];
+        assert!(
+            *u >= bytes,
+            "release of {bytes} bytes from {region} holding only {u}"
+        );
+        *u -= bytes;
+    }
+
+    /// Moves `bytes` from one region to another without passing through
+    /// "free" (e.g. an adapter moving from the cache to in-use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` holds fewer than `bytes`.
+    pub fn transfer(&mut self, from: Region, to: Region, bytes: u64) {
+        self.release(from, bytes);
+        self.used[to.index()] += bytes;
+    }
+
+    /// A `(region, bytes)` snapshot, in Figure 6 stacking order.
+    pub fn snapshot(&self) -> [(Region, u64); 5] {
+        [
+            (Region::Weights, self.used[0]),
+            (Region::KvCache, self.used[1]),
+            (Region::AdaptersInUse, self.used[2]),
+            (Region::AdapterCache, self.used[3]),
+            (Region::Activations, self.used[4]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reserve_release_roundtrip() {
+        let mut p = MemoryPool::new(100);
+        p.reserve(Region::KvCache, 30).unwrap();
+        p.reserve(Region::AdapterCache, 20).unwrap();
+        assert_eq!(p.used(Region::KvCache), 30);
+        assert_eq!(p.total_used(), 50);
+        assert_eq!(p.free(), 50);
+        p.release(Region::KvCache, 30);
+        p.release(Region::AdapterCache, 20);
+        assert_eq!(p.free(), 100);
+    }
+
+    #[test]
+    fn oom_reserves_nothing() {
+        let mut p = MemoryPool::new(100);
+        p.reserve(Region::Weights, 90).unwrap();
+        let err = p.reserve(Region::KvCache, 20).unwrap_err();
+        assert_eq!(err.requested, 20);
+        assert_eq!(err.free, 10);
+        assert_eq!(p.used(Region::KvCache), 0);
+        assert_eq!(p.total_used(), 90);
+        assert!(err.to_string().contains("out of GPU memory"));
+    }
+
+    #[test]
+    fn transfer_between_regions() {
+        let mut p = MemoryPool::new(100);
+        p.reserve(Region::AdapterCache, 40).unwrap();
+        p.transfer(Region::AdapterCache, Region::AdaptersInUse, 40);
+        assert_eq!(p.used(Region::AdapterCache), 0);
+        assert_eq!(p.used(Region::AdaptersInUse), 40);
+        assert_eq!(p.total_used(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of")]
+    fn over_release_panics() {
+        let mut p = MemoryPool::new(100);
+        p.reserve(Region::KvCache, 10).unwrap();
+        p.release(Region::KvCache, 11);
+    }
+
+    #[test]
+    fn snapshot_order_matches_figure6() {
+        let p = MemoryPool::new(10);
+        let snap = p.snapshot();
+        assert_eq!(snap[0].0, Region::Weights);
+        assert_eq!(snap[4].0, Region::Activations);
+    }
+
+    #[test]
+    fn zero_byte_operations_are_noops() {
+        let mut p = MemoryPool::new(10);
+        p.reserve(Region::KvCache, 0).unwrap();
+        p.release(Region::KvCache, 0);
+        assert_eq!(p.free(), 10);
+    }
+
+    proptest! {
+        /// Random reserve/release sequences never violate the capacity
+        /// invariant and always balance back to empty.
+        #[test]
+        fn prop_accounting_invariant(ops in proptest::collection::vec((0usize..5, 0u64..50), 1..100)) {
+            let mut p = MemoryPool::new(200);
+            let mut ledger = [0u64; 5];
+            for (r, bytes) in ops {
+                let region = Region::ALL[r];
+                if p.reserve(region, bytes).is_ok() {
+                    ledger[r] += bytes;
+                }
+                prop_assert!(p.total_used() <= p.capacity());
+                prop_assert_eq!(p.used(region), ledger[r]);
+            }
+            for (r, &held) in ledger.iter().enumerate() {
+                p.release(Region::ALL[r], held);
+            }
+            prop_assert_eq!(p.total_used(), 0);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The engine-facing metrics sink.
+
+use crate::record::{RequestRecord, SizeClass};
+use chameleon_models::{AdapterId, AdapterRank};
+use chameleon_simcore::{SimDuration, SimTime};
+use chameleon_workload::RequestId;
+use std::collections::HashMap;
+
+/// Collects per-request records as the engine reports lifecycle events.
+///
+/// The collector is deliberately forgiving about event order within one
+/// request (e.g. class assignment before or after admission) but panics on
+/// events for unknown requests — those are engine bugs worth catching early.
+#[derive(Debug, Default)]
+pub struct Collector {
+    records: HashMap<RequestId, RequestRecord>,
+    last_token_at: HashMap<RequestId, SimTime>,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Registers an arriving request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was already registered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_arrival(
+        &mut self,
+        id: RequestId,
+        at: SimTime,
+        input_tokens: u32,
+        output_tokens: u32,
+        adapter: AdapterId,
+        rank: AdapterRank,
+    ) {
+        let prev = self.records.insert(
+            id,
+            RequestRecord::arrive(id, at, input_tokens, output_tokens, adapter, rank),
+        );
+        assert!(prev.is_none(), "{id} arrived twice");
+    }
+
+    /// Records the scheduler's size-class decision.
+    pub fn on_classified(&mut self, id: RequestId, class: SizeClass) {
+        self.rec(id).class = Some(class);
+    }
+
+    /// Records first admission into a batch, with the adapter-load time
+    /// left on the critical path at that moment (zero on a cache hit).
+    pub fn on_admitted(&mut self, id: RequestId, at: SimTime, load_on_path: SimDuration) {
+        let r = self.rec(id);
+        if r.admitted.is_none() {
+            r.admitted = Some(at);
+            r.load_on_critical_path = load_on_path;
+        }
+    }
+
+    /// Records a produced output token; the first one sets TTFT.
+    pub fn on_token(&mut self, id: RequestId, at: SimTime) {
+        let r = self.rec(id);
+        if r.first_token.is_none() {
+            r.first_token = Some(at);
+        } else if let Some(&prev) = self.last_token_at.get(&id) {
+            let gap = at.saturating_since(prev);
+            self.records
+                .get_mut(&id)
+                .expect("checked above")
+                .tbt_gaps
+                .push(gap);
+        }
+        self.last_token_at.insert(id, at);
+    }
+
+    /// Records completion.
+    pub fn on_finish(&mut self, id: RequestId, at: SimTime) {
+        let r = self.rec(id);
+        assert!(r.finished.is_none(), "{id} finished twice");
+        r.finished = Some(at);
+    }
+
+    /// Records a squash (§4.3.3): generated state is discarded and the
+    /// request re-queued; its admission/token state resets.
+    pub fn on_squash(&mut self, id: RequestId) {
+        let r = self.rec(id);
+        r.squashes += 1;
+        r.admitted = None;
+        r.first_token = None;
+        r.tbt_gaps.clear();
+        self.last_token_at.remove(&id);
+    }
+
+    /// Records an opportunistic bypass by this request (§4.3.3).
+    pub fn on_bypass(&mut self, id: RequestId) {
+        self.rec(id).bypasses += 1;
+    }
+
+    /// Number of registered requests.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Read access to one record.
+    pub fn get(&self, id: RequestId) -> Option<&RequestRecord> {
+        self.records.get(&id)
+    }
+
+    /// Finalises the collector into records sorted by arrival time.
+    pub fn into_records(self) -> Vec<RequestRecord> {
+        let mut v: Vec<RequestRecord> = self.records.into_values().collect();
+        v.sort_by_key(|r| (r.arrival, r.id));
+        v
+    }
+
+    fn rec(&mut self, id: RequestId) -> &mut RequestRecord {
+        self.records
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("event for unknown {id}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn arrive(c: &mut Collector, id: u64, at: f64) {
+        c.on_arrival(
+            RequestId(id),
+            t(at),
+            100,
+            4,
+            AdapterId(0),
+            AdapterRank::new(8),
+        );
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let mut c = Collector::new();
+        arrive(&mut c, 1, 0.0);
+        c.on_classified(RequestId(1), SizeClass::Small);
+        c.on_admitted(RequestId(1), t(0.5), SimDuration::from_millis(6));
+        c.on_token(RequestId(1), t(1.0));
+        c.on_token(RequestId(1), t(1.1));
+        c.on_token(RequestId(1), t(1.25));
+        c.on_finish(RequestId(1), t(1.25));
+        let recs = c.into_records();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.ttft(), Some(SimDuration::from_secs(1)));
+        assert_eq!(r.e2e(), Some(SimDuration::from_millis(1250)));
+        assert_eq!(r.queue_delay(), Some(SimDuration::from_millis(500)));
+        assert_eq!(r.tbt_gaps.len(), 2);
+        assert_eq!(r.tbt_gaps[0], SimDuration::from_millis(100));
+        assert_eq!(r.tbt_gaps[1], SimDuration::from_millis(150));
+        assert_eq!(r.load_on_critical_path, SimDuration::from_millis(6));
+        assert_eq!(r.class, Some(SizeClass::Small));
+    }
+
+    #[test]
+    fn squash_resets_progress() {
+        let mut c = Collector::new();
+        arrive(&mut c, 1, 0.0);
+        c.on_admitted(RequestId(1), t(0.1), SimDuration::ZERO);
+        c.on_token(RequestId(1), t(0.2));
+        c.on_token(RequestId(1), t(0.3));
+        c.on_squash(RequestId(1));
+        // Re-execution.
+        c.on_admitted(RequestId(1), t(1.0), SimDuration::ZERO);
+        c.on_token(RequestId(1), t(1.2));
+        c.on_finish(RequestId(1), t(1.2));
+        let r = &c.into_records()[0];
+        assert_eq!(r.squashes, 1);
+        assert_eq!(r.queue_delay(), Some(SimDuration::from_secs(1)));
+        assert_eq!(r.ttft(), Some(SimDuration::from_millis(1200)));
+        assert!(r.tbt_gaps.is_empty());
+    }
+
+    #[test]
+    fn only_first_admission_counts() {
+        let mut c = Collector::new();
+        arrive(&mut c, 1, 0.0);
+        c.on_admitted(RequestId(1), t(0.5), SimDuration::from_millis(3));
+        c.on_admitted(RequestId(1), t(0.9), SimDuration::ZERO);
+        assert_eq!(
+            c.get(RequestId(1)).unwrap().queue_delay(),
+            Some(SimDuration::from_millis(500))
+        );
+        assert_eq!(
+            c.get(RequestId(1)).unwrap().load_on_critical_path,
+            SimDuration::from_millis(3)
+        );
+    }
+
+    #[test]
+    fn records_sorted_by_arrival() {
+        let mut c = Collector::new();
+        arrive(&mut c, 2, 5.0);
+        arrive(&mut c, 1, 1.0);
+        arrive(&mut c, 3, 3.0);
+        let ids: Vec<u64> = c.into_records().iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![1, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn unknown_request_panics() {
+        let mut c = Collector::new();
+        c.on_token(RequestId(9), t(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut c = Collector::new();
+        arrive(&mut c, 1, 0.0);
+        arrive(&mut c, 1, 1.0);
+    }
+
+    #[test]
+    fn bypass_counter() {
+        let mut c = Collector::new();
+        arrive(&mut c, 1, 0.0);
+        c.on_bypass(RequestId(1));
+        c.on_bypass(RequestId(1));
+        assert_eq!(c.get(RequestId(1)).unwrap().bypasses, 2);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Latency summaries and SLO accounting.
+
+use chameleon_simcore::stats::percentile_of_sorted;
+use chameleon_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Percentile summary of a latency sample, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile — the paper's tail-latency headline metric.
+    pub p99: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a sample of durations.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn from_durations<I>(xs: I) -> Option<LatencySummary>
+    where
+        I: IntoIterator<Item = SimDuration>,
+    {
+        let secs: Vec<f64> = xs.into_iter().map(|d| d.as_secs_f64()).collect();
+        Self::from_seconds(&secs)
+    }
+
+    /// Summarises a sample already expressed in seconds.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn from_seconds(xs: &[f64]) -> Option<LatencySummary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(LatencySummary {
+            count: sorted.len(),
+            mean,
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p90: percentile_of_sorted(&sorted, 90.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Fraction of the sample exceeding `slo` (recomputed from a sample).
+    pub fn violation_fraction(xs: &[f64], slo: f64) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().filter(|&&x| x > slo).count() as f64 / xs.len() as f64
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3}s p50={:.3}s p90={:.3}s p99={:.3}s max={:.3}s",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// Finds the highest load whose measured tail latency stays within the SLO —
+/// the paper's throughput definition (§5.2.2: "the load that a system can
+/// sustain without violating this SLO").
+///
+/// `points` are `(load, p99_latency_seconds)` pairs; they are sorted by load
+/// internally. Returns the largest load whose latency ≤ `slo`, linearly
+/// interpolating the crossing point between the last compliant and first
+/// violating measurement, or `None` if even the lowest load violates.
+pub fn throughput_at_slo(points: &[(f64, f64)], slo: f64) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut pts = points.to_vec();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN load"));
+    let mut last_ok: Option<(f64, f64)> = None;
+    for &(load, lat) in &pts {
+        if lat <= slo {
+            last_ok = Some((load, lat));
+        } else if let Some((l0, y0)) = last_ok {
+            // Interpolate the SLO crossing between (l0, y0) and (load, lat).
+            if lat > y0 {
+                let frac = (slo - y0) / (lat - y0);
+                return Some(l0 + frac * (load - l0));
+            }
+            return Some(l0);
+        } else {
+            return None;
+        }
+    }
+    last_ok.map(|(l, _)| l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_seconds(&xs).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 0.01);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn summary_from_durations() {
+        let ds = [
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(300),
+        ];
+        let s = LatencySummary::from_durations(ds).unwrap();
+        assert!((s.p50 - 0.2).abs() < 1e-9);
+        assert_eq!(LatencySummary::from_durations([]), None);
+    }
+
+    #[test]
+    fn violations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(LatencySummary::violation_fraction(&xs, 2.5), 0.5);
+        assert_eq!(LatencySummary::violation_fraction(&xs, 10.0), 0.0);
+        assert_eq!(LatencySummary::violation_fraction(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn throughput_interpolates_crossing() {
+        // p99 crosses slo=5.0 between load 8 (4.0) and load 9 (8.0).
+        let pts = [(5.0, 1.0), (8.0, 4.0), (9.0, 8.0), (10.0, 20.0)];
+        let t = throughput_at_slo(&pts, 5.0).unwrap();
+        assert!((t - 8.25).abs() < 1e-9, "throughput {t}");
+    }
+
+    #[test]
+    fn throughput_edge_cases() {
+        assert_eq!(throughput_at_slo(&[], 5.0), None);
+        // Everything violates.
+        assert_eq!(throughput_at_slo(&[(5.0, 9.0)], 5.0), None);
+        // Nothing violates → last load.
+        assert_eq!(throughput_at_slo(&[(5.0, 1.0), (6.0, 2.0)], 5.0), Some(6.0));
+        // Non-monotone latency dip after a violation still reports first crossing.
+        let pts = [(5.0, 1.0), (6.0, 6.0), (7.0, 2.0)];
+        let t = throughput_at_slo(&pts, 5.0).unwrap();
+        assert!(t > 5.0 && t < 6.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = LatencySummary::from_seconds(&[1.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("p99=1.000s"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Hardware and model specifications for the Chameleon reproduction.
+//!
+//! This crate is the single source of truth for the *sizes* everything else
+//! computes with:
+//!
+//! * [`llm`] — base-LLM architectures ([`LlmSpec`]): Llama-7B/13B/30B/70B and
+//!   the other models §5.1 mentions (Falcon, OPT, Mixtral), with parameter
+//!   counts, layer/hidden geometry and KV-cache byte formulas.
+//! * [`gpu`] — GPU platforms ([`GpuSpec`]): A40 and A100 at the paper's three
+//!   memory capacities, with HBM bandwidth, peak FLOPs and PCIe link speed.
+//! * [`adapter`] — LoRA adapters ([`AdapterSpec`], [`AdapterRank`]): the
+//!   rank → bytes formula calibrated to the paper (§3.2: rank-32 on Llama-7B
+//!   = 64 MB).
+//! * [`pool`] — adapter-pool generation ([`AdapterPool`]): `N_a` adapters,
+//!   five rank groups, rank popularity × within-rank popularity
+//!   distributions (uniform / power-law), exactly the §5.1 workload recipe.
+
+pub mod adapter;
+pub mod gpu;
+pub mod llm;
+pub mod pool;
+
+pub use adapter::{AdapterId, AdapterRank, AdapterSpec};
+pub use gpu::GpuSpec;
+pub use llm::LlmSpec;
+pub use pool::{AdapterPool, PoolConfig, PopularityDist};

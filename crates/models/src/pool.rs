@@ -1,0 +1,307 @@
+//! Adapter pool generation — the §5.1 workload recipe.
+//!
+//! "We set the number of different adapters used by the requests to `N_a`
+//! [100 by default]. There are five adapter ranks: 8, 16, 32, 64, and 128.
+//! Each rank has an equal number of different adapters. To each request, we
+//! attach an adapter, following a uniform distribution for rank popularity
+//! and a power-law distribution for adapter popularity within a rank."
+//!
+//! [`AdapterPool`] materialises that recipe, and also supports the
+//! alternative distributions of the §5.4 sensitivity study (U-U, U-P, P-P).
+
+use crate::adapter::{AdapterId, AdapterRank, AdapterSpec};
+use crate::llm::LlmSpec;
+use chameleon_simcore::dist::Zipf;
+use chameleon_simcore::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Popularity shape for ranks or for adapters within a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PopularityDist {
+    /// All choices equally likely.
+    Uniform,
+    /// Zipf-distributed with the given exponent (1.0 in the paper's setup).
+    PowerLaw {
+        /// Zipf exponent; larger is more skewed.
+        exponent: f64,
+    },
+}
+
+impl PopularityDist {
+    /// The paper's default within-rank adapter popularity.
+    pub fn power_law() -> Self {
+        PopularityDist::PowerLaw { exponent: 1.0 }
+    }
+}
+
+/// Configuration of an adapter pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Total number of distinct adapters `N_a`.
+    pub num_adapters: usize,
+    /// Ranks present in the pool, split evenly (§5.1 uses the 5-rank set).
+    pub ranks: Vec<AdapterRank>,
+    /// How popular each *rank group* is.
+    pub rank_popularity: PopularityDist,
+    /// How popular adapters are *within* a rank group.
+    pub within_rank_popularity: PopularityDist,
+}
+
+impl PoolConfig {
+    /// The paper's default: `N_a = 100`, five ranks with uniform rank
+    /// popularity and power-law within-rank popularity.
+    pub fn paper_default(num_adapters: usize) -> Self {
+        PoolConfig {
+            num_adapters,
+            ranks: AdapterRank::PAPER_SET.to_vec(),
+            rank_popularity: PopularityDist::Uniform,
+            within_rank_popularity: PopularityDist::power_law(),
+        }
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig::paper_default(100)
+    }
+}
+
+/// A generated pool of adapters plus the sampling machinery that attaches
+/// an adapter to each incoming request.
+///
+/// ```
+/// use chameleon_models::{AdapterPool, LlmSpec, PoolConfig};
+/// use chameleon_simcore::SimRng;
+///
+/// let pool = AdapterPool::generate(&LlmSpec::llama_7b(), &PoolConfig::paper_default(100));
+/// assert_eq!(pool.len(), 100);
+/// let mut rng = SimRng::seed(1);
+/// let a = pool.sample(&mut rng);
+/// assert!(pool.get(a.id()).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdapterPool {
+    adapters: Vec<AdapterSpec>,
+    /// Adapter indices grouped by rank-group index.
+    groups: Vec<Vec<usize>>,
+    rank_sampler: GroupSampler,
+    within_samplers: Vec<GroupSampler>,
+}
+
+#[derive(Debug, Clone)]
+enum GroupSampler {
+    Uniform(usize),
+    Zipf(Zipf),
+}
+
+impl GroupSampler {
+    fn build(dist: PopularityDist, n: usize) -> Self {
+        match dist {
+            PopularityDist::Uniform => GroupSampler::Uniform(n),
+            PopularityDist::PowerLaw { exponent } => GroupSampler::Zipf(Zipf::new(n, exponent)),
+        }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> usize {
+        match self {
+            GroupSampler::Uniform(n) => rng.below(*n as u64) as usize,
+            GroupSampler::Zipf(z) => z.sample_index(rng),
+        }
+    }
+}
+
+impl AdapterPool {
+    /// Generates a pool for `base` according to `cfg`.
+    ///
+    /// Adapters are split as evenly as possible across the rank groups
+    /// (the first `num_adapters % ranks` groups get one extra when the
+    /// split is uneven).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_adapters == 0` or `cfg.ranks` is empty.
+    pub fn generate(base: &LlmSpec, cfg: &PoolConfig) -> Self {
+        assert!(cfg.num_adapters > 0, "empty adapter pool");
+        assert!(!cfg.ranks.is_empty(), "no ranks configured");
+        let g = cfg.ranks.len();
+        let mut adapters = Vec::with_capacity(cfg.num_adapters);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); g];
+        for i in 0..cfg.num_adapters {
+            let group = i % g;
+            let rank = cfg.ranks[group];
+            groups[group].push(adapters.len());
+            adapters.push(AdapterSpec::new(AdapterId(i as u32), rank, base));
+        }
+        // Drop empty groups (more ranks than adapters).
+        let nonempty: Vec<Vec<usize>> = groups.into_iter().filter(|v| !v.is_empty()).collect();
+        let rank_sampler = GroupSampler::build(cfg.rank_popularity, nonempty.len());
+        let within_samplers = nonempty
+            .iter()
+            .map(|grp| GroupSampler::build(cfg.within_rank_popularity, grp.len()))
+            .collect();
+        AdapterPool {
+            adapters,
+            groups: nonempty,
+            rank_sampler,
+            within_samplers,
+        }
+    }
+
+    /// Number of adapters in the pool.
+    pub fn len(&self) -> usize {
+        self.adapters.len()
+    }
+
+    /// True when the pool has no adapters (never: constructor forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.adapters.is_empty()
+    }
+
+    /// Looks up an adapter by id.
+    pub fn get(&self, id: AdapterId) -> Option<&AdapterSpec> {
+        self.adapters.get(id.0 as usize)
+    }
+
+    /// All adapters in the pool.
+    pub fn iter(&self) -> impl Iterator<Item = &AdapterSpec> {
+        self.adapters.iter()
+    }
+
+    /// Draws the adapter for one incoming request: first the rank group by
+    /// rank popularity, then the adapter within the group by within-rank
+    /// popularity.
+    pub fn sample(&self, rng: &mut SimRng) -> &AdapterSpec {
+        let group = self.rank_sampler.sample(rng);
+        let within = self.within_samplers[group].sample(rng);
+        &self.adapters[self.groups[group][within]]
+    }
+
+    /// The largest adapter size in the pool, in bytes — used by the WRS
+    /// normalisation (§4.3.1's `MaxAdapterSize`).
+    pub fn max_adapter_bytes(&self) -> u64 {
+        self.adapters.iter().map(|a| a.bytes()).max().unwrap_or(0)
+    }
+
+    /// Total bytes if every adapter were resident at once.
+    pub fn total_bytes(&self) -> u64 {
+        self.adapters.iter().map(|a| a.bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> AdapterPool {
+        AdapterPool::generate(&LlmSpec::llama_7b(), &PoolConfig::paper_default(n))
+    }
+
+    #[test]
+    fn generates_even_rank_split() {
+        let p = pool(100);
+        assert_eq!(p.len(), 100);
+        let mut per_rank = std::collections::HashMap::new();
+        for a in p.iter() {
+            *per_rank.entry(a.rank().get()).or_insert(0u32) += 1;
+        }
+        assert_eq!(per_rank.len(), 5);
+        assert!(per_rank.values().all(|&c| c == 20));
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let p = pool(37);
+        for i in 0..37 {
+            let a = p.get(AdapterId(i)).expect("dense ids");
+            assert_eq!(a.id(), AdapterId(i));
+        }
+        assert!(p.get(AdapterId(37)).is_none());
+    }
+
+    #[test]
+    fn uniform_rank_popularity_is_balanced() {
+        let p = pool(100);
+        let mut rng = SimRng::seed(2);
+        let mut rank_counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            let a = p.sample(&mut rng);
+            *rank_counts.entry(a.rank().get()).or_insert(0u32) += 1;
+        }
+        for (&rank, &c) in &rank_counts {
+            let frac = c as f64 / 50_000.0;
+            assert!(
+                (frac - 0.2).abs() < 0.02,
+                "rank {rank} drew fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn within_rank_popularity_is_skewed() {
+        let p = pool(100);
+        let mut rng = SimRng::seed(3);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[p.sample(&mut rng).id().0 as usize] += 1;
+        }
+        // Within each rank group of 20, the head adapter should dominate the
+        // tail adapter by roughly the Zipf(1.0) head/tail ratio (~20×).
+        for group_start in 0..5 {
+            let head = counts[group_start]; // first adapter of the group
+            let tail = counts[group_start + 95]; // last adapter of the group
+            assert!(
+                head > tail * 4,
+                "group {group_start}: head {head} vs tail {tail}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_law_rank_popularity_skews_groups() {
+        let cfg = PoolConfig {
+            rank_popularity: PopularityDist::power_law(),
+            ..PoolConfig::paper_default(100)
+        };
+        let p = AdapterPool::generate(&LlmSpec::llama_7b(), &cfg);
+        let mut rng = SimRng::seed(4);
+        let mut rank_counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *rank_counts
+                .entry(p.sample(&mut rng).rank().get())
+                .or_insert(0u32) += 1;
+        }
+        // Rank 8 is group 0 → most popular under power law.
+        assert!(rank_counts[&8] > rank_counts[&128] * 2);
+    }
+
+    #[test]
+    fn max_and_total_bytes() {
+        let p = pool(10);
+        assert_eq!(p.max_adapter_bytes(), 256 << 20); // rank 128 on Llama-7B
+        assert_eq!(
+            p.total_bytes(),
+            p.iter().map(|a| a.bytes()).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn tiny_pool_fewer_adapters_than_ranks() {
+        let p = pool(3);
+        assert_eq!(p.len(), 3);
+        let mut rng = SimRng::seed(5);
+        for _ in 0..100 {
+            let a = p.sample(&mut rng);
+            assert!(a.id().0 < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = pool(50);
+        let draw = |seed| {
+            let mut rng = SimRng::seed(seed);
+            (0..20).map(|_| p.sample(&mut rng).id().0).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+    }
+}

@@ -1,0 +1,226 @@
+//! Histogram-based adapter-load prediction.
+//!
+//! §4.2 (3): "we explore techniques that predict future load, such as a
+//! histogram-based approach [48], and prefetch adapters even for requests
+//! that are not currently queued". Reference [48] is Serverless in the Wild,
+//! whose keep-alive policy tracks per-function inter-arrival histograms.
+//! [`HistogramLoadPredictor`] applies the same idea per adapter: observe
+//! arrival gaps, predict the next use as `last_use + median_gap`, and
+//! surface adapters expected within a prefetch window.
+
+use chameleon_models::AdapterId;
+use chameleon_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Per-adapter inter-arrival statistics.
+#[derive(Debug, Clone)]
+struct AdapterHistory {
+    last_seen: SimTime,
+    /// Log-scale histogram of inter-arrival gaps (bucket k covers
+    /// `[2^k, 2^(k+1))` milliseconds).
+    gap_buckets: Vec<u32>,
+    observations: u32,
+}
+
+const NUM_BUCKETS: usize = 24; // up to ~2^24 ms ≈ 4.6 hours
+
+fn bucket_of(gap: SimDuration) -> usize {
+    let ms = gap.as_millis_f64().max(1.0);
+    (ms.log2().floor() as usize).min(NUM_BUCKETS - 1)
+}
+
+fn bucket_mid(bucket: usize) -> SimDuration {
+    SimDuration::from_millis_f64(1.5 * (1u64 << bucket) as f64)
+}
+
+impl AdapterHistory {
+    fn new(at: SimTime) -> Self {
+        AdapterHistory {
+            last_seen: at,
+            gap_buckets: vec![0; NUM_BUCKETS],
+            observations: 0,
+        }
+    }
+
+    fn observe(&mut self, at: SimTime) {
+        if at > self.last_seen {
+            let gap = at.saturating_since(self.last_seen);
+            self.gap_buckets[bucket_of(gap)] += 1;
+            self.observations += 1;
+        }
+        self.last_seen = self.last_seen.max(at);
+    }
+
+    /// Median inter-arrival gap (bucket midpoint).
+    fn median_gap(&self) -> Option<SimDuration> {
+        if self.observations == 0 {
+            return None;
+        }
+        let target = self.observations.div_ceil(2);
+        let mut acc = 0;
+        for (k, &c) in self.gap_buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(bucket_mid(k));
+            }
+        }
+        None
+    }
+}
+
+/// Predicts which adapters will be needed soon, from observed arrivals.
+///
+/// ```
+/// use chameleon_predictor::HistogramLoadPredictor;
+/// use chameleon_models::AdapterId;
+/// use chameleon_simcore::{SimDuration, SimTime};
+///
+/// let mut p = HistogramLoadPredictor::new();
+/// // Adapter 1 arrives every second.
+/// for s in 0..10 {
+///     p.observe(AdapterId(1), SimTime::from_secs_f64(s as f64));
+/// }
+/// let next = p.predict_next_use(AdapterId(1), SimTime::from_secs_f64(10.0)).unwrap();
+/// assert!(next <= SimTime::from_secs_f64(12.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HistogramLoadPredictor {
+    histories: HashMap<AdapterId, AdapterHistory>,
+}
+
+impl HistogramLoadPredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        HistogramLoadPredictor::default()
+    }
+
+    /// Records that a request for `adapter` arrived at `at`.
+    pub fn observe(&mut self, adapter: AdapterId, at: SimTime) {
+        self.histories
+            .entry(adapter)
+            .or_insert_with(|| AdapterHistory::new(at))
+            .observe(at);
+    }
+
+    /// Number of adapters with any history.
+    pub fn tracked(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// Predicts the next use of `adapter`: `max(now, last_seen + median
+    /// gap)`. Returns `None` before two observations exist (no gap yet).
+    pub fn predict_next_use(&self, adapter: AdapterId, now: SimTime) -> Option<SimTime> {
+        let h = self.histories.get(&adapter)?;
+        let gap = h.median_gap()?;
+        Some((h.last_seen + gap).max(now))
+    }
+
+    /// Adapters predicted to be used within `window` from `now`, most
+    /// imminent first — the prefetch candidate list.
+    pub fn candidates(&self, now: SimTime, window: SimDuration) -> Vec<AdapterId> {
+        let deadline = now + window;
+        let mut hits: Vec<(SimTime, AdapterId)> = self
+            .histories
+            .keys()
+            .filter_map(|&id| {
+                self.predict_next_use(id, now)
+                    .filter(|&t| t <= deadline)
+                    .map(|t| (t, id))
+            })
+            .collect();
+        hits.sort();
+        hits.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn needs_two_observations() {
+        let mut p = HistogramLoadPredictor::new();
+        assert_eq!(p.predict_next_use(AdapterId(1), t(0.0)), None);
+        p.observe(AdapterId(1), t(1.0));
+        assert_eq!(p.predict_next_use(AdapterId(1), t(1.0)), None);
+        p.observe(AdapterId(1), t(2.0));
+        assert!(p.predict_next_use(AdapterId(1), t(2.0)).is_some());
+        assert_eq!(p.tracked(), 1);
+    }
+
+    #[test]
+    fn periodic_adapter_predicted_on_time() {
+        let mut p = HistogramLoadPredictor::new();
+        for s in 0..20 {
+            p.observe(AdapterId(1), t(s as f64));
+        }
+        let next = p.predict_next_use(AdapterId(1), t(19.0)).unwrap();
+        // 1 s gaps land in the [1024 ms, 2048 ms) bucket → midpoint 1.536 s.
+        assert!(next > t(19.0) && next <= t(21.0), "predicted {next}");
+    }
+
+    #[test]
+    fn prediction_never_in_past() {
+        let mut p = HistogramLoadPredictor::new();
+        p.observe(AdapterId(1), t(0.0));
+        p.observe(AdapterId(1), t(1.0));
+        let next = p.predict_next_use(AdapterId(1), t(100.0)).unwrap();
+        assert!(next >= t(100.0));
+    }
+
+    #[test]
+    fn candidates_ordered_by_imminence() {
+        let mut p = HistogramLoadPredictor::new();
+        // Adapter 1: 1 s period, last seen t=10.
+        for s in 0..=10 {
+            p.observe(AdapterId(1), t(s as f64));
+        }
+        // Adapter 2: 4 s period, last seen t=8.
+        for s in (0..=8).step_by(4) {
+            p.observe(AdapterId(2), t(s as f64));
+        }
+        // Adapter 3: seen once — unpredictable.
+        p.observe(AdapterId(3), t(9.0));
+        let c = p.candidates(t(10.0), SimDuration::from_secs(30));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0], AdapterId(1), "1s-period adapter is most imminent");
+        assert_eq!(c[1], AdapterId(2));
+        // Tight window keeps only the most imminent adapter: adapter 1 is
+        // predicted at ~10.77 s (768 ms bucket midpoint after last_seen=10),
+        // adapter 2 at ~11.07 s (3.07 s midpoint after last_seen=8).
+        let tight = p.candidates(t(10.0), SimDuration::from_millis(900));
+        assert_eq!(tight, vec![AdapterId(1)]);
+    }
+
+    #[test]
+    fn bursty_history_uses_median_not_mean() {
+        let mut p = HistogramLoadPredictor::new();
+        // Nine 100 ms gaps and one 100 s outlier: median stays ~100 ms.
+        let mut now = 0.0;
+        p.observe(AdapterId(7), t(now));
+        for _ in 0..9 {
+            now += 0.1;
+            p.observe(AdapterId(7), t(now));
+        }
+        now += 100.0;
+        p.observe(AdapterId(7), t(now));
+        let next = p.predict_next_use(AdapterId(7), t(now)).unwrap();
+        let gap = next.saturating_since(t(now));
+        assert!(
+            gap < SimDuration::from_secs(1),
+            "median-based gap should be small, got {gap}"
+        );
+    }
+
+    #[test]
+    fn duplicate_timestamps_ignored() {
+        let mut p = HistogramLoadPredictor::new();
+        p.observe(AdapterId(1), t(1.0));
+        p.observe(AdapterId(1), t(1.0));
+        assert_eq!(p.predict_next_use(AdapterId(1), t(1.0)), None);
+    }
+}

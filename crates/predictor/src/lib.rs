@@ -1,0 +1,18 @@
+//! Prediction components of the Chameleon reproduction.
+//!
+//! Two predictors appear in the paper:
+//!
+//! * [`output_len`] — the output-length predictor (§4.1 1): Chameleon uses
+//!   "an existing, open-source predictor based on a BERT proxy model" with
+//!   ≈80 % measured accuracy, and §5.4 studies sensitivity at 60/80/100 %.
+//!   We model it as [`NoisyBucketPredictor`] with an explicit accuracy knob,
+//!   which is precisely the axis the paper sweeps.
+//! * [`histogram`] — the histogram-based load predictor (§4.2 3, §5.3 4)
+//!   borrowed from Serverless-in-the-Wild, used to prefetch adapters for
+//!   requests that have not arrived yet.
+
+pub mod histogram;
+pub mod output_len;
+
+pub use histogram::HistogramLoadPredictor;
+pub use output_len::{NoisyBucketPredictor, OraclePredictor, OutputLenPredictor, WorstCasePredictor};

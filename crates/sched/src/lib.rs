@@ -1,0 +1,38 @@
+//! Iteration-level request schedulers (§3.3, §4.3).
+//!
+//! The engine re-forms its running batch every iteration (continuous
+//! batching); the [`Scheduler`] trait is the pluggable policy deciding
+//! which queued requests join. Implementations:
+//!
+//! * [`FifoScheduler`] — S-LoRA's default: strict arrival order, the
+//!   head-of-line-blocking baseline.
+//! * [`SjfScheduler`] — μServe's speculative shortest-job-first with an
+//!   aging knob; starves long requests without aging, inflates their tail
+//!   with it.
+//! * [`ChameleonScheduler`] — the paper's contribution: WRS-classified
+//!   multi-level queues with per-queue token quotas, two-phase batch
+//!   formation (Algorithm 1), opportunistic bypass, and periodic K-means
+//!   reconfiguration.
+//! * [`StaticMlqScheduler`] — the §5.4 "Static" comparison: four fixed
+//!   equal-range queues with equal quotas.
+//!
+//! Supporting modules: [`wrs`] (weighted request size), [`kmeans`]
+//! (queue-count selection), [`quota`] (M/M/1 quota assignment — §4.3.5).
+
+pub mod chameleon;
+pub mod fifo;
+pub mod kmeans;
+pub mod queued;
+pub mod quota;
+pub mod scheduler;
+pub mod sjf;
+pub mod static_mlq;
+pub mod wrs;
+
+pub use chameleon::{ChameleonConfig, ChameleonScheduler};
+pub use fifo::FifoScheduler;
+pub use queued::QueuedRequest;
+pub use scheduler::{AdmissionOutcome, ResourceProbe, Scheduler};
+pub use sjf::SjfScheduler;
+pub use static_mlq::StaticMlqScheduler;
+pub use wrs::{WrsConfig, WrsMode};

@@ -1,0 +1,168 @@
+//! Per-queue resource-quota assignment (§4.3.5).
+//!
+//! Each queue is modelled as an M/M/1 system. With `S` the maximum request
+//! size of the queue in tokens, `Tok` its quota, and `D` the expected
+//! processing duration of one request, the queue serves at rate
+//! `μ = Tok / (S·D)`; the sojourn time `1/(μ−λ)` must stay within the SLO,
+//! giving the minimum quota
+//!
+//! ```text
+//! Tok_min ≥ S · D · (1/SLO + λ)
+//! ```
+//!
+//! Each queue gets its minimum and the remaining tokens are split
+//! proportionally to those minima ("proportionally to their initial
+//! weights").
+
+use chameleon_simcore::SimDuration;
+
+/// Observed/estimated load of one queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueLoad {
+    /// Maximum request size admitted to this queue, in resource tokens.
+    pub max_tokens: f64,
+    /// Expected processing duration of one request from this queue.
+    pub mean_service: SimDuration,
+    /// Arrival rate into this queue, requests/second.
+    pub arrival_rate: f64,
+}
+
+/// Minimum quota for one queue (tokens).
+pub fn min_tokens(q: &QueueLoad, slo: SimDuration) -> f64 {
+    let slo_s = slo.as_secs_f64().max(1e-9);
+    q.max_tokens * q.mean_service.as_secs_f64() * (1.0 / slo_s + q.arrival_rate)
+}
+
+/// Assigns quotas to all queues from `total_tokens` (§4.3.5).
+///
+/// Every queue receives its minimum; the surplus is distributed
+/// proportionally to the minima. When the minima already exceed the total
+/// (overload), everything is scaled down proportionally — the system cannot
+/// meet the SLO, but quotas remain meaningful for admission.
+///
+/// Returns one quota per queue, in tokens. Empty input yields an empty
+/// vector.
+pub fn assign_quotas(queues: &[QueueLoad], slo: SimDuration, total_tokens: u64) -> Vec<u64> {
+    if queues.is_empty() {
+        return Vec::new();
+    }
+    let mins: Vec<f64> = queues.iter().map(|q| min_tokens(q, slo)).collect();
+    let sum_min: f64 = mins.iter().sum();
+    let total = total_tokens as f64;
+    if sum_min <= 0.0 {
+        // No load anywhere: split evenly.
+        let each = total / queues.len() as f64;
+        return vec![each.floor() as u64; queues.len()];
+    }
+    if sum_min >= total {
+        // Overload: proportional scale-down.
+        return mins
+            .iter()
+            .map(|m| (m / sum_min * total).floor() as u64)
+            .collect();
+    }
+    let surplus = total - sum_min;
+    mins.iter()
+        .map(|m| (m + surplus * (m / sum_min)).floor() as u64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn q(max_tokens: f64, service_ms: u64, rate: f64) -> QueueLoad {
+        QueueLoad {
+            max_tokens,
+            mean_service: SimDuration::from_millis(service_ms),
+            arrival_rate: rate,
+        }
+    }
+
+    #[test]
+    fn min_tokens_formula() {
+        // S=100 tokens, D=0.5 s, λ=2/s, SLO=5 s:
+        // 100 · 0.5 · (0.2 + 2) = 110.
+        let m = min_tokens(&q(100.0, 500, 2.0), SimDuration::from_secs(5));
+        assert!((m - 110.0).abs() < 1e-9, "min {m}");
+    }
+
+    #[test]
+    fn min_grows_with_load_and_size() {
+        let slo = SimDuration::from_secs(5);
+        assert!(min_tokens(&q(100.0, 500, 4.0), slo) > min_tokens(&q(100.0, 500, 2.0), slo));
+        assert!(min_tokens(&q(200.0, 500, 2.0), slo) > min_tokens(&q(100.0, 500, 2.0), slo));
+        assert!(min_tokens(&q(100.0, 900, 2.0), slo) > min_tokens(&q(100.0, 500, 2.0), slo));
+    }
+
+    #[test]
+    fn tighter_slo_needs_more_tokens() {
+        assert!(
+            min_tokens(&q(100.0, 500, 2.0), SimDuration::from_secs(1))
+                > min_tokens(&q(100.0, 500, 2.0), SimDuration::from_secs(10))
+        );
+    }
+
+    #[test]
+    fn quotas_cover_minima_and_spend_surplus() {
+        let queues = [q(50.0, 100, 5.0), q(500.0, 800, 1.0)];
+        let slo = SimDuration::from_secs(5);
+        let quotas = assign_quotas(&queues, slo, 10_000);
+        assert_eq!(quotas.len(), 2);
+        for (quota, queue) in quotas.iter().zip(&queues) {
+            assert!(*quota as f64 >= min_tokens(queue, slo).floor());
+        }
+        let spent: u64 = quotas.iter().sum();
+        assert!(spent <= 10_000);
+        assert!(spent >= 9_990, "surplus mostly distributed: {spent}");
+    }
+
+    #[test]
+    fn overload_scales_down_proportionally() {
+        let queues = [q(1000.0, 1000, 10.0), q(2000.0, 1000, 10.0)];
+        let quotas = assign_quotas(&queues, SimDuration::from_secs(1), 1_000);
+        let spent: u64 = quotas.iter().sum();
+        assert!(spent <= 1_000);
+        // Second queue has 2× the minimum → ~2× the quota.
+        let ratio = quotas[1] as f64 / quotas[0] as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn idle_queues_split_evenly() {
+        let queues = [q(100.0, 0, 0.0), q(100.0, 0, 0.0)];
+        // mean_service 0 ⇒ minima 0 ⇒ even split.
+        let quotas = assign_quotas(&queues, SimDuration::from_secs(5), 1_000);
+        assert_eq!(quotas, vec![500, 500]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(assign_quotas(&[], SimDuration::from_secs(5), 100).is_empty());
+    }
+
+    proptest! {
+        /// Total assignment never exceeds the budget, and with budget above
+        /// the sum of minima every queue is satisfied.
+        #[test]
+        fn prop_budget_respected(
+            sizes in proptest::collection::vec((10.0f64..500.0, 10u64..1000, 0.1f64..10.0), 1..6),
+            total in 1_000u64..1_000_000
+        ) {
+            let queues: Vec<QueueLoad> = sizes.iter()
+                .map(|&(s, ms, r)| q(s, ms, r))
+                .collect();
+            let slo = SimDuration::from_secs(5);
+            let quotas = assign_quotas(&queues, slo, total);
+            let spent: u64 = quotas.iter().sum();
+            prop_assert!(spent <= total);
+            let sum_min: f64 = queues.iter().map(|qq| min_tokens(qq, slo)).sum();
+            if sum_min < total as f64 {
+                for (quota, queue) in quotas.iter().zip(&queues) {
+                    prop_assert!(*quota as f64 + 1.0 >= min_tokens(queue, slo));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The "Static" multi-queue baseline of §5.4.5.
+//!
+//! "a static system that, knowing the smallest and the largest size of
+//! requests, sets the number of queues to 4, sets their ranges equally,
+//! and assigns the number of resource tokens to each queue equally."
+//!
+//! Implemented as the Chameleon scheduler with dynamism disabled, fixed
+//! equal-width cut-offs and equal quotas.
+
+use crate::chameleon::{ChameleonConfig, ChameleonScheduler};
+use crate::queued::QueuedRequest;
+use crate::scheduler::{AdmissionOutcome, ResourceProbe, Scheduler};
+use crate::wrs::WrsConfig;
+use chameleon_models::AdapterId;
+use chameleon_simcore::SimDuration;
+
+/// Four fixed equal-range queues with equal quotas.
+#[derive(Debug)]
+pub struct StaticMlqScheduler {
+    inner: ChameleonScheduler,
+    quota_initialised: bool,
+}
+
+impl StaticMlqScheduler {
+    /// Creates the static scheduler for requests whose WRS spans
+    /// `[wrs_min, wrs_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn new(slo: SimDuration, wrs_cfg: WrsConfig, wrs_min: f64, wrs_max: f64) -> Self {
+        assert!(wrs_min < wrs_max, "empty WRS range");
+        let span = wrs_max - wrs_min;
+        let cutoffs = vec![
+            wrs_min + span * 0.25,
+            wrs_min + span * 0.5,
+            wrs_min + span * 0.75,
+        ];
+        let cfg = ChameleonConfig {
+            dynamic: false,
+            initial_cutoffs: cutoffs,
+            ..ChameleonConfig::paper(slo)
+        };
+        StaticMlqScheduler {
+            inner: ChameleonScheduler::new(cfg, wrs_cfg),
+            quota_initialised: false,
+        }
+    }
+
+    /// The fixed cut-offs.
+    pub fn cutoffs(&self) -> &[f64] {
+        self.inner.cutoffs()
+    }
+}
+
+impl Scheduler for StaticMlqScheduler {
+    fn enqueue(&mut self, req: QueuedRequest) {
+        self.inner.enqueue(req);
+    }
+
+    fn requeue_front(&mut self, req: QueuedRequest) {
+        self.inner.requeue_front(req);
+    }
+
+    fn form_batch(&mut self, probe: &dyn ResourceProbe) -> Vec<AdmissionOutcome> {
+        if !self.quota_initialised {
+            // Equal split of the engine's token capacity, fixed forever.
+            let total = probe.total_token_capacity();
+            let n = self.inner.num_queues() as u64;
+            self.inner.set_quotas(vec![total / n; n as usize]);
+            self.quota_initialised = true;
+        }
+        self.inner.form_batch(probe)
+    }
+
+    fn on_finish(&mut self, queue_index: usize, charged_tokens: u64) {
+        self.inner.on_finish(queue_index, charged_tokens);
+    }
+
+    fn queued_adapters(&self) -> Vec<AdapterId> {
+        self.inner.queued_adapters()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn queue_index_for(&self, wrs: f64) -> usize {
+        self.inner.queue_index_for(wrs)
+    }
+
+    fn num_queues(&self) -> usize {
+        self.inner.num_queues()
+    }
+
+    fn name(&self) -> &'static str {
+        "static-mlq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::StaticProbe;
+    use chameleon_models::AdapterRank;
+    use chameleon_simcore::SimTime;
+    use chameleon_workload::{Request, RequestId};
+
+    fn wrs_cfg() -> WrsConfig {
+        WrsConfig::paper(2048.0, 1024.0, (256 << 20) as f64)
+    }
+
+    fn sched() -> StaticMlqScheduler {
+        StaticMlqScheduler::new(SimDuration::from_secs(5), wrs_cfg(), 0.0, 1.0)
+    }
+
+    fn queued(id: u64, wrs: f64) -> QueuedRequest {
+        let r = Request::new(
+            RequestId(id),
+            SimTime::ZERO,
+            50,
+            50,
+            AdapterId(id as u32),
+            AdapterRank::new(8),
+        );
+        QueuedRequest::new(r, 50, 16 << 20, 0, wrs, SimTime::ZERO)
+    }
+
+    #[test]
+    fn four_equal_queues() {
+        let s = sched();
+        assert_eq!(s.num_queues(), 4);
+        assert_eq!(s.cutoffs(), &[0.25, 0.5, 0.75]);
+        assert_eq!(s.queue_index_for(0.1), 0);
+        assert_eq!(s.queue_index_for(0.3), 1);
+        assert_eq!(s.queue_index_for(0.6), 2);
+        assert_eq!(s.queue_index_for(0.99), 3);
+    }
+
+    #[test]
+    fn equal_quotas_from_capacity() {
+        let mut s = sched();
+        s.enqueue(queued(0, 0.1));
+        let probe = StaticProbe {
+            total_capacity: 4_000,
+            ..StaticProbe::default()
+        };
+        let out = s.form_batch(&probe);
+        assert_eq!(out.len(), 1);
+        // Quota is fixed at 1000 per queue; enqueue 11 requests of 100
+        // tokens into queue 0: only 10 fit its quota even though all other
+        // queues are empty... but spare redistribution rescues them (the
+        // static baseline still runs Algorithm 1).
+        for i in 1..12 {
+            s.enqueue(queued(i, 0.1));
+        }
+        let out = s.form_batch(&probe);
+        assert!(out.len() >= 10);
+    }
+
+    #[test]
+    fn never_reconfigures() {
+        let mut s = sched();
+        for i in 0..300 {
+            s.enqueue(queued(i, (i % 100) as f64 / 100.0));
+        }
+        let probe = StaticProbe::default();
+        let _ = s.form_batch(&probe);
+        s.on_refresh(&probe);
+        assert_eq!(s.cutoffs(), &[0.25, 0.5, 0.75]);
+        assert_eq!(s.name(), "static-mlq");
+    }
+}

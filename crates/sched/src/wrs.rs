@@ -1,0 +1,183 @@
+//! Weighted Request Size (§4.3.1).
+//!
+//! Chameleon classifies a request by an estimate of its total execution
+//! time computed from the three heterogeneity knobs of §3.1 — input size,
+//! (predicted) output size, and adapter size:
+//!
+//! ```text
+//! WRS = (A·Input/MaxInput + B·Output/MaxOutput) · Adapter/MaxAdapter
+//! ```
+//!
+//! a degree-2 polynomial the paper reports beats a purely linear
+//! combination by up to 10 %. `A = 0.4`, `B = 0.6`. The §5.4 sensitivity
+//! study compares against `OutputOnly` (μServe-style), which we expose as
+//! [`WrsMode::OutputOnly`].
+
+use serde::{Deserialize, Serialize};
+
+/// Which size estimate the scheduler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WrsMode {
+    /// The paper's full formula (input, output, adapter).
+    Full,
+    /// Only the predicted output length, normalised (§5.4 "OutputOnly").
+    OutputOnly,
+    /// Degree-1 polynomial: `A·in + B·out + C·adapter` with `C = 0.5`.
+    /// §4.3.1 reports the degree-2 product form beats this by up to 10 %.
+    Linear,
+}
+
+/// WRS computation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WrsConfig {
+    /// Input-size weight `A` (paper: 0.4).
+    pub a: f64,
+    /// Output-size weight `B` (paper: 0.6).
+    pub b: f64,
+    /// Normalisation constant `MaxInputSize` (tokens).
+    pub max_input: f64,
+    /// Normalisation constant `MaxOutputSize` (tokens).
+    pub max_output: f64,
+    /// Normalisation constant `MaxAdapterSize` (bytes).
+    pub max_adapter_bytes: f64,
+    /// Formula variant.
+    pub mode: WrsMode,
+}
+
+impl WrsConfig {
+    /// The paper's configuration for a given workload envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any normalisation constant is non-positive.
+    pub fn paper(max_input: f64, max_output: f64, max_adapter_bytes: f64) -> Self {
+        assert!(max_input > 0.0 && max_output > 0.0 && max_adapter_bytes > 0.0);
+        WrsConfig {
+            a: 0.4,
+            b: 0.6,
+            max_input,
+            max_output,
+            max_adapter_bytes,
+            mode: WrsMode::Full,
+        }
+    }
+
+    /// Switches to the OutputOnly variant (§5.4).
+    pub fn output_only(mut self) -> Self {
+        self.mode = WrsMode::OutputOnly;
+        self
+    }
+
+    /// Switches to the degree-1 (linear) variant (§4.3.1 ablation).
+    pub fn linear(mut self) -> Self {
+        self.mode = WrsMode::Linear;
+        self
+    }
+
+    /// Computes the WRS of a request.
+    ///
+    /// Sizes above the normalisation constants are clamped to 1.0 rather
+    /// than extrapolated, so the score stays in a bounded range.
+    pub fn compute(&self, input_tokens: u32, predicted_output: u32, adapter_bytes: u64) -> f64 {
+        let inp = (f64::from(input_tokens) / self.max_input).min(1.0);
+        let out = (f64::from(predicted_output) / self.max_output).min(1.0);
+        match self.mode {
+            WrsMode::OutputOnly => out,
+            WrsMode::Full => {
+                let ad = (adapter_bytes as f64 / self.max_adapter_bytes).min(1.0);
+                (self.a * inp + self.b * out) * ad
+            }
+            WrsMode::Linear => {
+                let ad = (adapter_bytes as f64 / self.max_adapter_bytes).min(1.0);
+                (self.a * inp + self.b * out + 0.5 * ad) / 1.5
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> WrsConfig {
+        WrsConfig::paper(2048.0, 1024.0, 256.0 * 1024.0 * 1024.0)
+    }
+
+    #[test]
+    fn paper_weights() {
+        let c = cfg();
+        assert_eq!(c.a, 0.4);
+        assert_eq!(c.b, 0.6);
+        assert_eq!(c.mode, WrsMode::Full);
+    }
+
+    #[test]
+    fn known_values() {
+        let c = cfg();
+        // Full-scale request: (0.4 + 0.6) · 1.0 = 1.0.
+        let w = c.compute(2048, 1024, 256 << 20);
+        assert!((w - 1.0).abs() < 1e-12);
+        // Half input, half output, half adapter: (0.2 + 0.3) · 0.5 = 0.25.
+        let w = c.compute(1024, 512, 128 << 20);
+        assert!((w - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_weighs_more_than_input() {
+        let c = cfg();
+        let in_heavy = c.compute(2048, 1, 64 << 20);
+        let out_heavy = c.compute(1, 1024, 64 << 20);
+        assert!(out_heavy > in_heavy, "B > A must favour output");
+    }
+
+    #[test]
+    fn adapter_scales_multiplicatively() {
+        let c = cfg();
+        let small = c.compute(1024, 512, 16 << 20);
+        let large = c.compute(1024, 512, 256 << 20);
+        assert!((large / small - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_only_ignores_input_and_adapter() {
+        let c = cfg().output_only();
+        let a = c.compute(1, 512, 16 << 20);
+        let b = c.compute(2048, 512, 256 << 20);
+        assert_eq!(a, b);
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_mode_is_additive() {
+        let c = cfg().linear();
+        // A tiny adapter no longer zeroes the score, unlike the product form.
+        let w = c.compute(1024, 512, 1);
+        assert!(w > 0.2, "linear WRS {w}");
+        // Still bounded and monotone in the adapter term.
+        assert!(c.compute(1024, 512, 256 << 20) > w);
+        assert!(c.compute(2048, 1024, 256 << 20) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn oversized_requests_clamp() {
+        let c = cfg();
+        let w = c.compute(10_000, 10_000, 1 << 40);
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// WRS is bounded in [0, 1] and monotone in each argument.
+        #[test]
+        fn prop_bounded_and_monotone(
+            inp in 1u32..4096, out in 1u32..2048, ad in 1u64..(512u64 << 20)
+        ) {
+            let c = cfg();
+            let w = c.compute(inp, out, ad);
+            prop_assert!((0.0..=1.0).contains(&w));
+            prop_assert!(c.compute(inp + 1, out, ad) >= w);
+            prop_assert!(c.compute(inp, out + 1, ad) >= w);
+            prop_assert!(c.compute(inp, out, ad + 1) >= w);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Deterministic event queue.
+//!
+//! [`EventQueue`] is a min-heap keyed on `(SimTime, sequence)` so that events
+//! scheduled for the same instant pop in insertion order. Determinism of the
+//! whole simulation hinges on this tiebreak: two runs with the same seed must
+//! interleave simultaneous events identically.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the heap. Ordering is reversed so `BinaryHeap` (a max-heap)
+/// behaves as a min-heap on `(time, seq)`.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smallest (time, seq) first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A future-event list with stable FIFO ordering for simultaneous events.
+///
+/// ```
+/// use chameleon_simcore::event::EventQueue;
+/// use chameleon_simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// let t = SimTime::from_nanos(100);
+/// q.push(t, 'x');
+/// q.push(t, 'y');
+/// assert_eq!(q.pop(), Some((t, 'x')));
+/// assert_eq!(q.pop(), Some((t, 'y')));
+/// assert!(q.is_empty());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Events pushed for the same instant fire in push order.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            self.popped += 1;
+            (e.time, e.event)
+        })
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events processed (popped) so far.
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("processed", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn interleaves_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        q.push(t(10), "a");
+        q.push(t(5), "b");
+        assert_eq!(q.pop(), Some((t(5), "b")));
+        q.push(t(7), "c");
+        assert_eq!(q.pop(), Some((t(7), "c")));
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(t(42), ());
+        assert_eq!(q.peek_time(), Some(t(42)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(t(1), ());
+        q.push(t(2), ());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    proptest! {
+        /// Popping everything yields a non-decreasing time sequence, and
+        /// within equal times, insertion order.
+        #[test]
+        fn prop_total_order(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &ts) in times.iter().enumerate() {
+                q.push(t(ts), i);
+            }
+            let mut prev: Option<(SimTime, usize)> = None;
+            while let Some((ts, idx)) = q.pop() {
+                if let Some((pt, pidx)) = prev {
+                    prop_assert!(ts >= pt);
+                    if ts == pt {
+                        prop_assert!(idx > pidx, "FIFO violated for equal times");
+                    }
+                }
+                prev = Some((ts, idx));
+            }
+        }
+
+        /// The queue never loses or duplicates events.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..1000, 0..300)) {
+            let mut q = EventQueue::new();
+            for (i, &ts) in times.iter().enumerate() {
+                q.push(t(ts), i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some((_, idx)) = q.pop() {
+                prop_assert!(!seen[idx], "duplicate event");
+                seen[idx] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s), "lost event");
+        }
+    }
+}

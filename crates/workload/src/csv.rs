@@ -1,0 +1,190 @@
+//! CSV import/export for traces.
+//!
+//! Traces serialise to a simple five-column CSV so they can be inspected,
+//! plotted, or swapped with externally prepared request logs (e.g. a
+//! down-sampled production trace):
+//!
+//! ```csv
+//! arrival_s,input_tokens,output_tokens,adapter_id,rank
+//! 0.125,384,62,17,32
+//! ```
+
+use crate::request::{Request, RequestId};
+use crate::trace::Trace;
+use chameleon_models::{AdapterId, AdapterRank};
+use chameleon_simcore::SimTime;
+use std::fmt::Write as _;
+
+/// Error from parsing a CSV trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Header row written by [`to_csv`].
+pub const CSV_HEADER: &str = "arrival_s,input_tokens,output_tokens,adapter_id,rank";
+
+/// Serialises a trace to CSV (with header).
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::with_capacity(32 * trace.len() + CSV_HEADER.len() + 1);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in trace {
+        writeln!(
+            out,
+            "{:.6},{},{},{},{}",
+            r.arrival().as_secs_f64(),
+            r.input_tokens(),
+            r.output_tokens(),
+            r.adapter().0,
+            r.rank().get(),
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Parses a CSV trace (header optional). Request ids are assigned by row
+/// order.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] for malformed rows (wrong column count,
+/// non-numeric fields, zero lengths, negative arrival times).
+pub fn from_csv(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut requests = Vec::new();
+    let mut id: u64 = 0;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed == CSV_HEADER || trimmed.starts_with("arrival") {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() != 5 {
+            return Err(ParseTraceError {
+                line,
+                message: format!("expected 5 fields, got {}", fields.len()),
+            });
+        }
+        let err = |message: String| ParseTraceError { line, message };
+        let arrival: f64 = fields[0]
+            .parse()
+            .map_err(|e| err(format!("bad arrival: {e}")))?;
+        if !arrival.is_finite() || arrival < 0.0 {
+            return Err(err(format!("invalid arrival time {arrival}")));
+        }
+        let input: u32 = fields[1]
+            .parse()
+            .map_err(|e| err(format!("bad input_tokens: {e}")))?;
+        let output: u32 = fields[2]
+            .parse()
+            .map_err(|e| err(format!("bad output_tokens: {e}")))?;
+        let adapter: u32 = fields[3]
+            .parse()
+            .map_err(|e| err(format!("bad adapter_id: {e}")))?;
+        let rank: u32 = fields[4]
+            .parse()
+            .map_err(|e| err(format!("bad rank: {e}")))?;
+        if input == 0 || output == 0 || rank == 0 {
+            return Err(err("lengths and rank must be positive".into()));
+        }
+        requests.push(Request::new(
+            RequestId(id),
+            SimTime::from_secs_f64(arrival),
+            input,
+            output,
+            AdapterId(adapter),
+            AdapterRank::new(rank),
+        ));
+        id += 1;
+    }
+    Ok(Trace::new(requests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(vec![
+            Request::new(
+                RequestId(0),
+                SimTime::from_secs_f64(0.5),
+                128,
+                16,
+                AdapterId(3),
+                AdapterRank::new(32),
+            ),
+            Request::new(
+                RequestId(1),
+                SimTime::from_secs_f64(1.25),
+                64,
+                8,
+                AdapterId(7),
+                AdapterRank::new(8),
+            ),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let csv = to_csv(&t);
+        let parsed = from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let a = parsed.requests()[0];
+        assert_eq!(a.input_tokens(), 128);
+        assert_eq!(a.adapter(), AdapterId(3));
+        assert_eq!(a.rank().get(), 32);
+        assert!((a.arrival().as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn header_and_blank_lines_are_skipped() {
+        let csv = format!("{CSV_HEADER}\n\n0.1,10,5,0,8\n\n");
+        let t = from_csv(&csv).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn headerless_input_accepted() {
+        let t = from_csv("0.1,10,5,0,8\n0.2,20,6,1,16\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_csv("0.1,10,5,0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("5 fields"));
+
+        let err = from_csv("0.1,10,5,0,8\nnope,1,1,0,8\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_zero_lengths_and_negative_arrivals() {
+        assert!(from_csv("0.1,0,5,0,8\n").is_err());
+        assert!(from_csv("0.1,10,0,0,8\n").is_err());
+        assert!(from_csv("-1.0,10,5,0,8\n").is_err());
+    }
+
+    #[test]
+    fn parsed_rows_resort_by_arrival() {
+        let t = from_csv("5.0,10,5,0,8\n1.0,20,6,1,16\n").unwrap();
+        assert_eq!(t.requests()[0].input_tokens(), 20);
+    }
+}

@@ -1,0 +1,40 @@
+//! The paper's motivating scenario: a production inference cluster serving
+//! many fine-tuned variants of one base model, compared across serving
+//! systems as the load ramps.
+//!
+//! Reproduces the headline comparison of §5.2 in miniature: S-LoRA's tail
+//! collapses past its knee while Chameleon keeps serving.
+//!
+//! ```text
+//! cargo run --release --example many_adapter_serving
+//! ```
+
+use chameleon_repro::core::{preset, sim::Simulation, workloads};
+
+fn main() {
+    println!("Many-adapter serving: S-LoRA vs Chameleon, Llama-7B / A40 / 100 adapters\n");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "RPS", "slora_p50", "slora_p99", "cham_p50", "cham_p99", "slora_hit", "cham_hit"
+    );
+    for rps in [6.0, 8.0, 9.5, 10.5, 11.5, 12.5] {
+        let mut cells = Vec::new();
+        let mut hits = Vec::new();
+        for cfg in [preset::slora(), preset::chameleon()] {
+            let mut sim = Simulation::new(cfg, 7);
+            let trace = workloads::splitwise(rps, 120.0, 7, sim.pool());
+            let report = sim.run(&trace);
+            let s = report.ttft_summary().expect("non-empty");
+            cells.push((s.p50, s.p99));
+            hits.push(report.hit_rate());
+        }
+        println!(
+            "{:<6} {:>11.3}s {:>11.3}s {:>11.3}s {:>11.3}s {:>9.1}% {:>9.1}%",
+            rps, cells[0].0, cells[0].1, cells[1].0, cells[1].1,
+            hits[0] * 100.0, hits[1] * 100.0
+        );
+    }
+    println!("\nPast S-LoRA's knee (~10.5 RPS here) Chameleon keeps both median and");
+    println!("tail latency flat: adapter caching removes loads from the critical path");
+    println!("and the multi-level queue removes head-of-line blocking.");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: serve a many-adapter workload with Chameleon and print the
+//! headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use chameleon_repro::core::{preset, sim::Simulation, workloads};
+
+fn main() {
+    // The paper's default environment: Llama-7B on an A40 with 100 LoRA
+    // adapters across five ranks, power-law adapter popularity.
+    let config = preset::chameleon();
+    let mut sim = Simulation::new(config, 42);
+
+    // A 60-second slice of the scaled Splitwise conversation workload at a
+    // medium request rate.
+    let trace = workloads::splitwise(9.0, 60.0, 42, sim.pool());
+    println!(
+        "running {} requests (mean input {:.0} tok, mean output {:.0} tok)...",
+        trace.len(),
+        trace.summary().mean_input,
+        trace.summary().mean_output
+    );
+
+    let report = sim.run(&trace);
+
+    let ttft = report.ttft_summary().expect("non-empty run");
+    let tbt = report.tbt_summary().expect("tokens were generated");
+    println!("completed          : {}", report.completed());
+    println!("TTFT    p50 / p99  : {:.3}s / {:.3}s", ttft.p50, ttft.p99);
+    println!("TBT     p50 / p99  : {:.1}ms / {:.1}ms", tbt.p50 * 1e3, tbt.p99 * 1e3);
+    println!("SLO (5x isolated)  : {:.2}s", report.slo.as_secs_f64());
+    println!(
+        "SLO violations     : {:.2}%",
+        report.slo_violation_fraction() * 100.0
+    );
+    println!(
+        "adapter cache      : {:.1}% hit rate, {} evictions",
+        report.hit_rate() * 100.0,
+        report.cache_stats.evictions
+    );
+    println!(
+        "PCIe traffic       : {:.1} MB total ({:.2} MB/s)",
+        report.pcie_total_bytes as f64 / 1e6,
+        report.pcie_mean_bandwidth() / 1e6
+    );
+}

@@ -1,0 +1,144 @@
+//! Behavioural integration tests for engine-level mechanisms that the
+//! paper's comparisons depend on: S-LoRA's synchronous load stalls,
+//! worst-case KV reservations, chunked prefill, prefetching, and the
+//! dynamic cache sizing of §4.2.
+
+use chameleon_repro::core::{preset, sim::Simulation, workloads, SystemConfig};
+
+fn run(cfg: SystemConfig, rps: f64, secs: f64, seed: u64) -> chameleon_repro::core::RunReport {
+    let mut sim = Simulation::new(cfg, seed);
+    let trace = workloads::splitwise(rps, secs, seed, sim.pool());
+    sim.run(&trace)
+}
+
+/// §5.2.1: worst-case KV reservations (no output predictor) are what break
+/// S-LoRA early — giving it an oracle predictor recovers most of the gap.
+#[test]
+fn worst_case_reservations_drive_slora_collapse() {
+    let rps = 11.0;
+    let stock = run(preset::slora(), rps, 120.0, 42);
+    let mut oracle = preset::slora().with_predictor_accuracy(1.0);
+    oracle.worst_case_predictor = false;
+    let fixed = run(oracle, rps, 120.0, 42);
+    assert!(
+        fixed.p99_ttft() < stock.p99_ttft() * 0.5,
+        "oracle-S-LoRA {:.2}s vs stock {:.2}s",
+        fixed.p99_ttft(),
+        stock.p99_ttft()
+    );
+}
+
+/// §4.2 dynamic sizing: the adapter cache shrinks under load spikes — the
+/// cache region never pushes total usage over capacity, and evictions
+/// actually occur when the pool exceeds idle memory.
+#[test]
+fn cache_shrinks_under_pressure() {
+    // 400 adapters ≈ 40 GB of weights vs ~31 GB of idle memory.
+    let report = run(preset::chameleon().with_adapters(400), 9.0, 120.0, 42);
+    assert!(report.cache_stats.evictions > 0, "no evictions under pressure");
+    for s in &report.mem_series {
+        assert!(s.total_used() <= s.capacity);
+    }
+    // And the cache still earns a solid hit rate.
+    assert!(report.hit_rate() > 0.5, "hit rate {:.2}", report.hit_rate());
+}
+
+/// Prefetching queued adapters shortens the load latency left on the
+/// critical path for the S-LoRA baseline.
+#[test]
+fn queued_prefetch_hides_load_latency() {
+    let mut no_prefetch = preset::slora();
+    no_prefetch.prefetch_queued = false;
+    let without = run(no_prefetch, 9.0, 120.0, 42);
+    let with = run(preset::slora(), 9.0, 120.0, 42);
+    let mean_load = |r: &chameleon_repro::core::RunReport| {
+        let xs = r.load_on_path_seconds();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    assert!(
+        mean_load(&with) <= mean_load(&without),
+        "prefetch should not increase critical-path load time"
+    );
+}
+
+/// Predictive (histogram) prefetch does not regress the full system.
+#[test]
+fn predictive_prefetch_no_regression() {
+    let base = run(preset::chameleon().with_adapters(400), 9.0, 120.0, 42);
+    let pre = run(preset::chameleon_prefetch().with_adapters(400), 9.0, 120.0, 42);
+    assert!(pre.p99_ttft() <= base.p99_ttft() * 1.10);
+    assert!(pre.hit_rate() >= base.hit_rate() - 0.02);
+}
+
+/// Tensor parallelism: the same workload at the same rate gets faster
+/// prefill but pays more for adapter loads; Chameleon's advantage grows
+/// with the TP degree (Figure 25's mechanism).
+#[test]
+fn chameleon_advantage_grows_with_tp() {
+    let gpu = chameleon_repro::models::GpuSpec::a100_80gb();
+    let ratio_at = |tp: u32, rps: f64| {
+        let s = run(
+            preset::slora().with_gpu(gpu.clone()).with_tp(tp),
+            rps,
+            90.0,
+            42,
+        );
+        let c = run(
+            preset::chameleon().with_gpu(gpu.clone()).with_tp(tp),
+            rps,
+            90.0,
+            42,
+        );
+        c.p99_ttft() / s.p99_ttft().max(1e-9)
+    };
+    let tp1 = ratio_at(1, 16.0);
+    let tp4 = ratio_at(4, 40.0);
+    assert!(
+        tp4 < tp1,
+        "TP4 normalised P99 {tp4:.2} should beat TP1 {tp1:.2}"
+    );
+}
+
+/// The SJF aging knob works end to end: pure SJF (no aging) starves large
+/// requests harder than the default aged variant.
+#[test]
+fn sjf_aging_softens_starvation() {
+    let rps = 12.5;
+    let mut pure = preset::slora_sjf();
+    pure.sched = chameleon_repro::core::SchedPolicy::Sjf {
+        aging_tokens_per_sec: 0.0,
+    };
+    let aged = run(preset::slora_sjf(), rps, 120.0, 42);
+    let unaged = run(pure, rps, 120.0, 42);
+    let large_delay = |r: &chameleon_repro::core::RunReport| r.queue_delay_by_class()[2].1;
+    assert!(
+        large_delay(&aged) <= large_delay(&unaged) * 1.2,
+        "aging should not worsen large-class delay: {:.2}s vs {:.2}s",
+        large_delay(&aged),
+        large_delay(&unaged)
+    );
+}
+
+/// Load sweep machinery: P99 grows with offered load for every system.
+#[test]
+fn sweeps_are_monotone_ish() {
+    use chameleon_repro::core::sweep::LoadSweep;
+    let result = LoadSweep::new(preset::slora(), 42)
+        .with_trace_secs(60.0)
+        .run(&[6.0, 10.0, 12.0]);
+    let curve = result.p99_curve();
+    assert!(curve[2].1 > curve[0].1, "P99 must grow toward overload");
+    assert!(result.throughput(1e9).is_some());
+}
+
+/// Ablation plumbing: K_max override reaches the scheduler.
+#[test]
+fn k_max_override_changes_configuration() {
+    use chameleon_repro::core::ablation;
+    let pts = ablation::k_max_effect(9.0, 40.0, 42);
+    assert_eq!(pts.len(), 4);
+    // All complete and produce sane latencies.
+    for p in &pts {
+        assert!(p.p99_ttft > 0.0 && p.p99_ttft < 60.0, "{p:?}");
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end integration tests asserting the paper's *shape* claims.
+//!
+//! These run full simulations through the public API and check the
+//! directional results the paper reports — who wins, and roughly where.
+//! Absolute numbers are calibration-dependent and asserted only loosely.
+
+use chameleon_repro::core::{preset, sim::Simulation, workloads};
+
+fn p99(cfg: chameleon_repro::core::SystemConfig, rps: f64, secs: f64, seed: u64) -> f64 {
+    let mut sim = Simulation::new(cfg, seed);
+    let trace = workloads::splitwise(rps, secs, seed, sim.pool());
+    sim.run(&trace).p99_ttft()
+}
+
+/// §5.2: past the baseline's knee, Chameleon's P99 TTFT is far below
+/// S-LoRA's.
+#[test]
+fn chameleon_beats_slora_tail_at_high_load() {
+    let rps = 11.0;
+    let slora = p99(preset::slora(), rps, 120.0, 42);
+    let cham = p99(preset::chameleon(), rps, 120.0, 42);
+    assert!(
+        cham < slora * 0.5,
+        "Chameleon p99 {cham:.2}s vs S-LoRA {slora:.2}s"
+    );
+}
+
+/// §5.2: at low load both systems comfortably meet the SLO.
+#[test]
+fn both_meet_slo_at_low_load() {
+    for cfg in [preset::slora(), preset::chameleon()] {
+        let mut sim = Simulation::new(cfg, 42);
+        let trace = workloads::splitwise(6.0, 90.0, 42, sim.pool());
+        let report = sim.run(&trace);
+        assert_eq!(
+            report.slo_violation_fraction(),
+            0.0,
+            "{} violated at low load",
+            report.label
+        );
+    }
+}
+
+/// §5.2.4: both ablations land between S-LoRA and the full system in SLO
+/// violations at high load.
+#[test]
+fn ablation_ordering_on_violations() {
+    let rps = 11.5;
+    let viol = |cfg| {
+        let mut sim = Simulation::new(cfg, 42);
+        let trace = workloads::splitwise(rps, 120.0, 42, sim.pool());
+        sim.run(&trace).slo_violation_fraction()
+    };
+    let slora = viol(preset::slora());
+    let no_cache = viol(preset::chameleon_no_cache());
+    let no_sched = viol(preset::chameleon_no_sched());
+    let full = viol(preset::chameleon());
+    assert!(slora > 0.0, "baseline should violate at {rps} RPS");
+    assert!(no_cache <= slora, "scheduler alone should not hurt");
+    assert!(no_sched <= slora, "cache alone should not hurt");
+    assert!(full <= slora * 0.5, "full system should be far better");
+}
+
+/// Figure 14: Chameleon's cache removes most adapter loads from the
+/// critical path.
+#[test]
+fn cache_removes_loads_from_critical_path() {
+    let run = |cfg| {
+        let mut sim = Simulation::new(cfg, 42);
+        let trace = workloads::splitwise(9.0, 120.0, 42, sim.pool());
+        sim.run(&trace)
+    };
+    let slora = run(preset::slora());
+    let cham = run(preset::chameleon());
+    assert!(cham.hit_rate() > slora.hit_rate() + 0.05);
+    assert!(cham.hit_rate() > 0.85, "hit rate {:.2}", cham.hit_rate());
+    // Less PCIe traffic moved overall.
+    assert!(cham.pcie_total_bytes < slora.pcie_total_bytes);
+}
+
+/// §3.3 / Figure 16: SJF starves large requests — their mean queueing
+/// delay dwarfs the small class's — while Chameleon keeps all classes low.
+#[test]
+fn sjf_starves_large_requests() {
+    let rps = 12.5;
+    let run = |cfg| {
+        let mut sim = Simulation::new(cfg, 42);
+        let trace = workloads::splitwise(rps, 120.0, 42, sim.pool());
+        sim.run(&trace)
+    };
+    let sjf = run(preset::slora_sjf());
+    let by_class = sjf.queue_delay_by_class();
+    let small = by_class[0].1;
+    let large = by_class[2].1;
+    assert!(
+        large > 2.0 * small.max(0.01),
+        "SJF large delay {large:.2}s vs small {small:.2}s"
+    );
+    let cham = run(preset::chameleon());
+    let cham_small = cham.queue_delay_by_class()[0].1;
+    assert!(
+        cham_small < small + 0.5,
+        "Chameleon should serve small requests at least as fast as SJF"
+    );
+}
+
+/// §4.3.3: squashes stay rare (paper: at most 5 % of requests).
+#[test]
+fn squash_fraction_is_bounded() {
+    let mut sim = Simulation::new(preset::chameleon(), 42);
+    let trace = workloads::splitwise(12.0, 120.0, 42, sim.pool());
+    let report = sim.run(&trace);
+    assert!(
+        report.squash_fraction() <= 0.05,
+        "squash fraction {:.3}",
+        report.squash_fraction()
+    );
+}
+
+/// §5.4.4: Chameleon generalises to the WildChat/LMSYS-like traces with no
+/// re-tuning.
+#[test]
+fn other_traces_without_retuning() {
+    for maker in [workloads::wildchat, workloads::lmsys] {
+        let mut slora = Simulation::new(preset::slora(), 42);
+        let trace = maker(11.0, 120.0, 42, slora.pool());
+        let s = slora.run(&trace);
+        let mut cham = Simulation::new(preset::chameleon(), 42);
+        let c = cham.run(&trace);
+        assert!(
+            c.p99_ttft() <= s.p99_ttft() * 1.05,
+            "Chameleon {:.2}s vs S-LoRA {:.2}s",
+            c.p99_ttft(),
+            s.p99_ttft()
+        );
+    }
+}
+
+/// Determinism: identical seeds produce identical reports across the full
+/// stack (workload → engine → metrics).
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let mut sim = Simulation::new(preset::chameleon(), 1234);
+        let trace = workloads::splitwise(10.0, 60.0, 1234, sim.pool());
+        let r = sim.run(&trace);
+        (
+            r.completed(),
+            format!("{:?}", r.ttft_summary()),
+            r.cache_stats,
+            r.pcie_total_bytes,
+            r.squashes,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Conservation: every request in the trace completes exactly once, even
+/// under overload with squashes and bypasses.
+#[test]
+fn no_request_lost_under_overload() {
+    let mut sim = Simulation::new(preset::chameleon(), 7);
+    let trace = workloads::splitwise(13.0, 90.0, 7, sim.pool());
+    let n = trace.len();
+    let report = sim.run(&trace);
+    assert_eq!(report.completed(), n);
+    assert_eq!(report.records.len(), n);
+    // TTFT/E2E are well-formed for every record.
+    for r in &report.records {
+        let ttft = r.ttft().expect("complete");
+        let e2e = r.e2e().expect("complete");
+        assert!(e2e >= ttft, "{}: e2e {} < ttft {}", r.id, e2e, ttft);
+    }
+}
