@@ -8,12 +8,13 @@
 use chameleon_cache::{AdapterCache, EvictionPolicy};
 use chameleon_gpu::cost::{CostModel, DecodeItem, PrefillItem};
 use chameleon_gpu::memory::MemoryPool;
-use chameleon_models::{AdapterId, AdapterPool, AdapterRank, AdapterSpec, GpuSpec, LlmSpec, PoolConfig};
-use chameleon_sched::{
-    kmeans, ChameleonConfig, ChameleonScheduler, FifoScheduler, QueuedRequest, Scheduler,
-    WrsConfig,
+use chameleon_models::{
+    AdapterId, AdapterPool, AdapterRank, AdapterSpec, GpuSpec, LlmSpec, PoolConfig,
 };
 use chameleon_sched::scheduler::StaticProbe;
+use chameleon_sched::{
+    kmeans, ChameleonConfig, ChameleonScheduler, FifoScheduler, QueuedRequest, Scheduler, WrsConfig,
+};
 use chameleon_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use chameleon_workload::{Request, RequestId};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};

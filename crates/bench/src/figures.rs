@@ -20,15 +20,17 @@ const MEDIUM_PROMPT: u64 = 256;
 /// into base execution, adapter execution and adapter loading.
 pub fn fig2() {
     println!("== Figure 2: single-request TTFT breakdown by adapter rank ==");
-    println!("paper: 74 ms (r8) -> 144 ms (r128); loading ~17.5 % and adapter exec ~40 % at r128\n");
+    println!(
+        "paper: 74 ms (r8) -> 144 ms (r128); loading ~17.5 % and adapter exec ~40 % at r128\n"
+    );
     let cost = CostModel::new(LlmSpec::llama_7b(), GpuSpec::a40(), 1);
     println!(
         "{}",
         header(
             "rank",
-            &["base_ms", "exec_ms", "load_ms", "ttft_ms", "load_%", "exec_%"]
+            ["base_ms", "exec_ms", "load_ms", "ttft_ms", "load_%", "exec_%"]
                 .map(String::from)
-                .to_vec()
+                .as_ref()
         )
     );
     for rank in AdapterRank::PAPER_SET {
@@ -60,7 +62,7 @@ pub fn fig3() {
     let inputs = [250u64, 500, 750, 1000, 1250, 1500, 1750, 2000];
     println!(
         "{}",
-        header("rank \\ input", &inputs.map(|i| i.to_string()).to_vec())
+        header("rank \\ input", inputs.map(|i| i.to_string()).as_ref())
     );
     for rank in AdapterRank::PAPER_SET.iter().rev() {
         let cells: Vec<f64> = inputs
@@ -137,7 +139,7 @@ pub fn fig4() {
     }
     println!(
         "{}",
-        header("pool \\ RPS", &loads.map(|l| format!("{l}")).to_vec())
+        header("pool \\ RPS", loads.map(|l| format!("{l}")).as_ref())
     );
     for (label, cells, _) in &table {
         println!("{}", row(label, cells));
@@ -158,7 +160,7 @@ pub fn fig5() {
         "{}",
         header(
             "rank \\ TP",
-            &["TP2", "TP4", "TP8"].map(String::from).to_vec()
+            ["TP2", "TP4", "TP8"].map(String::from).as_ref()
         )
     );
     for rank in AdapterRank::PAPER_SET {
@@ -184,9 +186,9 @@ pub fn fig6() {
         "{}",
         header(
             "t(s)",
-            &["base", "base+kv", "+adapters", "+cache", "capacity"]
+            ["base", "base+kv", "+adapters", "+cache", "capacity"]
                 .map(String::from)
-                .to_vec()
+                .as_ref()
         )
     );
     let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
@@ -232,9 +234,9 @@ pub fn fig7() {
         "{}",
         header(
             "quantile",
-            &["ttft_base", "ttft_lora", "e2e_base", "e2e_lora"]
+            ["ttft_base", "ttft_lora", "e2e_base", "e2e_lora"]
                 .map(String::from)
-                .to_vec()
+                .as_ref()
         )
     );
     for q in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
@@ -265,9 +267,9 @@ pub fn fig8() {
             "{}",
             header(
                 "quantile",
-                &["FIFO", "ChunkPrefill", "SJF", "Chameleon"]
+                ["FIFO", "ChunkPrefill", "SJF", "Chameleon"]
                     .map(String::from)
-                    .to_vec()
+                    .as_ref()
             )
         );
         let reports: Vec<RunReport> = [
@@ -316,7 +318,10 @@ pub fn fig11() {
     let loads = sweep_loads();
     println!(
         "{}",
-        header("system \\ RPS", &loads.iter().map(|l| format!("{l}")).collect::<Vec<_>>())
+        header(
+            "system \\ RPS",
+            &loads.iter().map(|l| format!("{l}")).collect::<Vec<_>>()
+        )
     );
     let mut slo = 0.0;
     let mut curves = Vec::new();
@@ -356,7 +361,10 @@ pub fn fig12() {
     let loads = sweep_loads();
     println!(
         "{}",
-        header("system \\ RPS", &loads.iter().map(|l| format!("{l}")).collect::<Vec<_>>())
+        header(
+            "system \\ RPS",
+            &loads.iter().map(|l| format!("{l}")).collect::<Vec<_>>()
+        )
     );
     for cfg in [preset::slora(), preset::chameleon()] {
         let label = cfg.label.clone();
@@ -376,7 +384,10 @@ pub fn fig13() {
     let loads = sweep_loads();
     println!(
         "{}",
-        header("system \\ RPS", &loads.iter().map(|l| format!("{l}")).collect::<Vec<_>>())
+        header(
+            "system \\ RPS",
+            &loads.iter().map(|l| format!("{l}")).collect::<Vec<_>>()
+        )
     );
     let mut p50s = Vec::new();
     for cfg in [preset::slora(), preset::chameleon()] {
@@ -402,7 +413,10 @@ pub fn fig14() {
     let c = Ecdf::from_samples(&cham.load_on_path_seconds());
     println!(
         "{}",
-        header("load_ms", &["S-LoRA_cdf", "Chameleon_cdf"].map(String::from).to_vec())
+        header(
+            "load_ms",
+            ["S-LoRA_cdf", "Chameleon_cdf"].map(String::from).as_ref()
+        )
     );
     for ms in [0.0, 2.0, 4.0, 6.0, 10.0, 15.0, 20.0, 30.0, 50.0] {
         println!(
@@ -463,14 +477,21 @@ pub fn fig16() {
     println!("paper: FIFO uniform-ish; SJF starves large; Chameleon low for all classes\n");
     println!(
         "{}",
-        header("system", &["small", "medium", "large"].map(String::from).to_vec())
+        header(
+            "system",
+            ["small", "medium", "large"].map(String::from).as_ref()
+        )
     );
     // The paper's 9 RPS sits past S-LoRA's knee with SJF queueing heavily;
     // the equivalent regime on our testbed is the overload level.
     for cfg in [preset::slora(), preset::slora_sjf(), preset::chameleon()] {
         let label = cfg.label.clone();
         let r = run_at(cfg, crate::LOAD_OVERLOAD, TRACE_SECS, SEED);
-        let cells: Vec<f64> = r.queue_delay_by_class().iter().map(|&(_, d, _)| d).collect();
+        let cells: Vec<f64> = r
+            .queue_delay_by_class()
+            .iter()
+            .map(|&(_, d, _)| d)
+            .collect();
         println!("{}", row(&label, &cells));
     }
     println!();
@@ -589,7 +610,8 @@ pub fn fig19() {
         variants.push(o);
         variants.push(c);
     }
-    let series: Vec<(String, Vec<(SimTime, f64)>, f64)> = variants
+    type BurstSeries = (String, Vec<(SimTime, f64)>, f64);
+    let series: Vec<BurstSeries> = variants
         .into_iter()
         .map(|cfg| {
             let label = cfg.label.clone();
@@ -611,7 +633,11 @@ pub fn fig19() {
     println!("{}", header("t(s)", &cols));
     let bins = series.iter().map(|(_, s, _)| s.len()).max().unwrap_or(0);
     for i in 0..bins {
-        let t = series[0].1.get(i).map(|&(t, _)| t.as_secs_f64()).unwrap_or(0.0);
+        let t = series[0]
+            .1
+            .get(i)
+            .map(|&(t, _)| t.as_secs_f64())
+            .unwrap_or(0.0);
         let cells: Vec<f64> = series
             .iter()
             .map(|(_, s, _)| s.get(i).map(|&(_, v)| v).unwrap_or(f64::NAN))
@@ -635,7 +661,7 @@ pub fn fig20() {
     let rps = crate::LOAD_HIGH;
     println!(
         "{}",
-        header("system \\ Na", &counts.map(|c| c.to_string()).to_vec())
+        header("system \\ Na", counts.map(|c| c.to_string()).as_ref())
     );
     let mut slo = 0.0;
     for (label, rank_pop, base) in [
@@ -671,7 +697,13 @@ pub fn fig20() {
     ];
     println!(
         "{}",
-        header("system", &dists.iter().map(|(l, ..)| l.to_string()).collect::<Vec<_>>())
+        header(
+            "system",
+            &dists
+                .iter()
+                .map(|(l, ..)| l.to_string())
+                .collect::<Vec<_>>()
+        )
     );
     let mut base_vals = Vec::new();
     for cfgf in [preset::slora as fn() -> SystemConfig, preset::chameleon] {
@@ -691,7 +723,11 @@ pub fn fig20() {
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max)
             .max(1e-9);
-        let label = if cells == base_vals { "S-LoRA" } else { "Chameleon" };
+        let label = if cells == base_vals {
+            "S-LoRA"
+        } else {
+            "Chameleon"
+        };
         let normed: Vec<f64> = cells.iter().map(|c| c / max_base).collect();
         println!("{}", row(label, &normed));
     }
@@ -702,7 +738,9 @@ pub fn fig20() {
 /// re-tuning.
 pub fn fig21() {
     println!("== Figure 21: P99 TTFT (s) per trace past the baseline knee ==");
-    println!("paper: S-LoRA violates all three SLOs; Chameleon meets all, ~4x lower on the new traces\n");
+    println!(
+        "paper: S-LoRA violates all three SLOs; Chameleon meets all, ~4x lower on the new traces\n"
+    );
     // Each trace family has its own capacity knee (shorter requests ->
     // higher sustainable RPS); every run sits just past S-LoRA's knee for
     // that family, mirroring the paper's single 9.5 RPS point.
@@ -711,7 +749,9 @@ pub fn fig21() {
         "{}",
         header(
             "system",
-            &["Splitwise", "WildChat", "LMSYS"].map(String::from).to_vec()
+            ["Splitwise", "WildChat", "LMSYS"]
+                .map(String::from)
+                .as_ref()
         )
     );
     let mut slos = Vec::new();
@@ -719,7 +759,8 @@ pub fn fig21() {
         let mut cells = Vec::new();
         slos.clear();
         for (maker, rps) in [
-            workloads::splitwise as fn(f64, f64, u64, &chameleon_models::AdapterPool) -> chameleon_workload::Trace,
+            workloads::splitwise
+                as fn(f64, f64, u64, &chameleon_models::AdapterPool) -> chameleon_workload::Trace,
             workloads::wildchat,
             workloads::lmsys,
         ]
@@ -754,9 +795,9 @@ pub fn fig22() {
         "{}",
         header(
             "load",
-            &["Static", "Chameleon", "Cham/Static", "St_viol%", "Ch_viol%"]
+            ["Static", "Chameleon", "Cham/Static", "St_viol%", "Ch_viol%"]
                 .map(String::from)
-                .to_vec()
+                .as_ref()
         )
     );
     // The configurations only diverge once queues actually form; the
@@ -818,9 +859,9 @@ pub fn fig23() {
         "{}",
         header(
             "model",
-            &["p99_low", "p99_med", "p99_high", "tput_ratio"]
+            ["p99_low", "p99_med", "p99_high", "tput_ratio"]
                 .map(String::from)
-                .to_vec()
+                .as_ref()
         )
     );
     for (llm, adapters) in models {
@@ -889,10 +930,7 @@ pub fn fig24() {
     let mems = [24u64, 48, 80];
     println!(
         "{}",
-        header(
-            "model \\ mem(GB)",
-            &mems.map(|m| format!("{m}GB")).to_vec()
-        )
+        header("model \\ mem(GB)", mems.map(|m| format!("{m}GB")).as_ref())
     );
     let models = [
         (LlmSpec::llama_7b(), 500usize),
@@ -952,7 +990,7 @@ pub fn fig25() {
         "{}",
         header(
             "TP \\ load",
-            &["low", "medium", "high"].map(String::from).to_vec()
+            ["low", "medium", "high"].map(String::from).as_ref()
         )
     );
     for tp in [1u32, 2, 4] {

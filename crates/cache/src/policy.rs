@@ -147,7 +147,11 @@ impl EvictionPolicy {
                     0.0
                 };
                 let age = now.saturating_since(c.last_used).as_secs_f64();
-                let rec_n = if max_age > 0.0 { 1.0 - age / max_age } else { 1.0 };
+                let rec_n = if max_age > 0.0 {
+                    1.0 - age / max_age
+                } else {
+                    1.0
+                };
                 let size_n = if max_bytes > 0.0 {
                     c.bytes as f64 / max_bytes
                 } else {
@@ -188,20 +192,35 @@ mod tests {
 
     #[test]
     fn lru_picks_oldest() {
-        let cs = [cand(0, 10, 5, 90.0), cand(1, 10, 5, 10.0), cand(2, 10, 5, 50.0)];
+        let cs = [
+            cand(0, 10, 5, 90.0),
+            cand(1, 10, 5, 10.0),
+            cand(2, 10, 5, 50.0),
+        ];
         assert_eq!(EvictionPolicy::Lru.pick_victim(&cs, now(), 0.0), Some(1));
     }
 
     #[test]
     fn lfu_picks_least_frequent() {
-        let cs = [cand(0, 10, 5, 90.0), cand(1, 10, 1, 95.0), cand(2, 10, 9, 50.0)];
+        let cs = [
+            cand(0, 10, 5, 90.0),
+            cand(1, 10, 1, 95.0),
+            cand(2, 10, 9, 50.0),
+        ];
         assert_eq!(EvictionPolicy::Lfu.pick_victim(&cs, now(), 0.0), Some(1));
     }
 
     #[test]
     fn size_only_picks_smallest() {
-        let cs = [cand(0, 64, 1, 90.0), cand(1, 16, 9, 95.0), cand(2, 128, 1, 50.0)];
-        assert_eq!(EvictionPolicy::SizeOnly.pick_victim(&cs, now(), 0.0), Some(1));
+        let cs = [
+            cand(0, 64, 1, 90.0),
+            cand(1, 16, 9, 95.0),
+            cand(2, 128, 1, 50.0),
+        ];
+        assert_eq!(
+            EvictionPolicy::SizeOnly.pick_victim(&cs, now(), 0.0),
+            Some(1)
+        );
     }
 
     #[test]

@@ -292,9 +292,7 @@ impl AdapterCache {
             let candidates: Vec<(AdapterId, Candidate)> = self
                 .entries
                 .iter()
-                .filter(|(id, e)| {
-                    e.ref_count == 0 && protected.is_none_or(|p| !p.contains(id))
-                })
+                .filter(|(id, e)| e.ref_count == 0 && protected.is_none_or(|p| !p.contains(id)))
                 .enumerate()
                 .map(|(i, (&id, e))| {
                     (
@@ -339,6 +337,12 @@ impl AdapterCache {
             .filter(|(_, e)| e.ref_count == 0)
             .map(|(&id, _)| id)
             .collect()
+    }
+
+    /// Iterates over every resident adapter (idle or in use) — the
+    /// residency view cluster routers place requests on.
+    pub fn resident_adapters(&self) -> impl Iterator<Item = AdapterId> + '_ {
+        self.entries.keys().copied()
     }
 }
 

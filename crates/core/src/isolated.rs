@@ -97,10 +97,7 @@ mod tests {
         let short = isolated(&c, &req(128, 8, 32), true);
         let long = isolated(&c, &req(128, 64, 32), true);
         assert!(long.e2e > short.e2e + SimDuration::from_millis(50 * 25));
-        assert_eq!(
-            short.ttft, long.ttft,
-            "TTFT independent of output length"
-        );
+        assert_eq!(short.ttft, long.ttft, "TTFT independent of output length");
     }
 
     #[test]
@@ -119,7 +116,10 @@ mod tests {
     #[test]
     fn empty_trace_slo_zero() {
         let c = cost();
-        assert_eq!(mean_isolated_e2e(&c, &Trace::new(vec![]), 10), SimDuration::ZERO);
+        assert_eq!(
+            mean_isolated_e2e(&c, &Trace::new(vec![]), 10),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod sweep;
 pub mod system;
 pub mod workloads;
 
+pub use chameleon_router::RouterPolicy;
 pub use report::RunReport;
 pub use sim::Simulation;
 pub use system::{CachePolicy, SchedPolicy, SystemConfig};

@@ -1,6 +1,8 @@
-//! Named systems from the paper's evaluation.
+//! Named systems from the paper's evaluation, plus cluster-scale variants
+//! built on the routing subsystem.
 
 use crate::system::{CachePolicy, SchedPolicy, SystemConfig};
+use chameleon_router::RouterPolicy;
 
 /// S-LoRA (§5.1 baseline): FIFO iteration-level scheduling, asynchronous
 /// adapter prefetching for queued requests, **no** adapter caching
@@ -131,6 +133,28 @@ pub fn chameleon_linear_wrs() -> SystemConfig {
     .with_label("Ch-LinearWRS")
 }
 
+/// Chameleon scaled out to a data-parallel cluster of `engines` behind
+/// the paper's §4.4 two-level scheduler: join-shortest-queue global
+/// dispatch, adapter cache *replicated* on every engine.
+pub fn chameleon_cluster(engines: usize) -> SystemConfig {
+    chameleon()
+        .with_data_parallel(engines)
+        .with_router(RouterPolicy::JoinShortestQueue)
+        .with_label(format!("Chameleon-DP{engines}"))
+}
+
+/// Chameleon cluster with adapter-affinity routing: rendezvous hashing
+/// gives every adapter a home engine (load-aware spill when the home is
+/// saturated), so the fleet *partitions* the adapter working set instead
+/// of replicating it — the cache-friendly alternative to
+/// [`chameleon_cluster`] under many-adapter memory pressure.
+pub fn chameleon_cluster_partitioned(engines: usize) -> SystemConfig {
+    chameleon()
+        .with_data_parallel(engines)
+        .with_router(RouterPolicy::AdapterAffinity)
+        .with_label(format!("Chameleon-DP{engines}-Affinity"))
+}
+
 /// Chameleon with the WRS reduced to predicted output length only
 /// (Figure 19 "OutputOnly").
 pub fn chameleon_output_only() -> SystemConfig {
@@ -184,6 +208,20 @@ mod tests {
     }
 
     #[test]
+    fn cluster_presets_differ_only_in_routing() {
+        let replicated = chameleon_cluster(4);
+        let partitioned = chameleon_cluster_partitioned(4);
+        assert_eq!(replicated.data_parallel, 4);
+        assert_eq!(partitioned.data_parallel, 4);
+        assert_eq!(replicated.router, RouterPolicy::JoinShortestQueue);
+        assert_eq!(partitioned.router, RouterPolicy::AdapterAffinity);
+        assert_eq!(replicated.sched, partitioned.sched);
+        assert_eq!(replicated.cache, partitioned.cache);
+        // Single-engine presets keep the paper's default dispatch.
+        assert_eq!(chameleon().router, RouterPolicy::JoinShortestQueue);
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let labels: Vec<String> = [
             slora(),
@@ -196,6 +234,8 @@ mod tests {
             chameleon_lru(),
             chameleon_fairshare(),
             chameleon_gdsf(),
+            chameleon_cluster(4),
+            chameleon_cluster_partitioned(4),
             static_mlq(),
             chameleon_output_only(),
             chameleon_linear_wrs(),

@@ -4,7 +4,7 @@ use chameleon_cache::CacheStats;
 use chameleon_engine::EngineReport;
 use chameleon_gpu::pcie::TransferRecord;
 use chameleon_metrics::series::BinnedSeries;
-use chameleon_metrics::{LatencySummary, MemorySample, RequestRecord, SizeClass};
+use chameleon_metrics::{LatencySummary, MemorySample, RequestRecord, RoutingStats, SizeClass};
 use chameleon_models::adapter::adapter_bytes;
 use chameleon_models::LlmSpec;
 use chameleon_sched::WrsConfig;
@@ -46,6 +46,8 @@ pub struct RunReport {
     pub offered_rps: f64,
     /// Scheduler label.
     pub scheduler: &'static str,
+    /// Cluster-routing statistics (empty for single-engine runs).
+    pub routing: RoutingStats,
 }
 
 impl RunReport {
@@ -64,6 +66,7 @@ impl RunReport {
         RunReport {
             label,
             llm,
+            routing: engine.routing,
             records: engine.records,
             cache_stats: engine.cache_stats,
             pcie_total_bytes: engine.pcie_total_bytes,
@@ -145,6 +148,24 @@ impl RunReport {
     /// Adapter-cache hit rate.
     pub fn hit_rate(&self) -> f64 {
         self.cache_stats.hit_rate()
+    }
+
+    /// Fraction of cluster dispatches that landed on an engine with the
+    /// request's adapter already resident (0 for single-engine runs).
+    pub fn affinity_hit_rate(&self) -> f64 {
+        self.routing.affinity_hit_rate()
+    }
+
+    /// Fraction of cluster dispatches diverted off their home engine by
+    /// load-aware spill (0 for non-affinity routing).
+    pub fn spill_rate(&self) -> f64 {
+        self.routing.spill_rate()
+    }
+
+    /// Coefficient of variation of per-engine dispatch counts (0 for
+    /// single-engine runs).
+    pub fn load_imbalance(&self) -> f64 {
+        self.routing.load_imbalance()
     }
 
     /// Mean consumed PCIe bandwidth over the run (bytes/second).
@@ -315,6 +336,7 @@ mod tests {
             wrs: WrsConfig::paper(1000.0, 1000.0, (256u64 << 20) as f64),
             offered_rps: 1.0,
             scheduler: "test",
+            routing: RoutingStats::default(),
         }
     }
 
@@ -338,7 +360,10 @@ mod tests {
 
     #[test]
     fn violation_fraction_counts() {
-        let mut rep = report(vec![record(0, 0.0, 6.0, 7.0, 8), record(1, 0.0, 1.0, 2.0, 8)]);
+        let mut rep = report(vec![
+            record(0, 0.0, 6.0, 7.0, 8),
+            record(1, 0.0, 1.0, 2.0, 8),
+        ]);
         rep.slo = SimDuration::from_secs(5);
         assert!((rep.slo_violation_fraction() - 0.5).abs() < 1e-9);
     }
@@ -357,7 +382,21 @@ mod tests {
     fn class_delays_partition_records() {
         // Ranks 8 vs 128 put requests in different WRS classes.
         let recs: Vec<RequestRecord> = (0..30)
-            .map(|i| record(i, 0.0, 0.2, 1.0, if i < 10 { 8 } else if i < 20 { 32 } else { 128 }))
+            .map(|i| {
+                record(
+                    i,
+                    0.0,
+                    0.2,
+                    1.0,
+                    if i < 10 {
+                        8
+                    } else if i < 20 {
+                        32
+                    } else {
+                        128
+                    },
+                )
+            })
             .collect();
         let by_class = report(recs).queue_delay_by_class();
         assert_eq!(by_class.len(), 3);

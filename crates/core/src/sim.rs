@@ -115,7 +115,9 @@ impl Simulation {
 
     fn build_predictor(&self, engine_idx: usize, max_output: u32) -> Box<dyn OutputLenPredictor> {
         if self.cfg.worst_case_predictor {
-            return Box::new(chameleon_predictor::WorstCasePredictor::new(max_output.max(1)));
+            return Box::new(chameleon_predictor::WorstCasePredictor::new(
+                max_output.max(1),
+            ));
         }
         if self.cfg.predictor_accuracy >= 1.0 {
             Box::new(OraclePredictor::new())
@@ -173,9 +175,11 @@ impl Simulation {
         let wrs = self.wrs_config(trace);
         let max_output = trace.summary().max_output;
         let (engine_report, horizon) = if self.cfg.data_parallel > 1 {
-            let mut cluster = Cluster::new(self.cfg.data_parallel, |i| {
-                self.build_engine(slo, wrs, i, max_output, k_max)
-            });
+            let mut cluster = Cluster::with_router(
+                self.cfg.data_parallel,
+                |i| self.build_engine(slo, wrs, i, max_output, k_max),
+                self.cfg.router.build(self.seed),
+            );
             let last = cluster.run(trace);
             (cluster.into_report(), last)
         } else {
@@ -188,7 +192,12 @@ impl Simulation {
             .iter()
             .map(|r| {
                 let req = chameleon_workload::Request::new(
-                    r.id, r.arrival, r.input_tokens, r.output_tokens, r.adapter, r.rank,
+                    r.id,
+                    r.arrival,
+                    r.input_tokens,
+                    r.output_tokens,
+                    r.adapter,
+                    r.rank,
                 );
                 (r.id, isolated::isolated(&self.cost, &req, true).e2e)
             })

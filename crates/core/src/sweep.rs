@@ -1,8 +1,12 @@
-//! Load sweeps and SLO-bounded throughput (§5.2).
+//! Load sweeps and SLO-bounded throughput (§5.2), plus the cluster
+//! routing-policy axis.
 //!
 //! The paper's throughput metric is "the load that a system can sustain
 //! without violating this SLO" (§5.2.2), read off a sweep of P99 TTFT
 //! against offered load (Figure 11). [`LoadSweep`] runs that sweep.
+//! [`RouterSweep`] holds the system and trace fixed and varies the
+//! cluster routing policy instead, making `RouterPolicy` an experiment
+//! dimension next to scheduler and eviction policy.
 
 use crate::report::RunReport;
 use crate::sim::Simulation;
@@ -10,6 +14,7 @@ use crate::system::SystemConfig;
 use crate::workloads;
 use chameleon_metrics::summary::throughput_at_slo;
 use chameleon_models::AdapterPool;
+use chameleon_router::RouterPolicy;
 use chameleon_workload::Trace;
 
 /// One sweep point.
@@ -51,12 +56,7 @@ impl SweepResult {
     pub fn p99_tbt_curve(&self) -> Vec<(f64, f64)> {
         self.points
             .iter()
-            .map(|p| {
-                (
-                    p.rps,
-                    p.report.tbt_summary().map(|s| s.p99).unwrap_or(0.0),
-                )
-            })
+            .map(|p| (p.rps, p.report.tbt_summary().map(|s| s.p99).unwrap_or(0.0)))
             .collect()
     }
 
@@ -100,8 +100,12 @@ impl LoadSweep {
             .iter()
             .map(|&rps| {
                 let mut sim = Simulation::new(self.cfg.clone(), self.seed);
-                let trace =
-                    workloads::splitwise(rps, self.trace_secs, self.seed ^ rps.to_bits(), sim.pool());
+                let trace = workloads::splitwise(
+                    rps,
+                    self.trace_secs,
+                    self.seed ^ rps.to_bits(),
+                    sim.pool(),
+                );
                 let report = sim.run(&trace);
                 SweepPoint { rps, report }
             })
@@ -136,6 +140,63 @@ impl LoadSweep {
     }
 }
 
+/// One routing-policy sweep point.
+#[derive(Debug, Clone)]
+pub struct RouterPoint {
+    /// The routing policy this point ran under.
+    pub policy: RouterPolicy,
+    /// The full report under that policy.
+    pub report: RunReport,
+}
+
+/// Sweeps one data-parallel system across cluster routing policies on a
+/// single shared trace, so policies are compared on identical request
+/// streams (the §4.4 axis the paper leaves fixed).
+pub struct RouterSweep {
+    cfg: SystemConfig,
+    seed: u64,
+}
+
+impl RouterSweep {
+    /// Creates a routing sweep of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cfg.data_parallel > 1` — routing needs a cluster.
+    pub fn new(cfg: SystemConfig, seed: u64) -> Self {
+        assert!(
+            cfg.data_parallel > 1,
+            "router sweep needs a data-parallel cluster"
+        );
+        RouterSweep { cfg, seed }
+    }
+
+    /// Runs `trace` under each policy in `policies`.
+    pub fn run_trace(&self, policies: &[RouterPolicy], trace: &Trace) -> Vec<RouterPoint> {
+        policies
+            .iter()
+            .map(|&policy| {
+                let cfg = self.cfg.clone().with_router(policy).with_label(format!(
+                    "{}/{}",
+                    self.cfg.label,
+                    policy.name()
+                ));
+                let mut sim = Simulation::new(cfg, self.seed);
+                let report = sim.run(trace);
+                RouterPoint { policy, report }
+            })
+            .collect()
+    }
+
+    /// Runs all built-in policies over the scaled Splitwise workload at
+    /// `rps` for `secs` seconds.
+    pub fn run_all(&self, rps: f64, secs: f64) -> Vec<RouterPoint> {
+        let pool = AdapterPool::generate(&self.cfg.llm, &self.cfg.pool_config());
+        let trace = workloads::splitwise(rps, secs, self.seed, &pool);
+        self.run_trace(&RouterPolicy::ALL, &trace)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +210,25 @@ mod tests {
         assert!(result.points[0].rps < result.points[1].rps);
         let curve = result.p99_curve();
         assert!(curve.iter().all(|&(_, p99)| p99 > 0.0));
+    }
+
+    #[test]
+    fn router_sweep_compares_policies_on_one_trace() {
+        let sweep = RouterSweep::new(preset::chameleon_cluster(2), 5);
+        let points = sweep.run_all(8.0, 10.0);
+        assert_eq!(points.len(), RouterPolicy::ALL.len());
+        let n = points[0].report.records.len();
+        for p in &points {
+            assert_eq!(p.report.records.len(), n, "policies saw different traces");
+            assert_eq!(p.report.routing.policy, p.policy.name());
+            assert_eq!(p.report.routing.dispatched, n as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "data-parallel")]
+    fn router_sweep_rejects_single_engine() {
+        let _ = RouterSweep::new(preset::chameleon(), 1);
     }
 
     #[test]

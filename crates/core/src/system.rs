@@ -1,6 +1,7 @@
 //! System configuration: every knob of a serving system under study.
 
 use chameleon_models::{GpuSpec, LlmSpec, PoolConfig, PopularityDist};
+use chameleon_router::RouterPolicy;
 use chameleon_simcore::SimDuration;
 
 /// Which iteration-level scheduling policy the system runs (§3.3, §4.3).
@@ -75,6 +76,12 @@ pub struct SystemConfig {
     pub tp_degree: u32,
     /// Data-parallel engine count.
     pub data_parallel: usize,
+    /// Global routing policy dispatching requests across data-parallel
+    /// engines (ignored when `data_parallel == 1`). The paper's two-level
+    /// scheduler uses [`RouterPolicy::JoinShortestQueue`];
+    /// [`RouterPolicy::AdapterAffinity`] partitions the adapter working
+    /// set across engines instead of replicating it.
+    pub router: RouterPolicy,
     /// Number of distinct adapters `N_a` (§5.1; default 100).
     pub num_adapters: usize,
     /// Rank-popularity distribution (§5.1: uniform by default).
@@ -112,6 +119,7 @@ impl SystemConfig {
             gpu: GpuSpec::a40(),
             tp_degree: 1,
             data_parallel: 1,
+            router: RouterPolicy::JoinShortestQueue,
             num_adapters: 100,
             rank_popularity: PopularityDist::Uniform,
             within_rank_popularity: PopularityDist::power_law(),
@@ -158,6 +166,18 @@ impl SystemConfig {
     /// Builder-style: sets tensor parallelism.
     pub fn with_tp(mut self, tp: u32) -> Self {
         self.tp_degree = tp;
+        self
+    }
+
+    /// Builder-style: sets the data-parallel engine count.
+    pub fn with_data_parallel(mut self, engines: usize) -> Self {
+        self.data_parallel = engines;
+        self
+    }
+
+    /// Builder-style: sets the cluster routing policy.
+    pub fn with_router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
         self
     }
 

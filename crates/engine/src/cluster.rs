@@ -2,13 +2,25 @@
 //!
 //! "In DP, Chameleon uses a two-level scheduler: a global scheduler
 //! dispatches requests to the different engines, and each engine has its
-//! local scheduler." The global scheduler here is join-shortest-queue over
-//! outstanding resource tokens, the standard production choice. Each engine
-//! keeps its own local scheduler and its own replica of the adapter cache
-//! ("in DP, Chameleon replicates the adapter cache across engines").
+//! local scheduler." The global scheduler is now a pluggable
+//! [`Router`] from `chameleon_router`: [`Cluster::new`] keeps the paper's
+//! production-standard join-shortest-queue dispatch (over outstanding
+//! resource tokens) and its replicated-adapter-cache behaviour, while
+//! [`Cluster::with_router`] accepts any placement policy — notably
+//! `AdapterAffinity`, which partitions the adapter working set across
+//! engines instead of replicating it. Each engine keeps its own local
+//! scheduler and its own adapter cache either way; only *where requests
+//! land* changes, and with it which adapters each cache ends up holding.
+//!
+//! Every dispatch is recorded in [`RoutingStats`]: per-engine counts,
+//! affinity hits (the chosen engine already had the adapter resident),
+//! spills, and the per-policy load-imbalance coefficient, all flowing
+//! into the merged [`EngineReport`].
 
 use crate::engine::{Engine, EngineEvent};
 use crate::report::EngineReport;
+use chameleon_metrics::RoutingStats;
+use chameleon_router::{EngineSnapshot, JoinShortestQueue, Router};
 use chameleon_simcore::{EventQueue, SimTime};
 use chameleon_workload::Trace;
 
@@ -23,20 +35,41 @@ enum ClusterEvent {
 /// A data-parallel group of engines behind a global dispatcher.
 pub struct Cluster {
     engines: Vec<Engine>,
-    dispatched: Vec<u64>,
+    router: Box<dyn Router>,
+    stats: RoutingStats,
+    /// Reused per-arrival snapshot buffer (dispatch is the hot path).
+    snap_buf: Vec<EngineSnapshot>,
 }
 
 impl Cluster {
-    /// Builds a cluster of `n` engines from a factory.
+    /// Builds a cluster of `n` engines from a factory, dispatching with
+    /// the paper's global scheduler (join-shortest-queue over outstanding
+    /// resource tokens).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    pub fn new<F: FnMut(usize) -> Engine>(n: usize, mut factory: F) -> Self {
+    pub fn new<F: FnMut(usize) -> Engine>(n: usize, factory: F) -> Self {
+        Cluster::with_router(n, factory, Box::new(JoinShortestQueue::new()))
+    }
+
+    /// Builds a cluster of `n` engines dispatching through `router`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_router<F: FnMut(usize) -> Engine>(
+        n: usize,
+        mut factory: F,
+        router: Box<dyn Router>,
+    ) -> Self {
         assert!(n > 0, "empty cluster");
+        let stats = RoutingStats::new(router.name(), n);
         Cluster {
             engines: (0..n).map(&mut factory).collect(),
-            dispatched: vec![0; n],
+            router,
+            stats,
+            snap_buf: Vec::with_capacity(n),
         }
     }
 
@@ -50,9 +83,33 @@ impl Cluster {
         self.engines.is_empty()
     }
 
+    /// The active routing policy's label.
+    pub fn router_name(&self) -> &'static str {
+        self.router.name()
+    }
+
     /// Requests dispatched to each engine.
     pub fn dispatch_counts(&self) -> &[u64] {
-        &self.dispatched
+        &self.stats.per_engine
+    }
+
+    /// Routing statistics so far.
+    pub fn routing_stats(&self) -> &RoutingStats {
+        &self.stats
+    }
+
+    /// Refills the reusable snapshot buffer for a routing decision.
+    /// Residency sets are copied only when the router declares it reads
+    /// them, so queue-depth-only policies stay cheap per arrival.
+    fn fill_snapshots(&mut self) {
+        let with_residency = self.router.needs_residency();
+        self.snap_buf.clear();
+        self.snap_buf.extend(
+            self.engines
+                .iter()
+                .enumerate()
+                .map(|(i, e)| e.snapshot(i, with_residency)),
+        );
     }
 
     /// Runs `trace` through the cluster until drained. Returns the instant
@@ -82,11 +139,13 @@ impl Cluster {
             match ev {
                 ClusterEvent::Arrival(req) => {
                     arrivals_left -= 1;
-                    // Global scheduler: least outstanding work at arrival.
-                    let target = (0..self.engines.len())
-                        .min_by_key(|&i| self.engines[i].outstanding_tokens())
-                        .expect("non-empty cluster");
-                    self.dispatched[target] += 1;
+                    // Global scheduler: delegate placement to the router.
+                    self.fill_snapshots();
+                    let decision = self.router.route(&req, &self.snap_buf);
+                    let target = decision.engine;
+                    assert!(target < self.engines.len(), "router out of bounds");
+                    let affinity_hit = self.engines[target].is_adapter_resident(req.adapter());
+                    self.stats.record(target, affinity_hit, decision.spilled);
                     self.engines[target].handle(t, EngineEvent::Arrival(req), &mut out);
                     for (at, e) in out.drain(..) {
                         q.push(at, ClusterEvent::Engine(target, e));
@@ -118,13 +177,15 @@ impl Cluster {
         self.engines.iter().map(|e| e.completed()).sum()
     }
 
-    /// Finalises into one merged report.
+    /// Finalises into one merged report carrying the routing statistics.
     pub fn into_report(self) -> EngineReport {
+        let stats = self.stats;
         let mut reports = self.engines.into_iter().map(Engine::into_report);
         let mut merged = reports.next().expect("non-empty cluster");
         for r in reports {
             merged.merge(r);
         }
+        merged.routing = stats;
         merged
     }
 }
@@ -133,7 +194,8 @@ impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
             .field("engines", &self.engines.len())
-            .field("dispatched", &self.dispatched)
+            .field("router", &self.router.name())
+            .field("dispatched", &self.stats.per_engine)
             .finish()
     }
 }
@@ -145,11 +207,17 @@ mod tests {
     use chameleon_cache::{AdapterCache, EvictionPolicy};
     use chameleon_models::{AdapterPool, GpuSpec, LlmSpec, PoolConfig};
     use chameleon_predictor::OraclePredictor;
+    use chameleon_router::RouterPolicy;
     use chameleon_sched::{FifoScheduler, WrsConfig};
     use chameleon_simcore::SimRng;
     use chameleon_workload::{ArrivalModel, LengthModel, TraceGenerator};
 
     fn cluster_and_trace(n_engines: usize, n_reqs: usize) -> (Cluster, Trace) {
+        let (factory, trace) = factory_and_trace(n_reqs);
+        (Cluster::new(n_engines, factory), trace)
+    }
+
+    fn factory_and_trace(n_reqs: usize) -> (impl FnMut(usize) -> Engine, Trace) {
         let llm = LlmSpec::llama_7b();
         let pool = AdapterPool::generate(&llm, &PoolConfig::paper_default(10));
         let gen = TraceGenerator::new(
@@ -171,7 +239,7 @@ mod tests {
         );
         let mut rng = SimRng::seed(7);
         let trace = gen.generate_n(&pool, n_reqs, &mut rng);
-        let cluster = Cluster::new(n_engines, |_| {
+        let factory = move |_| {
             Engine::new(
                 EngineConfig::new(LlmSpec::llama_7b(), GpuSpec::a40()),
                 pool.clone(),
@@ -180,8 +248,8 @@ mod tests {
                 AdapterCache::new(EvictionPolicy::chameleon()),
                 WrsConfig::paper(2048.0, 1024.0, (256 << 20) as f64),
             )
-        });
-        (cluster, trace)
+        };
+        (factory, trace)
     }
 
     #[test]
@@ -223,5 +291,143 @@ mod tests {
             p99(&r4) <= p99(&r1),
             "4 engines should not be slower than 1"
         );
+    }
+
+    /// The extracted JoinShortestQueue policy reproduces the seed
+    /// dispatcher byte for byte: `Cluster::new` (which delegates to the
+    /// router) and a hand-rolled min-outstanding-tokens dispatch make
+    /// identical choices, so the refactor is behaviour-preserving.
+    #[test]
+    fn default_router_preserves_jsq_dispatch_behaviour() {
+        let (factory, trace) = factory_and_trace(120);
+        let mut via_router = Cluster::new(3, factory);
+        via_router.run(&trace);
+
+        // Reference run: the pre-refactor inlined global scheduler.
+        let (factory, _) = factory_and_trace(0);
+        let mut reference = ReferenceJsqCluster::new(3, factory);
+        reference.run(&trace);
+
+        assert_eq!(via_router.dispatch_counts(), &reference.dispatched[..]);
+        assert_eq!(via_router.completed(), reference.completed());
+        let a = via_router.into_report();
+        let b = reference.into_report();
+        let key = |rep: &EngineReport| {
+            rep.records
+                .iter()
+                .map(|r| (r.id, r.first_token, r.finished))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b), "per-request timings diverged");
+    }
+
+    /// Verbatim re-implementation of the pre-refactor cluster dispatch
+    /// loop (global scheduler inlined as `min_by_key(outstanding_tokens)`),
+    /// kept as the behaviour-preservation oracle.
+    struct ReferenceJsqCluster {
+        engines: Vec<Engine>,
+        dispatched: Vec<u64>,
+    }
+
+    impl ReferenceJsqCluster {
+        fn new<F: FnMut(usize) -> Engine>(n: usize, mut factory: F) -> Self {
+            ReferenceJsqCluster {
+                engines: (0..n).map(&mut factory).collect(),
+                dispatched: vec![0; n],
+            }
+        }
+
+        fn completed(&self) -> u64 {
+            self.engines.iter().map(|e| e.completed()).sum()
+        }
+
+        fn into_report(self) -> EngineReport {
+            let mut reports = self.engines.into_iter().map(Engine::into_report);
+            let mut merged = reports.next().expect("non-empty cluster");
+            for r in reports {
+                merged.merge(r);
+            }
+            merged
+        }
+
+        fn run(&mut self, trace: &Trace) -> SimTime {
+            let mut q: EventQueue<ClusterEvent> = EventQueue::with_capacity(trace.len() * 4);
+            let mut arrivals_left = trace.len();
+            for r in trace {
+                q.push(r.arrival(), ClusterEvent::Arrival(*r));
+            }
+            let mem_int = self.engines[0].config().mem_sample_interval;
+            let refresh_int = self.engines[0].config().refresh_interval;
+            for i in 0..self.engines.len() {
+                q.push(
+                    SimTime::ZERO + mem_int,
+                    ClusterEvent::Engine(i, EngineEvent::MemSample),
+                );
+                q.push(
+                    SimTime::ZERO + refresh_int,
+                    ClusterEvent::Engine(i, EngineEvent::Refresh),
+                );
+            }
+            let mut out = Vec::new();
+            let mut last = SimTime::ZERO;
+            while let Some((t, ev)) = q.pop() {
+                last = t;
+                match ev {
+                    ClusterEvent::Arrival(req) => {
+                        arrivals_left -= 1;
+                        let target = (0..self.engines.len())
+                            .min_by_key(|&i| self.engines[i].outstanding_tokens())
+                            .expect("non-empty cluster");
+                        self.dispatched[target] += 1;
+                        self.engines[target].handle(t, EngineEvent::Arrival(req), &mut out);
+                        for (at, e) in out.drain(..) {
+                            q.push(at, ClusterEvent::Engine(target, e));
+                        }
+                    }
+                    ClusterEvent::Engine(i, ev) => {
+                        let reschedule = match &ev {
+                            EngineEvent::MemSample => Some((t + mem_int, EngineEvent::MemSample)),
+                            EngineEvent::Refresh => Some((t + refresh_int, EngineEvent::Refresh)),
+                            _ => None,
+                        };
+                        let periodic = reschedule.is_some();
+                        self.engines[i].handle(t, ev, &mut out);
+                        for (at, e) in out.drain(..) {
+                            q.push(at, ClusterEvent::Engine(i, e));
+                        }
+                        if periodic && (arrivals_left > 0 || self.engines[i].has_work()) {
+                            let (at, e) = reschedule.expect("periodic");
+                            q.push(at, ClusterEvent::Engine(i, e));
+                        }
+                    }
+                }
+            }
+            last
+        }
+    }
+
+    #[test]
+    fn every_policy_drains_the_cluster() {
+        for policy in RouterPolicy::ALL {
+            let (factory, trace) = factory_and_trace(50);
+            let mut c = Cluster::with_router(3, factory, policy.build(11));
+            c.run(&trace);
+            assert_eq!(c.completed(), 50, "{} lost requests", policy.name());
+            let stats = c.routing_stats().clone();
+            assert_eq!(stats.dispatched, 50);
+            assert_eq!(stats.per_engine.iter().sum::<u64>(), 50);
+            assert_eq!(stats.policy, policy.name());
+            let report = c.into_report();
+            assert_eq!(report.routing, stats, "routing stats reach the report");
+        }
+    }
+
+    #[test]
+    fn round_robin_splits_exactly() {
+        let (factory, trace) = factory_and_trace(60);
+        let mut c = Cluster::with_router(3, factory, RouterPolicy::RoundRobin.build(0));
+        c.run(&trace);
+        assert_eq!(c.dispatch_counts(), &[20, 20, 20]);
+        assert_eq!(c.routing_stats().load_imbalance(), 0.0);
     }
 }

@@ -102,6 +102,9 @@ mod tests {
     #[test]
     fn tp_multiplies_memory() {
         let c = EngineConfig::new(LlmSpec::llama_7b(), GpuSpec::a100_80gb()).with_tp(4);
-        assert_eq!(c.total_memory_bytes(), 4 * GpuSpec::a100_80gb().memory_bytes());
+        assert_eq!(
+            c.total_memory_bytes(),
+            4 * GpuSpec::a100_80gb().memory_bytes()
+        );
     }
 }

@@ -76,7 +76,10 @@ struct Loading {
 enum StepPlan {
     /// Full (or chunked) prefill for these requests; `chunks[i]` prompt
     /// tokens are processed for request `ids[i]`.
-    Prefill { ids: Vec<RequestId>, chunks: Vec<u32> },
+    Prefill {
+        ids: Vec<RequestId>,
+        chunks: Vec<u32>,
+    },
     /// One decode iteration for these requests, plus (in chunked-prefill
     /// mode) prompt chunks folded in.
     Decode {
@@ -190,7 +193,7 @@ impl Engine {
 
     /// True while any request is queued, running, or loading an adapter.
     pub fn has_work(&self) -> bool {
-        !self.running.is_empty() || self.sched.len() > 0 || !self.loading.is_empty()
+        !self.running.is_empty() || !self.sched.is_empty() || !self.loading.is_empty()
     }
 
     /// Outstanding resource tokens (running + queued) — the JSQ signal for
@@ -209,6 +212,52 @@ impl Engine {
     /// Number of requests in the running batch.
     pub fn running_len(&self) -> usize {
         self.running.len()
+    }
+
+    /// Free GPU memory in bytes, counting evictable idle cache bytes —
+    /// the memory signal cluster routers and admission paths see.
+    ///
+    /// O(1): idle cached adapters are billed to [`Region::AdapterCache`],
+    /// so the pool's region counter equals `cache.idle_bytes()` (the
+    /// cache ↔ pool accounting invariant, property-tested in
+    /// `chameleon-cache`).
+    pub fn free_memory_bytes(&self) -> u64 {
+        self.mem.free() + self.mem.used(Region::AdapterCache)
+    }
+
+    /// Adapters whose weights are on (or in flight to) this engine.
+    pub fn resident_adapters(&self) -> HashSet<AdapterId> {
+        self.cache
+            .resident_adapters()
+            .chain(self.loading.keys().copied())
+            .collect()
+    }
+
+    /// True when the adapter's weights are on (or in flight to) this
+    /// engine — the O(1) residency query behind the router's affinity-hit
+    /// accounting.
+    pub fn is_adapter_resident(&self, id: AdapterId) -> bool {
+        self.cache.is_resident(id) || self.loading.contains_key(&id)
+    }
+
+    /// Introspection snapshot for the cluster router (§4.4's global
+    /// scheduler input, generalised): queue depth, outstanding work, free
+    /// memory, and — when `with_residency` is set, for routers that ask
+    /// for it — the resident-adapter set, tagged with this engine's
+    /// `index` in the cluster.
+    pub fn snapshot(&self, index: usize, with_residency: bool) -> chameleon_router::EngineSnapshot {
+        chameleon_router::EngineSnapshot {
+            engine: index,
+            queue_depth: self.sched.len(),
+            running: self.running.len(),
+            outstanding_tokens: self.outstanding_tokens(),
+            free_memory_bytes: self.free_memory_bytes(),
+            resident_adapters: if with_residency {
+                self.resident_adapters()
+            } else {
+                HashSet::new()
+            },
+        }
     }
 
     /// Number of queued requests.
@@ -264,6 +313,7 @@ impl Engine {
             mem_series: self.mem_series,
             squashes: self.squashes,
             scheduler: self.sched.name(),
+            routing: chameleon_metrics::RoutingStats::default(),
         }
     }
 
@@ -291,7 +341,8 @@ impl Engine {
             .wrs_cfg
             .compute(req.input_tokens(), predicted, spec.bytes());
         let adapter_token_equiv = spec.bytes() / self.kv_bytes_per_token;
-        let queued = QueuedRequest::new(req, predicted, spec.bytes(), adapter_token_equiv, wrs, now);
+        let queued =
+            QueuedRequest::new(req, predicted, spec.bytes(), adapter_token_equiv, wrs, now);
         let class = SizeClass::from_queue_index(
             self.sched.queue_index_for(wrs),
             self.sched.num_queues().max(1),
@@ -346,7 +397,10 @@ impl Engine {
                     self.apply_prefill_progress(*id, chunk, now);
                 }
             }
-            StepPlan::Decode { ids, folded_prefill } => {
+            StepPlan::Decode {
+                ids,
+                folded_prefill,
+            } => {
                 for (id, chunk) in folded_prefill {
                     self.apply_prefill_progress(id, chunk, now);
                 }
@@ -387,15 +441,13 @@ impl Engine {
             let r = &self.running[idx];
             (r.req.input_tokens() + r.produced, r.kv_reserved)
         };
-        if needed > reserved {
-            if !self.ensure_kv_growth(id, now) {
-                // OOM during decode: squash the youngest running request
-                // (recompute-style preemption) to relieve pressure.
-                self.squash_youngest_except(id, now);
-                // Retry; if it still fails the request stalls one token —
-                // growth will be retried next iteration.
-                let _ = self.ensure_kv_growth(id, now);
-            }
+        if needed > reserved && !self.ensure_kv_growth(id, now) {
+            // OOM during decode: squash the youngest running request
+            // (recompute-style preemption) to relieve pressure.
+            self.squash_youngest_except(id, now);
+            // Retry; if it still fails the request stalls one token —
+            // growth will be retried next iteration.
+            let _ = self.ensure_kv_growth(id, now);
         }
     }
 
@@ -405,7 +457,9 @@ impl Engine {
         let protected: HashSet<AdapterId> = self.sched.queued_adapters().into_iter().collect();
         let need_block = self.kv.block_bytes();
         if self.mem.free() < need_block
-            && !self.cache.make_room(&mut self.mem, need_block, now, &protected)
+            && !self
+                .cache
+                .make_room(&mut self.mem, need_block, now, &protected)
         {
             return false;
         }
@@ -450,7 +504,7 @@ impl Engine {
 
     fn probe(&self, now: SimTime) -> EngineProbe {
         // Evictable idle cache bytes count as available.
-        let available_bytes = self.mem.free() + self.cache.idle_bytes();
+        let available_bytes = self.free_memory_bytes();
         let available_tokens = available_bytes / self.kv_bytes_per_token;
         let resident: HashSet<AdapterId> = self
             .cache
@@ -463,15 +517,13 @@ impl Engine {
         // token costs one full (shared) iteration of wall time; a prefill
         // token costs its compute share.
         let batch = self.running.len().max(1);
-        let step = self.cost.decode_step_time(
-            &vec![
-                DecodeItem {
-                    kv_tokens: 256,
-                    rank: None,
-                };
-                batch
-            ],
-        );
+        let step = self.cost.decode_step_time(&vec![
+            DecodeItem {
+                kv_tokens: 256,
+                rank: None,
+            };
+            batch
+        ]);
         let decode_secs_per_token = step.as_secs_f64();
         let prefill_secs_per_token = {
             let t1k = self.cost.base_prefill_time(1024).as_secs_f64();
@@ -555,7 +607,7 @@ impl Engine {
         if self.current_step.is_none()
             && self.running.is_empty()
             && self.loading.is_empty()
-            && self.sched.len() > 0
+            && !self.sched.is_empty()
             && !self.poke_pending
         {
             self.poke_pending = true;
@@ -582,7 +634,8 @@ impl Engine {
         let kv_tokens = req.input_tokens() + queued.predicted_output();
         let kv_bytes = self.kv.bytes_for(kv_tokens);
         if self.mem.free() < kv_bytes {
-            self.cache.make_room(&mut self.mem, kv_bytes, now, &protected);
+            self.cache
+                .make_room(&mut self.mem, kv_bytes, now, &protected);
         }
         if self.kv.allocate(&mut self.mem, id, kv_tokens).is_err() {
             // Snapshot was optimistic; push back and stop.
@@ -617,7 +670,9 @@ impl Engine {
                 return false;
             }
             let occupancy = self.cost.adapter_link_occupancy(spec.bytes());
-            let rec = self.link.transfer_with_duration(spec.bytes(), occupancy, now);
+            let rec = self
+                .link
+                .transfer_with_duration(spec.bytes(), occupancy, now);
             let ready_at = rec.start + self.cost.adapter_load_time(spec.bytes());
             self.loading.insert(
                 adapter,
@@ -673,7 +728,7 @@ impl Engine {
         if self.bypass_pairs.is_empty() {
             return;
         }
-        let free_tokens = (self.mem.free() + self.cache.idle_bytes()) / self.kv_bytes_per_token;
+        let free_tokens = self.free_memory_bytes() / self.kv_bytes_per_token;
         let pairs = std::mem::take(&mut self.bypass_pairs);
         let mut remaining = Vec::new();
         for pair in pairs {
@@ -966,7 +1021,9 @@ impl Engine {
                 continue;
             }
             let occupancy = self.cost.adapter_link_occupancy(spec.bytes());
-            let rec = self.link.transfer_with_duration(spec.bytes(), occupancy, now);
+            let rec = self
+                .link
+                .transfer_with_duration(spec.bytes(), occupancy, now);
             let ready_at = rec.start + self.cost.adapter_load_time(spec.bytes());
             self.loading.insert(
                 adapter,
@@ -1063,10 +1120,7 @@ mod tests {
         assert!(rec.is_complete());
         let ttft = rec.ttft().unwrap();
         // Cold adapter + prefill: tens of milliseconds.
-        assert!(
-            (0.030..0.200).contains(&ttft.as_secs_f64()),
-            "TTFT {ttft}"
-        );
+        assert!((0.030..0.200).contains(&ttft.as_secs_f64()), "TTFT {ttft}");
         // 8 tokens: 7 decode gaps.
         assert_eq!(rec.tbt_gaps.len(), 7);
         assert!(rec.load_on_critical_path > SimDuration::ZERO, "cold load");

@@ -21,13 +21,24 @@
 //!   running request if KV growth hits an out-of-memory condition.
 //!
 //! [`driver::run_engine`] drives a single engine through a trace;
-//! [`cluster::Cluster`] runs N data-parallel engines behind a two-level
-//! (global + local) scheduler (§4.4).
+//! [`cluster::Cluster`] runs N data-parallel engines behind the paper's
+//! two-level (global + local) scheduler (§4.4). The global level is
+//! delegated to the `chameleon_router` subsystem: each arrival is routed
+//! through a pluggable [`Router`] fed per-engine [`EngineSnapshot`]s
+//! (queue depth, outstanding tokens, free memory, resident adapters,
+//! built by [`Engine::snapshot`]). [`Cluster::new`] keeps the paper's
+//! join-shortest-queue dispatch with replicated adapter caches;
+//! [`Cluster::with_router`] swaps in any policy — adapter-affinity
+//! routing partitions the adapter working set across the fleet instead.
+//! Routing outcomes (per-engine dispatch counts, affinity hit rate,
+//! spill rate, load imbalance) land in [`EngineReport::routing`].
 //!
 //! [`Scheduler`]: chameleon_sched::Scheduler
 //! [`AdapterCache`]: chameleon_cache::AdapterCache
 //! [`PcieLink`]: chameleon_gpu::PcieLink
 //! [`MemoryPool`]: chameleon_gpu::MemoryPool
+//! [`Router`]: chameleon_router::Router
+//! [`EngineSnapshot`]: chameleon_router::EngineSnapshot
 
 pub mod cluster;
 pub mod config;

@@ -2,7 +2,7 @@
 
 use chameleon_cache::CacheStats;
 use chameleon_gpu::pcie::TransferRecord;
-use chameleon_metrics::{MemorySample, RequestRecord};
+use chameleon_metrics::{MemorySample, RequestRecord, RoutingStats};
 use chameleon_simcore::SimDuration;
 
 /// Everything one engine measured over a run. The core crate aggregates
@@ -25,6 +25,9 @@ pub struct EngineReport {
     pub squashes: u64,
     /// Scheduler label.
     pub scheduler: &'static str,
+    /// Cluster-routing statistics. Default (empty) for single-engine runs;
+    /// the cluster stamps the merged report with its dispatcher's stats.
+    pub routing: RoutingStats,
 }
 
 impl EngineReport {
@@ -42,7 +45,9 @@ impl EngineReport {
     }
 
     /// Merges another engine's report into this one (data-parallel
-    /// clusters aggregate per-engine reports).
+    /// clusters aggregate per-engine reports). Routing statistics are
+    /// cluster-scoped, not per-engine, so `merge` leaves them untouched —
+    /// the cluster stamps them onto the merged report afterwards.
     pub fn merge(&mut self, other: EngineReport) {
         self.records.extend(other.records);
         self.records.sort_by_key(|r| (r.arrival, r.id));
@@ -93,6 +98,7 @@ mod tests {
             mem_series: Vec::new(),
             squashes: squashed as u64,
             scheduler: "test",
+            routing: RoutingStats::default(),
         }
     }
 

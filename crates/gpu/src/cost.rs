@@ -170,11 +170,7 @@ impl CostModel {
     /// Effective compute scale of the TP group: `tp · eff^log2(tp)`.
     fn tp_compute_scale(&self) -> f64 {
         let doublings = self.tp.trailing_zeros();
-        self.tp as f64
-            * self
-                .calib
-                .tp_efficiency_per_doubling
-                .powi(doublings as i32)
+        self.tp as f64 * self.calib.tp_efficiency_per_doubling.powi(doublings as i32)
     }
 
     /// All-reduce time for an iteration moving `tokens` activations
@@ -194,8 +190,8 @@ impl CostModel {
     /// Base-model compute time for a prefill over `tokens` tokens.
     pub fn base_prefill_time(&self, tokens: u64) -> SimDuration {
         let flops = self.llm.forward_flops(tokens);
-        let rate = self.gpu.peak_fp16_flops() * self.calib.prefill_efficiency
-            * self.tp_compute_scale();
+        let rate =
+            self.gpu.peak_fp16_flops() * self.calib.prefill_efficiency * self.tp_compute_scale();
         self.calib.prefill_overhead
             + SimDuration::from_secs_f64(flops / rate)
             + self.tp_sync(tokens)
@@ -205,14 +201,13 @@ impl CostModel {
     pub fn lora_prefill_time(&self, rank: AdapterRank, tokens: u64) -> SimDuration {
         let params = (adapter_bytes(&self.llm, rank) / chameleon_models::llm::DTYPE_BYTES) as f64;
         let flops = 2.0 * params * tokens as f64;
-        let rate = self.gpu.peak_fp16_flops() * self.calib.lora_kernel_efficiency
+        let rate = self.gpu.peak_fp16_flops()
+            * self.calib.lora_kernel_efficiency
             * self.tp_compute_scale();
         // One pair of gather kernels per adapted projection per layer.
-        let launches = u64::from(self.llm.layers())
-            * chameleon_models::adapter::ADAPTED_PROJECTIONS
-            * 2;
-        self.calib.lora_launch_per_kernel * launches
-            + SimDuration::from_secs_f64(flops / rate)
+        let launches =
+            u64::from(self.llm.layers()) * chameleon_models::adapter::ADAPTED_PROJECTIONS * 2;
+        self.calib.lora_launch_per_kernel * launches + SimDuration::from_secs_f64(flops / rate)
     }
 
     /// Duration of one prefill iteration over `batch`.
@@ -252,10 +247,7 @@ impl CostModel {
         let mut ranks: Vec<AdapterRank> = batch.iter().filter_map(|i| i.rank).collect();
         ranks.sort_unstable();
         ranks.dedup();
-        let lora_bytes: u64 = ranks
-            .iter()
-            .map(|&r| adapter_bytes(&self.llm, r))
-            .sum();
+        let lora_bytes: u64 = ranks.iter().map(|&r| adapter_bytes(&self.llm, r)).sum();
         let lora_secs =
             lora_bytes as f64 * self.calib.lora_decode_read_penalty / (self.tp as f64 * hbm);
         self.calib.iter_overhead
@@ -271,12 +263,10 @@ impl CostModel {
     /// synchronises afterwards — which is why the *fraction* of TTFT spent
     /// loading grows with TP (Figure 5).
     pub fn adapter_load_time(&self, bytes: u64) -> SimDuration {
-        let copies = u64::from(self.llm.layers())
-            * chameleon_models::adapter::ADAPTED_PROJECTIONS
-            * 2;
-        let wire = SimDuration::from_secs_f64(
-            bytes as f64 / self.gpu.effective_copy_bytes_per_sec(),
-        );
+        let copies =
+            u64::from(self.llm.layers()) * chameleon_models::adapter::ADAPTED_PROJECTIONS * 2;
+        let wire =
+            SimDuration::from_secs_f64(bytes as f64 / self.gpu.effective_copy_bytes_per_sec());
         let base = self.calib.load_setup + self.calib.load_per_copy * copies + wire;
         if self.tp == 1 {
             base
@@ -288,9 +278,8 @@ impl CostModel {
     /// Time the host PCIe link is occupied by that load (wire time plus the
     /// small-copy gaps; the link is held for the duration).
     pub fn adapter_link_occupancy(&self, bytes: u64) -> SimDuration {
-        let copies = u64::from(self.llm.layers())
-            * chameleon_models::adapter::ADAPTED_PROJECTIONS
-            * 2;
+        let copies =
+            u64::from(self.llm.layers()) * chameleon_models::adapter::ADAPTED_PROJECTIONS * 2;
         self.calib.load_per_copy * copies
             + SimDuration::from_secs_f64(bytes as f64 / self.gpu.effective_copy_bytes_per_sec())
     }
@@ -366,9 +355,15 @@ mod tests {
             "rank-128 TTFT {total}"
         );
         let load_frac = hi.adapter_load.as_secs_f64() / total.as_secs_f64();
-        assert!((0.12..0.25).contains(&load_frac), "load fraction {load_frac}");
+        assert!(
+            (0.12..0.25).contains(&load_frac),
+            "load fraction {load_frac}"
+        );
         let exec_frac = hi.adapter_exec.as_secs_f64() / total.as_secs_f64();
-        assert!((0.30..0.50).contains(&exec_frac), "exec fraction {exec_frac}");
+        assert!(
+            (0.30..0.50).contains(&exec_frac),
+            "exec fraction {exec_frac}"
+        );
     }
 
     /// Figure 2: TTFT is monotone in rank.

@@ -199,7 +199,10 @@ mod tests {
         assert_eq!(b.end.as_secs_f64(), 3.0);
         // Link drained by t=10; c starts immediately.
         assert_eq!(c.start.as_secs_f64(), 10.0);
-        assert_eq!(l.queue_delay(SimTime::from_secs_f64(10.5)), SimDuration::from_millis(500));
+        assert_eq!(
+            l.queue_delay(SimTime::from_secs_f64(10.5)),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]

@@ -11,13 +11,18 @@
 //!   accounting.
 //! * [`series`] — time-binned series for the over-time figures (memory
 //!   occupancy for Figure 6, P99-over-time for Figures 15/19).
+//! * [`routing`] — cluster-routing statistics ([`RoutingStats`]): per-
+//!   engine dispatch counts, affinity hit rate, spill rate, and the
+//!   load-imbalance coefficient of the global dispatcher.
 
 pub mod collector;
 pub mod record;
+pub mod routing;
 pub mod series;
 pub mod summary;
 
 pub use collector::Collector;
 pub use record::{RequestRecord, SizeClass};
+pub use routing::RoutingStats;
 pub use series::{BinnedSeries, MemorySample};
 pub use summary::LatencySummary;

@@ -1,0 +1,137 @@
+//! Cluster-routing outcome statistics.
+//!
+//! The data-parallel cluster records one entry per dispatched request:
+//! which engine it went to, whether the chosen engine already had the
+//! request's adapter resident (an *affinity hit* — the placement-level
+//! precursor of an adapter-cache hit), and whether an affinity policy had
+//! to *spill* the request off its home engine for load reasons.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate routing statistics for one cluster run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoutingStats {
+    /// Routing policy label (empty for single-engine runs, which never
+    /// dispatch through a router).
+    pub policy: String,
+    /// Requests dispatched to each engine.
+    pub per_engine: Vec<u64>,
+    /// Dispatches that landed on an engine with the adapter resident.
+    pub affinity_hits: u64,
+    /// Dispatches diverted off their home engine by load-aware spill.
+    pub spills: u64,
+    /// Total dispatches.
+    pub dispatched: u64,
+}
+
+impl RoutingStats {
+    /// Creates empty statistics for a cluster of `engines` under `policy`.
+    pub fn new(policy: impl Into<String>, engines: usize) -> Self {
+        RoutingStats {
+            policy: policy.into(),
+            per_engine: vec![0; engines],
+            affinity_hits: 0,
+            spills: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// Records one dispatch.
+    pub fn record(&mut self, engine: usize, affinity_hit: bool, spilled: bool) {
+        self.per_engine[engine] += 1;
+        self.dispatched += 1;
+        if affinity_hit {
+            self.affinity_hits += 1;
+        }
+        if spilled {
+            self.spills += 1;
+        }
+    }
+
+    /// Fraction of dispatches that landed where the adapter was already
+    /// resident, in `[0, 1]` (0 when nothing was dispatched).
+    pub fn affinity_hit_rate(&self) -> f64 {
+        rate(self.affinity_hits, self.dispatched)
+    }
+
+    /// Fraction of dispatches diverted off their home engine.
+    pub fn spill_rate(&self) -> f64 {
+        rate(self.spills, self.dispatched)
+    }
+
+    /// Load-imbalance coefficient: the coefficient of variation
+    /// (standard deviation / mean) of per-engine dispatch counts. 0 means
+    /// perfectly even; 0 is also returned for empty or single-engine runs.
+    pub fn load_imbalance(&self) -> f64 {
+        if self.per_engine.len() < 2 || self.dispatched == 0 {
+            return 0.0;
+        }
+        let n = self.per_engine.len() as f64;
+        let mean = self.dispatched as f64 / n;
+        let var = self
+            .per_engine
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let s = RoutingStats::new("jsq", 4);
+        assert_eq!(s.affinity_hit_rate(), 0.0);
+        assert_eq!(s.spill_rate(), 0.0);
+        assert_eq!(s.load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn rates_count_correctly() {
+        let mut s = RoutingStats::new("affinity", 2);
+        s.record(0, true, false);
+        s.record(0, true, false);
+        s.record(1, false, true);
+        s.record(1, false, false);
+        assert_eq!(s.dispatched, 4);
+        assert_eq!(s.per_engine, vec![2, 2]);
+        assert!((s.affinity_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.spill_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(s.load_imbalance(), 0.0, "even split has zero CV");
+    }
+
+    #[test]
+    fn imbalance_grows_with_skew() {
+        let mut even = RoutingStats::new("x", 2);
+        let mut skewed = RoutingStats::new("x", 2);
+        for i in 0..100 {
+            even.record(i % 2, false, false);
+            skewed.record(usize::from(i % 10 == 0), false, false);
+        }
+        assert!(skewed.load_imbalance() > even.load_imbalance());
+        // 90/10 split over two engines: CV = 0.8.
+        assert!((skewed.load_imbalance() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_engine_has_no_imbalance() {
+        let mut s = RoutingStats::new("", 1);
+        s.record(0, true, false);
+        assert_eq!(s.load_imbalance(), 0.0);
+    }
+}

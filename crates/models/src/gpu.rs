@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(g.memory_bytes() >> 30, 24);
         assert!(g.name().contains("24GB"));
         // Bandwidths unchanged.
-        assert_eq!(g.hbm_bytes_per_sec(), GpuSpec::a100_80gb().hbm_bytes_per_sec());
+        assert_eq!(
+            g.hbm_bytes_per_sec(),
+            GpuSpec::a100_80gb().hbm_bytes_per_sec()
+        );
     }
 
     #[test]

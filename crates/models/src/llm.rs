@@ -50,7 +50,10 @@ impl LlmSpec {
     ) -> Self {
         assert!(params > 0 && layers > 0 && hidden > 0 && heads > 0 && kv_heads > 0);
         assert!(kv_heads <= heads, "kv_heads must not exceed heads");
-        assert!(hidden % heads == 0, "hidden must divide evenly into heads");
+        assert!(
+            hidden.is_multiple_of(heads),
+            "hidden must divide evenly into heads"
+        );
         LlmSpec {
             name: name.into(),
             params,

@@ -278,10 +278,7 @@ mod tests {
     fn max_and_total_bytes() {
         let p = pool(10);
         assert_eq!(p.max_adapter_bytes(), 256 << 20); // rank 128 on Llama-7B
-        assert_eq!(
-            p.total_bytes(),
-            p.iter().map(|a| a.bytes()).sum::<u64>()
-        );
+        assert_eq!(p.total_bytes(), p.iter().map(|a| a.bytes()).sum::<u64>());
     }
 
     #[test]
@@ -300,7 +297,9 @@ mod tests {
         let p = pool(50);
         let draw = |seed| {
             let mut rng = SimRng::seed(seed);
-            (0..20).map(|_| p.sample(&mut rng).id().0).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| p.sample(&mut rng).id().0)
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(9), draw(9));
     }

@@ -15,4 +15,6 @@ pub mod histogram;
 pub mod output_len;
 
 pub use histogram::HistogramLoadPredictor;
-pub use output_len::{NoisyBucketPredictor, OraclePredictor, OutputLenPredictor, WorstCasePredictor};
+pub use output_len::{
+    NoisyBucketPredictor, OraclePredictor, OutputLenPredictor, WorstCasePredictor,
+};

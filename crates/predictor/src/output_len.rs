@@ -246,7 +246,10 @@ mod tests {
         let mut p = NoisyBucketPredictor::new(0.0, SimRng::seed(4));
         for _ in 0..200 {
             let pred = p.predict(&req(100));
-            assert!(pred >= 1 && pred < 100 * 64, "implausible prediction {pred}");
+            assert!(
+                (1..100 * 64).contains(&pred),
+                "implausible prediction {pred}"
+            );
         }
     }
 

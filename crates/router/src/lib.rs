@@ -1,0 +1,188 @@
+//! Cluster-level request routing and placement (the §4.4 global scheduler,
+//! generalised).
+//!
+//! Chameleon's data-parallel mode uses a fixed two-level scheduler: a
+//! global dispatcher sends each arriving request to one engine
+//! (join-shortest-queue in the paper's production-standard setup) and each
+//! engine schedules locally, with the adapter cache *replicated* on every
+//! engine. At fleet scale the global dispatch decision is the dominant
+//! lever for adapter locality: routing on queue depth alone forces every
+//! engine to cache every popular adapter, while adapter-aware placement
+//! lets the fleet *partition* the adapter working set.
+//!
+//! This crate turns that decision into a first-class subsystem:
+//!
+//! * [`EngineSnapshot`] — the per-engine state a router sees at each
+//!   arrival: queue depth, outstanding resource tokens, free memory, and
+//!   the resident-adapter set.
+//! * [`Router`] — the placement policy trait: request + snapshots →
+//!   [`RouteDecision`].
+//! * [`policies`] — the built-in policies:
+//!   [`RoundRobin`](policies::RoundRobin),
+//!   [`JoinShortestQueue`](policies::JoinShortestQueue) (the paper's
+//!   global scheduler, extracted from the cluster unchanged),
+//!   [`PowerOfTwoChoices`](policies::PowerOfTwoChoices), and
+//!   [`AdapterAffinity`](policies::AdapterAffinity) — rendezvous hashing
+//!   on the adapter id with load-aware spill, which makes a *partitioned*
+//!   adapter-cache mode viable alongside the paper's replicated mode.
+//! * [`RouterPolicy`] — a plain-data policy selector so routing is a
+//!   configurable experiment axis next to scheduler and eviction policy.
+//!
+//! The engine crate's `Cluster` delegates every dispatch here; routing
+//! outcome statistics (per-engine dispatch counts, affinity hit rate,
+//! spill rate, load imbalance) are tracked by the cluster in
+//! `chameleon_metrics::RoutingStats` and flow into run reports.
+
+pub mod policies;
+pub mod snapshot;
+
+pub use policies::{AdapterAffinity, JoinShortestQueue, PowerOfTwoChoices, RoundRobin};
+pub use snapshot::EngineSnapshot;
+
+use chameleon_workload::Request;
+
+/// Where a request was placed, and whether the placement was a spill
+/// (an affinity router diverted the request away from its home engine
+/// because the home was saturated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Index of the chosen engine.
+    pub engine: usize,
+    /// True when an affinity policy diverted the request off its home
+    /// engine for load reasons. Always false for affinity-free policies.
+    pub spilled: bool,
+}
+
+impl RouteDecision {
+    /// A non-spill placement on `engine`.
+    pub fn to(engine: usize) -> Self {
+        RouteDecision {
+            engine,
+            spilled: false,
+        }
+    }
+}
+
+/// A cluster-level placement policy.
+///
+/// Implementations may keep internal state (round-robin cursors, RNG
+/// streams, load estimates); the cluster calls [`route`](Router::route)
+/// exactly once per arriving request, in arrival order.
+pub trait Router {
+    /// Chooses the engine for `req` given one snapshot per engine.
+    ///
+    /// `engines` is never empty and is indexed by engine id.
+    fn route(&mut self, req: &Request, engines: &[EngineSnapshot]) -> RouteDecision;
+
+    /// Whether [`route`](Router::route) reads
+    /// [`EngineSnapshot::resident_adapters`]. Snapshot construction skips
+    /// the per-engine residency-set copy when this is `false` (the
+    /// default) — none of the built-in policies need it (rendezvous
+    /// hashing derives the home engine from the adapter id alone), and
+    /// copying every engine's resident set on every arrival would make
+    /// dispatch cost grow with the adapter pool.
+    fn needs_residency(&self) -> bool {
+        false
+    }
+
+    /// Policy label for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain-data selector for the built-in policies — the configuration-level
+/// counterpart of [`Router`], usable as an experiment sweep axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterPolicy {
+    /// Cycle through engines in order.
+    RoundRobin,
+    /// Least outstanding resource tokens (the paper's global scheduler).
+    JoinShortestQueue,
+    /// Sample two engines, keep the less loaded one.
+    PowerOfTwoChoices,
+    /// Rendezvous-hash the adapter to a home engine; spill when saturated.
+    AdapterAffinity,
+}
+
+impl RouterPolicy {
+    /// Every built-in policy, in presentation order.
+    pub const ALL: [RouterPolicy; 4] = [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::JoinShortestQueue,
+        RouterPolicy::PowerOfTwoChoices,
+        RouterPolicy::AdapterAffinity,
+    ];
+
+    /// Instantiates the policy. `seed` feeds the randomised policies'
+    /// private RNG streams; deterministic policies ignore it.
+    pub fn build(self, seed: u64) -> Box<dyn Router> {
+        match self {
+            RouterPolicy::RoundRobin => Box::new(RoundRobin::new()),
+            RouterPolicy::JoinShortestQueue => Box::new(JoinShortestQueue::new()),
+            RouterPolicy::PowerOfTwoChoices => Box::new(PowerOfTwoChoices::new(seed)),
+            RouterPolicy::AdapterAffinity => Box::new(AdapterAffinity::new()),
+        }
+    }
+
+    /// Policy label (matches the built Router's `name()`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::JoinShortestQueue => "join-shortest-queue",
+            RouterPolicy::PowerOfTwoChoices => "power-of-two",
+            RouterPolicy::AdapterAffinity => "adapter-affinity",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_models::{AdapterId, AdapterRank};
+    use chameleon_simcore::SimTime;
+    use chameleon_workload::RequestId;
+
+    fn req(id: u64, adapter: u32) -> Request {
+        Request::new(
+            RequestId(id),
+            SimTime::ZERO,
+            64,
+            8,
+            AdapterId(adapter),
+            AdapterRank::new(8),
+        )
+    }
+
+    fn idle_snapshots(n: usize) -> Vec<EngineSnapshot> {
+        (0..n).map(EngineSnapshot::idle).collect()
+    }
+
+    #[test]
+    fn policy_names_match_router_names() {
+        for p in RouterPolicy::ALL {
+            assert_eq!(p.name(), p.build(1).name());
+        }
+    }
+
+    #[test]
+    fn every_policy_routes_in_bounds() {
+        let snaps = idle_snapshots(5);
+        for p in RouterPolicy::ALL {
+            let mut r = p.build(7);
+            for i in 0..200 {
+                let d = r.route(&req(i, (i % 17) as u32), &snaps);
+                assert!(d.engine < 5, "{} routed out of bounds", r.name());
+            }
+        }
+    }
+
+    #[test]
+    fn single_engine_cluster_is_trivial() {
+        let snaps = idle_snapshots(1);
+        for p in RouterPolicy::ALL {
+            let mut r = p.build(3);
+            let d = r.route(&req(0, 4), &snaps);
+            assert_eq!(d.engine, 0);
+            assert!(!d.spilled);
+        }
+    }
+}

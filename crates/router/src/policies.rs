@@ -1,0 +1,375 @@
+//! The built-in placement policies.
+
+use crate::snapshot::EngineSnapshot;
+use crate::{RouteDecision, Router};
+use chameleon_models::AdapterId;
+use chameleon_simcore::SimRng;
+use chameleon_workload::Request;
+
+/// Cycles through engines in index order, ignoring all state. The
+/// baseline every load-aware policy must beat.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin router starting at engine 0.
+    pub fn new() -> Self {
+        RoundRobin { next: 0 }
+    }
+}
+
+impl Router for RoundRobin {
+    fn route(&mut self, _req: &Request, engines: &[EngineSnapshot]) -> RouteDecision {
+        let engine = self.next % engines.len();
+        self.next = (engine + 1) % engines.len();
+        RouteDecision::to(engine)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// The paper's global scheduler (§4.4): dispatch to the engine with the
+/// least outstanding resource tokens at arrival. Ties break toward the
+/// lowest engine index, exactly as the original inlined dispatcher did.
+#[derive(Debug, Default)]
+pub struct JoinShortestQueue;
+
+impl JoinShortestQueue {
+    /// Creates the JSQ router.
+    pub fn new() -> Self {
+        JoinShortestQueue
+    }
+}
+
+impl Router for JoinShortestQueue {
+    fn route(&mut self, _req: &Request, engines: &[EngineSnapshot]) -> RouteDecision {
+        let engine = engines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.outstanding_tokens)
+            .map(|(i, _)| i)
+            .expect("non-empty cluster");
+        RouteDecision::to(engine)
+    }
+
+    fn name(&self) -> &'static str {
+        "join-shortest-queue"
+    }
+}
+
+/// Power-of-two-choices: sample two distinct engines uniformly, keep the
+/// one with fewer outstanding tokens. O(1) state reads per dispatch with
+/// near-JSQ balance — the classic scalable alternative when probing every
+/// engine is too expensive.
+#[derive(Debug)]
+pub struct PowerOfTwoChoices {
+    rng: SimRng,
+}
+
+impl PowerOfTwoChoices {
+    /// Creates the router with its own deterministic RNG stream.
+    pub fn new(seed: u64) -> Self {
+        let mut root = SimRng::seed(seed);
+        PowerOfTwoChoices {
+            rng: root.fork("power-of-two-router"),
+        }
+    }
+}
+
+impl Router for PowerOfTwoChoices {
+    fn route(&mut self, _req: &Request, engines: &[EngineSnapshot]) -> RouteDecision {
+        let n = engines.len();
+        if n == 1 {
+            return RouteDecision::to(0);
+        }
+        let a = self.rng.below(n as u64) as usize;
+        let mut b = self.rng.below((n - 1) as u64) as usize;
+        if b >= a {
+            b += 1;
+        }
+        let engine = if engines[b].outstanding_tokens < engines[a].outstanding_tokens
+            || (engines[b].outstanding_tokens == engines[a].outstanding_tokens && b < a)
+        {
+            b
+        } else {
+            a
+        };
+        RouteDecision::to(engine)
+    }
+
+    fn name(&self) -> &'static str {
+        "power-of-two"
+    }
+}
+
+/// Adapter-affinity placement: rendezvous (highest-random-weight) hashing
+/// maps each adapter to a *home* engine, concentrating an adapter's
+/// requests so its weights stay hot on one replica — the fleet partitions
+/// the adapter working set instead of replicating it. When the home
+/// engine is saturated relative to the least-loaded engine, the request
+/// *spills* there instead, trading a likely cache miss for load balance.
+///
+/// Rendezvous hashing gives the stability property the cluster needs:
+/// when an engine is added, only the adapters whose top-scoring engine is
+/// the new one move; all other homes are unchanged (no global reshuffle).
+#[derive(Debug)]
+pub struct AdapterAffinity {
+    /// Spill when `home_load > spill_slack + spill_factor × min_load`.
+    spill_factor: f64,
+    /// Absolute token slack before the factor test can trigger.
+    spill_slack: u64,
+}
+
+impl Default for AdapterAffinity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdapterAffinity {
+    /// Default spill thresholds: tolerate up to 2× the least-loaded
+    /// engine plus 4096 tokens of slack before abandoning affinity.
+    pub fn new() -> Self {
+        AdapterAffinity {
+            spill_factor: 2.0,
+            spill_slack: 4096,
+        }
+    }
+
+    /// Overrides the spill thresholds.
+    pub fn with_spill(spill_factor: f64, spill_slack: u64) -> Self {
+        assert!(
+            spill_factor >= 1.0,
+            "factor {spill_factor} < 1 always spills"
+        );
+        AdapterAffinity {
+            spill_factor,
+            spill_slack,
+        }
+    }
+}
+
+impl Router for AdapterAffinity {
+    fn route(&mut self, req: &Request, engines: &[EngineSnapshot]) -> RouteDecision {
+        let home = rendezvous_home(req.adapter(), engines.len());
+        let home_load = engines[home].outstanding_tokens;
+        let (least, least_load) = engines
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.outstanding_tokens))
+            .min_by_key(|&(_, load)| load)
+            .expect("non-empty cluster");
+        let threshold = self.spill_slack
+            + (self.spill_factor * least_load as f64).min(u64::MAX as f64 / 2.0) as u64;
+        if home_load > threshold && least != home {
+            RouteDecision {
+                engine: least,
+                spilled: true,
+            }
+        } else {
+            RouteDecision::to(home)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adapter-affinity"
+    }
+}
+
+/// The rendezvous (highest-random-weight) home engine of `adapter` in a
+/// cluster of `n_engines`.
+///
+/// Exposed so tests and capacity planners can reason about placement:
+/// `home(a, n)` is a pure function of the pair, and growing the cluster
+/// from `n` to `n+1` engines only remaps adapters whose new home is the
+/// added engine.
+///
+/// # Panics
+///
+/// Panics if `n_engines == 0`.
+pub fn rendezvous_home(adapter: AdapterId, n_engines: usize) -> usize {
+    assert!(n_engines > 0, "empty cluster");
+    (0..n_engines)
+        .max_by_key(|&e| rendezvous_score(adapter, e))
+        .expect("non-empty range")
+}
+
+/// The HRW score of `(adapter, engine)` — a stateless 64-bit mix.
+fn rendezvous_score(adapter: AdapterId, engine: usize) -> u64 {
+    let mut z = (u64::from(adapter.0) << 32) ^ (engine as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_models::AdapterRank;
+    use chameleon_simcore::SimTime;
+    use chameleon_workload::RequestId;
+    use std::collections::HashSet;
+
+    fn req(id: u64, adapter: u32) -> Request {
+        Request::new(
+            RequestId(id),
+            SimTime::ZERO,
+            64,
+            8,
+            AdapterId(adapter),
+            AdapterRank::new(8),
+        )
+    }
+
+    fn snaps_with_loads(loads: &[u64]) -> Vec<EngineSnapshot> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, &load)| EngineSnapshot {
+                outstanding_tokens: load,
+                ..EngineSnapshot::idle(i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let snaps = snaps_with_loads(&[0, 0, 0]);
+        let mut r = RoundRobin::new();
+        let picks: Vec<usize> = (0..6).map(|i| r.route(&req(i, 0), &snaps).engine).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded_lowest_index_on_tie() {
+        let mut r = JoinShortestQueue::new();
+        assert_eq!(r.route(&req(0, 0), &snaps_with_loads(&[5, 2, 9])).engine, 1);
+        assert_eq!(r.route(&req(1, 0), &snaps_with_loads(&[4, 4, 9])).engine, 0);
+    }
+
+    #[test]
+    fn power_of_two_prefers_lighter_of_its_pair() {
+        // With one empty engine and the rest heavily loaded, p2c must land
+        // on the empty engine whenever it is sampled; over many trials the
+        // empty engine receives well over its uniform share.
+        let snaps = snaps_with_loads(&[10_000, 10_000, 0, 10_000]);
+        let mut r = PowerOfTwoChoices::new(42);
+        let mut hits = 0;
+        for i in 0..1000 {
+            if r.route(&req(i, 0), &snaps).engine == 2 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 400, "engine 2 only got {hits}/1000");
+    }
+
+    #[test]
+    fn power_of_two_is_deterministic_per_seed() {
+        let snaps = snaps_with_loads(&[3, 1, 4, 1, 5]);
+        let run = |seed| {
+            let mut r = PowerOfTwoChoices::new(seed);
+            (0..64)
+                .map(|i| r.route(&req(i, 0), &snaps).engine)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn affinity_sticks_to_home_when_balanced() {
+        let snaps = snaps_with_loads(&[100, 100, 100, 100]);
+        let mut r = AdapterAffinity::new();
+        for a in 0..50 {
+            let d = r.route(&req(u64::from(a), a), &snaps);
+            assert_eq!(d.engine, rendezvous_home(AdapterId(a), 4));
+            assert!(!d.spilled);
+        }
+    }
+
+    #[test]
+    fn affinity_spills_off_saturated_home() {
+        let mut r = AdapterAffinity::with_spill(2.0, 100);
+        // Find an adapter homed on engine 0, then overload engine 0.
+        let a = (0..1000)
+            .map(AdapterId)
+            .find(|&a| rendezvous_home(a, 3) == 0)
+            .expect("some adapter homes on engine 0");
+        let snaps = snaps_with_loads(&[50_000, 10, 20]);
+        let d = r.route(&req(0, a.0), &snaps);
+        assert!(d.spilled);
+        assert_eq!(d.engine, 1, "spill goes to the least-loaded engine");
+        // Balanced again: back home, no spill.
+        let snaps = snaps_with_loads(&[30, 10, 20]);
+        let d = r.route(&req(1, a.0), &snaps);
+        assert_eq!(d.engine, 0);
+        assert!(!d.spilled);
+    }
+
+    #[test]
+    fn rendezvous_covers_all_engines() {
+        // 500 adapters over 8 engines: every engine is some adapter's home,
+        // and no engine hoards more than a few times its fair share.
+        let n = 8;
+        let mut counts = vec![0u32; n];
+        for a in 0..500 {
+            counts[rendezvous_home(AdapterId(a), n)] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "uncovered engine: {counts:?}"
+        );
+        let max = *counts.iter().max().unwrap();
+        assert!(max < 3 * (500 / n as u32), "hot spot: {counts:?}");
+    }
+
+    #[test]
+    fn rendezvous_is_stable_when_an_engine_is_added() {
+        // Growing n -> n+1 moves only adapters whose new home is the new
+        // engine; every other assignment is untouched.
+        for n in 1..8usize {
+            let mut moved_elsewhere = 0;
+            let mut moved_to_new = HashSet::new();
+            for a in 0..400 {
+                let before = rendezvous_home(AdapterId(a), n);
+                let after = rendezvous_home(AdapterId(a), n + 1);
+                if after != before {
+                    if after == n {
+                        moved_to_new.insert(a);
+                    } else {
+                        moved_elsewhere += 1;
+                    }
+                }
+            }
+            assert_eq!(
+                moved_elsewhere, 0,
+                "n={n}: adapters moved between surviving engines"
+            );
+            assert!(
+                !moved_to_new.is_empty(),
+                "n={n}: the new engine attracted nothing"
+            );
+            // Expected migration fraction is 1/(n+1); allow generous slack.
+            assert!(
+                moved_to_new.len() < 400 * 3 / (n + 1),
+                "n={n}: {} adapters moved (expected ~{})",
+                moved_to_new.len(),
+                400 / (n + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn rendezvous_is_deterministic() {
+        for a in 0..100 {
+            assert_eq!(
+                rendezvous_home(AdapterId(a), 5),
+                rendezvous_home(AdapterId(a), 5)
+            );
+        }
+    }
+}

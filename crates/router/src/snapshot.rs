@@ -1,0 +1,75 @@
+//! The per-engine state snapshot routers decide on.
+
+use chameleon_models::AdapterId;
+use std::collections::HashSet;
+
+/// Immutable view of one engine at a dispatch instant.
+///
+/// Built by the engine's introspection API (`Engine::snapshot`) and handed
+/// to [`Router::route`](crate::Router::route) once per arrival. The fields
+/// are the signals the built-in policies need; richer policies can combine
+/// them freely.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// Engine index within the cluster.
+    pub engine: usize,
+    /// Requests waiting in the engine's local scheduler queue.
+    pub queue_depth: usize,
+    /// Requests in the running batch.
+    pub running: usize,
+    /// Outstanding resource tokens (running + queued) — the paper's
+    /// join-shortest-queue signal.
+    pub outstanding_tokens: u64,
+    /// Free GPU memory in bytes, counting evictable idle cache bytes.
+    pub free_memory_bytes: u64,
+    /// Adapters currently resident on the engine (cached, in use, or in
+    /// flight from host memory). Only populated for routers whose
+    /// [`needs_residency`](crate::Router::needs_residency) returns `true`;
+    /// empty otherwise, so queue-depth-only policies pay nothing for it.
+    pub resident_adapters: HashSet<AdapterId>,
+}
+
+impl EngineSnapshot {
+    /// Snapshot of a completely idle engine (useful in tests).
+    pub fn idle(engine: usize) -> Self {
+        EngineSnapshot {
+            engine,
+            queue_depth: 0,
+            running: 0,
+            outstanding_tokens: 0,
+            free_memory_bytes: u64::MAX,
+            resident_adapters: HashSet::new(),
+        }
+    }
+
+    /// True when the adapter's weights are already on this engine.
+    pub fn has_adapter(&self, id: AdapterId) -> bool {
+        self.resident_adapters.contains(&id)
+    }
+
+    /// Total in-flight request count (queued + running).
+    pub fn in_flight(&self) -> usize {
+        self.queue_depth + self.running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_snapshot_is_empty() {
+        let s = EngineSnapshot::idle(3);
+        assert_eq!(s.engine, 3);
+        assert_eq!(s.in_flight(), 0);
+        assert!(!s.has_adapter(AdapterId(0)));
+    }
+
+    #[test]
+    fn residency_query() {
+        let mut s = EngineSnapshot::idle(0);
+        s.resident_adapters.insert(AdapterId(9));
+        assert!(s.has_adapter(AdapterId(9)));
+        assert!(!s.has_adapter(AdapterId(8)));
+    }
+}

@@ -337,10 +337,9 @@ impl ChameleonScheduler {
             let need = effective_need(r, probe);
             need <= budget
                 && need <= *physical
-                && probe.estimate_service(
-                    u64::from(r.input_tokens()),
-                    u64::from(r.predicted_output()),
-                ) < mem_wait
+                && probe
+                    .estimate_service(u64::from(r.input_tokens()), u64::from(r.predicted_output()))
+                    < mem_wait
         });
         let Some((pos, _)) = candidate else {
             return;
@@ -415,6 +414,8 @@ impl Scheduler for ChameleonScheduler {
             .collect();
         // Phase 1: every queue up to its own quota; emptied queues donate.
         let mut leftover: u64 = 0;
+        // Index loop is load-bearing: the body calls `&mut self` methods.
+        #[allow(clippy::needless_range_loop)]
         for qi in 0..self.queues.len() {
             // The queue's own bank is usable by the queue itself.
             let bank = self.banked[qi];
@@ -422,7 +423,8 @@ impl Scheduler for ChameleonScheduler {
             let budget = self
                 .available_quota(qi)
                 .min(phys_shares[qi].saturating_add(bank));
-            let consumed = self.put_batch(qi, budget, &mut physical, &mut slots, &mut admitted, probe);
+            let consumed =
+                self.put_batch(qi, budget, &mut physical, &mut slots, &mut admitted, probe);
             // Whatever part of the bank went unused is withheld again.
             let bank_left = bank.saturating_sub(consumed);
             self.banked[qi] = bank_left;
@@ -461,8 +463,14 @@ impl Scheduler for ChameleonScheduler {
             if leftover == 0 {
                 break;
             }
-            let consumed =
-                self.put_batch(qi, leftover, &mut physical, &mut slots, &mut admitted, probe);
+            let consumed = self.put_batch(
+                qi,
+                leftover,
+                &mut physical,
+                &mut slots,
+                &mut admitted,
+                probe,
+            );
             leftover -= consumed;
         }
         admitted
@@ -673,11 +681,25 @@ mod tests {
         // Head needs 200 physical tokens; only 150 available. The younger
         // request's adapter is resident and needs 100.
         let head = {
-            let r = Request::new(RequestId(0), SimTime::ZERO, 100, 100, AdapterId(0), AdapterRank::new(64));
+            let r = Request::new(
+                RequestId(0),
+                SimTime::ZERO,
+                100,
+                100,
+                AdapterId(0),
+                AdapterRank::new(64),
+            );
             QueuedRequest::new(r, 100, 128 << 20, 64, 0.01, SimTime::ZERO)
         };
         let young = {
-            let r = Request::new(RequestId(1), SimTime::ZERO, 50, 50, AdapterId(1), AdapterRank::new(8));
+            let r = Request::new(
+                RequestId(1),
+                SimTime::ZERO,
+                50,
+                50,
+                AdapterId(1),
+                AdapterRank::new(8),
+            );
             QueuedRequest::new(r, 50, 16 << 20, 32, 0.01, SimTime::ZERO)
         };
         s.enqueue(head);
@@ -703,11 +725,25 @@ mod tests {
     fn bypass_denied_when_execution_outlasts_memory_wait() {
         let mut s = sched();
         let head = {
-            let r = Request::new(RequestId(0), SimTime::ZERO, 100, 100, AdapterId(0), AdapterRank::new(64));
+            let r = Request::new(
+                RequestId(0),
+                SimTime::ZERO,
+                100,
+                100,
+                AdapterId(0),
+                AdapterRank::new(64),
+            );
             QueuedRequest::new(r, 100, 128 << 20, 64, 0.01, SimTime::ZERO)
         };
         let young = {
-            let r = Request::new(RequestId(1), SimTime::ZERO, 50, 50, AdapterId(1), AdapterRank::new(8));
+            let r = Request::new(
+                RequestId(1),
+                SimTime::ZERO,
+                50,
+                50,
+                AdapterId(1),
+                AdapterRank::new(8),
+            );
             QueuedRequest::new(r, 50, 16 << 20, 32, 0.01, SimTime::ZERO)
         };
         s.enqueue(head);
@@ -731,11 +767,25 @@ mod tests {
         c.enable_bypass = false;
         let mut s = ChameleonScheduler::new(c, wrs_cfg());
         let head = {
-            let r = Request::new(RequestId(0), SimTime::ZERO, 100, 100, AdapterId(0), AdapterRank::new(64));
+            let r = Request::new(
+                RequestId(0),
+                SimTime::ZERO,
+                100,
+                100,
+                AdapterId(0),
+                AdapterRank::new(64),
+            );
             QueuedRequest::new(r, 100, 128 << 20, 64, 0.01, SimTime::ZERO)
         };
         let young = {
-            let r = Request::new(RequestId(1), SimTime::ZERO, 50, 50, AdapterId(1), AdapterRank::new(8));
+            let r = Request::new(
+                RequestId(1),
+                SimTime::ZERO,
+                50,
+                50,
+                AdapterId(1),
+                AdapterRank::new(8),
+            );
             QueuedRequest::new(r, 50, 16 << 20, 32, 0.01, SimTime::ZERO)
         };
         s.enqueue(head);
@@ -799,7 +849,12 @@ mod tests {
         let mut s = sched();
         let n = 300;
         for i in 0..n {
-            s.enqueue(queued(i, (i % 97) as f64 / 97.0, 50 + (i % 200), (i % 30) as u32));
+            s.enqueue(queued(
+                i,
+                (i % 97) as f64 / 97.0,
+                50 + (i % 200),
+                (i % 30) as u32,
+            ));
         }
         let mut seen = std::collections::HashSet::new();
         let probe = StaticProbe {

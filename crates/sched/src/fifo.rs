@@ -174,7 +174,10 @@ mod tests {
             available_tokens: 110,
             ..StaticProbe::default()
         };
-        assert!(s.form_batch(&blocked).is_empty(), "132 > 110 without residency");
+        assert!(
+            s.form_batch(&blocked).is_empty(),
+            "132 > 110 without residency"
+        );
         let resident = StaticProbe {
             available_tokens: 110,
             resident: vec![AdapterId(7)],

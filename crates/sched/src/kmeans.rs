@@ -118,10 +118,7 @@ pub fn choose_queues(values: &[f64], k_max: usize, elbow_threshold: f64) -> Opti
 /// `i+1` is `(centroid_i + centroid_{i+1}) / 2` (§4.3.4). A clustering with
 /// `n` centroids yields `n-1` boundaries.
 pub fn cutoffs(centroids: &[f64]) -> Vec<f64> {
-    centroids
-        .windows(2)
-        .map(|w| (w[0] + w[1]) / 2.0)
-        .collect()
+    centroids.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
 }
 
 /// Maps a WRS value onto its queue index given sorted `cutoffs`:

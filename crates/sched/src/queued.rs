@@ -151,6 +151,9 @@ mod tests {
             SimDuration::from_secs(3)
         );
         let r = q.requeued_at(SimTime::from_secs_f64(10.0));
-        assert_eq!(r.wait(SimTime::from_secs_f64(10.5)), SimDuration::from_millis(500));
+        assert_eq!(
+            r.wait(SimTime::from_secs_f64(10.5)),
+            SimDuration::from_millis(500)
+        );
     }
 }

@@ -226,11 +226,8 @@ mod tests {
     #[test]
     fn static_probe_estimates() {
         let probe = StaticProbe::default();
-        assert_eq!(
-            probe.estimate_exec(2000),
-            SimDuration::from_secs(2)
-        );
+        assert_eq!(probe.estimate_exec(2000), SimDuration::from_secs(2));
         assert_eq!(probe.estimate_mem_wait(1 << 20), SimDuration::from_secs(10));
-        assert!(probe.adapter_resident(AdapterId(0)) == false);
+        assert!(!probe.adapter_resident(AdapterId(0)));
     }
 }

@@ -44,8 +44,7 @@ impl SjfScheduler {
     /// Effective priority: predicted output minus the aging credit. Lower
     /// runs first.
     pub fn priority(&self, req: &QueuedRequest, now: chameleon_simcore::SimTime) -> f64 {
-        f64::from(req.predicted_output())
-            - self.aging_tokens_per_sec * req.wait(now).as_secs_f64()
+        f64::from(req.predicted_output()) - self.aging_tokens_per_sec * req.wait(now).as_secs_f64()
     }
 
     fn sort_by_priority(&mut self, now: chameleon_simcore::SimTime) {
@@ -166,7 +165,11 @@ mod tests {
             ..StaticProbe::default()
         };
         let out = s.form_batch(&probe);
-        assert_eq!(out[0].request.id().0, 1, "short wins despite arriving later");
+        assert_eq!(
+            out[0].request.id().0,
+            1,
+            "short wins despite arriving later"
+        );
     }
 
     #[test]
@@ -174,7 +177,7 @@ mod tests {
         let mut s = SjfScheduler::with_aging(100.0);
         s.enqueue(queued_at(0, 1000, 0.0)); // long, waiting since t=0
         s.enqueue(queued_at(1, 10, 99.0)); // short, just arrived
-        // At t=100 the long request has 100 s · 100 tok/s = 10 000 credit.
+                                           // At t=100 the long request has 100 s · 100 tok/s = 10 000 credit.
         let probe = StaticProbe {
             batch_slots: 1,
             now: SimTime::from_secs_f64(100.0),

@@ -253,7 +253,7 @@ impl PoissonProcess {
     /// Advances the process and returns the next arrival instant.
     pub fn next_arrival(&mut self, rng: &mut SimRng) -> crate::time::SimTime {
         let gap = SimDuration::from_secs_f64(self.inter.sample(rng));
-        self.now = self.now + gap;
+        self.now += gap;
         self.now
     }
 
@@ -320,7 +320,7 @@ mod tests {
     fn zipf_empirical_head_dominates() {
         let z = Zipf::new(50, 1.0);
         let mut rng = SimRng::seed(3);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..50_000 {
             counts[z.sample_index(&mut rng)] += 1;
         }

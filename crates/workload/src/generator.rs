@@ -248,7 +248,7 @@ impl TraceGenerator {
         loop {
             let rate = self.arrivals.rate_at(now);
             let gap = Exponential::new(rate).sample(rng);
-            now = now + SimDuration::from_secs_f64(gap);
+            now += SimDuration::from_secs_f64(gap);
             if now >= horizon {
                 break;
             }
@@ -275,7 +275,7 @@ impl TraceGenerator {
         for id in 0..n {
             let rate = self.arrivals.rate_at(now);
             let gap = Exponential::new(rate).sample(rng);
-            now = now + SimDuration::from_secs_f64(gap);
+            now += SimDuration::from_secs_f64(gap);
             let adapter = pool.sample(rng);
             requests.push(Request::new(
                 RequestId(id as u64),
@@ -451,7 +451,9 @@ mod tests {
             50,
             &mut rng,
         );
-        assert!(t.iter().all(|r| r.input_tokens() == 10 && r.output_tokens() == 5));
+        assert!(t
+            .iter()
+            .all(|r| r.input_tokens() == 10 && r.output_tokens() == 5));
         assert_eq!(custom.name(), "Custom");
     }
 }

@@ -148,7 +148,11 @@ mod tests {
 
     #[test]
     fn sorts_by_arrival() {
-        let t = Trace::new(vec![req(0, 3.0, 10, 10), req(1, 1.0, 10, 10), req(2, 2.0, 10, 10)]);
+        let t = Trace::new(vec![
+            req(0, 3.0, 10, 10),
+            req(1, 1.0, 10, 10),
+            req(2, 2.0, 10, 10),
+        ]);
         let order: Vec<u64> = t.iter().map(|r| r.id().0).collect();
         assert_eq!(order, vec![1, 2, 0]);
     }
@@ -186,7 +190,11 @@ mod tests {
 
     #[test]
     fn truncation() {
-        let t = Trace::new(vec![req(0, 0.0, 1, 1), req(1, 5.0, 1, 1), req(2, 9.0, 1, 1)]);
+        let t = Trace::new(vec![
+            req(0, 0.0, 1, 1),
+            req(1, 5.0, 1, 1),
+            req(2, 9.0, 1, 1),
+        ]);
         let cut = t.truncate_at(SimTime::from_secs_f64(5.0));
         assert_eq!(cut.len(), 1);
     }

@@ -30,8 +30,13 @@ fn main() {
         }
         println!(
             "{:<6} {:>11.3}s {:>11.3}s {:>11.3}s {:>11.3}s {:>9.1}% {:>9.1}%",
-            rps, cells[0].0, cells[0].1, cells[1].0, cells[1].1,
-            hits[0] * 100.0, hits[1] * 100.0
+            rps,
+            cells[0].0,
+            cells[0].1,
+            cells[1].0,
+            cells[1].1,
+            hits[0] * 100.0,
+            hits[1] * 100.0
         );
     }
     println!("\nPast S-LoRA's knee (~10.5 RPS here) Chameleon keeps both median and");

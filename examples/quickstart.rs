@@ -29,7 +29,11 @@ fn main() {
     let tbt = report.tbt_summary().expect("tokens were generated");
     println!("completed          : {}", report.completed());
     println!("TTFT    p50 / p99  : {:.3}s / {:.3}s", ttft.p50, ttft.p99);
-    println!("TBT     p50 / p99  : {:.1}ms / {:.1}ms", tbt.p50 * 1e3, tbt.p99 * 1e3);
+    println!(
+        "TBT     p50 / p99  : {:.1}ms / {:.1}ms",
+        tbt.p50 * 1e3,
+        tbt.p99 * 1e3
+    );
     println!("SLO (5x isolated)  : {:.2}s", report.slo.as_secs_f64());
     println!(
         "SLO violations     : {:.2}%",

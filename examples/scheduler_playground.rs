@@ -19,7 +19,12 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>12} {:>12}",
         "scheduler", "small", "medium", "large", "p99_ttft"
     );
-    for cfg in [preset::slora(), preset::slora_sjf(), preset::static_mlq(), preset::chameleon()] {
+    for cfg in [
+        preset::slora(),
+        preset::slora_sjf(),
+        preset::static_mlq(),
+        preset::chameleon(),
+    ] {
         let label = cfg.label.clone();
         let mut sim = Simulation::new(cfg, 3);
         let trace = workloads::splitwise(rps, 150.0, 3, sim.pool());

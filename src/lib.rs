@@ -18,6 +18,7 @@ pub use chameleon_gpu as gpu;
 pub use chameleon_metrics as metrics;
 pub use chameleon_models as models;
 pub use chameleon_predictor as predictor;
+pub use chameleon_router as router;
 pub use chameleon_sched as sched;
 pub use chameleon_simcore as simcore;
 pub use chameleon_workload as workload;
@@ -29,6 +30,7 @@ pub mod prelude {
     pub use chameleon_core::sim::Simulation;
     pub use chameleon_core::system::SystemConfig;
     pub use chameleon_models::{AdapterRank, GpuSpec, LlmSpec};
+    pub use chameleon_router::RouterPolicy;
     pub use chameleon_simcore::{SimDuration, SimRng, SimTime};
     pub use chameleon_workload::{Request, Trace};
 }

@@ -49,11 +49,10 @@ fn cache_and_pool_agree_on_bytes() {
         let now = SimTime::from_nanos(step * 1_000_000);
         if rng.chance(0.6) {
             let spec: &AdapterSpec = adapters.sample(&mut rng);
-            if cache.acquire(&mut mem, spec.id(), now) {
-                live.push((spec.id(), 1));
-            } else if cache.make_room(&mut mem, spec.bytes(), now, &Default::default())
-                && cache.insert_loaded(&mut mem, spec, now, 1).is_ok()
-            {
+            let acquired = cache.acquire(&mut mem, spec.id(), now)
+                || (cache.make_room(&mut mem, spec.bytes(), now, &Default::default())
+                    && cache.insert_loaded(&mut mem, spec, now, 1).is_ok());
+            if acquired {
                 live.push((spec.id(), 1));
             }
         } else if let Some((id, _)) = live.pop() {
@@ -95,8 +94,12 @@ fn engine_matches_isolated_oracle_for_single_request() {
     let report = sim.run(&trace);
     let rec = &report.records[0];
     let cost = CostModel::new(LlmSpec::llama_7b(), GpuSpec::a40(), 1);
-    let (iso_ttft, iso_e2e) =
-        cost.isolated_latency(req.input_tokens(), req.output_tokens(), Some(req.rank()), true);
+    let (iso_ttft, iso_e2e) = cost.isolated_latency(
+        req.input_tokens(),
+        req.output_tokens(),
+        Some(req.rank()),
+        true,
+    );
     let measured_ttft = rec.ttft().unwrap();
     let measured_e2e = rec.e2e().unwrap();
     // The engine adds queueing/prefetch wrinkles but a lone request should

@@ -35,7 +35,10 @@ fn worst_case_reservations_drive_slora_collapse() {
 fn cache_shrinks_under_pressure() {
     // 400 adapters ≈ 40 GB of weights vs ~31 GB of idle memory.
     let report = run(preset::chameleon().with_adapters(400), 9.0, 120.0, 42);
-    assert!(report.cache_stats.evictions > 0, "no evictions under pressure");
+    assert!(
+        report.cache_stats.evictions > 0,
+        "no evictions under pressure"
+    );
     for s in &report.mem_series {
         assert!(s.total_used() <= s.capacity);
     }
@@ -65,7 +68,12 @@ fn queued_prefetch_hides_load_latency() {
 #[test]
 fn predictive_prefetch_no_regression() {
     let base = run(preset::chameleon().with_adapters(400), 9.0, 120.0, 42);
-    let pre = run(preset::chameleon_prefetch().with_adapters(400), 9.0, 120.0, 42);
+    let pre = run(
+        preset::chameleon_prefetch().with_adapters(400),
+        9.0,
+        120.0,
+        42,
+    );
     assert!(pre.p99_ttft() <= base.p99_ttft() * 1.10);
     assert!(pre.hit_rate() >= base.hit_rate() - 0.02);
 }

@@ -1,0 +1,22 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serialises anything (there is no `serde_json` or other format
+//! crate in the tree). This stub keeps those derives compiling without
+//! network access: the derive macros (from the sibling `serde_derive`
+//! stub) expand to nothing, and the traits here are blanket-implemented
+//! so `T: Serialize` bounds are always satisfiable.
+//!
+//! If real serialisation is ever needed, replace these stubs with the
+//! actual crates in the workspace `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no network access, and nothing in this
+//! workspace actually serialises (no `serde_json` or similar is used):
+//! the `#[derive(Serialize, Deserialize)]` attributes across the crates
+//! only express intent. These derive macros therefore expand to nothing;
+//! the marker traits live in the sibling `serde` stub, which blanket-
+//! implements them so generic bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
