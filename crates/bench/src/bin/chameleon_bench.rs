@@ -1,0 +1,321 @@
+//! `chameleon-bench` — the persistent perf harness behind `BENCH_*.json`.
+//!
+//! Runs a pinned 600-adapter Zipf macro-scenario plus hot-path
+//! micro-benches (event-queue churn, eviction storm, refresh storm,
+//! parallel-vs-serial sweep) and writes the numbers as JSON, seeding the
+//! PR-over-PR performance trajectory:
+//!
+//! ```text
+//! cargo run -p chameleon-bench --release --bin chameleon-bench
+//! cargo run -p chameleon-bench --release --bin chameleon-bench -- --smoke --out bench-smoke.json
+//! ```
+//!
+//! `--smoke` shrinks every scenario to a few seconds of work for CI; the
+//! checked-in `BENCH_PR2.json` is produced by a full release-mode run.
+//! The eviction-storm bench runs the same storm twice — once through the
+//! incrementally maintained candidate index and once through the pre-PR
+//! full-scan path (`AdapterCache::set_full_scan_eviction`) — so the
+//! speedup column is measured, not estimated.
+
+use chameleon_bench::perf::{timed, BenchReport, BenchResult};
+use chameleon_bench::SEED;
+use chameleon_cache::{AdapterCache, EvictionPolicy};
+use chameleon_core::par;
+use chameleon_core::sweep::LoadSweep;
+use chameleon_core::{preset, Simulation};
+use chameleon_gpu::memory::MemoryPool;
+use chameleon_models::{AdapterId, AdapterRank, AdapterSpec, LlmSpec};
+use chameleon_sched::{
+    ChameleonConfig, ChameleonScheduler, QueuedRequest, Scheduler, StaticProbe, WrsConfig,
+};
+use chameleon_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use chameleon_workload::{Request, RequestId};
+use std::collections::HashSet;
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            "--help" | "-h" => {
+                eprintln!("usage: chameleon-bench [--smoke] [--out PATH]");
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let mut report = BenchReport::new("PR2", smoke);
+    println!("chameleon-bench ({})", if smoke { "smoke" } else { "full" });
+
+    macro_scenario(&mut report, smoke);
+    event_queue_churn(&mut report, smoke);
+    eviction_storm(&mut report, smoke);
+    refresh_storm(&mut report, smoke);
+    sweep_scaling(&mut report, smoke);
+
+    std::fs::write(&out_path, report.to_json()).expect("write bench json");
+    println!("wrote {out_path}");
+}
+
+/// The pinned macro-scenario: one Chameleon engine serving a 600-adapter
+/// Zipf-popularity pool under the scaled Splitwise workload. Headline
+/// number: simulation events processed per wall-clock second.
+fn macro_scenario(report: &mut BenchReport, smoke: bool) {
+    let mut cfg = preset::chameleon();
+    cfg.num_adapters = 600;
+    cfg = cfg.with_label("Chameleon-600");
+    // Past the saturation knee, so queues stay deep and the scheduler,
+    // cache, and event queue are all continuously exercised.
+    let rps = 12.0;
+    let secs = if smoke { 4.0 } else { 600.0 };
+    let mut sim = Simulation::new(cfg, SEED);
+    let trace = chameleon_core::workloads::splitwise(rps, secs, SEED, sim.pool());
+    let (wall, run) = timed(|| sim.run(&trace));
+    let events = run.events_processed as f64;
+    println!(
+        "  macro_zipf600       {:>10.0} events/s  ({} events, {} reqs, {wall:.3}s wall)",
+        events / wall,
+        run.events_processed,
+        run.completed(),
+    );
+    report.push(
+        "macro_zipf600",
+        BenchResult::new()
+            .metric("adapters", 600.0)
+            .metric("offered_rps", rps)
+            .metric("trace_secs", secs)
+            .metric("completed", run.completed() as f64)
+            .metric("events", events)
+            .metric("wall_secs", wall)
+            .metric("events_per_sec", events / wall)
+            .metric("p99_ttft_s", run.p99_ttft())
+            .metric("cache_hit_rate", run.hit_rate()),
+    );
+}
+
+/// Heap churn: interleaved pushes and pops at a sustained queue depth,
+/// the access pattern of the simulation driver.
+fn event_queue_churn(report: &mut BenchReport, smoke: bool) {
+    let ops: u64 = if smoke { 200_000 } else { 4_000_000 };
+    let depth = 4096;
+    let mut rng = SimRng::seed(7);
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(depth);
+    let (wall, processed) = timed(|| {
+        let mut clock = 0u64;
+        for i in 0..depth as u64 {
+            clock += rng.below(50);
+            q.push(SimTime::from_nanos(clock), i);
+        }
+        for i in 0..ops {
+            let (t, _) = q.pop().expect("queue non-empty");
+            q.push(t + SimDuration::from_nanos(1 + rng.below(1000)), i);
+        }
+        q.clear();
+        q.processed()
+    });
+    println!(
+        "  event_queue_churn   {:>10.0} ops/s     ({processed} pops, {wall:.3}s wall)",
+        processed as f64 / wall
+    );
+    report.push(
+        "event_queue_churn",
+        BenchResult::new()
+            .metric("depth", depth as f64)
+            .metric("ops", processed as f64)
+            .metric("wall_secs", wall)
+            .metric("ops_per_sec", processed as f64 / wall),
+    );
+}
+
+/// One storm round: demand half the pool, evicting ~half the idle
+/// adapters by policy, then reload the evicted ones.
+fn run_storm(
+    policy: EvictionPolicy,
+    full_scan: bool,
+    specs: &[AdapterSpec],
+    total_bytes: u64,
+    rounds: usize,
+) -> (f64, u64) {
+    let mut pool = MemoryPool::new(total_bytes);
+    let mut cache = AdapterCache::new(policy);
+    cache.set_full_scan_eviction(full_scan);
+    let mut clock = 0.0;
+    for spec in specs {
+        clock += 0.01;
+        cache
+            .insert_loaded(&mut pool, spec, SimTime::from_secs_f64(clock), 0)
+            .expect("pool sized to fit all");
+    }
+    // Touch a deterministic subset so frequency/recency terms vary.
+    for (i, spec) in specs.iter().enumerate() {
+        for _ in 0..(i % 5) {
+            clock += 0.01;
+            cache.acquire(&mut pool, spec.id(), SimTime::from_secs_f64(clock));
+            cache.release(&mut pool, spec.id(), SimTime::from_secs_f64(clock));
+        }
+    }
+    let none = HashSet::new();
+    let (wall, evictions) = timed(|| {
+        for _ in 0..rounds {
+            clock += 1.0;
+            cache.make_room(
+                &mut pool,
+                total_bytes / 2,
+                SimTime::from_secs_f64(clock),
+                &none,
+            );
+            for spec in specs {
+                if !cache.is_resident(spec.id()) {
+                    clock += 0.001;
+                    cache
+                        .insert_loaded(&mut pool, spec, SimTime::from_secs_f64(clock), 0)
+                        .expect("room was just made");
+                }
+            }
+        }
+        cache.stats().evictions
+    });
+    (wall, evictions)
+}
+
+/// Eviction storm: repeated memory-pressure episodes over a 600-adapter
+/// idle set, indexed path vs the pre-PR full scan, for a keyed policy
+/// (LRU) and the paper's compound score.
+fn eviction_storm(report: &mut BenchReport, smoke: bool) {
+    let adapters = 600;
+    let rounds = if smoke { 4 } else { 40 };
+    let llm = LlmSpec::llama_7b();
+    let specs: Vec<AdapterSpec> = (0..adapters)
+        .map(|i| {
+            let rank = AdapterRank::new(8 << (i % 4)); // 8..64
+            AdapterSpec::new(AdapterId(i as u32), rank, &llm)
+        })
+        .collect();
+    let total_bytes: u64 = specs.iter().map(|s| s.bytes()).sum();
+    for policy in [EvictionPolicy::Lru, EvictionPolicy::chameleon()] {
+        let (t_indexed, ev_indexed) = run_storm(policy, false, &specs, total_bytes, rounds);
+        let (t_scan, ev_scan) = run_storm(policy, true, &specs, total_bytes, rounds);
+        assert_eq!(
+            ev_indexed, ev_scan,
+            "indexed and full-scan storms must evict identically"
+        );
+        let name = format!("eviction_storm_{}", policy.name());
+        println!(
+            "  {name:<19} {:>9.2}x speedup  (indexed {t_indexed:.3}s vs full-scan {t_scan:.3}s, {ev_indexed} evictions)",
+            t_scan / t_indexed
+        );
+        report.push(
+            name,
+            BenchResult::new()
+                .metric("adapters", adapters as f64)
+                .metric("rounds", rounds as f64)
+                .metric("evictions", ev_indexed as f64)
+                .metric("indexed_wall_secs", t_indexed)
+                .metric("full_scan_wall_secs", t_scan)
+                .metric("speedup", t_scan / t_indexed),
+        );
+    }
+}
+
+/// Refresh storm: K-means reconfiguration + re-bucketing of a deep
+/// backlog, hammered back to back.
+fn refresh_storm(report: &mut BenchReport, smoke: bool) {
+    let rounds = if smoke { 50 } else { 1000 };
+    let backlog = 4000;
+    let wrs_cfg = WrsConfig::paper(2048.0, 1024.0, (256 << 20) as f64);
+    let mut sched =
+        ChameleonScheduler::new(ChameleonConfig::paper(SimDuration::from_secs(5)), wrs_cfg);
+    // Three well-separated WRS populations so K-means settles on K=3.
+    for i in 0..backlog {
+        let (w, tokens) = match i % 3 {
+            0 => (0.05 + (i % 7) as f64 * 0.002, 60),
+            1 => (0.40 + (i % 7) as f64 * 0.002, 300),
+            _ => (0.92 + (i % 7) as f64 * 0.002, 900),
+        };
+        let input = (tokens / 2).max(1) as u32;
+        let predicted = (tokens - u64::from(input)).max(1) as u32;
+        let req = Request::new(
+            RequestId(i as u64),
+            SimTime::from_secs_f64(i as f64 * 0.01),
+            input,
+            predicted,
+            AdapterId((i % 97) as u32),
+            AdapterRank::new(8),
+        );
+        sched.enqueue(QueuedRequest::new(
+            req,
+            predicted,
+            16 << 20,
+            32,
+            w,
+            SimTime::from_secs_f64(i as f64 * 0.01),
+        ));
+    }
+    let probe = StaticProbe {
+        total_capacity: 100_000,
+        ..StaticProbe::default()
+    };
+    let (wall, refreshes) = timed(|| {
+        for _ in 0..rounds {
+            sched.on_refresh(&probe);
+        }
+        sched.refreshes()
+    });
+    assert_eq!(sched.len(), backlog, "re-bucketing lost requests");
+    println!(
+        "  refresh_storm       {:>10.0} refresh/s ({refreshes} refreshes over {backlog} queued, {wall:.3}s wall)",
+        refreshes as f64 / wall
+    );
+    report.push(
+        "refresh_storm",
+        BenchResult::new()
+            .metric("backlog", backlog as f64)
+            .metric("refreshes", refreshes as f64)
+            .metric("wall_secs", wall)
+            .metric("refreshes_per_sec", refreshes as f64 / wall),
+    );
+}
+
+/// A 6-point load sweep, serial vs the scoped-thread pool, with the
+/// bit-identical guarantee re-checked on the spot.
+fn sweep_scaling(report: &mut BenchReport, smoke: bool) {
+    let trace_secs = if smoke { 2.0 } else { 180.0 };
+    let loads = [4.0, 6.0, 8.0, 9.0, 10.5, 12.0];
+    // At least 4 workers even on narrow containers: the pool and the
+    // bit-identity check are exercised everywhere, and the wall-clock
+    // speedup column becomes meaningful on ≥4-core hosts (`cores` below
+    // records what this run actually had).
+    let cores = par::default_workers();
+    let workers = loads.len().min(cores.max(4));
+    let sweep = LoadSweep::new(preset::chameleon(), SEED).with_trace_secs(trace_secs);
+    let (t_serial, serial) = timed(|| sweep.run(&loads));
+    let (t_parallel, parallel) = timed(|| sweep.run_parallel(&loads, workers));
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(
+            a.report.canonical_text(),
+            b.report.canonical_text(),
+            "parallel sweep diverged from serial at rps {}",
+            a.rps
+        );
+    }
+    println!(
+        "  sweep_6pt           {:>9.2}x speedup  (serial {t_serial:.3}s vs parallel {t_parallel:.3}s, {workers} workers / {cores} cores, bit-identical)",
+        t_serial / t_parallel
+    );
+    report.push(
+        "sweep_6pt",
+        BenchResult::new()
+            .metric("points", loads.len() as f64)
+            .metric("trace_secs", trace_secs)
+            .metric("workers", workers as f64)
+            .metric("cores", cores as f64)
+            .metric("serial_wall_secs", t_serial)
+            .metric("serial_secs_per_point", t_serial / loads.len() as f64)
+            .metric("parallel_wall_secs", t_parallel)
+            .metric("speedup", t_serial / t_parallel),
+    );
+}

@@ -22,6 +22,7 @@
 //! and overload ≈ 12.5 RPS. EXPERIMENTS.md records the mapping per figure.
 
 pub mod figures;
+pub mod perf;
 
 use chameleon_core::{sim::Simulation, RunReport, SystemConfig};
 use chameleon_models::AdapterPool;

@@ -1,0 +1,167 @@
+//! Building blocks of the `chameleon-bench` binary: wall-clock timing and
+//! the hand-rolled JSON the perf trajectory is recorded in.
+//!
+//! The workspace's `serde` is an offline no-op stub, so `BENCH_*.json` is
+//! emitted by a ~60-line writer: a flat two-level object
+//! `{meta..., "results": {bench: {metric: number}}}` — trivially diffable
+//! across PRs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One benchmark's named scalar metrics, in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct BenchResult {
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchResult {
+    /// Creates an empty result.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `value` under `name` (chainable).
+    pub fn metric(mut self, name: &str, value: f64) -> Self {
+        self.metrics.push((name.to_string(), value));
+        self
+    }
+
+    /// The recorded metrics.
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+
+    /// Looks up one metric.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// The whole harness run: tag, mode, and per-benchmark results.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Trajectory tag, e.g. `"PR2"`.
+    pub tag: String,
+    /// True for the tiny CI smoke configuration.
+    pub smoke: bool,
+    results: Vec<(String, BenchResult)>,
+}
+
+impl BenchReport {
+    /// Creates an empty report.
+    pub fn new(tag: impl Into<String>, smoke: bool) -> Self {
+        BenchReport {
+            tag: tag.into(),
+            smoke,
+            results: Vec::new(),
+        }
+    }
+
+    /// Appends one benchmark's result.
+    pub fn push(&mut self, name: impl Into<String>, result: BenchResult) {
+        self.results.push((name.into(), result));
+    }
+
+    /// Looks up `bench.metric`.
+    pub fn get(&self, bench: &str, metric: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(n, _)| n == bench)
+            .and_then(|(_, r)| r.get(metric))
+    }
+
+    /// Serialises to the `BENCH_*.json` format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"chameleon-bench-v1\",");
+        let _ = writeln!(s, "  \"tag\": \"{}\",", self.tag);
+        let _ = writeln!(s, "  \"smoke\": {},", self.smoke);
+        s.push_str("  \"results\": {\n");
+        for (bi, (bench, result)) in self.results.iter().enumerate() {
+            let _ = writeln!(s, "    \"{bench}\": {{");
+            for (mi, (name, value)) in result.metrics().iter().enumerate() {
+                let comma = if mi + 1 == result.metrics().len() {
+                    ""
+                } else {
+                    ","
+                };
+                let _ = writeln!(s, "      \"{name}\": {}{comma}", json_number(*value));
+            }
+            let comma = if bi + 1 == self.results.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+}
+
+/// JSON-safe number rendering: finite floats with enough precision to
+/// round-trip meaningfully, integral values without a fraction.
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Times `f`, returning `(wall_seconds, output)`.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut rep = BenchReport::new("PRX", true);
+        rep.push(
+            "demo",
+            BenchResult::new()
+                .metric("events", 1000.0)
+                .metric("wall_secs", 0.25),
+        );
+        rep.push("other", BenchResult::new().metric("speedup", 6.5));
+        let json = rep.to_json();
+        assert!(json.contains("\"schema\": \"chameleon-bench-v1\""));
+        assert!(json.contains("\"tag\": \"PRX\""));
+        assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("\"events\": 1000"));
+        assert!(json.contains("\"wall_secs\": 0.250000"));
+        assert!(json.contains("\"speedup\": 6.500000"));
+        // Balanced braces, no trailing commas before closers.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n    }"));
+        assert!(!json.contains(",\n  }"));
+        assert_eq!(rep.get("demo", "events"), Some(1000.0));
+    }
+
+    #[test]
+    fn timed_returns_output() {
+        let (secs, v) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(2.0), "2");
+    }
+}

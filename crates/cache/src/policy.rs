@@ -69,6 +69,20 @@ impl EvictionPolicy {
         }
     }
 
+    /// The `(F, R, S)` weights of a compound (normalised) policy, `None`
+    /// for the keyed policies (LRU/LFU/size/GDSF) whose victim order
+    /// admits a stable per-entry key.
+    pub fn compound_weights(&self) -> Option<(f64, f64, f64)> {
+        match self {
+            EvictionPolicy::FairShare => {
+                let w = 1.0 / 3.0;
+                Some((w, w, w))
+            }
+            EvictionPolicy::ChameleonScore { f, r, s } => Some((*f, *r, *s)),
+            _ => None,
+        }
+    }
+
     /// Picks the victim among `candidates`; returns its `index` field.
     ///
     /// `now` anchors recency; `gdsf_floor` is the GreedyDual aging value

@@ -13,7 +13,7 @@ use chameleon_gpu::memory::{MemoryPool, OutOfMemory, Region};
 use chameleon_models::{AdapterId, AdapterSpec};
 use chameleon_simcore::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Aggregate cache statistics (Figure 14 and §5.3 report these).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,6 +50,84 @@ struct Entry {
     ref_count: u32,
 }
 
+/// An idle entry's position in the eviction-candidate index: two policy-
+/// derived sort words plus the adapter id as the final, deterministic
+/// tie-break. Policies whose victim choice admits a stable per-entry key
+/// (LRU/LFU/size/GDSF) encode it in the leading words, so the BTree's
+/// first non-protected element *is* the victim; the normalised compound
+/// policies (whose scores depend on the candidate set and on `now`) use
+/// `(0, 0, id)`, degrading the index to a deterministic id-ordered idle
+/// set that the per-pass scan walks without touching the `HashMap`.
+type IdleKey = (u64, u64, AdapterId);
+
+fn idle_key(policy: EvictionPolicy, id: AdapterId, e: &Entry) -> IdleKey {
+    match policy {
+        EvictionPolicy::Lru => (e.last_used.as_nanos(), 0, id),
+        EvictionPolicy::Lfu => (u64::from(e.frequency), e.last_used.as_nanos(), id),
+        EvictionPolicy::SizeOnly => (e.bytes, e.last_used.as_nanos(), id),
+        // The GDSF aging floor is added uniformly to every candidate, so
+        // ordering by the floor-free base score is ordering by full score.
+        // Base scores are finite and non-negative, making the IEEE-754 bit
+        // pattern order-preserving as a u64.
+        EvictionPolicy::Gdsf => {
+            let base = EvictionPolicy::gdsf_score(
+                &Candidate {
+                    index: 0,
+                    bytes: e.bytes,
+                    frequency: e.frequency,
+                    last_used: e.last_used,
+                },
+                0.0,
+            );
+            (base.to_bits(), 0, id)
+        }
+        EvictionPolicy::FairShare | EvictionPolicy::ChameleonScore { .. } => (0, 0, id),
+    }
+}
+
+/// True when the policy's victim order is fully captured by [`idle_key`].
+fn key_is_total(policy: EvictionPolicy) -> bool {
+    !matches!(
+        policy,
+        EvictionPolicy::FairShare | EvictionPolicy::ChameleonScore { .. }
+    )
+}
+
+/// The compound score of [`EvictionPolicy::pick_victim`], computed with
+/// the identical expression (term order included, so the bits match) and
+/// returned as its IEEE-754 pattern. Scores are finite and non-negative,
+/// making the bit pattern order-preserving as a `u64` — the heap key of
+/// the lazily rescored compound eviction pass.
+#[allow(clippy::too_many_arguments)]
+fn compound_score_bits(
+    c: &Candidate,
+    now: SimTime,
+    max_freq: f64,
+    max_bytes: f64,
+    max_age: f64,
+    f: f64,
+    r: f64,
+    s: f64,
+) -> u64 {
+    let freq_n = if max_freq > 0.0 {
+        c.frequency as f64 / max_freq
+    } else {
+        0.0
+    };
+    let age = now.saturating_since(c.last_used).as_secs_f64();
+    let rec_n = if max_age > 0.0 {
+        1.0 - age / max_age
+    } else {
+        1.0
+    };
+    let size_n = if max_bytes > 0.0 {
+        c.bytes as f64 / max_bytes
+    } else {
+        0.0
+    };
+    (f * freq_n + r * rec_n + s * size_n).to_bits()
+}
+
 /// The Chameleon Adapter Cache (§4.2) plus the in-use residency table.
 ///
 /// One instance exists per engine ("each LLM replica has its own local
@@ -62,6 +140,17 @@ pub struct AdapterCache {
     entries: HashMap<AdapterId, Entry>,
     stats: CacheStats,
     gdsf_floor: f64,
+    /// Incrementally maintained eviction-candidate index over the idle
+    /// (`ref_count == 0`) entries, updated on acquire/release/insert/decay.
+    idle: BTreeSet<IdleKey>,
+    /// Pre-index full-scan eviction (kept as the oracle/benchmark
+    /// reference path; see [`set_full_scan_eviction`](Self::set_full_scan_eviction)).
+    full_scan_eviction: bool,
+    /// Reusable per-pass scratch (compound policies + victim batching).
+    scan_ids: Vec<AdapterId>,
+    scan_cands: Vec<Candidate>,
+    scan_heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, AdapterId)>>,
+    victims: Vec<AdapterId>,
 }
 
 impl AdapterCache {
@@ -73,6 +162,12 @@ impl AdapterCache {
             entries: HashMap::new(),
             stats: CacheStats::default(),
             gdsf_floor: 0.0,
+            idle: BTreeSet::new(),
+            full_scan_eviction: false,
+            scan_ids: Vec::new(),
+            scan_cands: Vec::new(),
+            scan_heap: std::collections::BinaryHeap::new(),
+            victims: Vec::new(),
         }
     }
 
@@ -83,10 +178,17 @@ impl AdapterCache {
         AdapterCache {
             policy: EvictionPolicy::Lru, // irrelevant: no idle entries exist
             retain_on_release: false,
-            entries: HashMap::new(),
-            stats: CacheStats::default(),
-            gdsf_floor: 0.0,
+            ..AdapterCache::new(EvictionPolicy::Lru)
         }
+    }
+
+    /// Switches eviction to the pre-index full-scan reference
+    /// implementation (rebuilds the candidate list from the entry table on
+    /// every victim). Kept for the indexed-vs-scan oracle property test
+    /// and the `chameleon-bench` eviction-storm baseline; production
+    /// callers never enable it.
+    pub fn set_full_scan_eviction(&mut self, on: bool) {
+        self.full_scan_eviction = on;
     }
 
     /// The configured eviction policy.
@@ -153,6 +255,8 @@ impl AdapterCache {
         match self.entries.get_mut(&id) {
             Some(e) => {
                 if e.ref_count == 0 {
+                    // Leaving the idle set: unindex under the *old* key.
+                    self.idle.remove(&idle_key(self.policy, id, e));
                     pool.transfer(Region::AdapterCache, Region::AdaptersInUse, e.bytes);
                 }
                 e.ref_count += 1;
@@ -198,15 +302,16 @@ impl AdapterCache {
             Region::AdapterCache
         };
         pool.reserve(region, spec.bytes())?;
-        self.entries.insert(
-            spec.id(),
-            Entry {
-                bytes: spec.bytes(),
-                last_used: now,
-                frequency: initial_refs.max(1),
-                ref_count: initial_refs,
-            },
-        );
+        let entry = Entry {
+            bytes: spec.bytes(),
+            last_used: now,
+            frequency: initial_refs.max(1),
+            ref_count: initial_refs,
+        };
+        if initial_refs == 0 {
+            self.idle.insert(idle_key(self.policy, spec.id(), &entry));
+        }
+        self.entries.insert(spec.id(), entry);
         self.stats.bytes_loaded += spec.bytes();
         Ok(())
     }
@@ -223,6 +328,7 @@ impl AdapterCache {
             .get_mut(&id)
             .unwrap_or_else(|| panic!("{id} not resident"));
         if e.ref_count == 0 {
+            self.idle.remove(&idle_key(self.policy, id, e));
             pool.transfer(Region::AdapterCache, Region::AdaptersInUse, e.bytes);
         }
         e.ref_count += 1;
@@ -247,6 +353,7 @@ impl AdapterCache {
         if e.ref_count == 0 {
             let bytes = e.bytes;
             if self.retain_on_release {
+                self.idle.insert(idle_key(self.policy, id, e));
                 pool.transfer(Region::AdaptersInUse, Region::AdapterCache, bytes);
             } else {
                 pool.release(Region::AdaptersInUse, bytes);
@@ -288,38 +395,195 @@ impl AdapterCache {
         now: SimTime,
         protected: Option<&HashSet<AdapterId>>,
     ) {
+        if self.full_scan_eviction {
+            self.evict_pass_full_scan(pool, needed, now, protected);
+        } else if key_is_total(self.policy) {
+            self.evict_pass_indexed(pool, needed, protected);
+        } else {
+            self.evict_pass_compound(pool, needed, now, protected);
+        }
+    }
+
+    /// Keyed policies: the index order *is* the victim order, so one walk
+    /// of the BTree prefix selects every victim of the pass —
+    /// O(evicted · log n) plus any protected entries skipped over.
+    fn evict_pass_indexed(
+        &mut self,
+        pool: &mut MemoryPool,
+        needed: u64,
+        protected: Option<&HashSet<AdapterId>>,
+    ) {
+        let mut victims = std::mem::take(&mut self.victims);
+        victims.clear();
+        let mut projected_free = pool.free();
+        for &(.., id) in &self.idle {
+            if projected_free >= needed {
+                break;
+            }
+            if protected.is_none_or(|p| !p.contains(&id)) {
+                projected_free += self.entries[&id].bytes;
+                victims.push(id);
+            }
+        }
+        for id in victims.drain(..) {
+            self.evict_one(pool, id);
+        }
+        self.victims = victims;
+    }
+
+    /// Compound (normalised) policies: scores depend on the candidate-set
+    /// maxima and on `now`, so no stable across-call key exists. The pass
+    /// builds the candidate set once — in deterministic id order, from the
+    /// idle index, into reusable scratch — scores it into a min-heap, and
+    /// rescores lazily: a victim only invalidates the remaining scores
+    /// when it held one of the normalisation extrema (max frequency, max
+    /// bytes, or oldest use). The victim sequence is exactly the one
+    /// [`EvictionPolicy::pick_victim`] produces (oracle property test
+    /// `prop_indexed_eviction_matches_full_scan`), but a typical victim
+    /// costs O(log n) instead of a full rescan, and nothing allocates
+    /// after warm-up.
+    fn evict_pass_compound(
+        &mut self,
+        pool: &mut MemoryPool,
+        needed: u64,
+        now: SimTime,
+        protected: Option<&HashSet<AdapterId>>,
+    ) {
+        use std::cmp::Reverse;
+        if pool.free() >= needed {
+            return;
+        }
+        let (wf, wr, ws) = self
+            .policy
+            .compound_weights()
+            .expect("compound eviction pass requires a compound policy");
+        let mut ids = std::mem::take(&mut self.scan_ids);
+        let mut cands = std::mem::take(&mut self.scan_cands);
+        let mut heap = std::mem::take(&mut self.scan_heap);
+        ids.clear();
+        cands.clear();
+        heap.clear();
+        for &(.., id) in &self.idle {
+            if protected.is_none_or(|p| !p.contains(&id)) {
+                let e = &self.entries[&id];
+                cands.push(Candidate {
+                    index: ids.len(),
+                    bytes: e.bytes,
+                    frequency: e.frequency,
+                    last_used: e.last_used,
+                });
+                ids.push(id);
+            }
+        }
+        // Normalisation state of the current heap contents:
+        // (max_freq, max_bytes, min_last); `None` forces a rescore.
+        let mut norm: Option<(f64, f64, SimTime)> = None;
+        while pool.free() < needed && !cands.is_empty() {
+            let (max_freq, max_bytes, min_last) = match norm {
+                Some(n) => n,
+                None => {
+                    let max_freq = cands.iter().map(|c| c.frequency).max().unwrap_or(0) as f64;
+                    let max_bytes = cands.iter().map(|c| c.bytes).max().unwrap_or(0) as f64;
+                    let max_age = cands
+                        .iter()
+                        .map(|c| now.saturating_since(c.last_used).as_secs_f64())
+                        .fold(0.0f64, f64::max);
+                    let min_last = cands.iter().map(|c| c.last_used).min().unwrap_or(now);
+                    heap.clear();
+                    for (c, &id) in cands.iter().zip(ids.iter()) {
+                        let bits =
+                            compound_score_bits(c, now, max_freq, max_bytes, max_age, wf, wr, ws);
+                        heap.push(Reverse((bits, id)));
+                    }
+                    let n = (max_freq, max_bytes, min_last);
+                    norm = Some(n);
+                    n
+                }
+            };
+            let Reverse((_, victim_id)) = heap.pop().expect("heap mirrors the candidate set");
+            let pos = ids
+                .binary_search(&victim_id)
+                .expect("victim is a candidate");
+            let victim = cands[pos];
+            ids.remove(pos);
+            cands.remove(pos);
+            self.evict_one(pool, victim_id);
+            // Remaining scores stay exact unless the victim defined one of
+            // the normalisation extrema.
+            if victim.frequency as f64 == max_freq
+                || victim.bytes as f64 == max_bytes
+                || victim.last_used == min_last
+            {
+                norm = None;
+            }
+        }
+        self.scan_ids = ids;
+        self.scan_cands = cands;
+        self.scan_heap = heap;
+    }
+
+    /// The pre-index reference: rebuild the candidate list from the entry
+    /// table for every victim (O(n) per victim). Candidates are collected
+    /// in id order so ties break deterministically — the original
+    /// `HashMap`-iteration order made tie-breaks vary across processes —
+    /// and [`pick_victim`](EvictionPolicy::pick_victim) receives one
+    /// candidate slice directly (the old second copy is gone).
+    fn evict_pass_full_scan(
+        &mut self,
+        pool: &mut MemoryPool,
+        needed: u64,
+        now: SimTime,
+        protected: Option<&HashSet<AdapterId>>,
+    ) {
         while pool.free() < needed {
-            let candidates: Vec<(AdapterId, Candidate)> = self
+            let mut ids: Vec<AdapterId> = self
                 .entries
                 .iter()
                 .filter(|(id, e)| e.ref_count == 0 && protected.is_none_or(|p| !p.contains(id)))
+                .map(|(&id, _)| id)
+                .collect();
+            ids.sort_unstable();
+            let cands: Vec<Candidate> = ids
+                .iter()
                 .enumerate()
-                .map(|(i, (&id, e))| {
-                    (
-                        id,
-                        Candidate {
-                            index: i,
-                            bytes: e.bytes,
-                            frequency: e.frequency,
-                            last_used: e.last_used,
-                        },
-                    )
+                .map(|(i, id)| {
+                    let e = &self.entries[id];
+                    Candidate {
+                        index: i,
+                        bytes: e.bytes,
+                        frequency: e.frequency,
+                        last_used: e.last_used,
+                    }
                 })
                 .collect();
-            let cands: Vec<Candidate> = candidates.iter().map(|&(_, c)| c).collect();
             let Some(victim_idx) = self.policy.pick_victim(&cands, now, self.gdsf_floor) else {
                 return; // nothing evictable left
             };
-            let (victim_id, victim) = candidates[victim_idx];
-            if matches!(self.policy, EvictionPolicy::Gdsf) {
-                // GreedyDual aging: the floor rises to the evicted score.
-                self.gdsf_floor = EvictionPolicy::gdsf_score(&victim, self.gdsf_floor);
-            }
-            self.entries.remove(&victim_id);
-            pool.release(Region::AdapterCache, victim.bytes);
-            self.stats.evictions += 1;
-            self.stats.bytes_evicted += victim.bytes;
+            self.evict_one(pool, ids[victim_idx]);
         }
+    }
+
+    /// Evicts one idle adapter: entry, index, pool accounting, statistics,
+    /// and the GDSF aging floor.
+    fn evict_one(&mut self, pool: &mut MemoryPool, id: AdapterId) {
+        let e = self.entries.remove(&id).expect("victim is resident");
+        debug_assert_eq!(e.ref_count, 0, "victim must be idle");
+        self.idle.remove(&idle_key(self.policy, id, &e));
+        if matches!(self.policy, EvictionPolicy::Gdsf) {
+            // GreedyDual aging: the floor rises to the evicted score.
+            self.gdsf_floor = EvictionPolicy::gdsf_score(
+                &Candidate {
+                    index: 0,
+                    bytes: e.bytes,
+                    frequency: e.frequency,
+                    last_used: e.last_used,
+                },
+                self.gdsf_floor,
+            );
+        }
+        pool.release(Region::AdapterCache, e.bytes);
+        self.stats.evictions += 1;
+        self.stats.bytes_evicted += e.bytes;
     }
 
     /// Halves all frequency counters — called every `T_refresh` so that
@@ -328,21 +592,45 @@ impl AdapterCache {
         for e in self.entries.values_mut() {
             e.frequency /= 2;
         }
+        // Frequency participates in the LFU/GDSF index keys: rebuild.
+        if matches!(self.policy, EvictionPolicy::Lfu | EvictionPolicy::Gdsf) {
+            self.idle.clear();
+            let policy = self.policy;
+            self.idle.extend(
+                self.entries
+                    .iter()
+                    .filter(|(_, e)| e.ref_count == 0)
+                    .map(|(&id, e)| idle_key(policy, id, e)),
+            );
+        }
     }
 
-    /// Ids of all idle (evictable) adapters.
-    pub fn idle_adapters(&self) -> Vec<AdapterId> {
-        self.entries
-            .iter()
-            .filter(|(_, e)| e.ref_count == 0)
-            .map(|(&id, _)| id)
-            .collect()
+    /// Ids of all idle (evictable) adapters, in index order (no
+    /// allocation — callers that need a `Vec` collect explicitly).
+    pub fn idle_adapters(&self) -> impl Iterator<Item = AdapterId> + '_ {
+        self.idle.iter().map(|&(.., id)| id)
     }
 
     /// Iterates over every resident adapter (idle or in use) — the
     /// residency view cluster routers place requests on.
     pub fn resident_adapters(&self) -> impl Iterator<Item = AdapterId> + '_ {
         self.entries.keys().copied()
+    }
+
+    /// Asserts the idle index mirrors the entry table exactly (test/debug
+    /// hook for the index-maintenance invariant).
+    #[doc(hidden)]
+    pub fn assert_index_consistent(&self) {
+        let idle_entries = self.entries.values().filter(|e| e.ref_count == 0).count();
+        assert_eq!(self.idle.len(), idle_entries, "idle index out of sync");
+        for &(.., id) in &self.idle {
+            let e = self.entries.get(&id).expect("indexed entry exists");
+            assert_eq!(e.ref_count, 0, "{id} indexed while referenced");
+            assert!(
+                self.idle.contains(&idle_key(self.policy, id, e)),
+                "{id} indexed under a stale key"
+            );
+        }
     }
 }
 
@@ -482,7 +770,7 @@ mod tests {
         c.decay_frequencies();
         // Frequency halved but entry retained.
         assert!(c.is_resident(a.id()));
-        assert_eq!(c.idle_adapters(), vec![a.id()]);
+        assert_eq!(c.idle_adapters().collect::<Vec<_>>(), vec![a.id()]);
     }
 
     #[test]
@@ -552,6 +840,73 @@ mod tests {
                         prop_assert_eq!(c.ref_count(id), Some(refs));
                     }
                 }
+                c.assert_index_consistent();
+            }
+        }
+
+        /// Oracle for the indexed eviction: under random workloads, every
+        /// policy's indexed path picks the exact victim sequence of the
+        /// pre-index full-scan path. Divergence in any single pick makes
+        /// the resident sets (and eviction statistics) drift apart.
+        #[test]
+        fn prop_indexed_eviction_matches_full_scan(
+            policy_sel in 0usize..6,
+            ops in proptest::collection::vec((0u32..12, 0u8..5, 1u32..5), 1..250),
+        ) {
+            let policy = [
+                EvictionPolicy::Lru,
+                EvictionPolicy::Lfu,
+                EvictionPolicy::SizeOnly,
+                EvictionPolicy::FairShare,
+                EvictionPolicy::chameleon(),
+                EvictionPolicy::Gdsf,
+            ][policy_sel];
+            let mut pool_a = MemoryPool::new(7 * (16 << 20));
+            let mut pool_b = MemoryPool::new(7 * (16 << 20));
+            let mut indexed = AdapterCache::new(policy);
+            let mut scanned = AdapterCache::new(policy);
+            scanned.set_full_scan_eviction(true);
+            let mut clock = 0.0;
+            for (aid, op, rank_sel) in ops {
+                clock += 0.1;
+                // Ranks vary so size-aware policies see distinct bytes.
+                let a = spec(aid, 4 << rank_sel);
+                for (c, pool) in [(&mut indexed, &mut pool_a), (&mut scanned, &mut pool_b)] {
+                    match op {
+                        0 | 1 => {
+                            if !c.acquire(pool, a.id(), t(clock)) {
+                                if c.make_room(pool, a.bytes(), t(clock), &HashSet::new()) {
+                                    let _ = c.insert_loaded(pool, &a, t(clock), 0);
+                                }
+                            } else {
+                                c.release(pool, a.id(), t(clock));
+                            }
+                        }
+                        2 => {
+                            // Protected first pass, override second.
+                            let protect: HashSet<AdapterId> = [a.id()].into();
+                            let _ = c.make_room(pool, 32 << 20, t(clock), &protect);
+                        }
+                        3 => {
+                            let _ = c.make_room(pool, 16 << 20, t(clock), &HashSet::new());
+                        }
+                        _ => c.decay_frequencies(),
+                    }
+                }
+                // Same victims ⇒ same resident sets and statistics.
+                let mut ra: Vec<AdapterId> = indexed.resident_adapters().collect();
+                let mut rb: Vec<AdapterId> = scanned.resident_adapters().collect();
+                ra.sort_unstable();
+                rb.sort_unstable();
+                prop_assert_eq!(ra, rb, "resident sets diverged ({})", policy.name());
+                prop_assert_eq!(indexed.stats(), scanned.stats());
+                let ia: Vec<AdapterId> = indexed.idle_adapters().collect();
+                let mut ib: Vec<AdapterId> = scanned.idle_adapters().collect();
+                ib.sort_unstable();
+                let mut ia_sorted = ia.clone();
+                ia_sorted.sort_unstable();
+                prop_assert_eq!(ia_sorted, ib, "idle sets diverged");
+                indexed.assert_index_consistent();
             }
         }
     }

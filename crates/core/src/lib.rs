@@ -19,7 +19,9 @@
 //!   per-class queue delays, cache and PCIe statistics.
 //! * [`isolated`] — the isolated-execution oracle behind the paper's
 //!   slowdown metric (§3.3) and SLO definition (§5.1).
-//! * [`sweep`] — load sweeps and SLO-bounded throughput (§5.2).
+//! * [`sweep`] — load sweeps and SLO-bounded throughput (§5.2), with
+//!   serial and bit-identical parallel runners.
+//! * [`par`] — the scoped-thread work pool behind the parallel sweeps.
 //! * [`ablation`] — measurable versions of the paper's un-figured design
 //!   claims (WRS degree, eviction weights, bypass, K_max).
 //! * [`workloads`] — the scaled-down paper workloads (§5.1).
@@ -39,6 +41,7 @@
 
 pub mod ablation;
 pub mod isolated;
+pub mod par;
 pub mod preset;
 pub mod report;
 pub mod sim;

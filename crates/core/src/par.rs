@@ -1,0 +1,107 @@
+//! Deterministic scoped-thread work pool for independent experiment
+//! points.
+//!
+//! Sweeps run many completely independent simulations (one per load or
+//! policy point); [`parallel_map`] fans them out over a fixed number of
+//! `std::thread::scope` workers pulling indices from a shared atomic
+//! counter. The build environment is offline (no `rayon`), so the pool is
+//! ~40 lines of std.
+//!
+//! # Determinism
+//!
+//! Results are delivered tagged with their input index and re-assembled
+//! in input order, so as long as `f` itself is deterministic (every
+//! simulation is: seeded RNG, deterministic event queue, id-tie-broken
+//! eviction), `parallel_map(items, w, f)` returns *bit-identical* output
+//! to the serial `items.iter().map(...)` for every worker count — the
+//! property the sweep determinism tests assert byte-for-byte.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads, returning the
+/// results in input order. `f` receives `(index, &item)`. With `workers
+/// <= 1` (or a single item) the map runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates worker panics once the scope joins.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            debug_assert!(slots[i].is_none(), "index {i} delivered twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("a worker died before delivering its point"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_for_every_worker_count() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for workers in [1, 2, 3, 4, 8, 64] {
+            let par = parallel_map(&items, workers, |_, &x| x * x + 1);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c"];
+        let out = parallel_map(&items, 3, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

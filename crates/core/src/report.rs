@@ -48,6 +48,9 @@ pub struct RunReport {
     pub scheduler: &'static str,
     /// Cluster-routing statistics (empty for single-engine runs).
     pub routing: RoutingStats,
+    /// Simulation events processed by the driver (throughput denominator
+    /// for the benchmark harness's events/sec).
+    pub events_processed: u64,
 }
 
 impl RunReport {
@@ -62,6 +65,7 @@ impl RunReport {
         isolated_e2e: HashMap<RequestId, SimDuration>,
         wrs: WrsConfig,
         offered_rps: f64,
+        events_processed: u64,
     ) -> Self {
         RunReport {
             label,
@@ -80,6 +84,7 @@ impl RunReport {
             wrs,
             offered_rps,
             scheduler: engine.scheduler,
+            events_processed,
         }
     }
 
@@ -272,6 +277,77 @@ impl RunReport {
         self.records.iter().filter(|r| r.squashes > 0).count() as f64 / self.records.len() as f64
     }
 
+    /// Canonical textual serialisation of the run: stable field order,
+    /// integer nanoseconds for every instant/duration, and exact IEEE-754
+    /// bit patterns for floats. Two runs are behaviourally identical iff
+    /// their canonical texts are byte-identical — this is what the
+    /// parallel-vs-serial sweep determinism tests and the benchmark
+    /// harness compare. (The workspace's `serde` is an offline no-op stub,
+    /// so serialisation is hand-rolled.)
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64 + self.records.len() * 96);
+        let _ = writeln!(
+            s,
+            "label={} sched={} slo_ns={} horizon_ns={} rps_bits={:016x} events={}",
+            self.label,
+            self.scheduler,
+            self.slo.as_nanos(),
+            self.horizon.as_nanos(),
+            self.offered_rps.to_bits(),
+            self.events_processed,
+        );
+        let c = &self.cache_stats;
+        let _ = writeln!(
+            s,
+            "cache hits={} misses={} evictions={} bytes_evicted={} bytes_loaded={}",
+            c.hits, c.misses, c.evictions, c.bytes_evicted, c.bytes_loaded
+        );
+        let _ = writeln!(
+            s,
+            "pcie bytes={} busy_ns={} transfers={} squashes={}",
+            self.pcie_total_bytes,
+            self.pcie_busy.as_nanos(),
+            self.pcie_history.len(),
+            self.squashes
+        );
+        let r = &self.routing;
+        let _ = writeln!(
+            s,
+            "routing policy={} dispatched={} per_engine={:?} affinity_hits={} spills={}",
+            r.policy, r.dispatched, r.per_engine, r.affinity_hits, r.spills
+        );
+        let opt = |t: Option<SimTime>| t.map(|t| t.as_nanos()).unwrap_or(u64::MAX);
+        for rec in &self.records {
+            let tbt_ns: u64 = rec.tbt_gaps.iter().map(|d| d.as_nanos()).sum();
+            let _ = writeln!(
+                s,
+                "req {} arr={} in={} out={} a={} rank={} adm={} ft={} fin={} tbt_n={} tbt_ns={} load_ns={} sq={} by={}",
+                rec.id.0,
+                rec.arrival.as_nanos(),
+                rec.input_tokens,
+                rec.output_tokens,
+                rec.adapter.0,
+                rec.rank.get(),
+                opt(rec.admitted),
+                opt(rec.first_token),
+                opt(rec.finished),
+                rec.tbt_gaps.len(),
+                tbt_ns,
+                rec.load_on_critical_path.as_nanos(),
+                rec.squashes,
+                rec.bypasses,
+            );
+        }
+        let mut iso: Vec<(RequestId, SimDuration)> =
+            self.isolated_e2e.iter().map(|(&k, &v)| (k, v)).collect();
+        iso.sort_unstable_by_key(|&(id, _)| id);
+        for (id, d) in iso {
+            let _ = writeln!(s, "iso {} {}", id.0, d.as_nanos());
+        }
+        s
+    }
+
     /// One-line human-readable summary.
     pub fn summary_line(&self) -> String {
         format!(
@@ -337,6 +413,7 @@ mod tests {
             offered_rps: 1.0,
             scheduler: "test",
             routing: RoutingStats::default(),
+            events_processed: 0,
         }
     }
 

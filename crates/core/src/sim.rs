@@ -174,18 +174,19 @@ impl Simulation {
         let slo = self.slo_for(trace);
         let wrs = self.wrs_config(trace);
         let max_output = trace.summary().max_output;
-        let (engine_report, horizon) = if self.cfg.data_parallel > 1 {
+        let (engine_report, horizon, events) = if self.cfg.data_parallel > 1 {
             let mut cluster = Cluster::with_router(
                 self.cfg.data_parallel,
                 |i| self.build_engine(slo, wrs, i, max_output, k_max),
                 self.cfg.router.build(self.seed),
             );
             let last = cluster.run(trace);
-            (cluster.into_report(), last)
+            let events = cluster.events_processed();
+            (cluster.into_report(), last, events)
         } else {
             let mut engine = self.build_engine(slo, wrs, 0, max_output, k_max);
-            let last = driver::run_engine(&mut engine, trace);
-            (engine.into_report(), last)
+            let (last, events) = driver::run_engine_counted(&mut engine, trace);
+            (engine.into_report(), last, events)
         };
         let isolated_e2e = engine_report
             .records
@@ -211,6 +212,7 @@ impl Simulation {
             isolated_e2e,
             wrs,
             trace.summary().mean_rps,
+            events,
         )
     }
 }

@@ -39,6 +39,8 @@ pub struct Cluster {
     stats: RoutingStats,
     /// Reused per-arrival snapshot buffer (dispatch is the hot path).
     snap_buf: Vec<EngineSnapshot>,
+    /// Events processed across all [`Cluster::run`] calls.
+    events_processed: u64,
 }
 
 impl Cluster {
@@ -70,7 +72,13 @@ impl Cluster {
             router,
             stats,
             snap_buf: Vec::with_capacity(n),
+            events_processed: 0,
         }
+    }
+
+    /// Events processed across all [`Cluster::run`] calls so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Number of engines.
@@ -115,7 +123,10 @@ impl Cluster {
     /// Runs `trace` through the cluster until drained. Returns the instant
     /// of the last processed event.
     pub fn run(&mut self, trace: &Trace) -> SimTime {
-        let mut q: EventQueue<ClusterEvent> = EventQueue::with_capacity(trace.len() * 4);
+        // Pending events peak near the unconsumed arrivals plus a few
+        // in-flight events per engine; size the heap from the trace.
+        let mut q: EventQueue<ClusterEvent> =
+            EventQueue::with_capacity(trace.len() + 4 * self.engines.len() + 16);
         let mut arrivals_left = trace.len();
         for r in trace {
             q.push(r.arrival(), ClusterEvent::Arrival(*r));
@@ -169,6 +180,7 @@ impl Cluster {
                 }
             }
         }
+        self.events_processed += q.processed();
         last
     }
 

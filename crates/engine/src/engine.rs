@@ -16,7 +16,7 @@ use chameleon_gpu::{CostModel, KvAllocator, PcieLink};
 use chameleon_metrics::{Collector, MemorySample, SizeClass};
 use chameleon_models::{AdapterId, AdapterPool};
 use chameleon_predictor::{HistogramLoadPredictor, OutputLenPredictor};
-use chameleon_sched::{QueuedRequest, Scheduler, WrsConfig};
+use chameleon_sched::{AdmissionOutcome, QueuedRequest, Scheduler, WrsConfig};
 use chameleon_simcore::{SimDuration, SimTime};
 use chameleon_workload::{Request, RequestId};
 use std::collections::{HashMap, HashSet};
@@ -122,6 +122,23 @@ pub struct Engine {
     squashes: u64,
     completed: u64,
     kv_bytes_per_token: u64,
+    // --- reusable per-step scratch (zero-alloc stepping) ------------------
+    // Every buffer below is cleared and refilled in place each iteration,
+    // so the steady-state event loop performs no heap allocation.
+    probe_scratch: EngineProbe,
+    admit_buf: Vec<AdmissionOutcome>,
+    requeue_buf: Vec<AdmissionOutcome>,
+    adapters_buf: Vec<AdapterId>,
+    protected_buf: HashSet<AdapterId>,
+    prefetch_buf: Vec<AdapterId>,
+    prefill_idx: Vec<usize>,
+    decode_idx: Vec<usize>,
+    prefill_items: Vec<PrefillItem>,
+    decode_items: Vec<DecodeItem>,
+    ids_pool: Vec<RequestId>,
+    chunks_pool: Vec<u32>,
+    folded_pool: Vec<(RequestId, u32)>,
+    pairs_scratch: Vec<BypassPair>,
 }
 
 impl Engine {
@@ -173,6 +190,20 @@ impl Engine {
             completed: 0,
             kv_bytes_per_token,
             cfg,
+            probe_scratch: EngineProbe::default(),
+            admit_buf: Vec::new(),
+            requeue_buf: Vec::new(),
+            adapters_buf: Vec::new(),
+            protected_buf: HashSet::new(),
+            prefetch_buf: Vec::new(),
+            prefill_idx: Vec::new(),
+            decode_idx: Vec::new(),
+            prefill_items: Vec::new(),
+            decode_items: Vec::new(),
+            ids_pool: Vec::new(),
+            chunks_pool: Vec::new(),
+            folded_pool: Vec::new(),
+            pairs_scratch: Vec::new(),
         }
     }
 
@@ -368,8 +399,9 @@ impl Engine {
     }
 
     fn on_refresh(&mut self, now: SimTime) {
-        let probe = self.probe(now);
+        let probe = self.take_probe(now);
         self.sched.on_refresh(&probe);
+        self.probe_scratch = probe;
         self.cache.decay_frequencies();
     }
 
@@ -393,20 +425,25 @@ impl Engine {
         };
         match plan {
             StepPlan::Prefill { ids, chunks } => {
-                for (id, chunk) in ids.iter().zip(chunks) {
-                    self.apply_prefill_progress(*id, chunk, now);
+                for (&id, &chunk) in ids.iter().zip(chunks.iter()) {
+                    self.apply_prefill_progress(id, chunk, now);
                 }
+                // Return the plan's buffers to the pool for the next step.
+                self.ids_pool = ids;
+                self.chunks_pool = chunks;
             }
             StepPlan::Decode {
                 ids,
                 folded_prefill,
             } => {
-                for (id, chunk) in folded_prefill {
+                for &(id, chunk) in &folded_prefill {
                     self.apply_prefill_progress(id, chunk, now);
                 }
-                for id in ids {
+                for &id in &ids {
                     self.apply_decode_progress(id, now);
                 }
+                self.ids_pool = ids;
+                self.folded_pool = folded_prefill;
             }
         }
         self.retire_finished(now);
@@ -451,15 +488,25 @@ impl Engine {
         }
     }
 
+    /// Refills the reusable protected-adapter set (adapters of queued
+    /// requests, §4.2) from the scheduler; `adapters_buf` keeps the
+    /// ordered list, `protected_buf` the set view.
+    fn refresh_protected(&mut self) {
+        self.adapters_buf.clear();
+        self.sched.queued_adapters_into(&mut self.adapters_buf);
+        self.protected_buf.clear();
+        self.protected_buf.extend(self.adapters_buf.iter().copied());
+    }
+
     /// Tries to grow `id`'s KV reservation by one token, evicting idle
     /// cached adapters if needed. Returns success.
     fn ensure_kv_growth(&mut self, id: RequestId, now: SimTime) -> bool {
-        let protected: HashSet<AdapterId> = self.sched.queued_adapters().into_iter().collect();
+        self.refresh_protected();
         let need_block = self.kv.block_bytes();
         if self.mem.free() < need_block
             && !self
                 .cache
-                .make_room(&mut self.mem, need_block, now, &protected)
+                .make_room(&mut self.mem, need_block, now, &self.protected_buf)
         {
             return false;
         }
@@ -475,14 +522,13 @@ impl Engine {
     }
 
     fn retire_finished(&mut self, now: SimTime) {
-        let finished: Vec<usize> = self
-            .running
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.finished())
-            .map(|(i, _)| i)
-            .collect();
-        for idx in finished.into_iter().rev() {
+        // Descending scan with in-place swap_remove: identical removal
+        // order to the old collect-then-remove (every element past `idx`
+        // has already been examined), without the per-step index Vec.
+        for idx in (0..self.running.len()).rev() {
+            if !self.running[idx].finished() {
+                continue;
+            }
             let r = self.running.swap_remove(idx);
             let id = r.req.id();
             self.collector.on_finish(id, now);
@@ -502,28 +548,39 @@ impl Engine {
         self.current_step.is_none() && now >= self.busy_until
     }
 
-    fn probe(&self, now: SimTime) -> EngineProbe {
+    /// Takes the reusable probe scratch, refilled for `now`. Callers put
+    /// it back via `self.probe_scratch = probe` when done, so steady-state
+    /// probing allocates nothing.
+    fn take_probe(&mut self, now: SimTime) -> EngineProbe {
+        let mut probe = std::mem::take(&mut self.probe_scratch);
+        self.fill_probe(now, &mut probe);
+        probe
+    }
+
+    fn fill_probe(&mut self, now: SimTime, probe: &mut EngineProbe) {
         // Evictable idle cache bytes count as available.
         let available_bytes = self.free_memory_bytes();
         let available_tokens = available_bytes / self.kv_bytes_per_token;
-        let resident: HashSet<AdapterId> = self
-            .cache
-            .idle_adapters()
-            .into_iter()
-            .chain(self.running.iter().map(|r| r.req.adapter()))
-            .chain(self.loading.keys().copied())
-            .collect();
+        probe.resident.clear();
+        probe.resident.extend(
+            self.cache
+                .idle_adapters()
+                .chain(self.running.iter().map(|r| r.req.adapter()))
+                .chain(self.loading.keys().copied()),
+        );
         // Per-token execution estimates at the current batch size: a decode
         // token costs one full (shared) iteration of wall time; a prefill
         // token costs its compute share.
         let batch = self.running.len().max(1);
-        let step = self.cost.decode_step_time(&vec![
+        self.decode_items.clear();
+        self.decode_items.resize(
+            batch,
             DecodeItem {
                 kv_tokens: 256,
                 rank: None,
-            };
-            batch
-        ]);
+            },
+        );
+        let step = self.cost.decode_step_time(&self.decode_items);
         let decode_secs_per_token = step.as_secs_f64();
         let prefill_secs_per_token = {
             let t1k = self.cost.base_prefill_time(1024).as_secs_f64();
@@ -533,28 +590,28 @@ impl Engine {
         let secs_per_token = step.as_secs_f64() / batch as f64;
         // Predicted release schedule: when each running request is expected
         // to finish and how many bytes it would free.
-        let mut rel: Vec<(SimTime, u64)> = self
-            .running
-            .iter()
-            .map(|r| {
-                let remaining = u64::from(
-                    r.predicted_output
-                        .max(r.produced)
-                        .saturating_sub(r.produced),
-                ) + u64::from(r.prefill_remaining) / 64;
-                let finish = now + step.mul_f64(remaining as f64);
-                let freed = u64::from(r.kv_reserved) * self.kv_bytes_per_token
-                    + self
-                        .pool
-                        .get(r.req.adapter())
-                        .map(|a| a.bytes())
-                        .unwrap_or(0);
-                (finish, freed)
-            })
-            .collect();
-        rel.sort_by_key(|&(t, _)| t);
+        let rel = &mut probe.mem_release_schedule;
+        rel.clear();
+        rel.extend(self.running.iter().map(|r| {
+            let remaining = u64::from(
+                r.predicted_output
+                    .max(r.produced)
+                    .saturating_sub(r.produced),
+            ) + u64::from(r.prefill_remaining) / 64;
+            let finish = now + step.mul_f64(remaining as f64);
+            let freed = u64::from(r.kv_reserved) * self.kv_bytes_per_token
+                + self
+                    .pool
+                    .get(r.req.adapter())
+                    .map(|a| a.bytes())
+                    .unwrap_or(0);
+            (finish, freed)
+        }));
+        // In-place unstable sort (no temp buffer); tied finish times all
+        // resolve to the same wait, so the tie order is immaterial.
+        rel.sort_unstable_by_key(|&(t, _)| t);
         let mut acc = 0u64;
-        for item in &mut rel {
+        for item in rel.iter_mut() {
             acc += item.1;
             item.1 = acc;
         }
@@ -563,20 +620,16 @@ impl Engine {
             .capacity()
             .saturating_sub(self.mem.used(Region::Weights))
             .saturating_sub(self.mem.used(Region::Activations));
-        EngineProbe {
-            now,
-            available_tokens,
-            batch_slots: self
-                .cfg
-                .max_batch_requests
-                .saturating_sub(self.running.len()),
-            resident,
-            secs_per_token,
-            decode_secs_per_token,
-            prefill_secs_per_token,
-            mem_release_schedule: rel,
-            total_token_capacity: usable / self.kv_bytes_per_token,
-        }
+        probe.now = now;
+        probe.available_tokens = available_tokens;
+        probe.batch_slots = self
+            .cfg
+            .max_batch_requests
+            .saturating_sub(self.running.len());
+        probe.secs_per_token = secs_per_token;
+        probe.decode_secs_per_token = decode_secs_per_token;
+        probe.prefill_secs_per_token = prefill_secs_per_token;
+        probe.total_token_capacity = usable / self.kv_bytes_per_token;
     }
 
     fn try_dispatch(&mut self, now: SimTime, out: &mut Vec<(SimTime, EngineEvent)>) {
@@ -584,22 +637,32 @@ impl Engine {
             return;
         }
         self.check_squash(now);
-        let probe = self.probe(now);
-        let admissions = self.sched.form_batch(&probe);
-        let mut iter = admissions.into_iter();
-        while let Some(adm) = iter.next() {
-            if !self.admit(adm, now, out) {
-                // The scheduler already dequeued and charged the remaining
-                // admissions; give their quota back and return them to the
-                // front of their queues (in reverse, preserving order).
-                let rest: Vec<_> = iter.collect();
-                for adm in rest.into_iter().rev() {
-                    self.sched.on_finish(adm.queue_index, adm.charged_tokens);
-                    self.sched.requeue_front(adm.request.requeued_at(now));
+        let probe = self.take_probe(now);
+        let mut admissions = std::mem::take(&mut self.admit_buf);
+        admissions.clear();
+        self.sched.form_batch_into(&probe, &mut admissions);
+        self.probe_scratch = probe;
+        {
+            let mut iter = admissions.drain(..);
+            while let Some(adm) = iter.next() {
+                if !self.admit(adm, now, out) {
+                    // The scheduler already dequeued and charged the
+                    // remaining admissions; give their quota back and
+                    // return them to the front of their queues (in
+                    // reverse, preserving order).
+                    let mut rest = std::mem::take(&mut self.requeue_buf);
+                    rest.clear();
+                    rest.extend(iter);
+                    for adm in rest.drain(..).rev() {
+                        self.sched.on_finish(adm.queue_index, adm.charged_tokens);
+                        self.sched.requeue_front(adm.request.requeued_at(now));
+                    }
+                    self.requeue_buf = rest;
+                    break;
                 }
-                break;
             }
         }
+        self.admit_buf = admissions;
         self.launch_step(now, out);
         // Liveness: if the engine is now completely idle but requests are
         // still queued (blocked head waiting on banked memory or an aging
@@ -628,14 +691,14 @@ impl Engine {
         let req = *queued.request();
         let adapter = req.adapter();
         let spec = self.pool.get(adapter).expect("known adapter").clone();
-        let protected: HashSet<AdapterId> = self.sched.queued_adapters().into_iter().collect();
+        self.refresh_protected();
 
         // 1. KV reservation for input + predicted output.
         let kv_tokens = req.input_tokens() + queued.predicted_output();
         let kv_bytes = self.kv.bytes_for(kv_tokens);
         if self.mem.free() < kv_bytes {
             self.cache
-                .make_room(&mut self.mem, kv_bytes, now, &protected);
+                .make_room(&mut self.mem, kv_bytes, now, &self.protected_buf);
         }
         if self.kv.allocate(&mut self.mem, id, kv_tokens).is_err() {
             // Snapshot was optimistic; push back and stop.
@@ -656,7 +719,7 @@ impl Engine {
             // Cold: reserve memory and start the transfer.
             if self.mem.free() < spec.bytes() {
                 self.cache
-                    .make_room(&mut self.mem, spec.bytes(), now, &protected);
+                    .make_room(&mut self.mem, spec.bytes(), now, &self.protected_buf);
             }
             if self
                 .mem
@@ -690,8 +753,10 @@ impl Engine {
         if adm.bypassed {
             self.collector.on_bypass(id);
             // Identify the blocked head (r1) as the current head of the
-            // same queue, if any, for the squash rule.
-            if let Some(r1) = self.sched.queued_adapters().first().copied() {
+            // same queue, if any, for the squash rule. `adapters_buf` is
+            // the ordered queued-adapter list refreshed above; the queues
+            // have not changed since.
+            if let Some(r1) = self.adapters_buf.first().copied() {
                 // Approximation: protect against squashing storms by
                 // recording the blocked adapter's byte need as tokens.
                 let r1_tokens = self
@@ -729,9 +794,13 @@ impl Engine {
             return;
         }
         let free_tokens = self.free_memory_bytes() / self.kv_bytes_per_token;
+        // Two persistent vectors trade roles each call: `bypass_pairs` is
+        // emptied (so `squash`'s retain sees the same empty list the old
+        // `mem::take` produced), survivors accumulate in the scratch, and
+        // a final swap makes the scratch the live list — no allocation.
         let pairs = std::mem::take(&mut self.bypass_pairs);
-        let mut remaining = Vec::new();
-        for pair in pairs {
+        debug_assert!(self.pairs_scratch.is_empty());
+        for &pair in &pairs {
             let r2_running = self.running.iter().any(|r| r.req.id() == pair.r2);
             if !r2_running {
                 continue; // bypasser finished: pair dissolves
@@ -756,10 +825,12 @@ impl Engine {
             if free_tokens + r2_frees >= pair.r1_tokens {
                 self.squash(pair.r2, now);
             } else {
-                remaining.push(pair);
+                self.pairs_scratch.push(pair);
             }
         }
-        self.bypass_pairs = remaining;
+        std::mem::swap(&mut self.bypass_pairs, &mut self.pairs_scratch);
+        self.pairs_scratch = pairs;
+        self.pairs_scratch.clear();
     }
 
     /// Squashes a running request: its generated state is discarded and it
@@ -835,27 +906,24 @@ impl Engine {
         {
             return; // a LoadDone event will re-trigger dispatch
         }
-        let ready_prefills: Vec<usize> = self
-            .running
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.prefill_remaining > 0 && adapter_ready(self, r.req.adapter()))
-            .map(|(i, _)| i)
-            .collect();
-        let decodes: Vec<usize> = self
-            .running
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| {
-                r.prefill_remaining == 0 && !r.finished() && adapter_ready(self, r.req.adapter())
-            })
-            .map(|(i, _)| i)
-            .collect();
+        self.prefill_idx.clear();
+        self.decode_idx.clear();
+        let cache = &self.cache;
+        for (i, r) in self.running.iter().enumerate() {
+            if !cache.is_resident(r.req.adapter()) {
+                continue;
+            }
+            if r.prefill_remaining > 0 {
+                self.prefill_idx.push(i);
+            } else if !r.finished() {
+                self.decode_idx.push(i);
+            }
+        }
 
         let plan = if self.cfg.chunked_prefill {
-            self.plan_chunked(&ready_prefills, &decodes)
+            self.plan_chunked()
         } else {
-            self.plan_plain(&ready_prefills, &decodes)
+            self.plan_plain()
         };
         let Some((plan, duration)) = plan else {
             return; // nothing executable: waiting on loads or truly idle
@@ -868,19 +936,21 @@ impl Engine {
 
     /// Default (LightLLM/S-LoRA-style) execution: pending prefills run as a
     /// dedicated prefill iteration before decoding continues.
-    fn plan_plain(
-        &self,
-        ready_prefills: &[usize],
-        decodes: &[usize],
-    ) -> Option<(StepPlan, SimDuration)> {
-        if !ready_prefills.is_empty() {
+    ///
+    /// Reads `prefill_idx`/`decode_idx` (filled by `launch_step`) and
+    /// builds the plan out of the pooled buffers, which `on_step_done`
+    /// recycles when the step completes.
+    fn plan_plain(&mut self) -> Option<(StepPlan, SimDuration)> {
+        if !self.prefill_idx.is_empty() {
             // Cap the prompt tokens processed this iteration so a wave of
             // admissions cannot stall running decodes indefinitely.
             let mut budget = self.cfg.max_prefill_batch_tokens;
-            let mut ids = Vec::new();
-            let mut chunks = Vec::new();
-            let mut items = Vec::new();
-            for &i in ready_prefills {
+            let mut ids = std::mem::take(&mut self.ids_pool);
+            let mut chunks = std::mem::take(&mut self.chunks_pool);
+            ids.clear();
+            chunks.clear();
+            self.prefill_items.clear();
+            for &i in &self.prefill_idx {
                 if budget == 0 {
                     break;
                 }
@@ -889,52 +959,57 @@ impl Engine {
                 budget -= take;
                 ids.push(r.req.id());
                 chunks.push(take);
-                items.push(PrefillItem {
+                self.prefill_items.push(PrefillItem {
                     tokens: take,
                     rank: Some(r.req.rank()),
                 });
             }
-            let dur = self.cost.prefill_time(&items);
+            let dur = self.cost.prefill_time(&self.prefill_items);
             return Some((StepPlan::Prefill { ids, chunks }, dur));
         }
-        if decodes.is_empty() {
+        if self.decode_idx.is_empty() {
             return None;
         }
-        let ids: Vec<RequestId> = decodes.iter().map(|&i| self.running[i].req.id()).collect();
-        let items: Vec<DecodeItem> = decodes
-            .iter()
-            .map(|&i| {
-                let r = &self.running[i];
-                DecodeItem {
-                    kv_tokens: r.req.input_tokens() + r.produced,
-                    rank: Some(r.req.rank()),
-                }
-            })
-            .collect();
-        let dur = self.cost.decode_step_time(&items);
+        let mut ids = std::mem::take(&mut self.ids_pool);
+        ids.clear();
+        ids.extend(self.decode_idx.iter().map(|&i| self.running[i].req.id()));
+        self.fill_decode_items();
+        let dur = self.cost.decode_step_time(&self.decode_items);
+        let mut folded = std::mem::take(&mut self.folded_pool);
+        folded.clear();
         Some((
             StepPlan::Decode {
                 ids,
-                folded_prefill: Vec::new(),
+                folded_prefill: folded,
             },
             dur,
         ))
     }
 
+    /// Fills `decode_items` with the cost-model view of `decode_idx`.
+    fn fill_decode_items(&mut self) {
+        self.decode_items.clear();
+        let running = &self.running;
+        self.decode_items.extend(self.decode_idx.iter().map(|&i| {
+            let r = &running[i];
+            DecodeItem {
+                kv_tokens: r.req.input_tokens() + r.produced,
+                rank: Some(r.req.rank()),
+            }
+        }));
+    }
+
     /// Sarathi-style chunked prefill: decode every iteration, folding in up
     /// to `prefill_chunk_tokens` of pending prompt work.
-    fn plan_chunked(
-        &self,
-        ready_prefills: &[usize],
-        decodes: &[usize],
-    ) -> Option<(StepPlan, SimDuration)> {
-        if ready_prefills.is_empty() && decodes.is_empty() {
+    fn plan_chunked(&mut self) -> Option<(StepPlan, SimDuration)> {
+        if self.prefill_idx.is_empty() && self.decode_idx.is_empty() {
             return None;
         }
         let mut budget = self.cfg.prefill_chunk_tokens;
-        let mut folded = Vec::new();
-        let mut prefill_items = Vec::new();
-        for &i in ready_prefills {
+        let mut folded = std::mem::take(&mut self.folded_pool);
+        folded.clear();
+        self.prefill_items.clear();
+        for &i in &self.prefill_idx {
             if budget == 0 {
                 break;
             }
@@ -942,27 +1017,20 @@ impl Engine {
             let chunk = r.prefill_remaining.min(budget);
             budget -= chunk;
             folded.push((r.req.id(), chunk));
-            prefill_items.push(PrefillItem {
+            self.prefill_items.push(PrefillItem {
                 tokens: chunk,
                 rank: Some(r.req.rank()),
             });
         }
-        let ids: Vec<RequestId> = decodes.iter().map(|&i| self.running[i].req.id()).collect();
-        let decode_items: Vec<DecodeItem> = decodes
-            .iter()
-            .map(|&i| {
-                let r = &self.running[i];
-                DecodeItem {
-                    kv_tokens: r.req.input_tokens() + r.produced,
-                    rank: Some(r.req.rank()),
-                }
-            })
-            .collect();
+        let mut ids = std::mem::take(&mut self.ids_pool);
+        ids.clear();
+        ids.extend(self.decode_idx.iter().map(|&i| self.running[i].req.id()));
+        self.fill_decode_items();
         // Folding shares one iteration: the chunk's compute rides along,
         // minus one duplicated fixed overhead.
-        let mut dur = self.cost.decode_step_time(&decode_items);
-        if !prefill_items.is_empty() {
-            let pf = self.cost.prefill_time(&prefill_items);
+        let mut dur = self.cost.decode_step_time(&self.decode_items);
+        if !self.prefill_items.is_empty() {
+            let pf = self.cost.prefill_time(&self.prefill_items);
             let overhead = self.cost.calibration().prefill_overhead;
             dur = if dur.is_zero() {
                 pf
@@ -989,18 +1057,19 @@ impl Engine {
         if !self.cfg.prefetch_queued && !self.cfg.predictive_prefetch {
             return;
         }
-        let mut candidates: Vec<AdapterId> = Vec::new();
+        self.prefetch_buf.clear();
         if self.cfg.prefetch_queued {
-            candidates.extend(self.sched.queued_adapters());
+            self.sched.queued_adapters_into(&mut self.prefetch_buf);
         }
         if self.cfg.predictive_prefetch {
-            candidates.extend(
-                self.load_predictor
-                    .candidates(now, self.cfg.prefetch_window),
-            );
+            let predicted = self
+                .load_predictor
+                .candidates(now, self.cfg.prefetch_window);
+            self.prefetch_buf.extend(predicted);
         }
         let mut issued = 0;
-        for adapter in candidates {
+        for k in 0..self.prefetch_buf.len() {
+            let adapter = self.prefetch_buf[k];
             if issued >= self.cfg.prefetch_depth {
                 break;
             }

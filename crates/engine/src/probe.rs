@@ -25,6 +25,25 @@ pub struct EngineProbe {
     pub(crate) total_token_capacity: u64,
 }
 
+impl Default for EngineProbe {
+    /// An empty probe shell — the engine keeps one as reusable scratch
+    /// (take, refill in place, put back) so probing allocates nothing
+    /// after warm-up.
+    fn default() -> Self {
+        EngineProbe {
+            now: SimTime::ZERO,
+            available_tokens: 0,
+            batch_slots: 0,
+            resident: HashSet::new(),
+            secs_per_token: 0.0,
+            decode_secs_per_token: 0.0,
+            prefill_secs_per_token: 0.0,
+            mem_release_schedule: Vec::new(),
+            total_token_capacity: 0,
+        }
+    }
+}
+
 impl ResourceProbe for EngineProbe {
     fn now(&self) -> SimTime {
         self.now

@@ -92,6 +92,13 @@ pub struct ChameleonScheduler {
     last_refresh: Option<SimTime>,
     refreshes: u64,
     bypass_admissions: u64,
+    /// Dedup scratch for [`Scheduler::queued_adapters_into`].
+    seen: std::collections::HashSet<AdapterId>,
+    /// Reusable WRS-sample buffer for the K-means refresh.
+    wrs_scratch: Vec<f64>,
+    /// Retired queue deques kept for reuse across reconfigurations, so a
+    /// refresh storm never reallocates queue storage.
+    spare_queues: Vec<VecDeque<QueuedRequest>>,
 }
 
 impl ChameleonScheduler {
@@ -114,6 +121,9 @@ impl ChameleonScheduler {
             last_refresh: None,
             refreshes: 0,
             bypass_admissions: 0,
+            seen: std::collections::HashSet::new(),
+            wrs_scratch: Vec::new(),
+            spare_queues: Vec::new(),
         }
     }
 
@@ -172,9 +182,11 @@ impl ChameleonScheduler {
     /// Re-derives queue count, cut-offs and quotas from the recent WRS
     /// window (§4.3.4–5).
     fn reconfigure(&mut self, probe: &dyn ResourceProbe) {
-        let wrs_samples: Vec<f64> = self.window.iter().map(|&(_, w, ..)| w).collect();
+        self.wrs_scratch.clear();
+        self.wrs_scratch
+            .extend(self.window.iter().map(|&(_, w, ..)| w));
         let Some(clustering) =
-            kmeans::choose_queues(&wrs_samples, self.cfg.k_max, self.cfg.elbow_threshold)
+            kmeans::choose_queues(&self.wrs_scratch, self.cfg.k_max, self.cfg.elbow_threshold)
         else {
             return;
         };
@@ -217,15 +229,22 @@ impl ChameleonScheduler {
             *q = (*q).max(load.max_tokens.ceil() as u64);
         }
 
-        // Re-bucket the waiting requests under the new cut-offs.
-        let mut waiting: Vec<QueuedRequest> = Vec::new();
-        for q in &mut self.queues {
-            waiting.extend(q.drain(..));
-        }
-        waiting.sort_by_key(|r| (r.enqueued_at(), r.id()));
+        // Re-bucket the waiting requests under the new cut-offs with a
+        // stable partition: each old queue keeps its internal order and
+        // old queues are visited small→large, replacing the previous
+        // drain-everything + global `sort_by_key` (which re-sorted the
+        // entire waiting set — and silently demoted requeued heads, whose
+        // enqueue stamp is their requeue time — on every refresh). Queue
+        // storage is recycled through `spare_queues`, so a refresh storm
+        // performs no per-refresh queue allocation after warm-up.
+        let old_queues = std::mem::take(&mut self.queues);
         self.cutoffs = new_cutoffs;
         self.quotas = quotas;
-        self.queues = (0..n).map(|_| VecDeque::new()).collect();
+        self.queues = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.queues
+                .push(self.spare_queues.pop().unwrap_or_default());
+        }
         // Fold outstanding charges into the new shape (indices clamp).
         let mut outstanding = vec![0i64; n];
         for (qi, &o) in self.outstanding.iter().enumerate() {
@@ -233,9 +252,12 @@ impl ChameleonScheduler {
         }
         self.outstanding = outstanding;
         self.banked = vec![0; n];
-        for r in waiting {
-            let qi = self.queue_idx(r.wrs());
-            self.queues[qi].push_back(r);
+        for mut q in old_queues {
+            for r in q.drain(..) {
+                let qi = self.queue_idx(r.wrs());
+                self.queues[qi].push_back(r);
+            }
+            self.spare_queues.push(q);
         }
         self.refreshes += 1;
     }
@@ -382,9 +404,8 @@ impl Scheduler for ChameleonScheduler {
         self.queues[qi].push_front(req);
     }
 
-    fn form_batch(&mut self, probe: &dyn ResourceProbe) -> Vec<AdmissionOutcome> {
+    fn form_batch_into(&mut self, probe: &dyn ResourceProbe, admitted: &mut Vec<AdmissionOutcome>) {
         self.maybe_refresh(probe);
-        let mut admitted = Vec::new();
         let mut physical = probe.available_tokens();
         let mut slots = probe.batch_slots();
         // §4.3.5: quotas partition the system's token capacity. Phase 1
@@ -423,8 +444,7 @@ impl Scheduler for ChameleonScheduler {
             let budget = self
                 .available_quota(qi)
                 .min(phys_shares[qi].saturating_add(bank));
-            let consumed =
-                self.put_batch(qi, budget, &mut physical, &mut slots, &mut admitted, probe);
+            let consumed = self.put_batch(qi, budget, &mut physical, &mut slots, admitted, probe);
             // Whatever part of the bank went unused is withheld again.
             let bank_left = bank.saturating_sub(consumed);
             self.banked[qi] = bank_left;
@@ -463,17 +483,9 @@ impl Scheduler for ChameleonScheduler {
             if leftover == 0 {
                 break;
             }
-            let consumed = self.put_batch(
-                qi,
-                leftover,
-                &mut physical,
-                &mut slots,
-                &mut admitted,
-                probe,
-            );
+            let consumed = self.put_batch(qi, leftover, &mut physical, &mut slots, admitted, probe);
             leftover -= consumed;
         }
-        admitted
     }
 
     fn on_finish(&mut self, queue_index: usize, charged_tokens: u64) {
@@ -481,17 +493,15 @@ impl Scheduler for ChameleonScheduler {
         self.outstanding[qi] -= charged_tokens as i64;
     }
 
-    fn queued_adapters(&self) -> Vec<AdapterId> {
-        let mut seen = std::collections::HashSet::new();
-        let mut out = Vec::new();
+    fn queued_adapters_into(&mut self, out: &mut Vec<AdapterId>) {
+        self.seen.clear();
         for q in &self.queues {
             for r in q {
-                if seen.insert(r.adapter()) {
+                if self.seen.insert(r.adapter()) {
                     out.push(r.adapter());
                 }
             }
         }
-        out
     }
 
     fn len(&self) -> usize {

@@ -14,6 +14,8 @@ use std::collections::VecDeque;
 #[derive(Debug, Default)]
 pub struct FifoScheduler {
     queue: VecDeque<QueuedRequest>,
+    /// Dedup scratch for [`Scheduler::queued_adapters_into`].
+    seen: std::collections::HashSet<AdapterId>,
 }
 
 impl FifoScheduler {
@@ -32,8 +34,7 @@ impl Scheduler for FifoScheduler {
         self.queue.push_front(req);
     }
 
-    fn form_batch(&mut self, probe: &dyn ResourceProbe) -> Vec<AdmissionOutcome> {
-        let mut admitted = Vec::new();
+    fn form_batch_into(&mut self, probe: &dyn ResourceProbe, out: &mut Vec<AdmissionOutcome>) {
         let mut tokens = probe.available_tokens();
         let mut slots = probe.batch_slots();
         while slots > 0 {
@@ -47,7 +48,7 @@ impl Scheduler for FifoScheduler {
             tokens -= need;
             slots -= 1;
             let request = self.queue.pop_front().expect("front checked");
-            admitted.push(AdmissionOutcome {
+            out.push(AdmissionOutcome {
                 request,
                 queue_index: 0,
                 num_queues: 1,
@@ -55,18 +56,17 @@ impl Scheduler for FifoScheduler {
                 bypassed: false,
             });
         }
-        admitted
     }
 
     fn on_finish(&mut self, _queue_index: usize, _charged_tokens: u64) {}
 
-    fn queued_adapters(&self) -> Vec<AdapterId> {
-        let mut seen = std::collections::HashSet::new();
-        self.queue
-            .iter()
-            .map(|q| q.adapter())
-            .filter(|id| seen.insert(*id))
-            .collect()
+    fn queued_adapters_into(&mut self, out: &mut Vec<AdapterId>) {
+        self.seen.clear();
+        for q in &self.queue {
+            if self.seen.insert(q.adapter()) {
+                out.push(q.adapter());
+            }
+        }
     }
 
     fn len(&self) -> usize {

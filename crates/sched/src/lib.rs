@@ -32,7 +32,7 @@ pub mod wrs;
 pub use chameleon::{ChameleonConfig, ChameleonScheduler};
 pub use fifo::FifoScheduler;
 pub use queued::QueuedRequest;
-pub use scheduler::{AdmissionOutcome, ResourceProbe, Scheduler};
+pub use scheduler::{AdmissionOutcome, ResourceProbe, Scheduler, StaticProbe};
 pub use sjf::SjfScheduler;
 pub use static_mlq::StaticMlqScheduler;
 pub use wrs::{WrsConfig, WrsMode};

@@ -81,16 +81,36 @@ pub trait Scheduler {
     /// re-execution (§4.3.3).
     fn requeue_front(&mut self, req: QueuedRequest);
 
-    /// Selects requests to admit into the batch right now.
-    fn form_batch(&mut self, probe: &dyn ResourceProbe) -> Vec<AdmissionOutcome>;
+    /// Selects requests to admit into the batch right now, appending them
+    /// to `out` (which the engine clears and reuses across iterations so
+    /// the dispatch hot path allocates nothing).
+    fn form_batch_into(&mut self, probe: &dyn ResourceProbe, out: &mut Vec<AdmissionOutcome>);
+
+    /// Allocating convenience wrapper around
+    /// [`form_batch_into`](Self::form_batch_into) (tests, examples).
+    fn form_batch(&mut self, probe: &dyn ResourceProbe) -> Vec<AdmissionOutcome> {
+        let mut out = Vec::new();
+        self.form_batch_into(probe, &mut out);
+        out
+    }
 
     /// Returns quota charged at admission when the request leaves the
     /// system (completion or squash). Single-queue policies ignore this.
     fn on_finish(&mut self, queue_index: usize, charged_tokens: u64);
 
-    /// Adapters needed by queued requests, next-to-run first (drives
-    /// prefetch and eviction protection, §4.2).
-    fn queued_adapters(&self) -> Vec<AdapterId>;
+    /// Appends the adapters needed by queued requests, next-to-run first
+    /// and deduplicated, to `out` (drives prefetch and eviction
+    /// protection, §4.2). Takes `&mut self` so implementations can reuse
+    /// internal dedup scratch instead of allocating per call.
+    fn queued_adapters_into(&mut self, out: &mut Vec<AdapterId>);
+
+    /// Allocating convenience wrapper around
+    /// [`queued_adapters_into`](Self::queued_adapters_into).
+    fn queued_adapters(&mut self) -> Vec<AdapterId> {
+        let mut out = Vec::new();
+        self.queued_adapters_into(&mut out);
+        out
+    }
 
     /// Number of waiting requests.
     fn len(&self) -> usize;

@@ -19,6 +19,8 @@ pub const DEFAULT_AGING_TOKENS_PER_SEC: f64 = 8.0;
 pub struct SjfScheduler {
     queue: Vec<QueuedRequest>,
     aging_tokens_per_sec: f64,
+    /// Dedup scratch for [`Scheduler::queued_adapters_into`].
+    seen: std::collections::HashSet<AdapterId>,
 }
 
 impl SjfScheduler {
@@ -38,6 +40,7 @@ impl SjfScheduler {
         SjfScheduler {
             queue: Vec::new(),
             aging_tokens_per_sec,
+            seen: std::collections::HashSet::new(),
         }
     }
 
@@ -75,10 +78,9 @@ impl Scheduler for SjfScheduler {
         self.queue.push(req);
     }
 
-    fn form_batch(&mut self, probe: &dyn ResourceProbe) -> Vec<AdmissionOutcome> {
+    fn form_batch_into(&mut self, probe: &dyn ResourceProbe, out: &mut Vec<AdmissionOutcome>) {
         let now = probe.now();
         self.sort_by_priority(now);
-        let mut admitted = Vec::new();
         let mut tokens = probe.available_tokens();
         let mut slots = probe.batch_slots();
         let idx = 0;
@@ -90,7 +92,7 @@ impl Scheduler for SjfScheduler {
             tokens -= need;
             slots -= 1;
             let request = self.queue.remove(idx);
-            admitted.push(AdmissionOutcome {
+            out.push(AdmissionOutcome {
                 request,
                 queue_index: 0,
                 num_queues: 1,
@@ -99,18 +101,17 @@ impl Scheduler for SjfScheduler {
             });
             // idx stays 0: remove shifted the vector.
         }
-        admitted
     }
 
     fn on_finish(&mut self, _queue_index: usize, _charged_tokens: u64) {}
 
-    fn queued_adapters(&self) -> Vec<AdapterId> {
-        let mut seen = std::collections::HashSet::new();
-        self.queue
-            .iter()
-            .map(|q| q.adapter())
-            .filter(|id| seen.insert(*id))
-            .collect()
+    fn queued_adapters_into(&mut self, out: &mut Vec<AdapterId>) {
+        self.seen.clear();
+        for q in &self.queue {
+            if self.seen.insert(q.adapter()) {
+                out.push(q.adapter());
+            }
+        }
     }
 
     fn len(&self) -> usize {

@@ -62,7 +62,7 @@ impl Scheduler for StaticMlqScheduler {
         self.inner.requeue_front(req);
     }
 
-    fn form_batch(&mut self, probe: &dyn ResourceProbe) -> Vec<AdmissionOutcome> {
+    fn form_batch_into(&mut self, probe: &dyn ResourceProbe, out: &mut Vec<AdmissionOutcome>) {
         if !self.quota_initialised {
             // Equal split of the engine's token capacity, fixed forever.
             let total = probe.total_token_capacity();
@@ -70,15 +70,15 @@ impl Scheduler for StaticMlqScheduler {
             self.inner.set_quotas(vec![total / n; n as usize]);
             self.quota_initialised = true;
         }
-        self.inner.form_batch(probe)
+        self.inner.form_batch_into(probe, out);
     }
 
     fn on_finish(&mut self, queue_index: usize, charged_tokens: u64) {
         self.inner.on_finish(queue_index, charged_tokens);
     }
 
-    fn queued_adapters(&self) -> Vec<AdapterId> {
-        self.inner.queued_adapters()
+    fn queued_adapters_into(&mut self, out: &mut Vec<AdapterId>) {
+        self.inner.queued_adapters_into(out);
     }
 
     fn len(&self) -> usize {

@@ -1,0 +1,58 @@
+//! Integration tests for the simulator hot-path overhaul: indexed
+//! eviction at simulation level, event accounting through `RunReport`,
+//! and the parallel sweep runners seen through the umbrella crate.
+
+use chameleon_repro::core::sweep::LoadSweep;
+use chameleon_repro::core::{par, preset, sim::Simulation, workloads};
+
+/// Event accounting flows from the driver into `RunReport` and its
+/// canonical serialisation.
+#[test]
+fn run_reports_count_events() {
+    let mut sim = Simulation::new(preset::chameleon(), 11);
+    let trace = workloads::splitwise(8.0, 30.0, 11, sim.pool());
+    let n = trace.len();
+    let report = sim.run(&trace);
+    // Every request contributes at least its arrival event, and batched
+    // execution keeps the total within a small multiple of the trace.
+    assert!(report.events_processed >= n as u64);
+    assert!(report.events_processed < 64 * n as u64);
+    // The canonical serialisation embeds the count (it participates in
+    // the bit-identity checks).
+    assert!(report
+        .canonical_text()
+        .contains(&format!("events={}", report.events_processed)));
+}
+
+/// Canonical texts are stable across repeated runs (the foundation the
+/// parallel-determinism guarantee is asserted on).
+#[test]
+fn canonical_text_is_reproducible() {
+    let run = || {
+        let mut sim = Simulation::new(preset::chameleon(), 29);
+        let trace = workloads::splitwise(9.0, 20.0, 29, sim.pool());
+        sim.run(&trace).canonical_text()
+    };
+    assert_eq!(run(), run());
+}
+
+/// The parallel sweep is byte-identical to the serial sweep through the
+/// umbrella crate, for oversubscribed worker counts too (more workers
+/// than points, more workers than cores).
+#[test]
+fn oversubscribed_parallel_sweep_stays_deterministic() {
+    let sweep = LoadSweep::new(preset::slora(), 7).with_trace_secs(5.0);
+    let loads = [3.0, 7.0];
+    let serial = sweep.run(&loads);
+    for workers in [2, 8, par::default_workers() * 4] {
+        let parallel = sweep.run_parallel(&loads, workers);
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(
+                a.report.canonical_text(),
+                b.report.canonical_text(),
+                "diverged at rps {} with {workers} workers",
+                a.rps
+            );
+        }
+    }
+}
