@@ -1,0 +1,96 @@
+//! `bench-compare` — the CI regression gate over the checked-in
+//! `BENCH_PR<n>.json` trajectory.
+//!
+//! With no file arguments it discovers the two highest-numbered
+//! `BENCH_PR*.json` files in `--dir` (default `.`) and fails (exit 1)
+//! when the gated metric regressed by more than the tolerance:
+//!
+//! ```text
+//! cargo run -p chameleon-bench --release --bin bench-compare
+//! cargo run -p chameleon-bench --release --bin bench-compare -- \
+//!     --bench macro_zipf600 --metric events_per_sec --tolerance 0.20 \
+//!     BENCH_PR2.json BENCH_PR3.json
+//! ```
+//!
+//! Fewer than two trajectory files is a clean skip (exit 0): the first PR
+//! of a trajectory has no baseline.
+
+use chameleon_bench::compare::{compare, trajectory_files};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut dir = PathBuf::from(".");
+    let mut bench = "macro_zipf600".to_string();
+    let mut metric = "events_per_sec".to_string();
+    let mut tolerance = 0.20f64;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = PathBuf::from(args.next().expect("--dir requires a path")),
+            "--bench" => bench = args.next().expect("--bench requires a name"),
+            "--metric" => metric = args.next().expect("--metric requires a name"),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance requires a fraction")
+                    .parse()
+                    .expect("tolerance must be a number")
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench-compare [--dir PATH] [--bench NAME] [--metric NAME] \
+                     [--tolerance F] [OLD.json NEW.json]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+
+    let (old_path, new_path) = match files.len() {
+        0 => {
+            let found = trajectory_files(&dir).expect("read trajectory directory");
+            if found.len() < 2 {
+                println!(
+                    "bench-compare: {} trajectory file(s) in {} — nothing to compare, skipping",
+                    found.len(),
+                    dir.display()
+                );
+                return ExitCode::SUCCESS;
+            }
+            let mut latest = found.into_iter().rev().take(2);
+            let new = latest.next().expect("two files").1;
+            let old = latest.next().expect("two files").1;
+            (old, new)
+        }
+        2 => (files[0].clone(), files[1].clone()),
+        n => panic!("expected 0 or 2 file arguments, got {n}"),
+    };
+
+    let old_json = std::fs::read_to_string(&old_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", old_path.display()));
+    let new_json = std::fs::read_to_string(&new_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", new_path.display()));
+    let cmp = compare(&old_json, &new_json, &bench, &metric).expect("comparable reports");
+    println!(
+        "bench-compare: {bench}.{metric}  {} -> {}  ({:+.1}%)  [{} vs {}]",
+        cmp.old_value,
+        cmp.new_value,
+        (cmp.ratio() - 1.0) * 100.0,
+        old_path.display(),
+        new_path.display(),
+    );
+    if cmp.regressed_beyond(tolerance) {
+        eprintln!(
+            "bench-compare: FAIL — {bench}.{metric} regressed beyond {:.0}% \
+             (kept only {:.1}% of the baseline)",
+            tolerance * 100.0,
+            cmp.ratio() * 100.0,
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench-compare: OK (tolerance {:.0}%)", tolerance * 100.0);
+    ExitCode::SUCCESS
+}

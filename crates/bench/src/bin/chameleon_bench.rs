@@ -1,9 +1,10 @@
 //! `chameleon-bench` — the persistent perf harness behind `BENCH_*.json`.
 //!
-//! Runs a pinned 600-adapter Zipf macro-scenario plus hot-path
+//! Runs a pinned 600-adapter Zipf macro-scenario (single-engine and a
+//! 4-engine cluster routed JSQ vs AdapterAffinity) plus hot-path
 //! micro-benches (event-queue churn, eviction storm, refresh storm,
-//! parallel-vs-serial sweep) and writes the numbers as JSON, seeding the
-//! PR-over-PR performance trajectory:
+//! parallel-vs-serial sweep) and writes the numbers as JSON, extending
+//! the PR-over-PR performance trajectory:
 //!
 //! ```text
 //! cargo run -p chameleon-bench --release --bin chameleon-bench
@@ -11,18 +12,19 @@
 //! ```
 //!
 //! `--smoke` shrinks every scenario to a few seconds of work for CI; the
-//! checked-in `BENCH_PR2.json` is produced by a full release-mode run.
-//! The eviction-storm bench runs the same storm twice — once through the
-//! incrementally maintained candidate index and once through the pre-PR
-//! full-scan path (`AdapterCache::set_full_scan_eviction`) — so the
-//! speedup column is measured, not estimated.
+//! checked-in `BENCH_PR<n>.json` files are produced by full release-mode
+//! runs and gated by the `bench-compare` binary. The eviction-storm bench
+//! runs the same storm twice — once through the incrementally maintained
+//! candidate index and once through the pre-PR2 full-scan path
+//! (`AdapterCache::set_full_scan_eviction`) — so the speedup column is
+//! measured, not estimated.
 
 use chameleon_bench::perf::{timed, BenchReport, BenchResult};
 use chameleon_bench::SEED;
 use chameleon_cache::{AdapterCache, EvictionPolicy};
 use chameleon_core::par;
 use chameleon_core::sweep::LoadSweep;
-use chameleon_core::{preset, Simulation};
+use chameleon_core::{preset, RouterPolicy, Simulation};
 use chameleon_gpu::memory::MemoryPool;
 use chameleon_models::{AdapterId, AdapterRank, AdapterSpec, LlmSpec};
 use chameleon_sched::{
@@ -34,7 +36,7 @@ use std::collections::HashSet;
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut out_path = "BENCH_PR3.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,10 +50,11 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("PR2", smoke);
+    let mut report = BenchReport::new("PR3", smoke);
     println!("chameleon-bench ({})", if smoke { "smoke" } else { "full" });
 
     macro_scenario(&mut report, smoke);
+    cluster_macro(&mut report, smoke);
     event_queue_churn(&mut report, smoke);
     eviction_storm(&mut report, smoke);
     refresh_storm(&mut report, smoke);
@@ -95,6 +98,61 @@ fn macro_scenario(report: &mut BenchReport, smoke: bool) {
             .metric("p99_ttft_s", run.p99_ttft())
             .metric("cache_hit_rate", run.hit_rate()),
     );
+}
+
+/// The cluster macro-scenario (the routing layer's slot in the perf
+/// trajectory): a 4-engine fleet serving a 600-adapter Zipf workload,
+/// dispatched once with the paper's join-shortest-queue and once with
+/// adapter-affinity routing, on the identical trace. The events/sec
+/// columns track the dispatch layer's overhead; the cache-hit and
+/// affinity columns track what the partitioned mode buys.
+fn cluster_macro(report: &mut BenchReport, smoke: bool) {
+    let engines = 4;
+    let rps = 80.0;
+    let secs = if smoke { 3.0 } else { 120.0 };
+    let mut cfg = preset::chameleon_cluster(engines)
+        .with_adapters(600)
+        .with_label("Chameleon-DP4-600");
+    cfg.rank_popularity = chameleon_models::PopularityDist::power_law();
+    let pool = chameleon_models::AdapterPool::generate(&cfg.llm, &cfg.pool_config());
+    let trace = chameleon_core::workloads::lmsys(rps, secs, SEED, &pool);
+    for policy in [
+        RouterPolicy::JoinShortestQueue,
+        RouterPolicy::AdapterAffinity,
+    ] {
+        let cfg = cfg.clone().with_router(policy);
+        let mut sim = Simulation::new(cfg, SEED);
+        let (wall, run) = timed(|| sim.run(&trace));
+        let events = run.events_processed as f64;
+        let name = match policy {
+            RouterPolicy::JoinShortestQueue => "macro_cluster4_jsq",
+            _ => "macro_cluster4_affinity",
+        };
+        println!(
+            "  {name:<19} {:>10.0} events/s  (hit {:.1}%, aff {:.1}%, spill {:.1}%, {wall:.3}s wall)",
+            events / wall,
+            run.hit_rate() * 100.0,
+            run.affinity_hit_rate() * 100.0,
+            run.spill_rate() * 100.0,
+        );
+        report.push(
+            name,
+            BenchResult::new()
+                .metric("engines", engines as f64)
+                .metric("adapters", 600.0)
+                .metric("offered_rps", rps)
+                .metric("trace_secs", secs)
+                .metric("completed", run.completed() as f64)
+                .metric("events", events)
+                .metric("wall_secs", wall)
+                .metric("events_per_sec", events / wall)
+                .metric("p99_ttft_s", run.p99_ttft())
+                .metric("cache_hit_rate", run.hit_rate())
+                .metric("affinity_hit_rate", run.affinity_hit_rate())
+                .metric("spill_rate", run.spill_rate())
+                .metric("load_imbalance", run.load_imbalance()),
+        );
+    }
 }
 
 /// Heap churn: interleaved pushes and pops at a sustained queue depth,

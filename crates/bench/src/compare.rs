@@ -1,0 +1,180 @@
+//! The PR-over-PR bench regression gate.
+//!
+//! `BENCH_PR<n>.json` files (written by the `chameleon-bench` binary) form
+//! the checked-in performance trajectory. This module reads two of them —
+//! normally the two highest-numbered in the repository root — and fails
+//! when a headline metric regressed beyond a tolerance. The `bench-compare`
+//! binary wraps it for CI.
+//!
+//! The JSON is the harness's own flat two-level format (see
+//! [`crate::perf::BenchReport::to_json`]); the reader here is a minimal
+//! scanner for exactly that shape, not a general JSON parser (the
+//! workspace's `serde` is an offline no-op stub).
+
+use std::path::{Path, PathBuf};
+
+/// Reads `bench.metric` out of a `BENCH_*.json` string.
+pub fn parse_metric(json: &str, bench: &str, metric: &str) -> Option<f64> {
+    let bench_key = format!("\"{bench}\":");
+    let start = json.find(&bench_key)? + bench_key.len();
+    let body = &json[start..];
+    let open = body.find('{')?;
+    let close = body.find('}')?;
+    let section = &body[open + 1..close];
+    let metric_key = format!("\"{metric}\":");
+    let at = section.find(&metric_key)? + metric_key.len();
+    let raw = section[at..]
+        .trim_start()
+        .split([',', '\n', '}'])
+        .next()?
+        .trim();
+    raw.parse().ok()
+}
+
+/// One old-vs-new reading of a metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// The baseline (older trajectory point).
+    pub old_value: f64,
+    /// The fresh value under test.
+    pub new_value: f64,
+}
+
+impl Comparison {
+    /// `new / old` (∞ when the baseline is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.old_value == 0.0 {
+            f64::INFINITY
+        } else {
+            self.new_value / self.old_value
+        }
+    }
+
+    /// True when the new value regressed by more than `tolerance`
+    /// (e.g. `0.20` fails only below 80% of the baseline). Only applies
+    /// to higher-is-better metrics, which every gated metric is.
+    pub fn regressed_beyond(&self, tolerance: f64) -> bool {
+        self.new_value < self.old_value * (1.0 - tolerance)
+    }
+}
+
+/// Compares `bench.metric` across two bench JSON strings.
+pub fn compare(
+    old_json: &str,
+    new_json: &str,
+    bench: &str,
+    metric: &str,
+) -> Result<Comparison, String> {
+    let old_value = parse_metric(old_json, bench, metric)
+        .ok_or_else(|| format!("baseline is missing {bench}.{metric}"))?;
+    let new_value = parse_metric(new_json, bench, metric)
+        .ok_or_else(|| format!("fresh report is missing {bench}.{metric}"))?;
+    Ok(Comparison {
+        old_value,
+        new_value,
+    })
+}
+
+/// The `BENCH_PR<n>.json` files under `dir`, sorted by `n` ascending.
+pub fn trajectory_files(dir: &Path) -> std::io::Result<Vec<(u32, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(n) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u32>().ok())
+        {
+            out.push((n, path));
+        }
+    }
+    out.sort_by_key(|&(n, _)| n);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{BenchReport, BenchResult};
+
+    fn json(events_per_sec: f64) -> String {
+        let mut rep = BenchReport::new("PRX", false);
+        rep.push(
+            "macro_zipf600",
+            BenchResult::new()
+                .metric("adapters", 600.0)
+                .metric("events_per_sec", events_per_sec)
+                .metric("cache_hit_rate", 0.65),
+        );
+        rep.push("other", BenchResult::new().metric("events_per_sec", 1.0));
+        rep.to_json()
+    }
+
+    #[test]
+    fn parses_the_harness_format_round_trip() {
+        let j = json(80_889.407383);
+        assert_eq!(
+            parse_metric(&j, "macro_zipf600", "events_per_sec"),
+            Some(80_889.407383)
+        );
+        assert_eq!(parse_metric(&j, "macro_zipf600", "adapters"), Some(600.0));
+        // The right section is scanned, not the first match anywhere.
+        assert_eq!(parse_metric(&j, "other", "events_per_sec"), Some(1.0));
+        assert_eq!(parse_metric(&j, "macro_zipf600", "missing"), None);
+        assert_eq!(parse_metric(&j, "nope", "events_per_sec"), None);
+    }
+
+    #[test]
+    fn gate_fails_only_past_tolerance() {
+        let c = compare(
+            &json(100_000.0),
+            &json(81_000.0),
+            "macro_zipf600",
+            "events_per_sec",
+        )
+        .unwrap();
+        assert!(!c.regressed_beyond(0.20), "-19% is inside a 20% gate");
+        let c = compare(
+            &json(100_000.0),
+            &json(79_000.0),
+            "macro_zipf600",
+            "events_per_sec",
+        )
+        .unwrap();
+        assert!(c.regressed_beyond(0.20), "-21% must fail a 20% gate");
+        assert!((c.ratio() - 0.79).abs() < 1e-12);
+        // Improvements always pass.
+        let c = compare(
+            &json(100_000.0),
+            &json(300_000.0),
+            "macro_zipf600",
+            "events_per_sec",
+        )
+        .unwrap();
+        assert!(!c.regressed_beyond(0.20));
+    }
+
+    #[test]
+    fn missing_metrics_are_reported() {
+        let err = compare("{}", &json(1.0), "macro_zipf600", "events_per_sec").unwrap_err();
+        assert!(err.contains("baseline"));
+    }
+
+    #[test]
+    fn trajectory_discovery_sorts_numerically() {
+        let dir = std::env::temp_dir().join(format!("bench-compare-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [10, 2, 3] {
+            std::fs::write(dir.join(format!("BENCH_PR{n}.json")), json(n as f64)).unwrap();
+        }
+        std::fs::write(dir.join("BENCH_PRx.json"), "junk").unwrap();
+        std::fs::write(dir.join("other.json"), "junk").unwrap();
+        let files = trajectory_files(&dir).unwrap();
+        let ns: Vec<u32> = files.iter().map(|&(n, _)| n).collect();
+        assert_eq!(ns, vec![2, 3, 10], "numeric, not lexicographic");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -21,6 +21,7 @@
 //! medium ≈ 9, high ≈ 10.5 (S-LoRA past its knee, Chameleon comfortable)
 //! and overload ≈ 12.5 RPS. EXPERIMENTS.md records the mapping per figure.
 
+pub mod compare;
 pub mod figures;
 pub mod perf;
 

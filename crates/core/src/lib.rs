@@ -49,7 +49,7 @@ pub mod sweep;
 pub mod system;
 pub mod workloads;
 
-pub use chameleon_router::RouterPolicy;
+pub use chameleon_router::{EngineId, RouterPolicy};
 pub use report::RunReport;
 pub use sim::Simulation;
-pub use system::{CachePolicy, SchedPolicy, SystemConfig};
+pub use system::{AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig};

@@ -1,7 +1,7 @@
 //! Named systems from the paper's evaluation, plus cluster-scale variants
 //! built on the routing subsystem.
 
-use crate::system::{CachePolicy, SchedPolicy, SystemConfig};
+use crate::system::{AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig};
 use chameleon_router::RouterPolicy;
 
 /// S-LoRA (§5.1 baseline): FIFO iteration-level scheduling, asynchronous
@@ -155,6 +155,29 @@ pub fn chameleon_cluster_partitioned(engines: usize) -> SystemConfig {
         .with_label(format!("Chameleon-DP{engines}-Affinity"))
 }
 
+/// Chameleon on a heterogeneous fleet — two TP1 engines next to a TP2 and
+/// a TP4 (the §5.6 tensor-parallel axis as cluster members) behind
+/// capacity-weighted adapter-affinity routing, so the wider engines win
+/// proportionally larger adapter shards.
+pub fn chameleon_cluster_hetero() -> SystemConfig {
+    chameleon()
+        .with_fleet(FleetSpec::mixed_tp(&[1, 1, 2, 4]))
+        .with_router(RouterPolicy::AdapterAffinity)
+        .with_label("Chameleon-Hetero-TP1124")
+}
+
+/// Chameleon on an elastic fleet: two TP1 engines that the queue-depth
+/// watching autoscaler grows to at most four (adding TP2 engines) under
+/// load and drains back when the backlog clears — each fleet change
+/// re-homing only the joining/departing engine's adapter shard.
+pub fn chameleon_cluster_elastic() -> SystemConfig {
+    chameleon()
+        .with_fleet(FleetSpec::homogeneous(2, 1))
+        .with_router(RouterPolicy::AdapterAffinity)
+        .with_autoscale(AutoscaleSpec::new(2, 4).with_growth(vec![EngineSpec::tp(2)]))
+        .with_label("Chameleon-Elastic")
+}
+
 /// Chameleon with the WRS reduced to predicted output length only
 /// (Figure 19 "OutputOnly").
 pub fn chameleon_output_only() -> SystemConfig {
@@ -222,6 +245,27 @@ mod tests {
     }
 
     #[test]
+    fn hetero_preset_mixes_tp_degrees() {
+        let c = chameleon_cluster_hetero();
+        assert_eq!(c.engine_count(), 4);
+        assert_eq!(c.router, RouterPolicy::AdapterAffinity);
+        let tps: Vec<u32> = (0..4).map(|i| c.engine_spec(i).tp_degree).collect();
+        assert_eq!(tps, vec![1, 1, 2, 4]);
+        assert!(c.autoscale.is_none());
+    }
+
+    #[test]
+    fn elastic_preset_scales_two_to_four() {
+        let c = chameleon_cluster_elastic();
+        assert_eq!(c.engine_count(), 2);
+        let auto = c.autoscale.as_ref().expect("elastic preset autoscales");
+        assert_eq!(auto.controller.min_engines, 2);
+        assert_eq!(auto.controller.max_engines, 4);
+        assert_eq!(c.growth_spec(0).tp_degree, 2, "grows by TP2 engines");
+        assert_eq!(c.router, RouterPolicy::AdapterAffinity);
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let labels: Vec<String> = [
             slora(),
@@ -236,6 +280,8 @@ mod tests {
             chameleon_gdsf(),
             chameleon_cluster(4),
             chameleon_cluster_partitioned(4),
+            chameleon_cluster_hetero(),
+            chameleon_cluster_elastic(),
             static_mlq(),
             chameleon_output_only(),
             chameleon_linear_wrs(),

@@ -312,10 +312,20 @@ impl RunReport {
             self.squashes
         );
         let r = &self.routing;
+        let ids: Vec<u32> = r.engine_ids.iter().map(|e| e.0).collect();
         let _ = writeln!(
             s,
-            "routing policy={} dispatched={} per_engine={:?} affinity_hits={} spills={}",
-            r.policy, r.dispatched, r.per_engine, r.affinity_hits, r.spills
+            "routing policy={} dispatched={} engines={:?} per_engine={:?} affinity_hits={} \
+             spills={} added={} drained={} rehomed={}",
+            r.policy,
+            r.dispatched,
+            ids,
+            r.per_engine,
+            r.affinity_hits,
+            r.spills,
+            r.engines_added,
+            r.engines_drained,
+            r.adapters_rehomed,
         );
         let opt = |t: Option<SimTime>| t.map(|t| t.as_nanos()).unwrap_or(u64::MAX);
         for rec in &self.records {

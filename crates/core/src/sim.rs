@@ -4,7 +4,7 @@ use crate::isolated;
 use crate::report::RunReport;
 use crate::system::{SchedPolicy, SystemConfig};
 use chameleon_cache::AdapterCache;
-use chameleon_engine::{driver, Cluster, Engine, EngineConfig};
+use chameleon_engine::{driver, Autoscaler, Cluster, Engine, EngineConfig};
 use chameleon_gpu::CostModel;
 use chameleon_models::AdapterPool;
 use chameleon_predictor::{NoisyBucketPredictor, OraclePredictor, OutputLenPredictor};
@@ -135,9 +135,10 @@ impl Simulation {
         idx: usize,
         max_output: u32,
         k_max: Option<usize>,
+        spec: &crate::system::EngineSpec,
     ) -> Engine {
-        let mut ecfg = EngineConfig::new(self.cfg.llm.clone(), self.cfg.gpu.clone())
-            .with_tp(self.cfg.tp_degree);
+        let gpu = spec.gpu.clone().unwrap_or_else(|| self.cfg.gpu.clone());
+        let mut ecfg = EngineConfig::new(self.cfg.llm.clone(), gpu).with_tp(spec.tp_degree);
         ecfg.max_batch_requests = self.cfg.max_batch_requests;
         ecfg.chunked_prefill = self.cfg.chunked_prefill;
         ecfg.prefetch_queued = self.cfg.prefetch_queued;
@@ -174,17 +175,31 @@ impl Simulation {
         let slo = self.slo_for(trace);
         let wrs = self.wrs_config(trace);
         let max_output = trace.summary().max_output;
-        let (engine_report, horizon, events) = if self.cfg.data_parallel > 1 {
+        let (engine_report, horizon, events) = if self.cfg.is_cluster() {
+            let initial = self.cfg.engine_count();
             let mut cluster = Cluster::with_router(
-                self.cfg.data_parallel,
-                |i| self.build_engine(slo, wrs, i, max_output, k_max),
+                initial,
+                |i| self.build_engine(slo, wrs, i, max_output, k_max, &self.cfg.engine_spec(i)),
                 self.cfg.router.build(self.seed),
             );
-            let last = cluster.run(trace);
+            let last = match &self.cfg.autoscale {
+                Some(auto) => {
+                    let mut scaler = Autoscaler::new(auto.controller.clone());
+                    let mut grow = |id: chameleon_router::EngineId| {
+                        let spec = self
+                            .cfg
+                            .growth_spec((id.0 as usize).saturating_sub(initial));
+                        self.build_engine(slo, wrs, id.0 as usize, max_output, k_max, &spec)
+                    };
+                    cluster.run_elastic(trace, &mut scaler, &mut grow)
+                }
+                None => cluster.run(trace),
+            };
             let events = cluster.events_processed();
             (cluster.into_report(), last, events)
         } else {
-            let mut engine = self.build_engine(slo, wrs, 0, max_output, k_max);
+            let spec = self.cfg.engine_spec(0);
+            let mut engine = self.build_engine(slo, wrs, 0, max_output, k_max, &spec);
             let (last, events) = driver::run_engine_counted(&mut engine, trace);
             (engine.into_report(), last, events)
         };
@@ -267,5 +282,38 @@ mod tests {
         let n = trace.len();
         let report = sim.run(&trace);
         assert_eq!(report.completed(), n);
+    }
+
+    #[test]
+    fn hetero_fleet_runs() {
+        let mut sim = Simulation::new(preset::chameleon_cluster_hetero(), 4);
+        let trace = workloads::splitwise(8.0, 15.0, 4, sim.pool());
+        let n = trace.len();
+        let report = sim.run(&trace);
+        assert_eq!(report.completed(), n);
+        assert_eq!(report.routing.engine_ids.len(), 4);
+        assert_eq!(report.routing.dispatched as usize, n);
+    }
+
+    #[test]
+    fn elastic_fleet_scales_up_under_a_burst() {
+        let mut cfg = preset::chameleon_cluster_elastic();
+        // Tighten the controller so a short test trace exercises it.
+        let auto = cfg.autoscale.as_mut().expect("elastic preset");
+        auto.controller.interval = SimDuration::from_millis(500);
+        auto.controller.cooldown = SimDuration::from_secs(2);
+        auto.controller.scale_up_mean_queue = 4.0;
+        let mut sim = Simulation::new(cfg, 6);
+        let trace = workloads::splitwise(60.0, 20.0, 6, sim.pool());
+        let n = trace.len();
+        let report = sim.run(&trace);
+        assert_eq!(report.completed(), n, "elastic run lost requests");
+        assert!(
+            report.routing.engines_added > 0,
+            "overload never grew the fleet: {:?}",
+            report.routing
+        );
+        assert!(report.routing.adapters_rehomed > 0);
+        assert!(report.routing.engine_ids.len() > 2);
     }
 }

@@ -188,10 +188,12 @@ impl RouterSweep {
     ///
     /// # Panics
     ///
-    /// Panics unless `cfg.data_parallel > 1` — routing needs a cluster.
+    /// Panics unless `cfg` describes a multi-engine fleet (via
+    /// `data_parallel` or a [`FleetSpec`](crate::system::FleetSpec),
+    /// heterogeneous fleets included) — routing needs a cluster.
     pub fn new(cfg: SystemConfig, seed: u64) -> Self {
         assert!(
-            cfg.data_parallel > 1,
+            cfg.engine_count() > 1,
             "router sweep needs a data-parallel cluster"
         );
         RouterSweep { cfg, seed }
@@ -229,19 +231,23 @@ impl RouterSweep {
         par::parallel_map(policies, workers, |_, &policy| self.point(policy, trace))
     }
 
+    /// The shared workload of [`run_all`](Self::run_all) and its parallel
+    /// variant — one construction site, so the serial and parallel entry
+    /// points cannot drift onto different traces.
+    fn default_trace(&self, rps: f64, secs: f64) -> Trace {
+        let pool = AdapterPool::generate(&self.cfg.llm, &self.cfg.pool_config());
+        workloads::splitwise(rps, secs, self.seed, &pool)
+    }
+
     /// Runs all built-in policies over the scaled Splitwise workload at
     /// `rps` for `secs` seconds.
     pub fn run_all(&self, rps: f64, secs: f64) -> Vec<RouterPoint> {
-        let pool = AdapterPool::generate(&self.cfg.llm, &self.cfg.pool_config());
-        let trace = workloads::splitwise(rps, secs, self.seed, &pool);
-        self.run_trace(&RouterPolicy::ALL, &trace)
+        self.run_trace(&RouterPolicy::ALL, &self.default_trace(rps, secs))
     }
 
     /// Parallel variant of [`run_all`](Self::run_all).
     pub fn run_all_parallel(&self, rps: f64, secs: f64, workers: usize) -> Vec<RouterPoint> {
-        let pool = AdapterPool::generate(&self.cfg.llm, &self.cfg.pool_config());
-        let trace = workloads::splitwise(rps, secs, self.seed, &pool);
-        self.run_trace_parallel(&RouterPolicy::ALL, &trace, workers)
+        self.run_trace_parallel(&RouterPolicy::ALL, &self.default_trace(rps, secs), workers)
     }
 }
 

@@ -1,8 +1,98 @@
 //! System configuration: every knob of a serving system under study.
 
+use chameleon_engine::AutoscalerConfig;
 use chameleon_models::{GpuSpec, LlmSpec, PoolConfig, PopularityDist};
 use chameleon_router::RouterPolicy;
 use chameleon_simcore::SimDuration;
+
+/// Shape of one engine in a (possibly heterogeneous) fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSpec {
+    /// Tensor-parallel degree of this engine.
+    pub tp_degree: u32,
+    /// GPU platform override; `None` uses the system's default GPU.
+    pub gpu: Option<GpuSpec>,
+}
+
+impl EngineSpec {
+    /// A TP-`tp` engine on the system's default GPU.
+    pub fn tp(tp_degree: u32) -> Self {
+        EngineSpec {
+            tp_degree,
+            gpu: None,
+        }
+    }
+}
+
+/// Per-engine description of a data-parallel fleet — the heterogeneous
+/// generalisation of a bare engine count. The §5.6 tensor-parallel
+/// evaluation becomes a fleet axis: `FleetSpec::mixed_tp(&[1, 1, 2, 4])`
+/// builds a fleet whose capacity-weighted rendezvous shards are
+/// proportional to each engine's memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// One spec per engine, in `EngineId` order.
+    pub engines: Vec<EngineSpec>,
+}
+
+impl FleetSpec {
+    /// `n` identical TP-`tp` engines.
+    pub fn homogeneous(n: usize, tp_degree: u32) -> Self {
+        FleetSpec {
+            engines: vec![EngineSpec::tp(tp_degree); n],
+        }
+    }
+
+    /// One engine per entry of `tps`, each with that TP degree.
+    pub fn mixed_tp(tps: &[u32]) -> Self {
+        FleetSpec {
+            engines: tps.iter().map(|&tp| EngineSpec::tp(tp)).collect(),
+        }
+    }
+
+    /// Number of engines in the initial fleet.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True for an empty fleet (rejected by the simulation).
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+/// Runtime fleet-scaling configuration: the controller tunables plus what
+/// kind of engine the fleet grows by.
+#[derive(Debug, Clone)]
+pub struct AutoscaleSpec {
+    /// The queue-depth/SLO-watching controller's tunables.
+    pub controller: AutoscalerConfig,
+    /// Specs for engines added at runtime, cycled in growth order (the
+    /// fleet can grow heterogeneously). Empty falls back to the system's
+    /// default engine shape.
+    pub growth: Vec<EngineSpec>,
+}
+
+impl AutoscaleSpec {
+    /// Scale between `min` and `max` engines with the default controller
+    /// tunables, growing by TP-1 default-GPU engines.
+    pub fn new(min_engines: usize, max_engines: usize) -> Self {
+        AutoscaleSpec {
+            controller: AutoscalerConfig {
+                min_engines,
+                max_engines,
+                ..AutoscalerConfig::default()
+            },
+            growth: Vec::new(),
+        }
+    }
+
+    /// Sets the growth engine shapes (cycled).
+    pub fn with_growth(mut self, growth: Vec<EngineSpec>) -> Self {
+        self.growth = growth;
+        self
+    }
+}
 
 /// Which iteration-level scheduling policy the system runs (§3.3, §4.3).
 #[derive(Debug, Clone, PartialEq)]
@@ -74,10 +164,16 @@ pub struct SystemConfig {
     pub gpu: GpuSpec,
     /// Tensor-parallel degree.
     pub tp_degree: u32,
-    /// Data-parallel engine count.
+    /// Data-parallel engine count (a homogeneous fleet; superseded by
+    /// [`fleet`](Self::fleet) when set).
     pub data_parallel: usize,
+    /// Per-engine fleet description for heterogeneous clusters. `None`
+    /// builds `data_parallel` identical engines.
+    pub fleet: Option<FleetSpec>,
+    /// Runtime fleet scaling; `None` keeps the fleet fixed for the run.
+    pub autoscale: Option<AutoscaleSpec>,
     /// Global routing policy dispatching requests across data-parallel
-    /// engines (ignored when `data_parallel == 1`). The paper's two-level
+    /// engines (ignored for single-engine runs). The paper's two-level
     /// scheduler uses [`RouterPolicy::JoinShortestQueue`];
     /// [`RouterPolicy::AdapterAffinity`] partitions the adapter working
     /// set across engines instead of replicating it.
@@ -119,6 +215,8 @@ impl SystemConfig {
             gpu: GpuSpec::a40(),
             tp_degree: 1,
             data_parallel: 1,
+            fleet: None,
+            autoscale: None,
             router: RouterPolicy::JoinShortestQueue,
             num_adapters: 100,
             rank_popularity: PopularityDist::Uniform,
@@ -173,6 +271,49 @@ impl SystemConfig {
     pub fn with_data_parallel(mut self, engines: usize) -> Self {
         self.data_parallel = engines;
         self
+    }
+
+    /// Builder-style: sets a per-engine (possibly heterogeneous) fleet.
+    pub fn with_fleet(mut self, fleet: FleetSpec) -> Self {
+        assert!(!fleet.is_empty(), "empty fleet");
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Builder-style: enables runtime fleet scaling.
+    pub fn with_autoscale(mut self, autoscale: AutoscaleSpec) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Number of engines the initial fleet is built with.
+    pub fn engine_count(&self) -> usize {
+        self.fleet
+            .as_ref()
+            .map_or(self.data_parallel, FleetSpec::len)
+    }
+
+    /// True when the run goes through the cluster dispatch layer (more
+    /// than one engine, or a fleet that can scale past one).
+    pub fn is_cluster(&self) -> bool {
+        self.engine_count() > 1 || self.autoscale.is_some()
+    }
+
+    /// The shape of engine `i` in the initial fleet.
+    pub fn engine_spec(&self, i: usize) -> EngineSpec {
+        match &self.fleet {
+            Some(fleet) => fleet.engines[i % fleet.engines.len()].clone(),
+            None => EngineSpec::tp(self.tp_degree),
+        }
+    }
+
+    /// The shape of the `k`-th engine added by the autoscaler (cycling
+    /// through the growth specs; the system default when none are given).
+    pub fn growth_spec(&self, k: usize) -> EngineSpec {
+        match self.autoscale.as_ref().filter(|a| !a.growth.is_empty()) {
+            Some(a) => a.growth[k % a.growth.len()].clone(),
+            None => EngineSpec::tp(self.tp_degree),
+        }
     }
 
     /// Builder-style: sets the cluster routing policy.
@@ -235,6 +376,33 @@ mod tests {
         assert_eq!(c.tp_degree, 4);
         assert_eq!(c.predictor_accuracy, 0.6);
         assert_eq!(c.label, "y");
+    }
+
+    #[test]
+    fn fleet_overrides_data_parallel_count() {
+        let c = SystemConfig::base("x").with_fleet(FleetSpec::mixed_tp(&[1, 2, 4]));
+        assert_eq!(c.engine_count(), 3);
+        assert!(c.is_cluster());
+        assert_eq!(c.engine_spec(0), EngineSpec::tp(1));
+        assert_eq!(c.engine_spec(2), EngineSpec::tp(4));
+        // Without a fleet, the spec falls back to the system's TP.
+        let d = SystemConfig::base("y").with_tp(2).with_data_parallel(4);
+        assert_eq!(d.engine_count(), 4);
+        assert_eq!(d.engine_spec(3), EngineSpec::tp(2));
+        assert!(!SystemConfig::base("z").is_cluster());
+    }
+
+    #[test]
+    fn autoscale_growth_cycles_and_defaults() {
+        let c = SystemConfig::base("x").with_autoscale(
+            AutoscaleSpec::new(1, 4).with_growth(vec![EngineSpec::tp(2), EngineSpec::tp(4)]),
+        );
+        assert!(c.is_cluster(), "an elastic single engine is a cluster");
+        assert_eq!(c.growth_spec(0), EngineSpec::tp(2));
+        assert_eq!(c.growth_spec(1), EngineSpec::tp(4));
+        assert_eq!(c.growth_spec(2), EngineSpec::tp(2));
+        let d = SystemConfig::base("y").with_autoscale(AutoscaleSpec::new(1, 2));
+        assert_eq!(d.growth_spec(0), EngineSpec::tp(1), "default shape");
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Locality-aware fleet autoscaling.
+//!
+//! The controller behind [`Cluster::run_elastic`](crate::Cluster::run_elastic):
+//! it watches per-engine queue depth (the backlog that turns into TTFT SLO
+//! violations once it exceeds what an engine can drain inside the SLO) and
+//! decides, on a fixed cadence, whether the fleet should grow, shrink, or
+//! hold. The *decision* lives here; the *mechanism* — spawning an engine,
+//! draining one with minimal adapter re-homing — is the cluster's
+//! add/drain lifecycle, so the controller stays a pure, unit-testable
+//! policy over [`EngineSnapshot`]s.
+
+use chameleon_router::{EngineId, EngineSnapshot};
+use chameleon_simcore::{SimDuration, SimTime};
+
+/// Tunables of the queue-depth/SLO-watching controller.
+#[derive(Debug, Clone)]
+pub struct AutoscalerConfig {
+    /// Never drain below this many active engines.
+    pub min_engines: usize,
+    /// Never grow the *total* fleet (active + still-draining engines)
+    /// beyond this.
+    pub max_engines: usize,
+    /// Evaluation cadence.
+    pub interval: SimDuration,
+    /// Grow when the mean queue depth per active engine exceeds this.
+    pub scale_up_mean_queue: f64,
+    /// Grow when *any* engine's queue depth exceeds this (a saturated
+    /// home engine is an SLO violation in the making even when the fleet
+    /// mean looks healthy — affinity routing concentrates load).
+    pub scale_up_max_queue: usize,
+    /// Drain when the mean queue depth per active engine falls below this.
+    pub scale_down_mean_queue: f64,
+    /// Minimum time between consecutive scaling actions, so one burst
+    /// does not trigger a grow/drain oscillation.
+    pub cooldown: SimDuration,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            min_engines: 1,
+            max_engines: 8,
+            interval: SimDuration::from_secs(5),
+            scale_up_mean_queue: 8.0,
+            scale_up_max_queue: 64,
+            scale_down_mean_queue: 1.0,
+            cooldown: SimDuration::from_secs(20),
+        }
+    }
+}
+
+/// One scaling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// Fleet stays as is.
+    Hold,
+    /// Add one engine.
+    ScaleUp,
+    /// Drain the named engine.
+    Drain(EngineId),
+}
+
+/// The queue-depth/SLO-watching fleet controller.
+#[derive(Debug)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    last_action_at: Option<SimTime>,
+    log: Vec<(SimTime, ScaleAction)>,
+}
+
+impl Autoscaler {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (`min == 0`, `min > max`, or
+    /// a non-positive interval).
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        assert!(cfg.min_engines > 0, "min_engines must be positive");
+        assert!(cfg.min_engines <= cfg.max_engines, "min > max");
+        assert!(!cfg.interval.is_zero(), "zero evaluation interval");
+        Autoscaler {
+            cfg,
+            last_action_at: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.cfg
+    }
+
+    /// Every non-hold decision taken so far, in time order.
+    pub fn actions(&self) -> &[(SimTime, ScaleAction)] {
+        &self.log
+    }
+
+    /// Decides on the fleet given snapshots of the *active* engines plus
+    /// the number still draining. Non-hold decisions start the cooldown
+    /// clock.
+    ///
+    /// `max_engines` bounds the *total* fleet (active + draining): a
+    /// draining engine still occupies its hardware until its in-flight
+    /// work finishes, so a burst arriving mid-drain cannot push the
+    /// simulated fleet past the cap.
+    pub fn decide(
+        &mut self,
+        now: SimTime,
+        engines: &[EngineSnapshot],
+        draining: usize,
+    ) -> ScaleAction {
+        if engines.is_empty() {
+            return ScaleAction::Hold;
+        }
+        if let Some(last) = self.last_action_at {
+            if now.saturating_since(last) < self.cfg.cooldown {
+                return ScaleAction::Hold;
+            }
+        }
+        let n = engines.len();
+        let mean_queue = engines.iter().map(|s| s.queue_depth).sum::<usize>() as f64 / n as f64;
+        let max_queue = engines.iter().map(|s| s.queue_depth).max().unwrap_or(0);
+        let action = if n + draining < self.cfg.max_engines
+            && (mean_queue > self.cfg.scale_up_mean_queue
+                || max_queue > self.cfg.scale_up_max_queue)
+        {
+            ScaleAction::ScaleUp
+        } else if n > self.cfg.min_engines && mean_queue < self.cfg.scale_down_mean_queue {
+            // Drain the least-loaded engine; among ties the newest (highest
+            // id), so the fleet shrinks back the way it grew.
+            let victim = engines
+                .iter()
+                .min_by_key(|s| (s.outstanding_tokens, std::cmp::Reverse(s.id)))
+                .expect("non-empty");
+            ScaleAction::Drain(victim.id)
+        } else {
+            ScaleAction::Hold
+        };
+        if action != ScaleAction::Hold {
+            self.last_action_at = Some(now);
+            self.log.push((now, action));
+        }
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snaps(queues: &[usize]) -> Vec<EngineSnapshot> {
+        queues
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| EngineSnapshot {
+                queue_depth: q,
+                outstanding_tokens: q as u64 * 100,
+                ..EngineSnapshot::idle(EngineId(i as u32))
+            })
+            .collect()
+    }
+
+    fn controller() -> Autoscaler {
+        Autoscaler::new(AutoscalerConfig {
+            min_engines: 2,
+            max_engines: 4,
+            interval: SimDuration::from_secs(5),
+            scale_up_mean_queue: 8.0,
+            scale_up_max_queue: 64,
+            scale_down_mean_queue: 1.0,
+            cooldown: SimDuration::from_secs(20),
+        })
+    }
+
+    #[test]
+    fn scales_up_on_deep_mean_queue() {
+        let mut a = controller();
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(5.0), &snaps(&[10, 12]), 0),
+            ScaleAction::ScaleUp
+        );
+        assert_eq!(a.actions().len(), 1);
+    }
+
+    #[test]
+    fn scales_up_on_one_saturated_engine() {
+        let mut a = controller();
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(5.0), &snaps(&[0, 100]), 0),
+            ScaleAction::ScaleUp,
+            "one saturated home is SLO pressure even with a healthy mean"
+        );
+    }
+
+    #[test]
+    fn respects_max_engines() {
+        let mut a = controller();
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(5.0), &snaps(&[50, 50, 50, 50]), 0),
+            ScaleAction::Hold
+        );
+    }
+
+    #[test]
+    fn draining_engines_count_against_the_cap() {
+        // 3 active + 1 draining = 4 total: at the cap, a burst must not
+        // grow the fleet to 5 pieces of hardware.
+        let mut a = controller();
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(5.0), &snaps(&[50, 50, 50]), 1),
+            ScaleAction::Hold
+        );
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(5.0), &snaps(&[50, 50, 50]), 0),
+            ScaleAction::ScaleUp,
+            "once the drain completes the slot frees up"
+        );
+    }
+
+    #[test]
+    fn drains_least_loaded_newest_down_to_min() {
+        let mut a = controller();
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(5.0), &snaps(&[0, 0, 1]), 0),
+            ScaleAction::Drain(EngineId(1)),
+            "ties drain the newest idle engine"
+        );
+        // At the floor: hold.
+        let mut b = controller();
+        assert_eq!(
+            b.decide(SimTime::from_secs_f64(5.0), &snaps(&[0, 0]), 0),
+            ScaleAction::Hold
+        );
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_actions() {
+        let mut a = controller();
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(5.0), &snaps(&[10, 12]), 0),
+            ScaleAction::ScaleUp
+        );
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(10.0), &snaps(&[10, 12, 0]), 0),
+            ScaleAction::Hold,
+            "inside cooldown"
+        );
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(25.0), &snaps(&[10, 12, 11]), 0),
+            ScaleAction::ScaleUp,
+            "cooldown expired"
+        );
+        assert_eq!(a.actions().len(), 2);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let run = || {
+            let mut a = controller();
+            let mut out = Vec::new();
+            for (t, q) in [
+                (5.0, vec![10, 12]),
+                (25.0, vec![9, 9, 10]),
+                (45.0, vec![0, 0, 0, 0]),
+                (65.0, vec![0, 0, 0]),
+            ] {
+                out.push(a.decide(SimTime::from_secs_f64(t), &snaps(&q), 0));
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "min > max")]
+    fn rejects_degenerate_bounds() {
+        let _ = Autoscaler::new(AutoscalerConfig {
+            min_engines: 5,
+            max_engines: 2,
+            ..AutoscalerConfig::default()
+        });
+    }
+}

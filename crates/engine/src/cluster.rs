@@ -1,44 +1,76 @@
-//! Data-parallel multi-engine cluster (§4.4).
+//! Data-parallel multi-engine cluster (§4.4), elastic and heterogeneous.
 //!
 //! "In DP, Chameleon uses a two-level scheduler: a global scheduler
 //! dispatches requests to the different engines, and each engine has its
-//! local scheduler." The global scheduler is now a pluggable
-//! [`Router`] from `chameleon_router`: [`Cluster::new`] keeps the paper's
+//! local scheduler." The global scheduler is a pluggable [`Router`] from
+//! `chameleon_router`: [`Cluster::new`] keeps the paper's
 //! production-standard join-shortest-queue dispatch (over outstanding
 //! resource tokens) and its replicated-adapter-cache behaviour, while
 //! [`Cluster::with_router`] accepts any placement policy — notably
 //! `AdapterAffinity`, which partitions the adapter working set across
-//! engines instead of replicating it. Each engine keeps its own local
-//! scheduler and its own adapter cache either way; only *where requests
-//! land* changes, and with it which adapters each cache ends up holding.
+//! engines instead of replicating it.
 //!
-//! Every dispatch is recorded in [`RoutingStats`]: per-engine counts,
-//! affinity hits (the chosen engine already had the adapter resident),
-//! spills, and the per-policy load-imbalance coefficient, all flowing
-//! into the merged [`EngineReport`].
+//! Beyond the paper's fixed fleet, the cluster is *elastic*: every engine
+//! carries a stable [`EngineId`] (identity, not position), and the fleet
+//! can change while a trace is in flight. [`Cluster::add_engine`] joins a
+//! new engine — of any capacity: heterogeneous fleets mix TP1/TP2/TP4
+//! engines whose weighted rendezvous shards are proportional to memory —
+//! and [`Cluster::drain_engine`] retires one gracefully: the drained
+//! engine stops receiving dispatches immediately, finishes its in-flight
+//! and queued work, and leaves; identity-keyed rendezvous guarantees that
+//! only the departing engine's adapter shard is re-homed, which the
+//! cluster measures (`adapters_rehomed`) rather than assumes.
+//! [`Cluster::run_elastic`] drives a trace with an [`Autoscaler`]
+//! watching queue depth and scaling the fleet mid-trace.
+//!
+//! Every dispatch is recorded in [`RoutingStats`]: per-engine counts
+//! keyed by [`EngineId`], affinity hits (the chosen engine already had
+//! the adapter resident), spills, load imbalance, and the fleet-change
+//! counters, all flowing into the merged [`EngineReport`].
 
+use crate::autoscaler::{Autoscaler, ScaleAction};
 use crate::engine::{Engine, EngineEvent};
 use crate::report::EngineReport;
 use chameleon_metrics::RoutingStats;
-use chameleon_router::{EngineSnapshot, JoinShortestQueue, Router};
-use chameleon_simcore::{EventQueue, SimTime};
+use chameleon_models::AdapterId;
+use chameleon_router::{policies, EngineId, EngineSnapshot, JoinShortestQueue, Router};
+use chameleon_simcore::{EventQueue, SimDuration, SimTime};
 use chameleon_workload::Trace;
 
-/// Events at cluster scope: an undispatched arrival or an engine-local
-/// event.
+/// Events at cluster scope: an undispatched arrival, an engine-local
+/// event, or an autoscaler evaluation tick.
 #[derive(Debug)]
 enum ClusterEvent {
     Arrival(chameleon_workload::Request),
-    Engine(usize, EngineEvent),
+    Engine(EngineId, EngineEvent),
+    Scale,
+}
+
+/// One engine plus its cluster-lifecycle state.
+struct EngineSlot {
+    id: EngineId,
+    /// Draining engines accept no new dispatches; they finish their
+    /// queued and running work and are then retired.
+    draining: bool,
+    engine: Engine,
 }
 
 /// A data-parallel group of engines behind a global dispatcher.
 pub struct Cluster {
-    engines: Vec<Engine>,
+    slots: Vec<EngineSlot>,
+    next_id: u32,
     router: Box<dyn Router>,
     stats: RoutingStats,
     /// Reused per-arrival snapshot buffer (dispatch is the hot path).
     snap_buf: Vec<EngineSnapshot>,
+    /// Slot position of each snapshot in `snap_buf` (parallel).
+    snap_slots: Vec<usize>,
+    /// Reports of engines drained and retired during the run.
+    retired: Vec<EngineReport>,
+    /// Periodic-event cadence, shared by every engine (taken from the
+    /// initial fleet; `add_engine` asserts newcomers agree).
+    mem_int: SimDuration,
+    refresh_int: SimDuration,
     /// Events processed across all [`Cluster::run`] calls.
     events_processed: u64,
 }
@@ -46,7 +78,8 @@ pub struct Cluster {
 impl Cluster {
     /// Builds a cluster of `n` engines from a factory, dispatching with
     /// the paper's global scheduler (join-shortest-queue over outstanding
-    /// resource tokens).
+    /// resource tokens). The factory is called with each engine's
+    /// [`EngineId`] value (`0..n`).
     ///
     /// # Panics
     ///
@@ -66,29 +99,60 @@ impl Cluster {
         router: Box<dyn Router>,
     ) -> Self {
         assert!(n > 0, "empty cluster");
-        let stats = RoutingStats::new(router.name(), n);
+        let slots: Vec<EngineSlot> = (0..n)
+            .map(|i| EngineSlot {
+                id: EngineId(i as u32),
+                draining: false,
+                engine: factory(i),
+            })
+            .collect();
+        let ids: Vec<EngineId> = slots.iter().map(|s| s.id).collect();
+        let stats = RoutingStats::new(router.name(), &ids);
+        let mem_int = slots[0].engine.config().mem_sample_interval;
+        let refresh_int = slots[0].engine.config().refresh_interval;
         Cluster {
-            engines: (0..n).map(&mut factory).collect(),
+            next_id: n as u32,
+            snap_buf: Vec::with_capacity(n),
+            snap_slots: Vec::with_capacity(n),
+            retired: Vec::new(),
+            mem_int,
+            refresh_int,
+            slots,
             router,
             stats,
-            snap_buf: Vec::with_capacity(n),
             events_processed: 0,
         }
     }
 
-    /// Events processed across all [`Cluster::run`] calls so far.
+    /// Events processed across all run calls so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
     }
 
-    /// Number of engines.
+    /// Number of engines currently in the cluster (active + draining;
+    /// drained engines have left).
     pub fn len(&self) -> usize {
-        self.engines.len()
+        self.slots.len()
     }
 
-    /// True when the cluster has no engines (never: constructor forbids).
+    /// True when the cluster has no engines (never: the constructor
+    /// forbids it and the last active engine cannot be drained).
     pub fn is_empty(&self) -> bool {
-        self.engines.is_empty()
+        self.slots.is_empty()
+    }
+
+    /// Number of engines accepting new dispatches.
+    pub fn active_engines(&self) -> usize {
+        self.slots.iter().filter(|s| !s.draining).count()
+    }
+
+    /// Ids of the engines accepting new dispatches, in registration order.
+    pub fn active_engine_ids(&self) -> Vec<EngineId> {
+        self.slots
+            .iter()
+            .filter(|s| !s.draining)
+            .map(|s| s.id)
+            .collect()
     }
 
     /// The active routing policy's label.
@@ -96,7 +160,14 @@ impl Cluster {
         self.router.name()
     }
 
-    /// Requests dispatched to each engine.
+    /// The stable id the next engine to join will be registered under —
+    /// the single mint point for engine identities.
+    pub fn next_engine_id(&self) -> EngineId {
+        EngineId(self.next_id)
+    }
+
+    /// Requests dispatched to each engine ever registered, in
+    /// registration order (see [`RoutingStats::engine_ids`]).
     pub fn dispatch_counts(&self) -> &[u64] {
         &self.stats.per_engine
     }
@@ -106,93 +177,309 @@ impl Cluster {
         &self.stats
     }
 
-    /// Refills the reusable snapshot buffer for a routing decision.
-    /// Residency sets are copied only when the router declares it reads
-    /// them, so queue-depth-only policies stay cheap per arrival.
+    /// Joins `engine` to the fleet and returns its id. The newcomer
+    /// starts receiving dispatches on the next arrival; with an affinity
+    /// router, exactly the adapters whose weighted-rendezvous top choice
+    /// is the new engine re-home onto it (measured into
+    /// `adapters_rehomed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the newcomer's periodic-event cadence differs from the
+    /// fleet's (the cluster shares one tick schedule).
+    pub fn add_engine(&mut self, engine: Engine) -> EngineId {
+        assert_eq!(
+            engine.config().mem_sample_interval,
+            self.mem_int,
+            "newcomer must share the fleet's sampling cadence"
+        );
+        assert_eq!(
+            engine.config().refresh_interval,
+            self.refresh_int,
+            "newcomer must share the fleet's refresh cadence"
+        );
+        let id = self.next_engine_id();
+        self.next_id += 1;
+        if self.router.uses_affinity() {
+            let moved = self.count_rehomed(&engine, Some((id, engine.capacity_weight())), None);
+            self.stats.on_adapters_rehomed(moved);
+        }
+        self.stats.on_engine_added(id);
+        self.slots.push(EngineSlot {
+            id,
+            draining: false,
+            engine,
+        });
+        id
+    }
+
+    /// Starts draining engine `id`: it stops receiving new dispatches
+    /// immediately, finishes its in-flight and queued work, and is then
+    /// retired (its measurements are folded into the final report). With
+    /// an affinity router, exactly the departing engine's adapter shard
+    /// re-homes onto the survivors.
+    ///
+    /// Returns `false` (and does nothing) when `id` is unknown, already
+    /// draining, or the last active engine — a cluster never drains to
+    /// zero.
+    pub fn drain_engine(&mut self, id: EngineId) -> bool {
+        let Some(pos) = self.slots.iter().position(|s| s.id == id) else {
+            return false;
+        };
+        if self.slots[pos].draining || self.active_engines() <= 1 {
+            return false;
+        }
+        if self.router.uses_affinity() {
+            let moved = self.count_rehomed(&self.slots[pos].engine, None, Some(id));
+            self.stats.on_adapters_rehomed(moved);
+        }
+        self.slots[pos].draining = true;
+        self.stats.on_engine_drained(id);
+        true
+    }
+
+    /// The `(id, capacity weight)` pairs of the engines currently
+    /// accepting dispatches — the candidate set every placement and
+    /// re-homing computation works over.
+    fn active_weights(&self) -> Vec<(EngineId, f64)> {
+        self.slots
+            .iter()
+            .filter(|s| !s.draining)
+            .map(|s| (s.id, s.engine.capacity_weight()))
+            .collect()
+    }
+
+    /// Counts adapters whose weighted-rendezvous home differs between the
+    /// current active set and the same set with `joining` added or
+    /// `leaving` removed — the measured (not assumed) migration cost of a
+    /// fleet change. `pool_of` only lends its adapter pool (all engines
+    /// share one).
+    fn count_rehomed(
+        &self,
+        pool_of: &Engine,
+        joining: Option<(EngineId, f64)>,
+        leaving: Option<EngineId>,
+    ) -> u64 {
+        let before = self.active_weights();
+        let mut after = before.clone();
+        if let Some(e) = joining {
+            after.push(e);
+        }
+        if let Some(id) = leaving {
+            after.retain(|&(e, _)| e != id);
+        }
+        if before.is_empty() || after.is_empty() {
+            return 0;
+        }
+        let home = |set: &[(EngineId, f64)], a: AdapterId| {
+            set[policies::rendezvous_home(a, set.iter().copied())].0
+        };
+        pool_of
+            .pool()
+            .iter()
+            .filter(|spec| home(&before, spec.id()) != home(&after, spec.id()))
+            .count() as u64
+    }
+
+    /// The weighted-rendezvous home (engine id) of `adapter` over the
+    /// currently active engines — what an affinity router would pick on an
+    /// unloaded fleet. Exposed for tests and capacity planning.
+    pub fn home_of(&self, adapter: AdapterId) -> EngineId {
+        let active = self.active_weights();
+        active[policies::rendezvous_home(adapter, active.iter().copied())].0
+    }
+
+    /// Refills the reusable snapshot buffer (live engines only) for a
+    /// routing decision. Residency sets are copied only when the router
+    /// declares it reads them, so queue-depth-only policies stay cheap
+    /// per arrival.
     fn fill_snapshots(&mut self) {
         let with_residency = self.router.needs_residency();
         self.snap_buf.clear();
-        self.snap_buf.extend(
-            self.engines
-                .iter()
-                .enumerate()
-                .map(|(i, e)| e.snapshot(i, with_residency)),
-        );
+        self.snap_slots.clear();
+        for (pos, slot) in self.slots.iter().enumerate() {
+            if slot.draining {
+                continue;
+            }
+            self.snap_buf
+                .push(slot.engine.snapshot(slot.id, with_residency));
+            self.snap_slots.push(pos);
+        }
     }
 
-    /// Runs `trace` through the cluster until drained. Returns the instant
-    /// of the last processed event.
+    /// Retires `slot` if it is draining and fully idle: its report is
+    /// stashed for the final merge and its id stops matching events.
+    fn maybe_retire(&mut self, pos: usize) {
+        if self.slots[pos].draining && !self.slots[pos].engine.has_work() {
+            let slot = self.slots.remove(pos);
+            self.retired.push(slot.engine.into_report());
+        }
+    }
+
+    /// Runs `trace` through the (fixed) cluster until drained. Returns
+    /// the instant of the last processed event.
     pub fn run(&mut self, trace: &Trace) -> SimTime {
+        self.run_loop(trace, None)
+    }
+
+    /// Runs `trace` with `autoscaler` evaluating the fleet every
+    /// [`AutoscalerConfig::interval`](crate::autoscaler::AutoscalerConfig)
+    /// and `grow` building each engine the fleet scales up by (called
+    /// with the newcomer's id). Scale-downs drain gracefully — only the
+    /// departing engine's adapter shard re-homes.
+    pub fn run_elastic(
+        &mut self,
+        trace: &Trace,
+        autoscaler: &mut Autoscaler,
+        grow: &mut dyn FnMut(EngineId) -> Engine,
+    ) -> SimTime {
+        self.run_loop(trace, Some((autoscaler, grow)))
+    }
+
+    fn run_loop(
+        &mut self,
+        trace: &Trace,
+        mut scale: Option<(&mut Autoscaler, &mut dyn FnMut(EngineId) -> Engine)>,
+    ) -> SimTime {
         // Pending events peak near the unconsumed arrivals plus a few
         // in-flight events per engine; size the heap from the trace.
         let mut q: EventQueue<ClusterEvent> =
-            EventQueue::with_capacity(trace.len() + 4 * self.engines.len() + 16);
+            EventQueue::with_capacity(trace.len() + 4 * self.slots.len() + 16);
         let mut arrivals_left = trace.len();
         for r in trace {
             q.push(r.arrival(), ClusterEvent::Arrival(*r));
         }
-        let mem_int = self.engines[0].config().mem_sample_interval;
-        let refresh_int = self.engines[0].config().refresh_interval;
-        for i in 0..self.engines.len() {
+        let mem_int = self.mem_int;
+        let refresh_int = self.refresh_int;
+        for slot in &self.slots {
             q.push(
                 SimTime::ZERO + mem_int,
-                ClusterEvent::Engine(i, EngineEvent::MemSample),
+                ClusterEvent::Engine(slot.id, EngineEvent::MemSample),
             );
             q.push(
                 SimTime::ZERO + refresh_int,
-                ClusterEvent::Engine(i, EngineEvent::Refresh),
+                ClusterEvent::Engine(slot.id, EngineEvent::Refresh),
+            );
+        }
+        if let Some((autoscaler, _)) = &scale {
+            q.push(
+                SimTime::ZERO + autoscaler.config().interval,
+                ClusterEvent::Scale,
             );
         }
         let mut out = Vec::new();
         let mut last = SimTime::ZERO;
+        // Popped events that did no simulation work (stale ticks of
+        // retired engines): excluded from the processed count, and `last`
+        // (the reported horizon) only advances on real work, so a
+        // trailing controller tick cannot inflate it.
+        let mut dropped: u64 = 0;
         while let Some((t, ev)) = q.pop() {
-            last = t;
             match ev {
                 ClusterEvent::Arrival(req) => {
+                    last = t;
                     arrivals_left -= 1;
                     // Global scheduler: delegate placement to the router.
                     self.fill_snapshots();
                     let decision = self.router.route(&req, &self.snap_buf);
-                    let target = decision.engine;
-                    assert!(target < self.engines.len(), "router out of bounds");
-                    let affinity_hit = self.engines[target].is_adapter_resident(req.adapter());
-                    self.stats.record(target, affinity_hit, decision.spilled);
-                    self.engines[target].handle(t, EngineEvent::Arrival(req), &mut out);
+                    assert!(
+                        decision.engine < self.snap_buf.len(),
+                        "router out of bounds"
+                    );
+                    let pos = self.snap_slots[decision.engine];
+                    let slot = &mut self.slots[pos];
+                    let affinity_hit = slot.engine.is_adapter_resident(req.adapter());
+                    self.stats.record(slot.id, affinity_hit, decision.spilled);
+                    slot.engine.handle(t, EngineEvent::Arrival(req), &mut out);
+                    let id = slot.id;
                     for (at, e) in out.drain(..) {
-                        q.push(at, ClusterEvent::Engine(target, e));
+                        q.push(at, ClusterEvent::Engine(id, e));
                     }
                 }
-                ClusterEvent::Engine(i, ev) => {
+                ClusterEvent::Engine(id, ev) => {
+                    // Events may outlive their engine (a retired engine's
+                    // periodic ticks are still in the heap): drop them.
+                    let Some(pos) = self.slots.iter().position(|s| s.id == id) else {
+                        dropped += 1;
+                        continue;
+                    };
+                    last = t;
                     let reschedule = match &ev {
                         EngineEvent::MemSample => Some((t + mem_int, EngineEvent::MemSample)),
                         EngineEvent::Refresh => Some((t + refresh_int, EngineEvent::Refresh)),
                         _ => None,
                     };
                     let periodic = reschedule.is_some();
-                    self.engines[i].handle(t, ev, &mut out);
+                    self.slots[pos].engine.handle(t, ev, &mut out);
                     for (at, e) in out.drain(..) {
-                        q.push(at, ClusterEvent::Engine(i, e));
+                        q.push(at, ClusterEvent::Engine(id, e));
                     }
-                    if periodic && (arrivals_left > 0 || self.engines[i].has_work()) {
+                    if periodic && (arrivals_left > 0 || self.slots[pos].engine.has_work()) {
                         let (at, e) = reschedule.expect("periodic");
-                        q.push(at, ClusterEvent::Engine(i, e));
+                        q.push(at, ClusterEvent::Engine(id, e));
+                    }
+                    self.maybe_retire(pos);
+                }
+                ClusterEvent::Scale => {
+                    let (autoscaler, grow) = scale.as_mut().expect("scale event without scaler");
+                    self.fill_snapshots();
+                    let draining = self.slots.len() - self.snap_buf.len();
+                    match autoscaler.decide(t, &self.snap_buf, draining) {
+                        ScaleAction::Hold => {}
+                        ScaleAction::ScaleUp => {
+                            // The factory sees the id the newcomer will be
+                            // registered under (per-engine RNG streams and
+                            // growth specs key off it).
+                            let id = self.next_engine_id();
+                            let engine = grow(id);
+                            let assigned = self.add_engine(engine);
+                            assert_eq!(assigned, id, "engine id minted twice");
+                            let id = assigned;
+                            // The newcomer joins the shared tick schedule.
+                            q.push(
+                                t + mem_int,
+                                ClusterEvent::Engine(id, EngineEvent::MemSample),
+                            );
+                            q.push(
+                                t + refresh_int,
+                                ClusterEvent::Engine(id, EngineEvent::Refresh),
+                            );
+                        }
+                        ScaleAction::Drain(victim) => {
+                            if self.drain_engine(victim) {
+                                if let Some(pos) = self.slots.iter().position(|s| s.id == victim) {
+                                    self.maybe_retire(pos);
+                                }
+                            }
+                        }
+                    }
+                    let work_left =
+                        arrivals_left > 0 || self.slots.iter().any(|s| s.engine.has_work());
+                    if work_left {
+                        q.push(t + autoscaler.config().interval, ClusterEvent::Scale);
                     }
                 }
             }
         }
-        self.events_processed += q.processed();
+        self.events_processed += q.processed() - dropped;
         last
     }
 
-    /// Total completed requests across engines.
+    /// Total completed requests across live and retired engines.
     pub fn completed(&self) -> u64 {
-        self.engines.iter().map(|e| e.completed()).sum()
+        let live: u64 = self.slots.iter().map(|s| s.engine.completed()).sum();
+        let retired: u64 = self.retired.iter().map(|r| r.completed() as u64).sum();
+        live + retired
     }
 
-    /// Finalises into one merged report carrying the routing statistics.
+    /// Finalises into one merged report carrying the routing statistics
+    /// (retired engines included).
     pub fn into_report(self) -> EngineReport {
         let stats = self.stats;
-        let mut reports = self.engines.into_iter().map(Engine::into_report);
+        let mut reports = self
+            .retired
+            .into_iter()
+            .chain(self.slots.into_iter().map(|s| s.engine.into_report()));
         let mut merged = reports.next().expect("non-empty cluster");
         for r in reports {
             merged.merge(r);
@@ -205,7 +492,9 @@ impl Cluster {
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
-            .field("engines", &self.engines.len())
+            .field("engines", &self.slots.len())
+            .field("active", &self.active_engines())
+            .field("retired", &self.retired.len())
             .field("router", &self.router.name())
             .field("dispatched", &self.stats.per_engine)
             .finish()
@@ -215,11 +504,12 @@ impl std::fmt::Debug for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::autoscaler::AutoscalerConfig;
     use crate::config::EngineConfig;
     use chameleon_cache::{AdapterCache, EvictionPolicy};
     use chameleon_models::{AdapterPool, GpuSpec, LlmSpec, PoolConfig};
     use chameleon_predictor::OraclePredictor;
-    use chameleon_router::RouterPolicy;
+    use chameleon_router::{AdapterAffinity, RouterPolicy};
     use chameleon_sched::{FifoScheduler, WrsConfig};
     use chameleon_simcore::SimRng;
     use chameleon_workload::{ArrivalModel, LengthModel, TraceGenerator};
@@ -230,6 +520,10 @@ mod tests {
     }
 
     fn factory_and_trace(n_reqs: usize) -> (impl FnMut(usize) -> Engine, Trace) {
+        factory_and_trace_at(20.0, n_reqs)
+    }
+
+    fn factory_and_trace_at(rps: f64, n_reqs: usize) -> (impl FnMut(usize) -> Engine, Trace) {
         let llm = LlmSpec::llama_7b();
         let pool = AdapterPool::generate(&llm, &PoolConfig::paper_default(10));
         let gen = TraceGenerator::new(
@@ -247,7 +541,7 @@ mod tests {
                     max: 32,
                 },
             },
-            ArrivalModel::poisson(20.0),
+            ArrivalModel::poisson(rps),
         );
         let mut rng = SimRng::seed(7);
         let trace = gen.generate_n(&pool, n_reqs, &mut rng);
@@ -363,21 +657,25 @@ mod tests {
         }
 
         fn run(&mut self, trace: &Trace) -> SimTime {
-            let mut q: EventQueue<ClusterEvent> = EventQueue::with_capacity(trace.len() * 4);
+            enum Ev {
+                Arrival(chameleon_workload::Request),
+                Engine(usize, EngineEvent),
+            }
+            let mut q: EventQueue<Ev> = EventQueue::with_capacity(trace.len() * 4);
             let mut arrivals_left = trace.len();
             for r in trace {
-                q.push(r.arrival(), ClusterEvent::Arrival(*r));
+                q.push(r.arrival(), Ev::Arrival(*r));
             }
             let mem_int = self.engines[0].config().mem_sample_interval;
             let refresh_int = self.engines[0].config().refresh_interval;
             for i in 0..self.engines.len() {
                 q.push(
                     SimTime::ZERO + mem_int,
-                    ClusterEvent::Engine(i, EngineEvent::MemSample),
+                    Ev::Engine(i, EngineEvent::MemSample),
                 );
                 q.push(
                     SimTime::ZERO + refresh_int,
-                    ClusterEvent::Engine(i, EngineEvent::Refresh),
+                    Ev::Engine(i, EngineEvent::Refresh),
                 );
             }
             let mut out = Vec::new();
@@ -385,7 +683,7 @@ mod tests {
             while let Some((t, ev)) = q.pop() {
                 last = t;
                 match ev {
-                    ClusterEvent::Arrival(req) => {
+                    Ev::Arrival(req) => {
                         arrivals_left -= 1;
                         let target = (0..self.engines.len())
                             .min_by_key(|&i| self.engines[i].outstanding_tokens())
@@ -393,10 +691,10 @@ mod tests {
                         self.dispatched[target] += 1;
                         self.engines[target].handle(t, EngineEvent::Arrival(req), &mut out);
                         for (at, e) in out.drain(..) {
-                            q.push(at, ClusterEvent::Engine(target, e));
+                            q.push(at, Ev::Engine(target, e));
                         }
                     }
-                    ClusterEvent::Engine(i, ev) => {
+                    Ev::Engine(i, ev) => {
                         let reschedule = match &ev {
                             EngineEvent::MemSample => Some((t + mem_int, EngineEvent::MemSample)),
                             EngineEvent::Refresh => Some((t + refresh_int, EngineEvent::Refresh)),
@@ -405,11 +703,11 @@ mod tests {
                         let periodic = reschedule.is_some();
                         self.engines[i].handle(t, ev, &mut out);
                         for (at, e) in out.drain(..) {
-                            q.push(at, ClusterEvent::Engine(i, e));
+                            q.push(at, Ev::Engine(i, e));
                         }
                         if periodic && (arrivals_left > 0 || self.engines[i].has_work()) {
                             let (at, e) = reschedule.expect("periodic");
-                            q.push(at, ClusterEvent::Engine(i, e));
+                            q.push(at, Ev::Engine(i, e));
                         }
                     }
                 }
@@ -441,5 +739,170 @@ mod tests {
         c.run(&trace);
         assert_eq!(c.dispatch_counts(), &[20, 20, 20]);
         assert_eq!(c.routing_stats().load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn drain_stops_dispatch_finishes_work_and_rehomes_one_shard() {
+        let (mut factory, trace) = factory_and_trace(80);
+        let probe = factory(0);
+        let mut c = Cluster::with_router(4, factory, Box::new(AdapterAffinity::new()));
+
+        // The departing shard, computed independently of the cluster's
+        // accounting from the pure rendezvous function. Drain an engine
+        // (other than 0, which must survive) that is home to something.
+        let weights: Vec<(EngineId, f64)> = (0..4)
+            .map(|i| (EngineId(i), probe.capacity_weight()))
+            .collect();
+        let shard_of = |victim: EngineId| -> Vec<AdapterId> {
+            probe
+                .pool()
+                .iter()
+                .map(|s| s.id())
+                .filter(|&a| {
+                    weights[policies::rendezvous_home(a, weights.iter().copied())].0 == victim
+                })
+                .collect()
+        };
+        let victim = (1..4)
+            .map(EngineId)
+            .find(|&v| !shard_of(v).is_empty())
+            .expect("some engine past 0 holds a shard");
+        let shard = shard_of(victim);
+        let survivors: Vec<(EngineId, f64)> = weights
+            .iter()
+            .copied()
+            .filter(|&(id, _)| id != victim)
+            .collect();
+
+        assert!(c.drain_engine(victim));
+        assert!(!c.drain_engine(victim), "double drain is refused");
+        assert_eq!(c.active_engines(), 3);
+        assert_eq!(
+            c.routing_stats().adapters_rehomed,
+            shard.len() as u64,
+            "drain must migrate exactly the departing shard"
+        );
+        // Every re-homed adapter now homes where the survivors' rendezvous
+        // puts it.
+        for &a in &shard {
+            let expect = survivors[policies::rendezvous_home(a, survivors.iter().copied())].0;
+            assert_eq!(c.home_of(a), expect);
+        }
+
+        c.run(&trace);
+        assert_eq!(c.completed(), 80, "drain lost requests");
+        assert_eq!(
+            c.routing_stats().dispatched_to(victim),
+            0,
+            "drained engine must receive no dispatches"
+        );
+        assert_eq!(c.len(), 3, "idle drained engine was retired");
+        let report = c.into_report();
+        assert_eq!(report.records.len(), 80);
+        assert_eq!(report.routing.engines_drained, 1);
+    }
+
+    #[test]
+    fn drain_mid_run_finishes_in_flight_work_on_the_victim() {
+        // Dispatch some work first, then drain an engine that has it.
+        let (factory, trace) = factory_and_trace(60);
+        let mut c = Cluster::with_router(2, factory, Box::new(AdapterAffinity::new()));
+        let half: Trace = Trace::new(trace.requests()[..30].to_vec());
+        let rest: Trace = Trace::new(trace.requests()[30..].to_vec());
+        c.run(&half);
+        let before = c.routing_stats().dispatched_to(EngineId(0));
+        assert!(c.drain_engine(EngineId(0)));
+        c.run(&rest);
+        assert_eq!(c.completed(), 60);
+        assert_eq!(
+            c.routing_stats().dispatched_to(EngineId(0)),
+            before,
+            "no dispatches after drain"
+        );
+        assert!(!c.drain_engine(EngineId(1)), "last active engine stays");
+    }
+
+    #[test]
+    fn add_engine_attracts_only_its_own_shard() {
+        let (mut factory, trace) = factory_and_trace(60);
+        let newcomer = factory(9);
+        let mut c = Cluster::with_router(2, factory, Box::new(AdapterAffinity::new()));
+        let before: Vec<(EngineId, f64)> = c
+            .active_engine_ids()
+            .iter()
+            .map(|&id| (id, newcomer.capacity_weight()))
+            .collect();
+        let mut after = before.clone();
+        after.push((EngineId(2), newcomer.capacity_weight()));
+        let expected: u64 = newcomer
+            .pool()
+            .iter()
+            .filter(|s| {
+                before[policies::rendezvous_home(s.id(), before.iter().copied())].0
+                    != after[policies::rendezvous_home(s.id(), after.iter().copied())].0
+            })
+            .count() as u64;
+        let id = c.add_engine(newcomer);
+        assert_eq!(id, EngineId(2));
+        assert_eq!(c.routing_stats().adapters_rehomed, expected);
+        assert_eq!(c.routing_stats().engines_added, 1);
+        c.run(&trace);
+        assert_eq!(c.completed(), 60);
+        assert!(
+            c.routing_stats().dispatched_to(id) > 0,
+            "newcomer received nothing"
+        );
+    }
+
+    #[test]
+    fn jsq_fleet_changes_rehome_nothing() {
+        let (mut factory, _) = factory_and_trace(0);
+        let newcomer = factory(9);
+        let mut c = Cluster::new(2, factory);
+        c.add_engine(newcomer);
+        c.drain_engine(EngineId(0));
+        assert_eq!(
+            c.routing_stats().adapters_rehomed,
+            0,
+            "queue-depth policies have no homes to migrate"
+        );
+    }
+
+    #[test]
+    fn autoscaler_grows_and_drains_mid_trace() {
+        // An overload burst on a deliberately small fleet: the controller
+        // must grow, then drain back while the backlog clears.
+        let (factory, trace) = factory_and_trace_at(2000.0, 600);
+        let mut grow_factory = {
+            let (mut f, _) = factory_and_trace(0);
+            move |id: EngineId| f(id.0 as usize)
+        };
+        let mut c = Cluster::with_router(2, factory, Box::new(AdapterAffinity::new()));
+        let mut scaler = Autoscaler::new(AutoscalerConfig {
+            min_engines: 2,
+            max_engines: 4,
+            interval: SimDuration::from_millis(100),
+            scale_up_mean_queue: 4.0,
+            scale_up_max_queue: 32,
+            scale_down_mean_queue: 0.5,
+            cooldown: SimDuration::from_millis(250),
+        });
+        c.run_elastic(&trace, &mut scaler, &mut grow_factory);
+        assert_eq!(c.completed(), 600, "elastic run lost requests");
+        let stats = c.routing_stats();
+        assert!(
+            stats.engines_added > 0,
+            "burst never triggered scale-up: {:?}",
+            scaler.actions()
+        );
+        assert!(
+            stats.engines_drained > 0,
+            "fleet never shrank back: {:?}",
+            scaler.actions()
+        );
+        assert!(stats.adapters_rehomed > 0, "no migration accounted");
+        let report = c.into_report();
+        assert_eq!(report.records.len(), 600);
+        assert!(report.records.iter().all(|r| r.is_complete()));
     }
 }

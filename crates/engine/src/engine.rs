@@ -222,6 +222,20 @@ impl Engine {
         &self.cost
     }
 
+    /// The adapter pool this engine serves.
+    pub fn pool(&self) -> &AdapterPool {
+        &self.pool
+    }
+
+    /// Relative serving capacity for weighted rendezvous placement: total
+    /// GPU memory across the TP group, in GiB. Any consistent scale works
+    /// (rendezvous scores are scale-invariant), so a homogeneous fleet
+    /// behaves exactly like the unweighted scheme while a TP4 engine
+    /// weighs 4× its TP1 neighbour and wins a proportional adapter shard.
+    pub fn capacity_weight(&self) -> f64 {
+        self.cfg.total_memory_bytes() as f64 / (1u64 << 30) as f64
+    }
+
     /// True while any request is queued, running, or loading an adapter.
     pub fn has_work(&self) -> bool {
         !self.running.is_empty() || !self.sched.is_empty() || !self.loading.is_empty()
@@ -273,12 +287,17 @@ impl Engine {
 
     /// Introspection snapshot for the cluster router (§4.4's global
     /// scheduler input, generalised): queue depth, outstanding work, free
-    /// memory, and — when `with_residency` is set, for routers that ask
-    /// for it — the resident-adapter set, tagged with this engine's
-    /// `index` in the cluster.
-    pub fn snapshot(&self, index: usize, with_residency: bool) -> chameleon_router::EngineSnapshot {
+    /// memory, capacity weight, and — when `with_residency` is set, for
+    /// routers that ask for it — the resident-adapter set, tagged with
+    /// this engine's stable `id` in the cluster.
+    pub fn snapshot(
+        &self,
+        id: chameleon_router::EngineId,
+        with_residency: bool,
+    ) -> chameleon_router::EngineSnapshot {
         chameleon_router::EngineSnapshot {
-            engine: index,
+            id,
+            weight: self.capacity_weight(),
             queue_depth: self.sched.len(),
             running: self.running.len(),
             outstanding_tokens: self.outstanding_tokens(),

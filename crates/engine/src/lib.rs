@@ -25,13 +25,22 @@
 //! two-level (global + local) scheduler (§4.4). The global level is
 //! delegated to the `chameleon_router` subsystem: each arrival is routed
 //! through a pluggable [`Router`] fed per-engine [`EngineSnapshot`]s
-//! (queue depth, outstanding tokens, free memory, resident adapters,
-//! built by [`Engine::snapshot`]). [`Cluster::new`] keeps the paper's
-//! join-shortest-queue dispatch with replicated adapter caches;
-//! [`Cluster::with_router`] swaps in any policy — adapter-affinity
-//! routing partitions the adapter working set across the fleet instead.
-//! Routing outcomes (per-engine dispatch counts, affinity hit rate,
-//! spill rate, load imbalance) land in [`EngineReport::routing`].
+//! (stable identity, capacity weight, queue depth, outstanding tokens,
+//! free memory, resident adapters, built by [`Engine::snapshot`]).
+//! [`Cluster::new`] keeps the paper's join-shortest-queue dispatch with
+//! replicated adapter caches; [`Cluster::with_router`] swaps in any
+//! policy — adapter-affinity routing partitions the adapter working set
+//! across the fleet instead, with capacity-weighted rendezvous shards on
+//! heterogeneous (mixed-TP) fleets.
+//!
+//! The fleet is *elastic*: [`Cluster::add_engine`] and
+//! [`Cluster::drain_engine`] change it at runtime (a drain stops new
+//! dispatches, lets in-flight work finish, and re-homes only the
+//! departing adapter shard), and [`Cluster::run_elastic`] drives a trace
+//! with a queue-depth-watching [`Autoscaler`] growing and shrinking the
+//! fleet mid-trace. Routing outcomes (per-engine dispatch counts keyed by
+//! `EngineId`, affinity hit rate, spill rate, load imbalance, engines
+//! added/drained, adapters re-homed) land in [`EngineReport::routing`].
 //!
 //! [`Scheduler`]: chameleon_sched::Scheduler
 //! [`AdapterCache`]: chameleon_cache::AdapterCache
@@ -40,6 +49,7 @@
 //! [`Router`]: chameleon_router::Router
 //! [`EngineSnapshot`]: chameleon_router::EngineSnapshot
 
+pub mod autoscaler;
 pub mod cluster;
 pub mod config;
 pub mod driver;
@@ -47,6 +57,7 @@ pub mod engine;
 pub mod probe;
 pub mod report;
 
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction};
 pub use cluster::Cluster;
 pub use config::EngineConfig;
 pub use engine::{Engine, EngineEvent};

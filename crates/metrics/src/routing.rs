@@ -1,11 +1,16 @@
 //! Cluster-routing outcome statistics.
 //!
 //! The data-parallel cluster records one entry per dispatched request:
-//! which engine it went to, whether the chosen engine already had the
-//! request's adapter resident (an *affinity hit* — the placement-level
-//! precursor of an adapter-cache hit), and whether an affinity policy had
-//! to *spill* the request off its home engine for load reasons.
+//! which engine it went to (by stable [`EngineId`], so the statistics
+//! survive engines joining and draining mid-run), whether the chosen
+//! engine already had the request's adapter resident (an *affinity hit* —
+//! the placement-level precursor of an adapter-cache hit), and whether an
+//! affinity policy had to *spill* the request off its home engine for
+//! load reasons. Fleet lifecycle is tracked alongside: engines added and
+//! drained, and how many adapters were re-homed by those changes (the
+//! rendezvous minimal-re-homing guarantee, measured).
 
+use chameleon_router::EngineId;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate routing statistics for one cluster run.
@@ -14,7 +19,11 @@ pub struct RoutingStats {
     /// Routing policy label (empty for single-engine runs, which never
     /// dispatch through a router).
     pub policy: String,
-    /// Requests dispatched to each engine.
+    /// Every engine that was ever part of the fleet, in registration
+    /// order (initial fleet first, then engines added at runtime).
+    /// Draining an engine retires it from dispatch but keeps its row.
+    pub engine_ids: Vec<EngineId>,
+    /// Requests dispatched to each engine, parallel to `engine_ids`.
     pub per_engine: Vec<u64>,
     /// Dispatches that landed on an engine with the adapter resident.
     pub affinity_hits: u64,
@@ -22,23 +31,63 @@ pub struct RoutingStats {
     pub spills: u64,
     /// Total dispatches.
     pub dispatched: u64,
+    /// Engines added after the initial fleet was built.
+    pub engines_added: u64,
+    /// Engines drained (retired from dispatch) during the run.
+    pub engines_drained: u64,
+    /// Adapters whose rendezvous home moved because the fleet changed —
+    /// with minimal re-homing this is exactly the sum of the joining /
+    /// departing engines' shard sizes. Zero for affinity-free policies.
+    pub adapters_rehomed: u64,
 }
 
 impl RoutingStats {
-    /// Creates empty statistics for a cluster of `engines` under `policy`.
-    pub fn new(policy: impl Into<String>, engines: usize) -> Self {
+    /// Creates empty statistics for the initial fleet `engines` under
+    /// `policy`.
+    pub fn new(policy: impl Into<String>, engines: &[EngineId]) -> Self {
         RoutingStats {
             policy: policy.into(),
-            per_engine: vec![0; engines],
-            affinity_hits: 0,
-            spills: 0,
-            dispatched: 0,
+            engine_ids: engines.to_vec(),
+            per_engine: vec![0; engines.len()],
+            ..RoutingStats::default()
         }
     }
 
-    /// Records one dispatch.
-    pub fn record(&mut self, engine: usize, affinity_hit: bool, spilled: bool) {
-        self.per_engine[engine] += 1;
+    /// Position of `id` in the registration order, if known.
+    fn position(&self, id: EngineId) -> Option<usize> {
+        // Fleets are small (single digits); a scan beats a map.
+        self.engine_ids.iter().position(|&e| e == id)
+    }
+
+    /// Registers an engine added to the fleet at runtime.
+    pub fn on_engine_added(&mut self, id: EngineId) {
+        assert!(self.position(id).is_none(), "engine {id} registered twice");
+        self.engine_ids.push(id);
+        self.per_engine.push(0);
+        self.engines_added += 1;
+    }
+
+    /// Records an engine draining out of the fleet.
+    pub fn on_engine_drained(&mut self, id: EngineId) {
+        assert!(self.position(id).is_some(), "unknown engine {id} drained");
+        self.engines_drained += 1;
+    }
+
+    /// Records `n` adapters re-homed by a fleet change.
+    pub fn on_adapters_rehomed(&mut self, n: u64) {
+        self.adapters_rehomed += n;
+    }
+
+    /// Records one dispatch to `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engine` was never registered.
+    pub fn record(&mut self, engine: EngineId, affinity_hit: bool, spilled: bool) {
+        let pos = self
+            .position(engine)
+            .unwrap_or_else(|| panic!("dispatch to unregistered engine {engine}"));
+        self.per_engine[pos] += 1;
         self.dispatched += 1;
         if affinity_hit {
             self.affinity_hits += 1;
@@ -46,6 +95,11 @@ impl RoutingStats {
         if spilled {
             self.spills += 1;
         }
+    }
+
+    /// Requests dispatched to `engine` (0 for unknown engines).
+    pub fn dispatched_to(&self, engine: EngineId) -> u64 {
+        self.position(engine).map_or(0, |pos| self.per_engine[pos])
     }
 
     /// Fraction of dispatches that landed where the adapter was already
@@ -60,8 +114,9 @@ impl RoutingStats {
     }
 
     /// Load-imbalance coefficient: the coefficient of variation
-    /// (standard deviation / mean) of per-engine dispatch counts. 0 means
-    /// perfectly even; 0 is also returned for empty or single-engine runs.
+    /// (standard deviation / mean) of per-engine dispatch counts over
+    /// every engine that was ever registered. 0 means perfectly even; 0
+    /// is also returned for empty or single-engine runs.
     pub fn load_imbalance(&self) -> f64 {
         if self.per_engine.len() < 2 || self.dispatched == 0 {
             return 0.0;
@@ -93,23 +148,29 @@ fn rate(num: u64, den: u64) -> f64 {
 mod tests {
     use super::*;
 
+    fn ids(n: u32) -> Vec<EngineId> {
+        (0..n).map(EngineId).collect()
+    }
+
     #[test]
     fn empty_stats_are_all_zero() {
-        let s = RoutingStats::new("jsq", 4);
+        let s = RoutingStats::new("jsq", &ids(4));
         assert_eq!(s.affinity_hit_rate(), 0.0);
         assert_eq!(s.spill_rate(), 0.0);
         assert_eq!(s.load_imbalance(), 0.0);
+        assert_eq!(s.adapters_rehomed, 0);
     }
 
     #[test]
     fn rates_count_correctly() {
-        let mut s = RoutingStats::new("affinity", 2);
-        s.record(0, true, false);
-        s.record(0, true, false);
-        s.record(1, false, true);
-        s.record(1, false, false);
+        let mut s = RoutingStats::new("affinity", &ids(2));
+        s.record(EngineId(0), true, false);
+        s.record(EngineId(0), true, false);
+        s.record(EngineId(1), false, true);
+        s.record(EngineId(1), false, false);
         assert_eq!(s.dispatched, 4);
         assert_eq!(s.per_engine, vec![2, 2]);
+        assert_eq!(s.dispatched_to(EngineId(1)), 2);
         assert!((s.affinity_hit_rate() - 0.5).abs() < 1e-12);
         assert!((s.spill_rate() - 0.25).abs() < 1e-12);
         assert_eq!(s.load_imbalance(), 0.0, "even split has zero CV");
@@ -117,11 +178,11 @@ mod tests {
 
     #[test]
     fn imbalance_grows_with_skew() {
-        let mut even = RoutingStats::new("x", 2);
-        let mut skewed = RoutingStats::new("x", 2);
-        for i in 0..100 {
-            even.record(i % 2, false, false);
-            skewed.record(usize::from(i % 10 == 0), false, false);
+        let mut even = RoutingStats::new("x", &ids(2));
+        let mut skewed = RoutingStats::new("x", &ids(2));
+        for i in 0..100u32 {
+            even.record(EngineId(i % 2), false, false);
+            skewed.record(EngineId(u32::from(i % 10 == 0)), false, false);
         }
         assert!(skewed.load_imbalance() > even.load_imbalance());
         // 90/10 split over two engines: CV = 0.8.
@@ -130,8 +191,32 @@ mod tests {
 
     #[test]
     fn single_engine_has_no_imbalance() {
-        let mut s = RoutingStats::new("", 1);
-        s.record(0, true, false);
+        let mut s = RoutingStats::new("", &ids(1));
+        s.record(EngineId(0), true, false);
         assert_eq!(s.load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn fleet_lifecycle_is_tracked() {
+        let mut s = RoutingStats::new("affinity", &ids(2));
+        s.on_engine_added(EngineId(7));
+        s.record(EngineId(7), false, false);
+        s.on_adapters_rehomed(31);
+        s.on_engine_drained(EngineId(0));
+        s.on_adapters_rehomed(12);
+        assert_eq!(s.engine_ids, vec![EngineId(0), EngineId(1), EngineId(7)]);
+        assert_eq!(s.per_engine, vec![0, 0, 1]);
+        assert_eq!(s.engines_added, 1);
+        assert_eq!(s.engines_drained, 1);
+        assert_eq!(s.adapters_rehomed, 43);
+        // The drained engine keeps its dispatch row.
+        assert_eq!(s.dispatched_to(EngineId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered engine")]
+    fn dispatch_to_unknown_engine_panics() {
+        let mut s = RoutingStats::new("x", &ids(1));
+        s.record(EngineId(5), false, false);
     }
 }

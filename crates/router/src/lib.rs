@@ -1,5 +1,5 @@
 //! Cluster-level request routing and placement (the §4.4 global scheduler,
-//! generalised).
+//! generalised to heterogeneous, elastic fleets).
 //!
 //! Chameleon's data-parallel mode uses a fixed two-level scheduler: a
 //! global dispatcher sends each arriving request to one engine
@@ -10,34 +10,47 @@
 //! engine to cache every popular adapter, while adapter-aware placement
 //! lets the fleet *partition* the adapter working set.
 //!
-//! This crate turns that decision into a first-class subsystem:
+//! This crate turns that decision into a first-class subsystem — and,
+//! unlike the paper's fixed fleet, one that survives the fleet changing
+//! underneath it:
 //!
+//! * [`EngineId`] — stable engine identity. Routing keys off identity,
+//!   not position, so adding or draining an engine never renumbers the
+//!   survivors and rendezvous assignments for them are untouched.
 //! * [`EngineSnapshot`] — the per-engine state a router sees at each
-//!   arrival: queue depth, outstanding resource tokens, free memory, and
-//!   the resident-adapter set.
-//! * [`Router`] — the placement policy trait: request + snapshots →
+//!   arrival: identity, capacity weight, queue depth, outstanding
+//!   resource tokens, free memory, and the resident-adapter set.
+//! * [`Router`] — the placement policy trait: request + live snapshots →
 //!   [`RouteDecision`].
 //! * [`policies`] — the built-in policies:
 //!   [`RoundRobin`](policies::RoundRobin),
 //!   [`JoinShortestQueue`](policies::JoinShortestQueue) (the paper's
 //!   global scheduler, extracted from the cluster unchanged),
 //!   [`PowerOfTwoChoices`](policies::PowerOfTwoChoices), and
-//!   [`AdapterAffinity`](policies::AdapterAffinity) — rendezvous hashing
-//!   on the adapter id with load-aware spill, which makes a *partitioned*
-//!   adapter-cache mode viable alongside the paper's replicated mode.
+//!   [`AdapterAffinity`](policies::AdapterAffinity) — capacity-weighted
+//!   rendezvous hashing on the adapter id (wider/TP-larger engines win
+//!   proportional shards) with load-aware spill to the adapter's stable
+//!   *second* rendezvous choice (2-replica partitioning).
+//! * [`policies::rendezvous_home`] / [`policies::rendezvous_top2`] — the
+//!   pure weighted-rendezvous functions, exposed so tests and capacity
+//!   planners can reason about placement and the minimal-re-homing
+//!   guarantee directly.
 //! * [`RouterPolicy`] — a plain-data policy selector so routing is a
 //!   configurable experiment axis next to scheduler and eviction policy.
 //!
 //! The engine crate's `Cluster` delegates every dispatch here; routing
-//! outcome statistics (per-engine dispatch counts, affinity hit rate,
-//! spill rate, load imbalance) are tracked by the cluster in
+//! outcome statistics (per-engine dispatch counts keyed by [`EngineId`],
+//! affinity hit rate, spill rate, load imbalance, engines added/drained,
+//! adapters re-homed) are tracked by the cluster in
 //! `chameleon_metrics::RoutingStats` and flow into run reports.
 
 pub mod policies;
 pub mod snapshot;
 
-pub use policies::{AdapterAffinity, JoinShortestQueue, PowerOfTwoChoices, RoundRobin};
-pub use snapshot::EngineSnapshot;
+pub use policies::{
+    AdapterAffinity, JoinShortestQueue, PowerOfTwoChoices, RoundRobin, SpillTarget,
+};
+pub use snapshot::{EngineId, EngineSnapshot};
 
 use chameleon_workload::Request;
 
@@ -46,7 +59,9 @@ use chameleon_workload::Request;
 /// because the home was saturated).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteDecision {
-    /// Index of the chosen engine.
+    /// Position of the chosen engine in the snapshot slice handed to
+    /// [`Router::route`] (the live engine listing, *not* an [`EngineId`] —
+    /// the caller owns the position → identity mapping).
     pub engine: usize,
     /// True when an affinity policy diverted the request off its home
     /// engine for load reasons. Always false for affinity-free policies.
@@ -54,7 +69,8 @@ pub struct RouteDecision {
 }
 
 impl RouteDecision {
-    /// A non-spill placement on `engine`.
+    /// A non-spill placement on the engine at `engine` in the live
+    /// listing.
     pub fn to(engine: usize) -> Self {
         RouteDecision {
             engine,
@@ -67,11 +83,13 @@ impl RouteDecision {
 ///
 /// Implementations may keep internal state (round-robin cursors, RNG
 /// streams, load estimates); the cluster calls [`route`](Router::route)
-/// exactly once per arriving request, in arrival order.
+/// exactly once per arriving request, in arrival order, passing snapshots
+/// of the engines that may accept work (draining engines are excluded).
 pub trait Router {
-    /// Chooses the engine for `req` given one snapshot per engine.
+    /// Chooses the engine for `req` given one snapshot per live engine.
     ///
-    /// `engines` is never empty and is indexed by engine id.
+    /// `engines` is never empty; the returned
+    /// [`RouteDecision::engine`] indexes into it.
     fn route(&mut self, req: &Request, engines: &[EngineSnapshot]) -> RouteDecision;
 
     /// Whether [`route`](Router::route) reads
@@ -82,6 +100,14 @@ pub trait Router {
     /// copying every engine's resident set on every arrival would make
     /// dispatch cost grow with the adapter pool.
     fn needs_residency(&self) -> bool {
+        false
+    }
+
+    /// Whether this policy assigns adapters stable rendezvous homes.
+    /// The cluster uses this to account adapter re-homing when the fleet
+    /// grows or shrinks; queue-depth-only policies have no homes, so the
+    /// migration counters stay zero for them.
+    fn uses_affinity(&self) -> bool {
         false
     }
 
@@ -99,7 +125,8 @@ pub enum RouterPolicy {
     JoinShortestQueue,
     /// Sample two engines, keep the less loaded one.
     PowerOfTwoChoices,
-    /// Rendezvous-hash the adapter to a home engine; spill when saturated.
+    /// Weighted-rendezvous-hash the adapter to a home engine; spill to its
+    /// second rendezvous choice when the home is saturated.
     AdapterAffinity,
 }
 
@@ -153,7 +180,9 @@ mod tests {
     }
 
     fn idle_snapshots(n: usize) -> Vec<EngineSnapshot> {
-        (0..n).map(EngineSnapshot::idle).collect()
+        (0..n)
+            .map(|i| EngineSnapshot::idle(EngineId(i as u32)))
+            .collect()
     }
 
     #[test]
@@ -183,6 +212,14 @@ mod tests {
             let d = r.route(&req(0, 4), &snaps);
             assert_eq!(d.engine, 0);
             assert!(!d.spilled);
+        }
+    }
+
+    #[test]
+    fn only_affinity_declares_homes() {
+        for p in RouterPolicy::ALL {
+            let expects = p == RouterPolicy::AdapterAffinity;
+            assert_eq!(p.build(1).uses_affinity(), expects, "{}", p.name());
         }
     }
 }

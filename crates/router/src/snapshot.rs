@@ -3,16 +3,40 @@
 use chameleon_models::AdapterId;
 use std::collections::HashSet;
 
+/// Stable identity of one engine across the lifetime of a cluster.
+///
+/// Unlike a position in a `Vec<Engine>`, an `EngineId` survives fleet
+/// changes: engines added later get fresh ids, and draining an engine
+/// retires its id without renumbering the survivors. Everything
+/// identity-sensitive — rendezvous placement, routing statistics,
+/// re-homing accounting — keys off this id, which is what makes the
+/// rendezvous minimal-re-homing guarantee hold across an elastic fleet:
+/// the hash of `(adapter, id)` is unchanged for every surviving engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EngineId(pub u32);
+
+impl std::fmt::Display for EngineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
 /// Immutable view of one engine at a dispatch instant.
 ///
 /// Built by the engine's introspection API (`Engine::snapshot`) and handed
-/// to [`Router::route`](crate::Router::route) once per arrival. The fields
-/// are the signals the built-in policies need; richer policies can combine
-/// them freely.
+/// to [`Router::route`](crate::Router::route) once per arrival. Routers see
+/// only the *live* (non-draining) engines, in registration order; the
+/// fields are the signals the built-in policies need, and richer policies
+/// can combine them freely.
 #[derive(Debug, Clone)]
 pub struct EngineSnapshot {
-    /// Engine index within the cluster.
-    pub engine: usize,
+    /// Stable engine identity (not a position — see [`EngineId`]).
+    pub id: EngineId,
+    /// Relative serving capacity of this engine (any consistent scale;
+    /// rendezvous scores are scale-invariant). Heterogeneous fleets derive
+    /// it from total GPU memory, so a TP4 engine weighs 4× a TP1 engine
+    /// and wins a proportionally larger adapter shard.
+    pub weight: f64,
     /// Requests waiting in the engine's local scheduler queue.
     pub queue_depth: usize,
     /// Requests in the running batch.
@@ -30,15 +54,24 @@ pub struct EngineSnapshot {
 }
 
 impl EngineSnapshot {
-    /// Snapshot of a completely idle engine (useful in tests).
-    pub fn idle(engine: usize) -> Self {
+    /// Snapshot of a completely idle unit-weight engine (useful in tests).
+    pub fn idle(id: EngineId) -> Self {
         EngineSnapshot {
-            engine,
+            id,
+            weight: 1.0,
             queue_depth: 0,
             running: 0,
             outstanding_tokens: 0,
             free_memory_bytes: u64::MAX,
             resident_adapters: HashSet::new(),
+        }
+    }
+
+    /// Idle snapshot with an explicit capacity weight.
+    pub fn idle_weighted(id: EngineId, weight: f64) -> Self {
+        EngineSnapshot {
+            weight,
+            ..EngineSnapshot::idle(id)
         }
     }
 
@@ -59,17 +92,23 @@ mod tests {
 
     #[test]
     fn idle_snapshot_is_empty() {
-        let s = EngineSnapshot::idle(3);
-        assert_eq!(s.engine, 3);
+        let s = EngineSnapshot::idle(EngineId(3));
+        assert_eq!(s.id, EngineId(3));
+        assert_eq!(s.weight, 1.0);
         assert_eq!(s.in_flight(), 0);
         assert!(!s.has_adapter(AdapterId(0)));
     }
 
     #[test]
     fn residency_query() {
-        let mut s = EngineSnapshot::idle(0);
+        let mut s = EngineSnapshot::idle(EngineId(0));
         s.resident_adapters.insert(AdapterId(9));
         assert!(s.has_adapter(AdapterId(9)));
         assert!(!s.has_adapter(AdapterId(8)));
+    }
+
+    #[test]
+    fn engine_id_displays_compactly() {
+        assert_eq!(EngineId(7).to_string(), "e7");
     }
 }

@@ -1,0 +1,94 @@
+//! Elastic heterogeneous cluster: the autoscaler rides out a load burst.
+//!
+//! A Splitwise-like trace runs at a calm 4 RPS with a 20× burst between
+//! t=10s and t=20s. The fleet starts as two TP1 engines; the queue-depth
+//! watching autoscaler grows it with TP2 engines (capacity-weighted
+//! rendezvous immediately hands each newcomer a proportional adapter
+//! shard) and drains back down once the backlog clears — each drain
+//! stopping new dispatches, finishing in-flight work, and migrating only
+//! the departing engine's shard.
+//!
+//! ```text
+//! cargo run --release --example elastic_cluster
+//! ```
+
+use chameleon_repro::core::{preset, workloads, Simulation};
+use chameleon_repro::simcore::SimDuration;
+
+fn main() {
+    let mut cfg = preset::chameleon_cluster_elastic().with_adapters(300);
+    // Controller cadence tuned to the 60-second trace: evaluate every
+    // second, hold decisions apart by 3 seconds.
+    let auto = cfg.autoscale.as_mut().expect("elastic preset autoscales");
+    auto.controller.interval = SimDuration::from_secs(1);
+    auto.controller.cooldown = SimDuration::from_secs(3);
+    auto.controller.scale_up_mean_queue = 4.0;
+    auto.controller.scale_down_mean_queue = 0.5;
+    let (min_engines, max_engines) = (auto.controller.min_engines, auto.controller.max_engines);
+
+    let mut sim = Simulation::new(cfg, 21);
+    let trace = workloads::splitwise_bursty(4.0, 60.0, 10.0, 10.0, 20.0, 21, sim.pool());
+    println!(
+        "-- {} requests over 60s (20x burst at 10s..20s), fleet 2xTP1 scaling {}..{} with TP2 growth --\n",
+        trace.len(),
+        min_engines,
+        max_engines,
+    );
+
+    let report = sim.run(&trace);
+    let r = &report.routing;
+
+    println!("fleet history ({} policy):", r.policy);
+    println!("  {:<8} {:>6} {:>12}", "engine", "shape", "dispatched");
+    for (pos, (&id, &count)) in r.engine_ids.iter().zip(&r.per_engine).enumerate() {
+        let shape = if pos < 2 { "TP1" } else { "TP2" };
+        let role = if pos < 2 { "initial" } else { "added" };
+        println!("  e{:<7} {shape:>6} {count:>12}   ({role})", id.0);
+    }
+
+    println!();
+    println!("engines added:        {:>8}", r.engines_added);
+    println!("engines drained:      {:>8}", r.engines_drained);
+    println!(
+        "adapters migrated:    {:>8}   (minimal re-homing: only the joining/departing shards)",
+        r.adapters_rehomed
+    );
+    println!(
+        "affinity hit rate:    {:>7.1}%",
+        report.affinity_hit_rate() * 100.0
+    );
+    println!(
+        "spill rate:           {:>7.1}%",
+        report.spill_rate() * 100.0
+    );
+    println!("cache hit rate:       {:>7.1}%", report.hit_rate() * 100.0);
+    println!(
+        "p50 / p99 TTFT:       {:.3}s / {:.3}s",
+        report.p50_ttft(),
+        report.p99_ttft()
+    );
+    println!(
+        "completed:            {:>8} / {}",
+        report.completed(),
+        trace.len()
+    );
+
+    assert_eq!(report.completed(), trace.len(), "elastic run lost requests");
+    assert!(r.engines_added > 0, "the burst should have grown the fleet");
+    assert!(
+        r.engines_drained > 0,
+        "the fleet should have drained back after the burst"
+    );
+    assert!(
+        r.adapters_rehomed > 0,
+        "fleet changes should migrate shards"
+    );
+    println!(
+        "\nthe fleet grew 2 -> {} through the burst and drained back to {}, \
+         migrating {} adapter homes across {} fleet changes.",
+        2 + r.engines_added,
+        2 + r.engines_added as usize - r.engines_drained as usize,
+        r.adapters_rehomed,
+        r.engines_added + r.engines_drained,
+    );
+}
