@@ -13,11 +13,34 @@
 //! ```
 //!
 //! Fewer than two trajectory files is a clean skip (exit 0): the first PR
-//! of a trajectory has no baseline.
+//! of a trajectory has no baseline, and a *scenario* missing from the
+//! baseline (introduced by a later PR) skips that comparison rather than
+//! failing the gate. The summary also prints the serial/parallel cluster
+//! ratio from the fresh report when the `macro_cluster16_affinity`
+//! scenario carries one.
 
-use chameleon_bench::compare::{compare, trajectory_files};
+use chameleon_bench::compare::{compare_tolerant, parse_metric, trajectory_files, GateOutcome};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Prints the fresh report's serial/parallel cluster execution ratio, if
+/// the parallel-cluster scenario was measured.
+fn print_cluster_ratio(new_json: &str) {
+    let bench = "macro_cluster16_affinity";
+    let (Some(serial), Some(parallel), Some(speedup)) = (
+        parse_metric(new_json, bench, "serial_events_per_sec"),
+        parse_metric(new_json, bench, "parallel_events_per_sec"),
+        parse_metric(new_json, bench, "parallel_speedup"),
+    ) else {
+        return;
+    };
+    let cores = parse_metric(new_json, bench, "cores").unwrap_or(0.0);
+    let workers = parse_metric(new_json, bench, "workers").unwrap_or(0.0);
+    println!(
+        "bench-compare: {bench} serial/parallel cluster ratio: \
+         {serial:.0} -> {parallel:.0} events/s ({speedup:.2}x with {workers:.0} workers on {cores:.0} cores)"
+    );
+}
 
 fn main() -> ExitCode {
     let mut dir = PathBuf::from(".");
@@ -73,7 +96,20 @@ fn main() -> ExitCode {
         .unwrap_or_else(|e| panic!("read {}: {e}", old_path.display()));
     let new_json = std::fs::read_to_string(&new_path)
         .unwrap_or_else(|e| panic!("read {}: {e}", new_path.display()));
-    let cmp = compare(&old_json, &new_json, &bench, &metric).expect("comparable reports");
+    let cmp = match compare_tolerant(&old_json, &new_json, &bench, &metric)
+        .expect("comparable reports")
+    {
+        GateOutcome::Compared(cmp) => cmp,
+        GateOutcome::MissingBaseline => {
+            println!(
+                "bench-compare: {bench}.{metric} absent from baseline {} — \
+                 new scenario, skipping the gate",
+                old_path.display()
+            );
+            print_cluster_ratio(&new_json);
+            return ExitCode::SUCCESS;
+        }
+    };
     println!(
         "bench-compare: {bench}.{metric}  {} -> {}  ({:+.1}%)  [{} vs {}]",
         cmp.old_value,
@@ -82,6 +118,7 @@ fn main() -> ExitCode {
         old_path.display(),
         new_path.display(),
     );
+    print_cluster_ratio(&new_json);
     if cmp.regressed_beyond(tolerance) {
         eprintln!(
             "bench-compare: FAIL — {bench}.{metric} regressed beyond {:.0}% \

@@ -36,7 +36,7 @@ use std::collections::HashSet;
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut out_path = "BENCH_PR4.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,11 +50,12 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("PR3", smoke);
+    let mut report = BenchReport::new("PR4", smoke);
     println!("chameleon-bench ({})", if smoke { "smoke" } else { "full" });
 
     macro_scenario(&mut report, smoke);
     cluster_macro(&mut report, smoke);
+    cluster16_macro(&mut report, smoke);
     event_queue_churn(&mut report, smoke);
     eviction_storm(&mut report, smoke);
     refresh_storm(&mut report, smoke);
@@ -153,6 +154,85 @@ fn cluster_macro(report: &mut BenchReport, smoke: bool) {
                 .metric("load_imbalance", run.load_imbalance()),
         );
     }
+}
+
+/// The large-fleet scenario behind the parallel-cluster perf claim:
+/// sixteen mixed-TP engines (the `chameleon_cluster16` preset: 600
+/// adapters, adapter-affinity routing, elastic growth enabled) serving an
+/// overload trace, run twice on the identical trace — once stepping
+/// engines serially and once on the epoch-synchronised worker pool —
+/// with the bit-identity of the two runs asserted on the spot. The
+/// headline column is `parallel_speedup` (serial wall / parallel wall);
+/// `cores` records what the host actually had, since the ratio is only
+/// meaningful on multi-core machines (the PR 2/3 trajectory points came
+/// from a 1-core container).
+fn cluster16_macro(report: &mut BenchReport, smoke: bool) {
+    // A bursty overload: the steady load keeps sixteen engines busy and
+    // the mid-trace burst exceeds fleet capacity, so the (tightened)
+    // controller actually grows the fleet and the scale barriers are part
+    // of what the serial-vs-parallel comparison measures.
+    let rps = 300.0;
+    let secs = if smoke { 2.0 } else { 90.0 };
+    let burst_factor = 6.0; // 6x burst for a sixth of the trace
+    let mut cfg = preset::chameleon_cluster16().with_label("Chameleon-Fleet16-600");
+    cfg.rank_popularity = chameleon_models::PopularityDist::power_law();
+    let pool = chameleon_models::AdapterPool::generate(&cfg.llm, &cfg.pool_config());
+    let trace = chameleon_core::workloads::splitwise_bursty(
+        rps,
+        secs,
+        secs / 3.0,
+        secs / 6.0,
+        burst_factor,
+        SEED,
+        &pool,
+    );
+    let cores = par::default_workers();
+    let workers = par::workers_from_env().unwrap_or_else(|| cores.clamp(2, 8));
+
+    let mut serial_sim = Simulation::new(cfg.clone(), SEED);
+    let (t_serial, serial) = timed(|| serial_sim.run(&trace));
+    let mut parallel_sim = Simulation::new(cfg.with_parallel_cluster(workers), SEED);
+    let (t_parallel, parallel) = timed(|| parallel_sim.run(&trace));
+    assert_eq!(
+        serial.canonical_text(),
+        parallel.canonical_text(),
+        "parallel cluster run diverged from serial"
+    );
+
+    let events = serial.events_processed as f64;
+    let serial_eps = events / t_serial;
+    let parallel_eps = events / t_parallel;
+    println!(
+        "  macro_cluster16_aff {:>10.0} events/s serial, {:>10.0} events/s parallel \
+         ({:.2}x, {workers} workers / {cores} cores, bit-identical, +{} engines grown)",
+        serial_eps,
+        parallel_eps,
+        t_serial / t_parallel,
+        serial.routing.engines_added,
+    );
+    report.push(
+        "macro_cluster16_affinity",
+        BenchResult::new()
+            .metric("engines", 16.0)
+            .metric("adapters", 600.0)
+            .metric("offered_rps", rps)
+            .metric("trace_secs", secs)
+            .metric("completed", serial.completed() as f64)
+            .metric("events", events)
+            .metric("engines_added", serial.routing.engines_added as f64)
+            .metric("engines_drained", serial.routing.engines_drained as f64)
+            .metric("workers", workers as f64)
+            .metric("cores", cores as f64)
+            .metric("serial_wall_secs", t_serial)
+            .metric("parallel_wall_secs", t_parallel)
+            .metric("serial_events_per_sec", serial_eps)
+            .metric("parallel_events_per_sec", parallel_eps)
+            .metric("events_per_sec", serial_eps)
+            .metric("parallel_speedup", t_serial / t_parallel)
+            .metric("cache_hit_rate", serial.hit_rate())
+            .metric("affinity_hit_rate", serial.affinity_hit_rate())
+            .metric("load_imbalance", serial.load_imbalance()),
+    );
 }
 
 /// Heap churn: interleaved pushes and pops at a sustained queue depth,

@@ -65,14 +65,57 @@ pub fn compare(
     bench: &str,
     metric: &str,
 ) -> Result<Comparison, String> {
-    let old_value = parse_metric(old_json, bench, metric)
-        .ok_or_else(|| format!("baseline is missing {bench}.{metric}"))?;
+    match compare_tolerant(old_json, new_json, bench, metric)? {
+        GateOutcome::Compared(c) => Ok(c),
+        GateOutcome::MissingBaseline => Err(format!("baseline is missing {bench}.{metric}")),
+    }
+}
+
+/// Outcome of a baseline-tolerant comparison (see [`compare_tolerant`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateOutcome {
+    /// Both trajectory points carry the metric.
+    Compared(Comparison),
+    /// The *baseline* lacks the scenario — it was introduced after that
+    /// trajectory point was recorded. New scenarios must not fail the
+    /// gate, so this is a clean skip, not an error.
+    MissingBaseline,
+}
+
+/// Like [`compare`], but a scenario absent from the **old** report is a
+/// [`GateOutcome::MissingBaseline`] skip instead of an error; a metric
+/// absent from the **fresh** report is still an error (the scenario
+/// should have been measured).
+///
+/// The skip is deliberately narrow so the gate fails *closed* on damaged
+/// input: the baseline must still look like a bench report (carry the
+/// `"results"` object) and must not mention the scenario at all. A
+/// baseline that is truncated/corrupt, or that carries the bench section
+/// but not the metric, is an error — otherwise a mangled
+/// `BENCH_PR*.json` would silently wave a real regression through.
+pub fn compare_tolerant(
+    old_json: &str,
+    new_json: &str,
+    bench: &str,
+    metric: &str,
+) -> Result<GateOutcome, String> {
+    let Some(old_value) = parse_metric(old_json, bench, metric) else {
+        let looks_like_report = old_json.contains("\"results\"");
+        let has_bench_section = old_json.contains(&format!("\"{bench}\":"));
+        return if looks_like_report && !has_bench_section {
+            Ok(GateOutcome::MissingBaseline)
+        } else {
+            Err(format!(
+                "baseline is missing {bench}.{metric} (corrupt or truncated baseline?)"
+            ))
+        };
+    };
     let new_value = parse_metric(new_json, bench, metric)
         .ok_or_else(|| format!("fresh report is missing {bench}.{metric}"))?;
-    Ok(Comparison {
+    Ok(GateOutcome::Compared(Comparison {
         old_value,
         new_value,
-    })
+    }))
 }
 
 /// The `BENCH_PR<n>.json` files under `dir`, sorted by `n` ascending.
@@ -161,6 +204,40 @@ mod tests {
     fn missing_metrics_are_reported() {
         let err = compare("{}", &json(1.0), "macro_zipf600", "events_per_sec").unwrap_err();
         assert!(err.contains("baseline"));
+    }
+
+    #[test]
+    fn new_scenarios_skip_cleanly_against_old_baselines() {
+        // Scenario absent from the baseline: tolerated (introduced later).
+        let out = compare_tolerant(&json(1.0), &json(2.0), "brand_new_bench", "events_per_sec")
+            .expect("missing baseline is not an error");
+        assert_eq!(out, GateOutcome::MissingBaseline);
+        // Absent from the fresh report: still a hard error.
+        let err = compare_tolerant(&json(1.0), "{}", "macro_zipf600", "events_per_sec")
+            .expect_err("fresh report must carry the gated metric");
+        assert!(err.contains("fresh report"));
+        // Present in both: behaves exactly like `compare`.
+        let out =
+            compare_tolerant(&json(100.0), &json(90.0), "macro_zipf600", "events_per_sec").unwrap();
+        match out {
+            GateOutcome::Compared(c) => assert_eq!(c.new_value, 90.0),
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_baselines_fail_closed_not_open() {
+        // Not a bench report at all: error, never a skip.
+        let err = compare_tolerant("{}", &json(1.0), "macro_zipf600", "events_per_sec")
+            .expect_err("an empty baseline must not skip the gate");
+        assert!(err.contains("baseline"));
+        // Truncated mid-section: the bench key survives but the metric is
+        // gone — also an error, not a skip.
+        let full = json(100.0);
+        let cut = &full[..full.find("events_per_sec").expect("metric present")];
+        let err = compare_tolerant(cut, &json(1.0), "macro_zipf600", "events_per_sec")
+            .expect_err("a truncated baseline must not skip the gate");
+        assert!(err.contains("corrupt or truncated"));
     }
 
     #[test]

@@ -1,11 +1,20 @@
-//! Deterministic scoped-thread work pool for independent experiment
-//! points.
+//! Deterministic scoped-thread parallelism: a fire-once work pool for
+//! independent experiment points, and the epoch-synchronised sharded
+//! pool behind parallel cluster execution.
 //!
 //! Sweeps run many completely independent simulations (one per load or
 //! policy point); [`parallel_map`] fans them out over a fixed number of
 //! `std::thread::scope` workers pulling indices from a shared atomic
 //! counter. The build environment is offline (no `rayon`), so the pool is
 //! ~40 lines of std.
+//!
+//! Parallelism *inside* one simulation needs a different shape — stateful
+//! per-engine workers advancing long-lived mutable shards in lockstep
+//! epochs with coordinator barriers between them. That pool lives in
+//! [`chameleon_simcore::shard`] (so the engine crate can reach it) and is
+//! re-exported here: [`with_shard_pool`], [`ShardPool`], and the
+//! [`workers_from_env`] `CHAMELEON_WORKERS` override that CI uses to
+//! force the parallel cluster path.
 //!
 //! # Determinism
 //!
@@ -14,16 +23,19 @@
 //! simulation is: seeded RNG, deterministic event queue, id-tie-broken
 //! eviction), `parallel_map(items, w, f)` returns *bit-identical* output
 //! to the serial `items.iter().map(...)` for every worker count — the
-//! property the sweep determinism tests assert byte-for-byte.
+//! property the sweep determinism tests assert byte-for-byte. The shard
+//! pool carries the same guarantee for cluster runs: each shard is
+//! stepped by exactly one worker per epoch, so worker count and
+//! scheduling are unobservable.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+pub use chameleon_simcore::shard::{with_shard_pool, workers_from_env, ShardPool};
+
 /// The machine's available parallelism (≥ 1).
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    chameleon_simcore::shard::default_workers()
 }
 
 /// Maps `f` over `items` on up to `workers` scoped threads, returning the

@@ -3,6 +3,7 @@
 
 use crate::system::{AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig};
 use chameleon_router::RouterPolicy;
+use chameleon_simcore::SimDuration;
 
 /// S-LoRA (§5.1 baseline): FIFO iteration-level scheduling, asynchronous
 /// adapter prefetching for queued requests, **no** adapter caching
@@ -178,6 +179,31 @@ pub fn chameleon_cluster_elastic() -> SystemConfig {
         .with_label("Chameleon-Elastic")
 }
 
+/// Chameleon at fleet scale: sixteen mixed-TP engines (ten TP1, four
+/// TP2, two TP4) serving a 600-adapter pool behind capacity-weighted
+/// adapter-affinity routing, with elastic growth enabled (up to twenty
+/// engines, growing by TP2). This is the `macro_cluster16_affinity`
+/// bench scenario — the fleet size at which parallel cluster execution
+/// ([`SystemConfig::with_parallel_cluster`]) pays for its barriers.
+pub fn chameleon_cluster16() -> SystemConfig {
+    // A fleet this wide keeps per-engine queues shallow, so the
+    // controller is tighter than the small-fleet default — overload
+    // bursts actually grow the fleet within a bench-length trace.
+    let mut autoscale = AutoscaleSpec::new(16, 20).with_growth(vec![EngineSpec::tp(2)]);
+    autoscale.controller.interval = SimDuration::from_secs(2);
+    autoscale.controller.scale_up_mean_queue = 2.0;
+    autoscale.controller.scale_up_max_queue = 12;
+    autoscale.controller.cooldown = SimDuration::from_secs(8);
+    chameleon()
+        .with_fleet(FleetSpec::mixed_tp(&[
+            1, 1, 1, 1, 2, 1, 1, 2, 1, 1, 4, 1, 2, 1, 2, 4,
+        ]))
+        .with_router(RouterPolicy::AdapterAffinity)
+        .with_autoscale(autoscale)
+        .with_adapters(600)
+        .with_label("Chameleon-Fleet16")
+}
+
 /// Chameleon with the WRS reduced to predicted output length only
 /// (Figure 19 "OutputOnly").
 pub fn chameleon_output_only() -> SystemConfig {
@@ -266,6 +292,21 @@ mod tests {
     }
 
     #[test]
+    fn fleet16_preset_shape() {
+        let c = chameleon_cluster16();
+        assert_eq!(c.engine_count(), 16);
+        assert_eq!(c.num_adapters, 600);
+        assert_eq!(c.router, RouterPolicy::AdapterAffinity);
+        let auto = c.autoscale.as_ref().expect("elastic growth enabled");
+        assert_eq!(auto.controller.min_engines, 16);
+        assert_eq!(auto.controller.max_engines, 20);
+        let tps: Vec<u32> = (0..16).map(|i| c.engine_spec(i).tp_degree).collect();
+        assert_eq!(tps.iter().filter(|&&t| t == 1).count(), 10);
+        assert_eq!(tps.iter().filter(|&&t| t == 2).count(), 4);
+        assert_eq!(tps.iter().filter(|&&t| t == 4).count(), 2);
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let labels: Vec<String> = [
             slora(),
@@ -282,6 +323,7 @@ mod tests {
             chameleon_cluster_partitioned(4),
             chameleon_cluster_hetero(),
             chameleon_cluster_elastic(),
+            chameleon_cluster16(),
             static_mlq(),
             chameleon_output_only(),
             chameleon_linear_wrs(),

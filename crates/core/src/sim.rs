@@ -182,6 +182,7 @@ impl Simulation {
                 |i| self.build_engine(slo, wrs, i, max_output, k_max, &self.cfg.engine_spec(i)),
                 self.cfg.router.build(self.seed),
             );
+            let exec = self.cfg.cluster_exec;
             let last = match &self.cfg.autoscale {
                 Some(auto) => {
                     let mut scaler = Autoscaler::new(auto.controller.clone());
@@ -191,9 +192,9 @@ impl Simulation {
                             .growth_spec((id.0 as usize).saturating_sub(initial));
                         self.build_engine(slo, wrs, id.0 as usize, max_output, k_max, &spec)
                     };
-                    cluster.run_elastic(trace, &mut scaler, &mut grow)
+                    cluster.run_elastic_with(trace, &mut scaler, &mut grow, exec)
                 }
-                None => cluster.run(trace),
+                None => cluster.run_with(trace, exec),
             };
             let events = cluster.events_processed();
             (cluster.into_report(), last, events)

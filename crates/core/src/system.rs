@@ -1,6 +1,6 @@
 //! System configuration: every knob of a serving system under study.
 
-use chameleon_engine::AutoscalerConfig;
+use chameleon_engine::{AutoscalerConfig, ClusterExecution};
 use chameleon_models::{GpuSpec, LlmSpec, PoolConfig, PopularityDist};
 use chameleon_router::RouterPolicy;
 use chameleon_simcore::SimDuration;
@@ -178,6 +178,13 @@ pub struct SystemConfig {
     /// [`RouterPolicy::AdapterAffinity`] partitions the adapter working
     /// set across engines instead of replicating it.
     pub router: RouterPolicy,
+    /// How cluster runs step their engines between dispatch/autoscale
+    /// barriers: on the coordinator thread
+    /// ([`ClusterExecution::Serial`], the default) or on an
+    /// epoch-synchronised worker pool ([`ClusterExecution::Parallel`],
+    /// bit-identical results for every worker count). Ignored for
+    /// single-engine runs.
+    pub cluster_exec: ClusterExecution,
     /// Number of distinct adapters `N_a` (§5.1; default 100).
     pub num_adapters: usize,
     /// Rank-popularity distribution (§5.1: uniform by default).
@@ -218,6 +225,7 @@ impl SystemConfig {
             fleet: None,
             autoscale: None,
             router: RouterPolicy::JoinShortestQueue,
+            cluster_exec: ClusterExecution::Serial,
             num_adapters: 100,
             rank_popularity: PopularityDist::Uniform,
             within_rank_popularity: PopularityDist::power_law(),
@@ -322,6 +330,19 @@ impl SystemConfig {
         self
     }
 
+    /// Builder-style: sets the cluster execution mode.
+    pub fn with_cluster_exec(mut self, exec: ClusterExecution) -> Self {
+        self.cluster_exec = exec;
+        self
+    }
+
+    /// Builder-style: parallel cluster execution with `workers` worker
+    /// threads (`0` = auto: `CHAMELEON_WORKERS`, else the machine's
+    /// cores).
+    pub fn with_parallel_cluster(self, workers: usize) -> Self {
+        self.with_cluster_exec(ClusterExecution::Parallel { workers })
+    }
+
     /// Builder-style: sets the predictor accuracy.
     pub fn with_predictor_accuracy(mut self, acc: f64) -> Self {
         self.predictor_accuracy = acc;
@@ -403,6 +424,18 @@ mod tests {
         assert_eq!(c.growth_spec(2), EngineSpec::tp(2));
         let d = SystemConfig::base("y").with_autoscale(AutoscaleSpec::new(1, 2));
         assert_eq!(d.growth_spec(0), EngineSpec::tp(1), "default shape");
+    }
+
+    #[test]
+    fn cluster_exec_axis_defaults_serial() {
+        let c = SystemConfig::base("x");
+        assert_eq!(c.cluster_exec, ClusterExecution::Serial);
+        assert_eq!(c.cluster_exec.worker_count(), 1);
+        let p = SystemConfig::base("x").with_parallel_cluster(3);
+        assert_eq!(p.cluster_exec, ClusterExecution::Parallel { workers: 3 });
+        assert_eq!(p.cluster_exec.worker_count(), 3);
+        // Auto resolves to at least one worker.
+        assert!(ClusterExecution::parallel_auto().worker_count() >= 1);
     }
 
     #[test]

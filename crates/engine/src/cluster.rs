@@ -27,6 +27,31 @@
 //! keyed by [`EngineId`], affinity hits (the chosen engine already had
 //! the adapter resident), spills, load imbalance, and the fleet-change
 //! counters, all flowing into the merged [`EngineReport`].
+//!
+//! # Epochs, barriers, and parallel execution
+//!
+//! The cluster loop is organised around a single observation: between
+//! two *cross-engine* events — a dispatch decision for an arrival or an
+//! autoscaler evaluation tick — every pending event is engine-local
+//! (step completions, adapter loads, periodic ticks, pokes), and an
+//! engine's local events can only ever schedule more events *for the
+//! same engine*. The run is therefore a sequence of **epochs**: each
+//! engine owns a local [`EventQueue`] and steps it up to (strictly
+//! before) the next cross-engine instant, after which the coordinator
+//! applies the routing or autoscaling decision at the **barrier** with
+//! exclusive access to every engine, exactly as the old single-heap loop
+//! would have.
+//!
+//! Because engine state is thread-confined between barriers (the
+//! zero-alloc scratch from the hot-path overhaul lives inside each
+//! [`Engine`]), epochs parallelise: [`ClusterExecution::Parallel`] steps
+//! the engines on a [`chameleon_simcore::shard`] worker pool instead of
+//! in a slot-order loop. Simultaneous events are ordered by a fixed
+//! class precedence (arrivals, then autoscaler ticks, then engine-local
+//! events; within a class, trace/push order) that both execution modes
+//! share, so **serial and parallel runs are bit-identical** — the
+//! determinism suite asserts `RunReport::canonical_text()` equality
+//! across seeds, worker counts, and mid-trace fleet changes.
 
 use crate::autoscaler::{Autoscaler, ScaleAction};
 use crate::engine::{Engine, EngineEvent};
@@ -34,25 +59,156 @@ use crate::report::EngineReport;
 use chameleon_metrics::RoutingStats;
 use chameleon_models::AdapterId;
 use chameleon_router::{policies, EngineId, EngineSnapshot, JoinShortestQueue, Router};
+use chameleon_simcore::shard::{self, ShardPool};
 use chameleon_simcore::{EventQueue, SimDuration, SimTime};
 use chameleon_workload::Trace;
 
-/// Events at cluster scope: an undispatched arrival, an engine-local
-/// event, or an autoscaler evaluation tick.
-#[derive(Debug)]
-enum ClusterEvent {
-    Arrival(chameleon_workload::Request),
-    Engine(EngineId, EngineEvent),
-    Scale,
+/// How a cluster run steps its engines between barriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterExecution {
+    /// Step every engine on the coordinator thread (the default).
+    #[default]
+    Serial,
+    /// Step engines on an epoch-synchronised worker pool. Bit-identical
+    /// to [`ClusterExecution::Serial`] for every worker count.
+    Parallel {
+        /// Worker threads; `0` means auto (the `CHAMELEON_WORKERS`
+        /// environment variable, falling back to the machine's cores).
+        workers: usize,
+    },
 }
 
-/// One engine plus its cluster-lifecycle state.
+impl ClusterExecution {
+    /// Parallel execution with the automatic worker count.
+    pub fn parallel_auto() -> Self {
+        ClusterExecution::Parallel { workers: 0 }
+    }
+
+    /// The effective worker count (≥ 1) this mode resolves to.
+    pub fn worker_count(self) -> usize {
+        match self {
+            ClusterExecution::Serial => 1,
+            ClusterExecution::Parallel { workers: 0 } => {
+                shard::workers_from_env().unwrap_or_else(shard::default_workers)
+            }
+            ClusterExecution::Parallel { workers } => workers,
+        }
+    }
+}
+
+/// The per-epoch command the coordinator hands every engine stepper.
+#[derive(Debug, Clone, Copy)]
+struct EpochCmd {
+    /// Step local events with time strictly below this; `None` drains
+    /// everything (no cross-engine event is pending). Simultaneous
+    /// events at the boundary instant belong to the *next* epoch: the
+    /// cross event (arrival or autoscaler tick) wins equal-time ties.
+    boundary: Option<SimTime>,
+    /// Whether undispatched arrivals remain anywhere in the trace —
+    /// constant within an epoch, and the condition keeping periodic
+    /// ticks alive on idle engines.
+    arrivals_remaining: bool,
+    mem_int: SimDuration,
+    refresh_int: SimDuration,
+}
+
+/// One engine plus its cluster-lifecycle state and its shard of the
+/// event horizon (the engine-local future-event queue).
 struct EngineSlot {
     id: EngineId,
     /// Draining engines accept no new dispatches; they finish their
     /// queued and running work and are then retired.
     draining: bool,
+    /// Set by the epoch stepper the moment a draining engine runs out of
+    /// work: the coordinator retires the slot at the next barrier.
+    retire_ready: bool,
     engine: Engine,
+    /// Engine-local future events. Only this slot's stepper (during an
+    /// epoch) and the coordinator (at barriers) touch it.
+    queue: EventQueue<EngineEvent>,
+    /// Reused `Engine::handle` output buffer, thread-confined with its
+    /// slot.
+    out: Vec<(SimTime, EngineEvent)>,
+    /// Events this slot processed during the current run.
+    processed: u64,
+    /// Instant of this slot's last processed event this run.
+    last: SimTime,
+}
+
+impl EngineSlot {
+    fn new(id: EngineId, draining: bool, engine: Engine) -> Self {
+        EngineSlot {
+            id,
+            draining,
+            retire_ready: false,
+            engine,
+            queue: EventQueue::with_capacity(32),
+            out: Vec::new(),
+            processed: 0,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Resets the per-run state and schedules the first periodic ticks
+    /// (the queue is always empty between runs: a run returns only after
+    /// every local queue drained or was cleared by retirement).
+    fn begin_run(&mut self, mem_int: SimDuration, refresh_int: SimDuration) {
+        debug_assert!(self.queue.is_empty());
+        self.processed = 0;
+        self.last = SimTime::ZERO;
+        self.retire_ready = false;
+        self.queue
+            .push(SimTime::ZERO + mem_int, EngineEvent::MemSample);
+        self.queue
+            .push(SimTime::ZERO + refresh_int, EngineEvent::Refresh);
+    }
+
+    /// True when this slot has a local event due before `boundary`.
+    fn has_pending(&self, boundary: Option<SimTime>) -> bool {
+        match self.queue.peek_time() {
+            Some(t) => boundary.is_none_or(|b| t < b),
+            None => false,
+        }
+    }
+
+    /// Steps this engine's local events up to the epoch boundary. This is
+    /// the per-shard body of both execution modes; it touches nothing
+    /// outside the slot, which is what makes parallel stepping sound and
+    /// bit-identical to serial.
+    fn step_to(&mut self, cmd: &EpochCmd) {
+        while let Some(t) = self.queue.peek_time() {
+            if let Some(b) = cmd.boundary {
+                if t >= b {
+                    break;
+                }
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event");
+            let reschedule = match &ev {
+                EngineEvent::MemSample => Some((t + cmd.mem_int, EngineEvent::MemSample)),
+                EngineEvent::Refresh => Some((t + cmd.refresh_int, EngineEvent::Refresh)),
+                _ => None,
+            };
+            self.engine.handle(t, ev, &mut self.out);
+            for (at, e) in self.out.drain(..) {
+                self.queue.push(at, e);
+            }
+            if let Some((at, e)) = reschedule {
+                if cmd.arrivals_remaining || self.engine.has_work() {
+                    self.queue.push(at, e);
+                }
+            }
+            self.processed += 1;
+            self.last = t;
+            if self.draining && !self.engine.has_work() {
+                // A drained engine retires the moment it goes idle; its
+                // remaining events (stale periodic ticks) are exactly the
+                // ones the single-heap loop would pop and drop later.
+                self.retire_ready = true;
+                self.queue.clear();
+                break;
+            }
+        }
+    }
 }
 
 /// A data-parallel group of engines behind a global dispatcher.
@@ -65,8 +221,9 @@ pub struct Cluster {
     snap_buf: Vec<EngineSnapshot>,
     /// Slot position of each snapshot in `snap_buf` (parallel).
     snap_slots: Vec<usize>,
-    /// Reports of engines drained and retired during the run.
-    retired: Vec<EngineReport>,
+    /// Reports of engines drained and retired during the run, tagged
+    /// with their stable id so the final merge is order-independent.
+    retired: Vec<(EngineId, EngineReport)>,
     /// Periodic-event cadence, shared by every engine (taken from the
     /// initial fleet; `add_engine` asserts newcomers agree).
     mem_int: SimDuration,
@@ -100,11 +257,7 @@ impl Cluster {
     ) -> Self {
         assert!(n > 0, "empty cluster");
         let slots: Vec<EngineSlot> = (0..n)
-            .map(|i| EngineSlot {
-                id: EngineId(i as u32),
-                draining: false,
-                engine: factory(i),
-            })
+            .map(|i| EngineSlot::new(EngineId(i as u32), false, factory(i)))
             .collect();
         let ids: Vec<EngineId> = slots.iter().map(|s| s.id).collect();
         let stats = RoutingStats::new(router.name(), &ids);
@@ -205,11 +358,7 @@ impl Cluster {
             self.stats.on_adapters_rehomed(moved);
         }
         self.stats.on_engine_added(id);
-        self.slots.push(EngineSlot {
-            id,
-            draining: false,
-            engine,
-        });
+        self.slots.push(EngineSlot::new(id, false, engine));
         id
     }
 
@@ -307,19 +456,81 @@ impl Cluster {
         }
     }
 
-    /// Retires `slot` if it is draining and fully idle: its report is
-    /// stashed for the final merge and its id stops matching events.
-    fn maybe_retire(&mut self, pos: usize) {
-        if self.slots[pos].draining && !self.slots[pos].engine.has_work() {
-            let slot = self.slots.remove(pos);
-            self.retired.push(slot.engine.into_report());
+    /// Retires slot `pos`: its report (tagged with its stable id) is
+    /// stashed for the final merge, its run counters fold into the
+    /// cluster's, and its pending events are discarded — exactly the
+    /// stale ticks the pre-epoch single-heap loop popped and dropped.
+    fn retire_slot(&mut self, pos: usize, last: &mut SimTime, processed: &mut u64) {
+        let mut slot = self.slots.remove(pos);
+        slot.queue.clear();
+        *processed += slot.processed;
+        *last = (*last).max(slot.last);
+        self.retired.push((slot.id, slot.engine.into_report()));
+    }
+
+    /// Retires every slot the last epoch marked retire-ready, in slot
+    /// order (the merged report is id-ordered anyway, so this order is
+    /// not observable).
+    fn harvest_retired(&mut self, last: &mut SimTime, processed: &mut u64) {
+        let mut pos = 0;
+        while pos < self.slots.len() {
+            if self.slots[pos].retire_ready {
+                self.retire_slot(pos, last, processed);
+            } else {
+                pos += 1;
+            }
         }
     }
 
-    /// Runs `trace` through the (fixed) cluster until drained. Returns
-    /// the instant of the last processed event.
+    /// One epoch: advances every engine's local queue up to `boundary`
+    /// (exclusive). Engines with nothing due are skipped entirely; a
+    /// lone busy engine is stepped inline even in parallel mode (a
+    /// barrier would cost more than it buys); otherwise the shard pool —
+    /// when one is attached — fans the engines out to worker threads.
+    /// All three paths run the identical `EngineSlot::step_to`, which is
+    /// what makes them bit-identical.
+    fn run_epoch(
+        &mut self,
+        boundary: Option<SimTime>,
+        arrivals_remaining: bool,
+        pool: Option<&ShardPool<'_, EngineSlot, EpochCmd>>,
+    ) {
+        let cmd = EpochCmd {
+            boundary,
+            arrivals_remaining,
+            mem_int: self.mem_int,
+            refresh_int: self.refresh_int,
+        };
+        let mut pending = 0usize;
+        let mut lone = usize::MAX;
+        for (pos, slot) in self.slots.iter().enumerate() {
+            if slot.has_pending(boundary) {
+                pending += 1;
+                lone = pos;
+            }
+        }
+        match (pool, pending) {
+            (_, 0) => {}
+            (_, 1) => self.slots[lone].step_to(&cmd),
+            (Some(pool), _) => pool.epoch(&mut self.slots, cmd),
+            (None, _) => {
+                for slot in &mut self.slots {
+                    slot.step_to(&cmd);
+                }
+            }
+        }
+    }
+
+    /// Runs `trace` through the (fixed) cluster until drained, serially.
+    /// Returns the instant of the last processed event.
     pub fn run(&mut self, trace: &Trace) -> SimTime {
-        self.run_loop(trace, None)
+        self.run_with(trace, ClusterExecution::Serial)
+    }
+
+    /// [`Cluster::run`] with an explicit [`ClusterExecution`] mode.
+    /// Parallel runs are bit-identical to serial for every worker count.
+    pub fn run_with(&mut self, trace: &Trace, exec: ClusterExecution) -> SimTime {
+        self.dispatch_run(trace, None, exec)
     }
 
     /// Runs `trace` with `autoscaler` evaluating the fleet every
@@ -333,153 +544,185 @@ impl Cluster {
         autoscaler: &mut Autoscaler,
         grow: &mut dyn FnMut(EngineId) -> Engine,
     ) -> SimTime {
-        self.run_loop(trace, Some((autoscaler, grow)))
+        self.run_elastic_with(trace, autoscaler, grow, ClusterExecution::Serial)
     }
 
+    /// [`Cluster::run_elastic`] with an explicit [`ClusterExecution`]
+    /// mode; fleet changes happen at barriers, so elastic parallel runs
+    /// are bit-identical to serial too.
+    pub fn run_elastic_with(
+        &mut self,
+        trace: &Trace,
+        autoscaler: &mut Autoscaler,
+        grow: &mut dyn FnMut(EngineId) -> Engine,
+        exec: ClusterExecution,
+    ) -> SimTime {
+        self.dispatch_run(trace, Some((autoscaler, grow)), exec)
+    }
+
+    /// Resolves the execution mode and enters the epoch loop, with a
+    /// shard pool wrapped around it when the run is parallel.
+    fn dispatch_run(
+        &mut self,
+        trace: &Trace,
+        scale: Option<(&mut Autoscaler, &mut dyn FnMut(EngineId) -> Engine)>,
+        exec: ClusterExecution,
+    ) -> SimTime {
+        match exec.worker_count() {
+            0 | 1 => self.run_loop(trace, scale, None),
+            workers => shard::with_shard_pool(
+                workers,
+                |cmd: &EpochCmd, slot: &mut EngineSlot| slot.step_to(cmd),
+                |pool| self.run_loop(trace, scale, Some(pool)),
+            ),
+        }
+    }
+
+    /// The epoch loop shared by serial and parallel execution: partition
+    /// the event horizon at the next cross-engine event (arrival or
+    /// autoscaler tick), step every engine's local queue to that
+    /// boundary ([`Cluster::run_epoch`]), then apply the routing or
+    /// scaling decision at the barrier with exclusive access to the
+    /// whole fleet.
+    ///
+    /// Simultaneous events follow a fixed precedence both modes share:
+    /// arrivals (in trace order), then the autoscaler tick, then
+    /// engine-local events (in per-engine schedule order) — the same
+    /// order the pre-epoch single-heap loop produced for arrivals, and a
+    /// pinned choice for the (previously push-order-dependent)
+    /// tick-vs-scale tie.
     fn run_loop(
         &mut self,
         trace: &Trace,
         mut scale: Option<(&mut Autoscaler, &mut dyn FnMut(EngineId) -> Engine)>,
+        pool: Option<&ShardPool<'_, EngineSlot, EpochCmd>>,
     ) -> SimTime {
-        // Pending events peak near the unconsumed arrivals plus a few
-        // in-flight events per engine; size the heap from the trace.
-        let mut q: EventQueue<ClusterEvent> =
-            EventQueue::with_capacity(trace.len() + 4 * self.slots.len() + 16);
-        let mut arrivals_left = trace.len();
-        for r in trace {
-            q.push(r.arrival(), ClusterEvent::Arrival(*r));
-        }
+        // Arrivals in dispatch order: by time, ties by trace position
+        // (the old heap's FIFO tie-break for the up-front pushes).
+        // Traces are normally already sorted, making this a cheap
+        // verification pass.
+        let reqs = trace.requests();
+        let mut order: Vec<u32> = (0..reqs.len() as u32).collect();
+        order.sort_by_key(|&i| reqs[i as usize].arrival());
         let mem_int = self.mem_int;
         let refresh_int = self.refresh_int;
-        for slot in &self.slots {
-            q.push(
-                SimTime::ZERO + mem_int,
-                ClusterEvent::Engine(slot.id, EngineEvent::MemSample),
-            );
-            q.push(
-                SimTime::ZERO + refresh_int,
-                ClusterEvent::Engine(slot.id, EngineEvent::Refresh),
-            );
+        for slot in &mut self.slots {
+            slot.begin_run(mem_int, refresh_int);
         }
-        if let Some((autoscaler, _)) = &scale {
-            q.push(
-                SimTime::ZERO + autoscaler.config().interval,
-                ClusterEvent::Scale,
-            );
-        }
-        let mut out = Vec::new();
+        let mut next_scale = scale
+            .as_ref()
+            .map(|(autoscaler, _)| SimTime::ZERO + autoscaler.config().interval);
+        let mut next_arr = 0usize;
+        // `last` (the reported horizon) advances on arrivals and
+        // live-engine events only, so a trailing controller tick cannot
+        // inflate it; stale events of retired engines count toward
+        // neither `last` nor the processed total.
         let mut last = SimTime::ZERO;
-        // Popped events that did no simulation work (stale ticks of
-        // retired engines): excluded from the processed count, and `last`
-        // (the reported horizon) only advances on real work, so a
-        // trailing controller tick cannot inflate it.
-        let mut dropped: u64 = 0;
-        while let Some((t, ev)) = q.pop() {
-            match ev {
-                ClusterEvent::Arrival(req) => {
-                    last = t;
-                    arrivals_left -= 1;
-                    // Global scheduler: delegate placement to the router.
-                    self.fill_snapshots();
-                    let decision = self.router.route(&req, &self.snap_buf);
-                    assert!(
-                        decision.engine < self.snap_buf.len(),
-                        "router out of bounds"
-                    );
-                    let pos = self.snap_slots[decision.engine];
-                    let slot = &mut self.slots[pos];
-                    let affinity_hit = slot.engine.is_adapter_resident(req.adapter());
-                    self.stats.record(slot.id, affinity_hit, decision.spilled);
-                    slot.engine.handle(t, EngineEvent::Arrival(req), &mut out);
-                    let id = slot.id;
-                    for (at, e) in out.drain(..) {
-                        q.push(at, ClusterEvent::Engine(id, e));
-                    }
+        let mut processed: u64 = 0;
+        loop {
+            let arr_t = order.get(next_arr).map(|&i| reqs[i as usize].arrival());
+            // The next cross-engine event; arrivals win equal-time ties.
+            let cross = match (arr_t, next_scale) {
+                (Some(a), Some(s)) if s < a => Some((s, false)),
+                (Some(a), _) => Some((a, true)),
+                (None, Some(s)) => Some((s, false)),
+                (None, None) => None,
+            };
+            self.run_epoch(cross.map(|(t, _)| t), arr_t.is_some(), pool);
+            self.harvest_retired(&mut last, &mut processed);
+            let Some((t, is_arrival)) = cross else {
+                break; // final epoch drained every local queue
+            };
+            processed += 1;
+            if is_arrival {
+                let req = reqs[order[next_arr] as usize];
+                next_arr += 1;
+                last = last.max(t);
+                // Global scheduler: delegate placement to the router.
+                self.fill_snapshots();
+                let decision = self.router.route(&req, &self.snap_buf);
+                assert!(
+                    decision.engine < self.snap_buf.len(),
+                    "router out of bounds"
+                );
+                let pos = self.snap_slots[decision.engine];
+                let slot = &mut self.slots[pos];
+                let affinity_hit = slot.engine.is_adapter_resident(req.adapter());
+                self.stats.record(slot.id, affinity_hit, decision.spilled);
+                slot.engine
+                    .handle(t, EngineEvent::Arrival(req), &mut slot.out);
+                for (at, e) in slot.out.drain(..) {
+                    slot.queue.push(at, e);
                 }
-                ClusterEvent::Engine(id, ev) => {
-                    // Events may outlive their engine (a retired engine's
-                    // periodic ticks are still in the heap): drop them.
-                    let Some(pos) = self.slots.iter().position(|s| s.id == id) else {
-                        dropped += 1;
-                        continue;
-                    };
-                    last = t;
-                    let reschedule = match &ev {
-                        EngineEvent::MemSample => Some((t + mem_int, EngineEvent::MemSample)),
-                        EngineEvent::Refresh => Some((t + refresh_int, EngineEvent::Refresh)),
-                        _ => None,
-                    };
-                    let periodic = reschedule.is_some();
-                    self.slots[pos].engine.handle(t, ev, &mut out);
-                    for (at, e) in out.drain(..) {
-                        q.push(at, ClusterEvent::Engine(id, e));
+            } else {
+                let (autoscaler, grow) = scale.as_mut().expect("scale event without scaler");
+                self.fill_snapshots();
+                let draining = self.slots.len() - self.snap_buf.len();
+                match autoscaler.decide(t, &self.snap_buf, draining) {
+                    ScaleAction::Hold => {}
+                    ScaleAction::ScaleUp => {
+                        // The factory sees the id the newcomer will be
+                        // registered under (per-engine RNG streams and
+                        // growth specs key off it).
+                        let id = self.next_engine_id();
+                        let engine = grow(id);
+                        let assigned = self.add_engine(engine);
+                        assert_eq!(assigned, id, "engine id minted twice");
+                        // The newcomer joins the shared tick schedule.
+                        let slot = self.slots.last_mut().expect("engine just added");
+                        slot.queue.push(t + mem_int, EngineEvent::MemSample);
+                        slot.queue.push(t + refresh_int, EngineEvent::Refresh);
                     }
-                    if periodic && (arrivals_left > 0 || self.slots[pos].engine.has_work()) {
-                        let (at, e) = reschedule.expect("periodic");
-                        q.push(at, ClusterEvent::Engine(id, e));
-                    }
-                    self.maybe_retire(pos);
-                }
-                ClusterEvent::Scale => {
-                    let (autoscaler, grow) = scale.as_mut().expect("scale event without scaler");
-                    self.fill_snapshots();
-                    let draining = self.slots.len() - self.snap_buf.len();
-                    match autoscaler.decide(t, &self.snap_buf, draining) {
-                        ScaleAction::Hold => {}
-                        ScaleAction::ScaleUp => {
-                            // The factory sees the id the newcomer will be
-                            // registered under (per-engine RNG streams and
-                            // growth specs key off it).
-                            let id = self.next_engine_id();
-                            let engine = grow(id);
-                            let assigned = self.add_engine(engine);
-                            assert_eq!(assigned, id, "engine id minted twice");
-                            let id = assigned;
-                            // The newcomer joins the shared tick schedule.
-                            q.push(
-                                t + mem_int,
-                                ClusterEvent::Engine(id, EngineEvent::MemSample),
-                            );
-                            q.push(
-                                t + refresh_int,
-                                ClusterEvent::Engine(id, EngineEvent::Refresh),
-                            );
-                        }
-                        ScaleAction::Drain(victim) => {
-                            if self.drain_engine(victim) {
-                                if let Some(pos) = self.slots.iter().position(|s| s.id == victim) {
-                                    self.maybe_retire(pos);
-                                }
+                    ScaleAction::Drain(victim) => {
+                        if self.drain_engine(victim) {
+                            let pos = self
+                                .slots
+                                .iter()
+                                .position(|s| s.id == victim)
+                                .expect("drained engine is present");
+                            if !self.slots[pos].engine.has_work() {
+                                self.retire_slot(pos, &mut last, &mut processed);
                             }
                         }
                     }
-                    let work_left =
-                        arrivals_left > 0 || self.slots.iter().any(|s| s.engine.has_work());
-                    if work_left {
-                        q.push(t + autoscaler.config().interval, ClusterEvent::Scale);
-                    }
                 }
+                let work_left =
+                    next_arr < order.len() || self.slots.iter().any(|s| s.engine.has_work());
+                next_scale = work_left.then(|| t + autoscaler.config().interval);
             }
         }
-        self.events_processed += q.processed() - dropped;
+        // Fold the run counters of the engines still in the fleet
+        // (retired engines folded at retirement).
+        for slot in &self.slots {
+            processed += slot.processed;
+            last = last.max(slot.last);
+        }
+        self.events_processed += processed;
         last
     }
 
     /// Total completed requests across live and retired engines.
     pub fn completed(&self) -> u64 {
         let live: u64 = self.slots.iter().map(|s| s.engine.completed()).sum();
-        let retired: u64 = self.retired.iter().map(|r| r.completed() as u64).sum();
+        let retired: u64 = self.retired.iter().map(|(_, r)| r.completed() as u64).sum();
         live + retired
     }
 
     /// Finalises into one merged report carrying the routing statistics
-    /// (retired engines included).
+    /// (retired engines included). Reports are merged in stable-id order
+    /// regardless of when each engine retired, so the result is
+    /// independent of retirement timing — and therefore identical
+    /// between serial and parallel execution by construction.
     pub fn into_report(self) -> EngineReport {
         let stats = self.stats;
-        let mut reports = self
-            .retired
-            .into_iter()
-            .chain(self.slots.into_iter().map(|s| s.engine.into_report()));
+        let mut tagged = self.retired;
+        tagged.extend(
+            self.slots
+                .into_iter()
+                .map(|s| (s.id, s.engine.into_report())),
+        );
+        tagged.sort_by_key(|&(id, _)| id.0);
+        let mut reports = tagged.into_iter().map(|(_, r)| r);
         let mut merged = reports.next().expect("non-empty cluster");
         for r in reports {
             merged.merge(r);
@@ -866,6 +1109,23 @@ mod tests {
             0,
             "queue-depth policies have no homes to migrate"
         );
+    }
+
+    /// A second `run` whose trace timeline starts before the busy horizon
+    /// carried over from the first run must still dispatch (regression:
+    /// the phantom-busy state used to leave queued requests stranded with
+    /// no event ever re-triggering dispatch).
+    #[test]
+    fn second_run_starting_inside_previous_busy_horizon_makes_progress() {
+        // Overload burst: backlog processing extends well past the last
+        // arrival instant, so the second run's arrivals replay "inside"
+        // the first run's busy horizon.
+        let (factory, trace) = factory_and_trace_at(2000.0, 120);
+        let mut c = Cluster::new(2, factory);
+        let reqs = trace.requests().to_vec();
+        c.run(&Trace::new(reqs[..60].to_vec()));
+        c.run(&Trace::new(reqs[60..].to_vec()));
+        assert_eq!(c.completed(), 120, "second run stalled");
     }
 
     #[test]

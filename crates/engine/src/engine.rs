@@ -653,6 +653,18 @@ impl Engine {
 
     fn try_dispatch(&mut self, now: SimTime, out: &mut Vec<(SimTime, EngineEvent)>) {
         if !self.is_idle(now) {
+            // Phantom busy: `busy_until` ahead of `now` with no step in
+            // flight. Within one run this cannot happen (the StepDone that
+            // clears `current_step` fires exactly at `busy_until`), but a
+            // later `run` call may replay a trace whose timeline starts
+            // before the busy horizon carried over from the previous run —
+            // and then no future event would ever re-trigger dispatch.
+            // Schedule the wake-up that the missing StepDone would have
+            // been.
+            if self.current_step.is_none() && !self.poke_pending {
+                self.poke_pending = true;
+                out.push((self.busy_until, EngineEvent::Poke));
+            }
             return;
         }
         self.check_squash(now);

@@ -42,6 +42,12 @@
 //! `EngineId`, affinity hit rate, spill rate, load imbalance, engines
 //! added/drained, adapters re-homed) land in [`EngineReport::routing`].
 //!
+//! Cluster runs step engines between cross-engine barriers in *epochs*
+//! (see the [`cluster`] module docs); [`Cluster::run_with`] and
+//! [`Cluster::run_elastic_with`] select a [`ClusterExecution`] mode —
+//! [`ClusterExecution::Parallel`] steps the engines on worker threads
+//! with results bit-identical to the serial loop.
+//!
 //! [`Scheduler`]: chameleon_sched::Scheduler
 //! [`AdapterCache`]: chameleon_cache::AdapterCache
 //! [`PcieLink`]: chameleon_gpu::PcieLink
@@ -58,7 +64,7 @@ pub mod probe;
 pub mod report;
 
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction};
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ClusterExecution};
 pub use config::EngineConfig;
 pub use engine::{Engine, EngineEvent};
 pub use report::EngineReport;

@@ -9,6 +9,17 @@
 //! load reasons. Fleet lifecycle is tracked alongside: engines added and
 //! drained, and how many adapters were re-homed by those changes (the
 //! rendezvous minimal-re-homing guarantee, measured).
+//!
+//! # Order-independence under parallel cluster execution
+//!
+//! All mutation happens on the cluster's coordinator thread, strictly in
+//! dispatch/fleet-change order — engine stepping (the part that runs on
+//! worker threads under parallel execution) never touches these
+//! statistics. Serial and parallel cluster runs therefore produce
+//! *identical* `RoutingStats`, and the per-engine rows are keyed by
+//! registration order (`engine_ids`), not by retirement or merge order,
+//! so the merged report is insensitive to when each engine's report was
+//! folded in.
 
 use chameleon_router::EngineId;
 use serde::{Deserialize, Serialize};

@@ -13,7 +13,10 @@ use chameleon_simcore::SimRng;
 use chameleon_workload::Request;
 
 /// Predicts the number of output tokens a request will generate.
-pub trait OutputLenPredictor {
+///
+/// `Send` is a supertrait so engines (which own their predictor) can be
+/// stepped on worker threads under parallel cluster execution.
+pub trait OutputLenPredictor: Send {
     /// Predicts the output length of `request`.
     fn predict(&mut self, request: &Request) -> u32;
 

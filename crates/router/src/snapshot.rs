@@ -28,6 +28,13 @@ impl std::fmt::Display for EngineId {
 /// only the *live* (non-draining) engines, in registration order; the
 /// fields are the signals the built-in policies need, and richer policies
 /// can combine them freely.
+///
+/// Snapshots are collected at the cluster's dispatch *barrier*: every
+/// engine has processed exactly its events before the arrival instant,
+/// whether the engines were stepped serially or on worker threads — so
+/// the snapshot set (contents *and* order) is identical under both
+/// cluster execution modes, which is what keeps routing decisions, and
+/// with them whole runs, bit-identical.
 #[derive(Debug, Clone)]
 pub struct EngineSnapshot {
     /// Stable engine identity (not a position — see [`EngineId`]).

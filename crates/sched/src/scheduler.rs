@@ -73,7 +73,12 @@ pub struct AdmissionOutcome {
 }
 
 /// An iteration-level admission policy.
-pub trait Scheduler {
+///
+/// `Send` is a supertrait because a cluster's engines (each owning its
+/// scheduler) are stepped on worker threads under parallel cluster
+/// execution; every scheduler here is plain owned data, so the bound
+/// costs nothing.
+pub trait Scheduler: Send {
     /// Adds a newly arrived (and annotated) request.
     fn enqueue(&mut self, req: QueuedRequest);
 

@@ -13,6 +13,10 @@
 //!   (Poisson processes, log-normal, Zipf/power-law, ...).
 //! * [`stats`] — online statistics, histograms and exact percentile
 //!   extraction used by the metrics layer.
+//! * [`shard`] — the epoch-synchronised sharded worker pool behind
+//!   parallel cluster execution: stateful per-shard workers with
+//!   coordinator barriers and deterministic (worker-count-independent)
+//!   results.
 //!
 //! # Example
 //!
@@ -30,6 +34,7 @@
 pub mod dist;
 pub mod event;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 

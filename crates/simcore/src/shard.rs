@@ -1,0 +1,383 @@
+//! Epoch-synchronised sharded worker pool: stateful per-shard parallelism
+//! with coordinator barriers.
+//!
+//! [`parallel_map`-style pools](https://docs.rs/rayon) fan *independent*
+//! jobs out once; the parallel cluster loop needs something different:
+//! a set of long-lived mutable shards (one serving engine each) that
+//! worker threads advance *repeatedly*, in lockstep epochs, with the
+//! coordinator regaining exclusive access to every shard between epochs
+//! to make cross-shard decisions (routing, autoscaling). That is exactly
+//! what [`with_shard_pool`] provides:
+//!
+//! * the coordinator calls [`ShardPool::epoch`] with `&mut [T]` and a
+//!   per-epoch command `C`;
+//! * workers claim shard indices from a shared atomic counter and run the
+//!   pool's step function on each claimed `&mut T`;
+//! * `epoch` returns only after every worker has finished, so the
+//!   exclusive `&mut [T]` borrow is honoured — the coordinator never
+//!   observes a shard mid-step.
+//!
+//! # Determinism
+//!
+//! Each shard is touched by exactly one worker per epoch and shards never
+//! alias, so the result of an epoch is independent of worker count and
+//! scheduling. A deterministic step function therefore yields
+//! *bit-identical* shard states for every worker count — the property the
+//! parallel-cluster determinism suite asserts byte-for-byte.
+//!
+//! # Synchronisation protocol
+//!
+//! One atomic epoch counter publishes work (release) and workers
+//! acknowledge through an atomic remaining-count (release) that the
+//! coordinator acquires; shard memory written by workers is visible to
+//! the coordinator through that acquire, and the command + shard pointer
+//! written by the coordinator are visible to workers through the epoch
+//! acquire. Waits spin briefly and then yield, so oversubscribed pools
+//! (more workers than cores — exercised by the determinism tests) stay
+//! live, just slower.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Worker-count override from the `CHAMELEON_WORKERS` environment
+/// variable (unset, empty, or unparsable → `None`; `0` → `None`, meaning
+/// "auto"). CI sets `CHAMELEON_WORKERS=2` so the parallel cluster path is
+/// exercised on every push regardless of runner width.
+pub fn workers_from_env() -> Option<usize> {
+    std::env::var("CHAMELEON_WORKERS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// Spin briefly, then yield — keeps oversubscribed pools live.
+fn relax(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Shared coordinator ↔ worker state. Only [`with_shard_pool`] builds one.
+struct Shared<T, C> {
+    /// Monotone epoch id; a bump (release) publishes `cmd`/`shards`/`len`.
+    epoch: AtomicU64,
+    /// True once the pool is shutting down (read after an epoch bump).
+    exit: AtomicBool,
+    /// Next unclaimed shard index of the current epoch.
+    next: AtomicUsize,
+    /// Workers still running the current epoch.
+    remaining: AtomicUsize,
+    /// A worker unwound mid-epoch; the coordinator re-raises.
+    poisoned: AtomicBool,
+    /// Base pointer + length of the coordinator's `&mut [T]` for the
+    /// current epoch. Written by the coordinator before the epoch bump,
+    /// read by workers after it.
+    shards: AtomicPtr<T>,
+    len: AtomicUsize,
+    /// The per-epoch command, written under the same protocol.
+    cmd: UnsafeCell<Option<C>>,
+}
+
+// SAFETY: `cmd` is written by the coordinator strictly before the epoch
+// bump that publishes it and read by workers strictly after; `shards` is
+// a pointer to shards workers access at disjoint indices (the atomic
+// claim counter hands out each index exactly once per epoch) and only
+// while the coordinator is blocked inside `epoch`. `T: Send` makes the
+// cross-thread `&mut T` handoff sound; `C: Sync` covers the shared `&C`.
+unsafe impl<T: Send, C: Sync> Sync for Shared<T, C> {}
+
+impl<T, C> Shared<T, C> {
+    fn new() -> Self {
+        Shared {
+            epoch: AtomicU64::new(0),
+            exit: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            shards: AtomicPtr::new(std::ptr::null_mut()),
+            len: AtomicUsize::new(0),
+            cmd: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// Handle the coordinator drives epochs through (see [`with_shard_pool`]).
+pub struct ShardPool<'a, T, C> {
+    shared: &'a Shared<T, C>,
+    workers: usize,
+}
+
+impl<T: Send, C: Sync> ShardPool<'_, T, C> {
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one epoch: every shard in `shards` is stepped once with `cmd`
+    /// by some worker, and the call returns when all of them are done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked while stepping a shard.
+    pub fn epoch(&self, shards: &mut [T], cmd: C) {
+        let s = self.shared;
+        // SAFETY: no worker reads `cmd` between epochs (they are either
+        // spinning on `epoch` or exited), so the coordinator has exclusive
+        // access here.
+        unsafe { *s.cmd.get() = Some(cmd) };
+        s.shards.store(shards.as_mut_ptr(), Ordering::Relaxed);
+        s.len.store(shards.len(), Ordering::Relaxed);
+        s.next.store(0, Ordering::Relaxed);
+        s.remaining.store(self.workers, Ordering::Relaxed);
+        s.epoch.fetch_add(1, Ordering::Release);
+        let mut spins = 0;
+        while s.remaining.load(Ordering::Acquire) != 0 {
+            relax(&mut spins);
+        }
+        assert!(
+            !s.poisoned.load(Ordering::Relaxed),
+            "a shard-pool worker panicked"
+        );
+    }
+}
+
+/// Always-decrement guard so a panicking worker cannot deadlock the
+/// coordinator's epoch wait.
+struct EpochGuard<'a> {
+    remaining: &'a AtomicUsize,
+    poisoned: &'a AtomicBool,
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.poisoned.store(true, Ordering::Relaxed);
+        }
+        self.remaining.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Signals pool shutdown when dropped — **including on unwind**. Without
+/// this, a panic in the coordinator body (a failed assertion inside the
+/// cluster loop, or the poisoned-epoch re-raise itself) would skip the
+/// exit signal and leave `std::thread::scope` joining workers that spin
+/// forever waiting for an epoch that never comes: the process would hang
+/// instead of propagating the panic.
+struct ShutdownGuard<'a, T, C> {
+    shared: &'a Shared<T, C>,
+}
+
+impl<T, C> Drop for ShutdownGuard<'_, T, C> {
+    fn drop(&mut self) {
+        self.shared.exit.store(true, Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+fn worker_loop<T, C>(shared: &Shared<T, C>, step: &(impl Fn(&C, &mut T) + Sync)) {
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0;
+        let now = loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen {
+                break e;
+            }
+            relax(&mut spins);
+        };
+        seen = now;
+        if shared.exit.load(Ordering::Relaxed) {
+            return;
+        }
+        let guard = EpochGuard {
+            remaining: &shared.remaining,
+            poisoned: &shared.poisoned,
+        };
+        let base = shared.shards.load(Ordering::Relaxed);
+        let len = shared.len.load(Ordering::Relaxed);
+        // SAFETY: the coordinator published `cmd` before this epoch's bump
+        // and will not touch it again until every worker decremented
+        // `remaining`.
+        let cmd = unsafe { (*shared.cmd.get()).as_ref().expect("epoch without cmd") };
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                break;
+            }
+            // SAFETY: `fetch_add` hands index `i` to exactly one worker,
+            // the indices are in-bounds (`i < len`), and the coordinator
+            // holds `&mut [T]` blocked in `epoch` — so this is the only
+            // live reference to shard `i`.
+            let shard = unsafe { &mut *base.add(i) };
+            step(cmd, shard);
+        }
+        drop(guard);
+    }
+}
+
+/// Creates a pool of `workers` scoped threads running `step` over shards
+/// each epoch, hands the coordinator closure `body` a [`ShardPool`] to
+/// drive epochs with, and tears the pool down when `body` returns.
+///
+/// With fewer than two workers there is nothing to parallelise: callers
+/// should step shards inline instead (the cluster's serial path does).
+///
+/// # Panics
+///
+/// Panics if `workers == 0`; worker panics propagate when the scope joins.
+pub fn with_shard_pool<T, C, R>(
+    workers: usize,
+    step: impl Fn(&C, &mut T) + Sync,
+    body: impl FnOnce(&ShardPool<'_, T, C>) -> R,
+) -> R
+where
+    T: Send,
+    C: Sync,
+{
+    assert!(workers > 0, "shard pool needs at least one worker");
+    let shared: Shared<T, C> = Shared::new();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let shared = &shared;
+            let step = &step;
+            scope.spawn(move || worker_loop(shared, step));
+        }
+        // Dropped on both the normal and the unwinding path, so workers
+        // always see the shutdown epoch and the scope can join.
+        let _shutdown = ShutdownGuard { shared: &shared };
+        let pool = ShardPool {
+            shared: &shared,
+            workers,
+        };
+        body(&pool)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shard_steps_exactly_once_per_epoch() {
+        let mut shards: Vec<u64> = vec![0; 13];
+        with_shard_pool(
+            3,
+            |add: &u64, shard: &mut u64| *shard += add,
+            |pool| {
+                for round in 1..=5u64 {
+                    pool.epoch(&mut shards, round);
+                }
+            },
+        );
+        // 1+2+3+4+5 applied to every shard, each exactly once per epoch.
+        assert!(shards.iter().all(|&v| v == 15), "{shards:?}");
+    }
+
+    #[test]
+    fn matches_inline_for_every_worker_count() {
+        let step = |mul: &u64, shard: &mut u64| *shard = shard.wrapping_mul(*mul) + 1;
+        let mut reference: Vec<u64> = (0..57).collect();
+        for round in 2..6u64 {
+            for s in &mut reference {
+                step(&round, s);
+            }
+        }
+        for workers in [1, 2, 4, 16] {
+            let mut shards: Vec<u64> = (0..57).collect();
+            with_shard_pool(workers, step, |pool| {
+                for round in 2..6u64 {
+                    pool.epoch(&mut shards, round);
+                }
+            });
+            assert_eq!(shards, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn coordinator_can_mutate_shards_between_epochs() {
+        let mut shards: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        with_shard_pool(
+            2,
+            |tag: &u64, shard: &mut Vec<u64>| shard.push(*tag),
+            |pool| {
+                pool.epoch(&mut shards, 1);
+                shards.push(Vec::new()); // fleet grows at a barrier
+                shards[0].push(99); // coordinator-side mutation
+                pool.epoch(&mut shards, 2);
+            },
+        );
+        assert_eq!(shards[0], vec![1, 99, 2]);
+        assert_eq!(shards[4], vec![2], "late-joining shard steps too");
+    }
+
+    #[test]
+    fn panics_propagate_instead_of_hanging() {
+        // A panicking step must poison the epoch, re-raise on the
+        // coordinator, and still shut the workers down so the scope can
+        // join — a regression here deadlocks rather than failing.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut shards: Vec<u64> = vec![0; 8];
+            with_shard_pool(
+                2,
+                |_: &(), shard: &mut u64| {
+                    if *shard == 0 {
+                        panic!("boom");
+                    }
+                },
+                |pool| pool.epoch(&mut shards, ()),
+            );
+        }));
+        assert!(result.is_err(), "worker panic was swallowed");
+    }
+
+    #[test]
+    fn coordinator_panic_between_epochs_still_shuts_down() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut shards: Vec<u64> = vec![0; 4];
+            with_shard_pool(
+                2,
+                |_: &(), shard: &mut u64| *shard += 1,
+                |pool| {
+                    pool.epoch(&mut shards, ());
+                    panic!("coordinator failed after a clean epoch");
+                },
+            );
+        }));
+        assert!(result.is_err(), "coordinator panic was swallowed");
+    }
+
+    #[test]
+    fn empty_shard_set_is_fine() {
+        let mut shards: Vec<u8> = Vec::new();
+        with_shard_pool(
+            2,
+            |_: &(), _: &mut u8| {},
+            |pool| {
+                pool.epoch(&mut shards, ());
+                pool.epoch(&mut shards, ());
+            },
+        );
+    }
+
+    #[test]
+    fn env_override_parses() {
+        // Avoid touching the real environment: exercise the parse rules
+        // through the public contract only when the variable is absent.
+        if std::env::var("CHAMELEON_WORKERS").is_err() {
+            assert_eq!(workers_from_env(), None);
+        }
+        assert!(default_workers() >= 1);
+    }
+}
