@@ -36,7 +36,7 @@ use std::collections::HashSet;
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut out_path = "BENCH_PR5.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,12 +50,13 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("PR4", smoke);
+    let mut report = BenchReport::new("PR5", smoke);
     println!("chameleon-bench ({})", if smoke { "smoke" } else { "full" });
 
     macro_scenario(&mut report, smoke);
     cluster_macro(&mut report, smoke);
     cluster16_macro(&mut report, smoke);
+    predictive_burst_macro(&mut report, smoke);
     event_queue_churn(&mut report, smoke);
     eviction_storm(&mut report, smoke);
     refresh_storm(&mut report, smoke);
@@ -232,6 +233,109 @@ fn cluster16_macro(report: &mut BenchReport, smoke: bool) {
             .metric("cache_hit_rate", serial.hit_rate())
             .metric("affinity_hit_rate", serial.affinity_hit_rate())
             .metric("load_imbalance", serial.load_imbalance()),
+    );
+}
+
+/// The predictive control plane's slot in the trajectory: a 4-engine
+/// affinity fleet through a bursty **Zipf shift** — steady traffic over
+/// one popular adapter set, then the popular set rotates by half the
+/// pool and, after the predictor has seen the new regime, bursts to 8× —
+/// run once reactive and once with the control plane (pre-replication
+/// onto spill targets) on the *identical* trace. The `events_per_sec`
+/// column tracks the control plane's overhead on the dispatch path; the
+/// miss/prewarm columns track what prediction buys — spills landing on
+/// warm replicas instead of cold engines.
+fn predictive_burst_macro(report: &mut BenchReport, smoke: bool) {
+    use chameleon_models::AdapterId;
+    use chameleon_workload::Trace;
+
+    let engines = 4;
+    let rps = 20.0;
+    let secs = if smoke { 4.0 } else { 120.0 };
+    let cfg = preset::chameleon_cluster_partitioned(engines)
+        .with_adapters(100)
+        .with_label("Chameleon-DP4-Shift");
+    let pool = chameleon_models::AdapterPool::generate(&cfg.llm, &cfg.pool_config());
+    // Phase 1: the pool's natural Zipf-popular set. Phase 2: the same
+    // workload with adapter ids rotated by half the pool (a popularity
+    // shift), steady long enough to learn, then an 8x burst on it.
+    let phase1_secs = secs / 3.0;
+    let phase2_secs = secs - phase1_secs;
+    let phase1 = chameleon_core::workloads::splitwise(rps, phase1_secs, SEED, &pool);
+    let phase2 = chameleon_core::workloads::splitwise_bursty(
+        rps,
+        phase2_secs,
+        phase2_secs / 2.0,
+        phase2_secs / 4.0,
+        8.0,
+        SEED ^ 0x5eed,
+        &pool,
+    );
+    let n = pool.len() as u32;
+    let offset = SimDuration::from_secs_f64(phase1_secs);
+    let mut reqs = phase1.requests().to_vec();
+    for r in phase2.iter() {
+        let shifted = AdapterId((r.adapter().0 + n / 2) % n);
+        let rank = pool.get(shifted).expect("rotated id stays in pool").rank();
+        reqs.push(Request::new(
+            RequestId(r.id().0 + 1_000_000),
+            r.arrival() + offset,
+            r.input_tokens(),
+            r.output_tokens(),
+            shifted,
+            rank,
+        ));
+    }
+    let trace = Trace::new(reqs);
+
+    let mut reactive_sim = Simulation::new(cfg.clone(), SEED);
+    let (t_reactive, reactive) = timed(|| reactive_sim.run(&trace));
+    let mut predictive_sim = Simulation::new(
+        cfg.with_predictive(chameleon_core::PredictiveSpec::new())
+            .with_label("Chameleon-DP4-600-Burst-Predictive"),
+        SEED,
+    );
+    let (t_predictive, predictive) = timed(|| predictive_sim.run(&trace));
+
+    let p = &predictive.routing.predictive;
+    let reactive_eps = reactive.events_processed as f64 / t_reactive;
+    let predictive_eps = predictive.events_processed as f64 / t_predictive;
+    println!(
+        "  macro_pred_burst    {:>10.0} events/s reactive, {:>10.0} events/s predictive \
+         (misses {} -> {}, {} warms / {} hits, {t_reactive:.3}s vs {t_predictive:.3}s wall)",
+        reactive_eps,
+        predictive_eps,
+        reactive.cache_stats.misses,
+        predictive.cache_stats.misses,
+        p.prewarms_issued,
+        p.prewarm_hits,
+    );
+    report.push(
+        "macro_predictive_burst",
+        BenchResult::new()
+            .metric("engines", engines as f64)
+            .metric("adapters", pool.len() as f64)
+            .metric("offered_rps", rps)
+            .metric("trace_secs", secs)
+            .metric("completed", reactive.completed() as f64)
+            .metric("events", reactive.events_processed as f64)
+            .metric("cores", par::default_workers() as f64)
+            .metric("reactive_wall_secs", t_reactive)
+            .metric("predictive_wall_secs", t_predictive)
+            .metric("events_per_sec", reactive_eps)
+            .metric("predictive_events_per_sec", predictive_eps)
+            .metric("reactive_cold_misses", reactive.cache_stats.misses as f64)
+            .metric(
+                "predictive_cold_misses",
+                predictive.cache_stats.misses as f64,
+            )
+            .metric("prewarms_issued", p.prewarms_issued as f64)
+            .metric("prewarm_hits", p.prewarm_hits as f64)
+            .metric("prewarm_hit_rate", p.prewarm_hit_rate())
+            .metric("reactive_p99_ttft_s", reactive.p99_ttft())
+            .metric("predictive_p99_ttft_s", predictive.p99_ttft())
+            .metric("reactive_hit_rate", reactive.hit_rate())
+            .metric("predictive_hit_rate", predictive.hit_rate()),
     );
 }
 

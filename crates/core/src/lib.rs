@@ -49,7 +49,7 @@ pub mod sweep;
 pub mod system;
 pub mod workloads;
 
-pub use chameleon_engine::ClusterExecution;
+pub use chameleon_engine::{ClusterExecution, PredictiveSpec};
 pub use chameleon_router::{EngineId, RouterPolicy};
 pub use report::RunReport;
 pub use sim::Simulation;

@@ -2,6 +2,7 @@
 //! built on the routing subsystem.
 
 use crate::system::{AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig};
+use chameleon_engine::PredictiveSpec;
 use chameleon_router::RouterPolicy;
 use chameleon_simcore::SimDuration;
 
@@ -156,6 +157,30 @@ pub fn chameleon_cluster_partitioned(engines: usize) -> SystemConfig {
         .with_label(format!("Chameleon-DP{engines}-Affinity"))
 }
 
+/// [`chameleon_cluster_partitioned`] with the predictive control plane on
+/// top: the coordinator's arrival-history predictor pre-replicates
+/// imminently hot adapters onto their stable second rendezvous choice
+/// *before* bursts, so affinity spill lands on a warm replica instead of
+/// a cold engine. Identical to the partitioned preset in every reactive
+/// knob — the pair is the reactive-vs-predictive comparison the
+/// `macro_predictive_burst` bench scenario and the efficacy tests run.
+pub fn chameleon_cluster_predictive(engines: usize) -> SystemConfig {
+    chameleon_cluster_partitioned(engines)
+        .with_predictive(PredictiveSpec::new())
+        .with_label(format!("Chameleon-DP{engines}-Predictive"))
+}
+
+/// [`chameleon_cluster_elastic`] with the predictive control plane: the
+/// autoscaler additionally fires on per-engine TTFT-violation estimates
+/// and predicted arrivals (growing *before* a forecast burst lands), and
+/// draining engines hand their adapter shard to the survivors' caches
+/// instead of leaving them to cold-miss it.
+pub fn chameleon_cluster_elastic_predictive() -> SystemConfig {
+    chameleon_cluster_elastic()
+        .with_predictive(PredictiveSpec::new())
+        .with_label("Chameleon-Elastic-Predictive")
+}
+
 /// Chameleon on a heterogeneous fleet — two TP1 engines next to a TP2 and
 /// a TP4 (the §5.6 tensor-parallel axis as cluster members) behind
 /// capacity-weighted adapter-affinity routing, so the wider engines win
@@ -292,6 +317,30 @@ mod tests {
     }
 
     #[test]
+    fn predictive_presets_differ_only_in_the_control_plane() {
+        let reactive = chameleon_cluster_partitioned(4);
+        let predictive = chameleon_cluster_predictive(4);
+        assert!(reactive.predictive.is_none());
+        let spec = predictive.predictive.expect("control plane enabled");
+        assert!(spec.prereplicate && spec.handoff && spec.slo_autoscale);
+        assert_eq!(predictive.router, reactive.router);
+        assert_eq!(predictive.sched, reactive.sched);
+        assert_eq!(predictive.cache, reactive.cache);
+        assert_eq!(predictive.data_parallel, reactive.data_parallel);
+        let elastic = chameleon_cluster_elastic_predictive();
+        assert!(elastic.predictive.is_some());
+        assert!(elastic.autoscale.is_some());
+        // The base presets remain reactive.
+        for cfg in [
+            chameleon(),
+            chameleon_cluster_hetero(),
+            chameleon_cluster_elastic(),
+        ] {
+            assert!(cfg.predictive.is_none(), "{} gained prediction", cfg.label);
+        }
+    }
+
+    #[test]
     fn fleet16_preset_shape() {
         let c = chameleon_cluster16();
         assert_eq!(c.engine_count(), 16);
@@ -321,6 +370,8 @@ mod tests {
             chameleon_gdsf(),
             chameleon_cluster(4),
             chameleon_cluster_partitioned(4),
+            chameleon_cluster_predictive(4),
+            chameleon_cluster_elastic_predictive(),
             chameleon_cluster_hetero(),
             chameleon_cluster_elastic(),
             chameleon_cluster16(),

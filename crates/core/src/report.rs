@@ -327,6 +327,25 @@ impl RunReport {
             r.engines_drained,
             r.adapters_rehomed,
         );
+        // The predictive line exists only for runs that opted into the
+        // control plane: non-predictive runs stay byte-identical to the
+        // pre-control-plane format (the opt-in oracle suite pins this).
+        if r.predictive.enabled {
+            let p = &r.predictive;
+            let _ = writeln!(
+                s,
+                "predictive prewarms={} prewarm_bytes={} prewarm_hits={} prewarm_wasted={} \
+                 handoff_n={} handoff_bytes={} slo_scaleups={} forecast_scaleups={}",
+                p.prewarms_issued,
+                p.prewarm_bytes,
+                p.prewarm_hits,
+                p.prewarm_wasted,
+                p.handoff_adapters,
+                p.handoff_bytes,
+                p.slo_scaleups,
+                p.forecast_scaleups,
+            );
+        }
         let opt = |t: Option<SimTime>| t.map(|t| t.as_nanos()).unwrap_or(u64::MAX);
         for rec in &self.records {
             let tbt_ns: u64 = rec.tbt_gaps.iter().map(|d| d.as_nanos()).sum();

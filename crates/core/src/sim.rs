@@ -182,10 +182,22 @@ impl Simulation {
                 |i| self.build_engine(slo, wrs, i, max_output, k_max, &self.cfg.engine_spec(i)),
                 self.cfg.router.build(self.seed),
             );
+            if let Some(spec) = &self.cfg.predictive {
+                cluster.set_predictive(*spec);
+            }
             let exec = self.cfg.cluster_exec;
             let last = match &self.cfg.autoscale {
                 Some(auto) => {
-                    let mut scaler = Autoscaler::new(auto.controller.clone());
+                    let mut controller = auto.controller.clone();
+                    // The predictive SLO signal compares per-engine TTFT
+                    // violation estimates against this run's SLO (§5.1:
+                    // configured, or derived from the isolated oracle).
+                    if self.cfg.predictive.is_some_and(|p| p.slo_autoscale)
+                        && controller.ttft_slo.is_none()
+                    {
+                        controller.ttft_slo = Some(slo);
+                    }
+                    let mut scaler = Autoscaler::new(controller);
                     let mut grow = |id: chameleon_router::EngineId| {
                         let spec = self
                             .cfg

@@ -1,6 +1,6 @@
 //! System configuration: every knob of a serving system under study.
 
-use chameleon_engine::{AutoscalerConfig, ClusterExecution};
+use chameleon_engine::{AutoscalerConfig, ClusterExecution, PredictiveSpec};
 use chameleon_models::{GpuSpec, LlmSpec, PoolConfig, PopularityDist};
 use chameleon_router::RouterPolicy;
 use chameleon_simcore::SimDuration;
@@ -172,6 +172,12 @@ pub struct SystemConfig {
     pub fleet: Option<FleetSpec>,
     /// Runtime fleet scaling; `None` keeps the fleet fixed for the run.
     pub autoscale: Option<AutoscaleSpec>,
+    /// Cluster-level predictive control plane (burst pre-replication onto
+    /// spill targets, SLO/forecast autoscaling signals, drain-time shard
+    /// handoff). `None` — the default — keeps the cluster purely reactive
+    /// and byte-identical to the pre-control-plane stack; ignored for
+    /// single-engine runs.
+    pub predictive: Option<PredictiveSpec>,
     /// Global routing policy dispatching requests across data-parallel
     /// engines (ignored for single-engine runs). The paper's two-level
     /// scheduler uses [`RouterPolicy::JoinShortestQueue`];
@@ -224,6 +230,7 @@ impl SystemConfig {
             data_parallel: 1,
             fleet: None,
             autoscale: None,
+            predictive: None,
             router: RouterPolicy::JoinShortestQueue,
             cluster_exec: ClusterExecution::Serial,
             num_adapters: 100,
@@ -291,6 +298,12 @@ impl SystemConfig {
     /// Builder-style: enables runtime fleet scaling.
     pub fn with_autoscale(mut self, autoscale: AutoscaleSpec) -> Self {
         self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Builder-style: enables the predictive control plane.
+    pub fn with_predictive(mut self, predictive: PredictiveSpec) -> Self {
+        self.predictive = Some(predictive);
         self
     }
 

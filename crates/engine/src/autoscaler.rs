@@ -8,6 +8,24 @@
 //! draining one with minimal adapter re-homing — is the cluster's
 //! add/drain lifecycle, so the controller stays a pure, unit-testable
 //! policy over [`EngineSnapshot`]s.
+//!
+//! Two predictive signals extend the realised-queue-depth triggers, both
+//! off by default so the reactive controller's decisions are unchanged
+//! until a run opts in:
+//!
+//! * **SLO pressure** ([`AutoscalerConfig::ttft_slo`]): each snapshot
+//!   carries a per-engine TTFT-violation estimate (the engine's backlog
+//!   priced through its isolated-latency oracle,
+//!   [`EngineSnapshot::est_ttft_secs`]); any engine whose estimate
+//!   exceeds the SLO is a violation in the making and fires scale-up even
+//!   while raw queue depths look tolerable.
+//! * **Forecast pressure** ([`ForecastSignal`]): the cluster's load
+//!   predictor supplies the arrivals expected within the next evaluation
+//!   interval; [`Autoscaler::decide_with`] folds them into the mean-queue
+//!   test, so the fleet grows *before* a predicted burst lands.
+//!
+//! [`Autoscaler::last_trigger`] reports which signal fired, letting the
+//! cluster account predictive scale-ups separately from reactive ones.
 
 use chameleon_router::{EngineId, EngineSnapshot};
 use chameleon_simcore::{SimDuration, SimTime};
@@ -33,6 +51,11 @@ pub struct AutoscalerConfig {
     /// Minimum time between consecutive scaling actions, so one burst
     /// does not trigger a grow/drain oscillation.
     pub cooldown: SimDuration,
+    /// TTFT SLO for the violation-estimate trigger: grow when any active
+    /// engine's [`EngineSnapshot::est_ttft_secs`] exceeds it. `None` (the
+    /// default) disables the signal, leaving the controller purely
+    /// queue-depth-reactive.
+    pub ttft_slo: Option<SimDuration>,
 }
 
 impl Default for AutoscalerConfig {
@@ -45,6 +68,7 @@ impl Default for AutoscalerConfig {
             scale_up_max_queue: 64,
             scale_down_mean_queue: 1.0,
             cooldown: SimDuration::from_secs(20),
+            ttft_slo: None,
         }
     }
 }
@@ -60,11 +84,35 @@ pub enum ScaleAction {
     Drain(EngineId),
 }
 
+/// Which signal fired the most recent scale-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleTrigger {
+    /// Realised queue depth crossed a reactive threshold.
+    QueueDepth,
+    /// An engine's TTFT-violation estimate exceeded the configured SLO
+    /// while queue depths alone would have held.
+    SloEstimate,
+    /// Predicted arrivals pushed the projected mean queue over the
+    /// threshold while realised depth alone would have held.
+    Forecast,
+}
+
+/// Predicted load handed to [`Autoscaler::decide_with`] by the cluster's
+/// control plane. [`ForecastSignal::default`] (no predicted arrivals)
+/// reproduces the reactive controller exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ForecastSignal {
+    /// Requests the load predictor expects to arrive fleet-wide within the
+    /// controller's next evaluation interval.
+    pub predicted_arrivals: f64,
+}
+
 /// The queue-depth/SLO-watching fleet controller.
 #[derive(Debug)]
 pub struct Autoscaler {
     cfg: AutoscalerConfig,
     last_action_at: Option<SimTime>,
+    last_trigger: Option<ScaleTrigger>,
     log: Vec<(SimTime, ScaleAction)>,
 }
 
@@ -82,6 +130,7 @@ impl Autoscaler {
         Autoscaler {
             cfg,
             last_action_at: None,
+            last_trigger: None,
             log: Vec::new(),
         }
     }
@@ -94,6 +143,11 @@ impl Autoscaler {
     /// Every non-hold decision taken so far, in time order.
     pub fn actions(&self) -> &[(SimTime, ScaleAction)] {
         &self.log
+    }
+
+    /// The signal that fired the most recent scale-up (None before any).
+    pub fn last_trigger(&self) -> Option<ScaleTrigger> {
+        self.last_trigger
     }
 
     /// Decides on the fleet given snapshots of the *active* engines plus
@@ -110,6 +164,22 @@ impl Autoscaler {
         engines: &[EngineSnapshot],
         draining: usize,
     ) -> ScaleAction {
+        self.decide_with(now, engines, draining, &ForecastSignal::default())
+    }
+
+    /// [`Autoscaler::decide`] with a predicted-load signal folded in: the
+    /// forecast arrivals are spread over the active engines and added to
+    /// the mean-queue tests (both scale-up and scale-down — the fleet
+    /// neither ignores a predicted burst nor drains into one). With the
+    /// default (zero) signal and no [`AutoscalerConfig::ttft_slo`], the
+    /// decision is identical to the purely reactive controller.
+    pub fn decide_with(
+        &mut self,
+        now: SimTime,
+        engines: &[EngineSnapshot],
+        draining: usize,
+        signal: &ForecastSignal,
+    ) -> ScaleAction {
         if engines.is_empty() {
             return ScaleAction::Hold;
         }
@@ -121,12 +191,24 @@ impl Autoscaler {
         let n = engines.len();
         let mean_queue = engines.iter().map(|s| s.queue_depth).sum::<usize>() as f64 / n as f64;
         let max_queue = engines.iter().map(|s| s.queue_depth).max().unwrap_or(0);
-        let action = if n + draining < self.cfg.max_engines
-            && (mean_queue > self.cfg.scale_up_mean_queue
-                || max_queue > self.cfg.scale_up_max_queue)
-        {
+        let projected_mean = mean_queue + signal.predicted_arrivals.max(0.0) / n as f64;
+        let queue_up =
+            mean_queue > self.cfg.scale_up_mean_queue || max_queue > self.cfg.scale_up_max_queue;
+        let slo_up = self
+            .cfg
+            .ttft_slo
+            .is_some_and(|slo| engines.iter().any(|s| s.est_ttft_secs > slo.as_secs_f64()));
+        let forecast_up = projected_mean > self.cfg.scale_up_mean_queue;
+        let action = if n + draining < self.cfg.max_engines && (queue_up || slo_up || forecast_up) {
+            self.last_trigger = Some(if queue_up {
+                ScaleTrigger::QueueDepth
+            } else if slo_up {
+                ScaleTrigger::SloEstimate
+            } else {
+                ScaleTrigger::Forecast
+            });
             ScaleAction::ScaleUp
-        } else if n > self.cfg.min_engines && mean_queue < self.cfg.scale_down_mean_queue {
+        } else if n > self.cfg.min_engines && projected_mean < self.cfg.scale_down_mean_queue {
             // Drain the least-loaded engine; among ties the newest (highest
             // id), so the fleet shrinks back the way it grew.
             let victim = engines
@@ -170,6 +252,7 @@ mod tests {
             scale_up_max_queue: 64,
             scale_down_mean_queue: 1.0,
             cooldown: SimDuration::from_secs(20),
+            ttft_slo: None,
         })
     }
 
@@ -270,6 +353,96 @@ mod tests {
             out
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn slo_estimate_fires_scale_up_before_queues_trip() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            ttft_slo: Some(SimDuration::from_secs(5)),
+            ..controller().cfg
+        });
+        // Shallow queues (mean 1.5, max 3: both under the thresholds) but
+        // one engine's backlog already prices out past the SLO.
+        let mut engines = snaps(&[0, 3]);
+        engines[1].est_ttft_secs = 9.0;
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(5.0), &engines, 0),
+            ScaleAction::ScaleUp,
+            "violation estimate must fire ahead of queue depth"
+        );
+        assert_eq!(a.last_trigger(), Some(ScaleTrigger::SloEstimate));
+        // Without the SLO configured the same snapshots hold.
+        let mut reactive = controller();
+        assert_eq!(
+            reactive.decide(SimTime::from_secs_f64(5.0), &engines, 0),
+            ScaleAction::Hold,
+            "the signal must be strictly opt-in"
+        );
+    }
+
+    #[test]
+    fn forecast_signal_fires_scale_up_and_blocks_scale_down() {
+        // Mean queue 2 (< 8): reactive holds. 20 predicted arrivals over
+        // 2 engines project the mean to 12 → predictive grows.
+        let mut a = controller();
+        let signal = ForecastSignal {
+            predicted_arrivals: 20.0,
+        };
+        assert_eq!(
+            a.decide_with(SimTime::from_secs_f64(5.0), &snaps(&[2, 2]), 0, &signal),
+            ScaleAction::ScaleUp
+        );
+        assert_eq!(a.last_trigger(), Some(ScaleTrigger::Forecast));
+        // Idle fleet, but a heavy burst is predicted (30 arrivals over 3
+        // engines project the mean to 10): pre-grow instead of idling.
+        let heavy = ForecastSignal {
+            predicted_arrivals: 30.0,
+        };
+        let mut b = controller();
+        assert_eq!(
+            b.decide_with(SimTime::from_secs_f64(5.0), &snaps(&[0, 0, 0]), 0, &heavy),
+            ScaleAction::ScaleUp,
+            "predicted burst should pre-grow an idle fleet"
+        );
+        let mild = ForecastSignal {
+            predicted_arrivals: 4.0,
+        };
+        let mut c = controller();
+        assert_eq!(
+            c.decide_with(SimTime::from_secs_f64(5.0), &snaps(&[0, 0, 0]), 0, &mild),
+            ScaleAction::Hold,
+            "mild forecast blocks the drain without growing"
+        );
+        // Zero signal reproduces the reactive drain exactly.
+        let mut d = controller();
+        assert_eq!(
+            d.decide_with(
+                SimTime::from_secs_f64(5.0),
+                &snaps(&[0, 0, 0]),
+                0,
+                &ForecastSignal::default()
+            ),
+            ScaleAction::Drain(EngineId(2)),
+        );
+    }
+
+    #[test]
+    fn queue_depth_trigger_takes_precedence_in_accounting() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            ttft_slo: Some(SimDuration::from_secs(5)),
+            ..controller().cfg
+        });
+        let mut engines = snaps(&[10, 12]);
+        engines[0].est_ttft_secs = 100.0;
+        assert_eq!(
+            a.decide(SimTime::from_secs_f64(5.0), &engines, 0),
+            ScaleAction::ScaleUp
+        );
+        assert_eq!(
+            a.last_trigger(),
+            Some(ScaleTrigger::QueueDepth),
+            "when the reactive threshold also tripped, the scale-up is reactive"
+        );
     }
 
     #[test]

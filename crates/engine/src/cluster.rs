@@ -53,15 +53,18 @@
 //! determinism suite asserts `RunReport::canonical_text()` equality
 //! across seeds, worker counts, and mid-trace fleet changes.
 
-use crate::autoscaler::{Autoscaler, ScaleAction};
+use crate::autoscaler::{Autoscaler, ForecastSignal, ScaleAction, ScaleTrigger};
 use crate::engine::{Engine, EngineEvent};
+use crate::predictive::PredictiveSpec;
 use crate::report::EngineReport;
 use chameleon_metrics::RoutingStats;
 use chameleon_models::AdapterId;
+use chameleon_predictor::{Forecast, HistogramLoadPredictor};
 use chameleon_router::{policies, EngineId, EngineSnapshot, JoinShortestQueue, Router};
 use chameleon_simcore::shard::{self, ShardPool};
 use chameleon_simcore::{EventQueue, SimDuration, SimTime};
 use chameleon_workload::Trace;
+use std::collections::HashMap;
 
 /// How a cluster run steps its engines between barriers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -230,6 +233,24 @@ pub struct Cluster {
     refresh_int: SimDuration,
     /// Events processed across all [`Cluster::run`] calls.
     events_processed: u64,
+    /// Predictive control plane (pre-replication, forecast autoscaling,
+    /// drain handoff); `None` keeps the cluster purely reactive — and
+    /// byte-identical to the pre-control-plane stack.
+    predictive: Option<PredictiveSpec>,
+    /// Coordinator-owned arrival-history predictor. Observed and queried
+    /// only at barriers, which is what keeps every predictive decision
+    /// bit-identical between serial and parallel execution.
+    forecaster: HistogramLoadPredictor,
+    /// Reused forecast scratch (the control plane's per-scan buffer).
+    forecast_buf: Vec<Forecast>,
+    /// Last pre-replication attempt per adapter (re-warm cooldown).
+    last_warm: HashMap<AdapterId, SimTime>,
+    /// Outstanding warms: adapter → engine the copy was pushed to. A
+    /// dispatch landing there with the adapter resident consumes the
+    /// entry (a pre-replication *hit*); leftovers count as wasted.
+    outstanding_warms: HashMap<AdapterId, EngineId>,
+    /// Earliest instant of the next candidate scan (scan throttling).
+    next_scan: SimTime,
 }
 
 impl Cluster {
@@ -274,7 +295,28 @@ impl Cluster {
             router,
             stats,
             events_processed: 0,
+            predictive: None,
+            forecaster: HistogramLoadPredictor::new(),
+            forecast_buf: Vec::new(),
+            last_warm: HashMap::new(),
+            outstanding_warms: HashMap::new(),
+            next_scan: SimTime::ZERO,
         }
+    }
+
+    /// Enables the predictive control plane: burst pre-replication onto
+    /// spill targets, the forecast signal into elastic runs' autoscaler,
+    /// and drain-time shard handoff, per `spec`'s switches. Strictly
+    /// additive — a cluster without this call behaves byte-for-byte as if
+    /// the control plane did not exist.
+    pub fn set_predictive(&mut self, spec: PredictiveSpec) {
+        self.predictive = Some(spec);
+        self.stats.predictive.enabled = true;
+    }
+
+    /// The active predictive configuration, if any.
+    pub fn predictive(&self) -> Option<&PredictiveSpec> {
+        self.predictive.as_ref()
     }
 
     /// Events processed across all run calls so far.
@@ -521,6 +563,150 @@ impl Cluster {
         }
     }
 
+    /// Burst pre-replication, run at dispatch barriers: adapters the
+    /// forecaster flags as imminently hot (predicted next use inside the
+    /// configured window, observed rate above the floor) are warmed onto
+    /// their *second* rendezvous choice — the exact engine affinity spill
+    /// diverts to — before the burst lands. Scans are throttled by
+    /// `scan_interval`, warms capped per barrier, and a per-adapter
+    /// cooldown prevents re-issuing a copy that keeps getting evicted.
+    ///
+    /// Everything here runs on the coordinator with exclusive fleet
+    /// access; warm-transfer completions are ordinary engine-local
+    /// `LoadDone` events pushed into the target's queue, so serial and
+    /// parallel execution see identical schedules.
+    fn pre_replicate(&mut self, now: SimTime) {
+        let Some(spec) = self.predictive else {
+            return;
+        };
+        if !spec.prereplicate || now < self.next_scan {
+            return;
+        }
+        self.next_scan = now + spec.scan_interval;
+        let mut buf = std::mem::take(&mut self.forecast_buf);
+        self.forecaster.forecast_into(now, spec.window, &mut buf);
+        let weights = self.active_weights();
+        if weights.len() >= 2 {
+            let mut warms = 0usize;
+            for f in &buf {
+                if warms >= spec.max_warms_per_barrier {
+                    break;
+                }
+                if f.rate < spec.min_rate {
+                    continue;
+                }
+                if self
+                    .last_warm
+                    .get(&f.adapter)
+                    .is_some_and(|&at| now.saturating_since(at) < spec.rewarm_interval)
+                {
+                    continue;
+                }
+                // Only ever the second rendezvous choice: pre-replication
+                // adds a warm spill replica, never re-homes a primary
+                // (property-tested in chameleon-router).
+                let Some(target) =
+                    policies::prereplication_target(f.adapter, weights.iter().copied())
+                else {
+                    continue;
+                };
+                let target_id = weights[target].0;
+                let pos = self
+                    .slots
+                    .iter()
+                    .position(|s| s.id == target_id)
+                    .expect("active engine is present");
+                let slot = &mut self.slots[pos];
+                if let Some(bytes) = slot.engine.warm_load(f.adapter, now, &mut slot.out) {
+                    for (at, e) in slot.out.drain(..) {
+                        slot.queue.push(at, e);
+                    }
+                    // Cooldown starts only on a warm that was actually
+                    // issued: a skip for tight memory (exactly when a
+                    // burst is ramping) must stay retryable on the next
+                    // scan, and an already-resident skip costs one O(1)
+                    // check — not worth locking the adapter out for.
+                    self.last_warm.insert(f.adapter, now);
+                    self.stats.predictive.on_prewarm(bytes);
+                    self.outstanding_warms.insert(f.adapter, target_id);
+                    warms += 1;
+                }
+            }
+        }
+        self.forecast_buf = buf;
+    }
+
+    /// The predicted-arrivals signal for one autoscaler evaluation:
+    /// expected requests within the controller's next interval, summed
+    /// over every adapter the forecaster places there (each contributes
+    /// at least one arrival, hot adapters their rate × interval).
+    fn forecast_signal(&mut self, now: SimTime, interval: SimDuration) -> ForecastSignal {
+        let enabled = self.predictive.is_some_and(|s| s.forecast_autoscale);
+        if !enabled {
+            return ForecastSignal::default();
+        }
+        let mut buf = std::mem::take(&mut self.forecast_buf);
+        self.forecaster.forecast_into(now, interval, &mut buf);
+        let secs = interval.as_secs_f64();
+        let predicted_arrivals = buf.iter().map(|f| (f.rate * secs).max(1.0)).sum();
+        self.forecast_buf = buf;
+        ForecastSignal { predicted_arrivals }
+    }
+
+    /// Drain-time shard handoff: the departing engine's resident adapters
+    /// that *homed* on it are pushed into the survivors that inherit them
+    /// (each adapter to its post-drain rendezvous home), as
+    /// PCIe-cost-modelled warm transfers on the survivors' links — so the
+    /// migrated shard is warm before its first post-drain request instead
+    /// of cold-missing on demand. Spilled or pre-replicated copies the
+    /// victim happened to hold are not part of the shard and stay behind.
+    fn handoff_shard(&mut self, victim: EngineId, now: SimTime) {
+        let survivors = self.active_weights();
+        if survivors.is_empty() {
+            return;
+        }
+        let vpos = self
+            .slots
+            .iter()
+            .position(|s| s.id == victim)
+            .expect("drained engine is present");
+        let mut before = survivors.clone();
+        before.push((victim, self.slots[vpos].engine.capacity_weight()));
+        let mut shard: Vec<AdapterId> = self.slots[vpos]
+            .engine
+            .resident_adapters()
+            .into_iter()
+            .collect();
+        // The residency set iterates in arbitrary order; transfers queue
+        // on each survivor's PCIe link, so the order must be pinned.
+        shard.sort_unstable();
+        let mut moved = 0u64;
+        let mut bytes_total = 0u64;
+        for a in shard {
+            let home_before = before[policies::rendezvous_home(a, before.iter().copied())].0;
+            if home_before != victim {
+                continue;
+            }
+            let new_home = survivors[policies::rendezvous_home(a, survivors.iter().copied())].0;
+            let pos = self
+                .slots
+                .iter()
+                .position(|s| s.id == new_home)
+                .expect("survivor is present");
+            let slot = &mut self.slots[pos];
+            if let Some(bytes) = slot.engine.warm_load(a, now, &mut slot.out) {
+                for (at, e) in slot.out.drain(..) {
+                    slot.queue.push(at, e);
+                }
+                moved += 1;
+                bytes_total += bytes;
+            }
+        }
+        if moved > 0 {
+            self.stats.predictive.on_handoff(moved, bytes_total);
+        }
+    }
+
     /// Runs `trace` through the (fixed) cluster until drained, serially.
     /// Returns the instant of the last processed event.
     pub fn run(&mut self, trace: &Trace) -> SimTime {
@@ -638,6 +824,12 @@ impl Cluster {
                 let req = reqs[order[next_arr] as usize];
                 next_arr += 1;
                 last = last.max(t);
+                // Control plane: arrival history is observed here, at the
+                // dispatch barrier, on the coordinator — never on worker
+                // threads — so predictions are identical in both modes.
+                if self.predictive.is_some() {
+                    self.forecaster.observe(req.adapter(), t);
+                }
                 // Global scheduler: delegate placement to the router.
                 self.fill_snapshots();
                 let decision = self.router.route(&req, &self.snap_buf);
@@ -649,16 +841,24 @@ impl Cluster {
                 let slot = &mut self.slots[pos];
                 let affinity_hit = slot.engine.is_adapter_resident(req.adapter());
                 self.stats.record(slot.id, affinity_hit, decision.spilled);
+                if affinity_hit && self.outstanding_warms.get(&req.adapter()) == Some(&slot.id) {
+                    // The dispatch landed on an engine holding a
+                    // pre-replicated copy: the warm paid for itself.
+                    self.outstanding_warms.remove(&req.adapter());
+                    self.stats.predictive.on_prewarm_hit();
+                }
                 slot.engine
                     .handle(t, EngineEvent::Arrival(req), &mut slot.out);
                 for (at, e) in slot.out.drain(..) {
                     slot.queue.push(at, e);
                 }
+                self.pre_replicate(t);
             } else {
                 let (autoscaler, grow) = scale.as_mut().expect("scale event without scaler");
                 self.fill_snapshots();
+                let signal = self.forecast_signal(t, autoscaler.config().interval);
                 let draining = self.slots.len() - self.snap_buf.len();
-                match autoscaler.decide(t, &self.snap_buf, draining) {
+                match autoscaler.decide_with(t, &self.snap_buf, draining, &signal) {
                     ScaleAction::Hold => {}
                     ScaleAction::ScaleUp => {
                         // The factory sees the id the newcomer will be
@@ -672,9 +872,23 @@ impl Cluster {
                         let slot = self.slots.last_mut().expect("engine just added");
                         slot.queue.push(t + mem_int, EngineEvent::MemSample);
                         slot.queue.push(t + refresh_int, EngineEvent::Refresh);
+                        if self.predictive.is_some() {
+                            match autoscaler.last_trigger() {
+                                Some(ScaleTrigger::SloEstimate) => {
+                                    self.stats.predictive.slo_scaleups += 1;
+                                }
+                                Some(ScaleTrigger::Forecast) => {
+                                    self.stats.predictive.forecast_scaleups += 1;
+                                }
+                                _ => {}
+                            }
+                        }
                     }
                     ScaleAction::Drain(victim) => {
                         if self.drain_engine(victim) {
+                            if self.predictive.is_some_and(|s| s.handoff) {
+                                self.handoff_shard(victim, t);
+                            }
                             let pos = self
                                 .slots
                                 .iter()
@@ -714,7 +928,8 @@ impl Cluster {
     /// independent of retirement timing — and therefore identical
     /// between serial and parallel execution by construction.
     pub fn into_report(self) -> EngineReport {
-        let stats = self.stats;
+        let mut stats = self.stats;
+        stats.predictive.finalize();
         let mut tagged = self.retired;
         tagged.extend(
             self.slots
@@ -1146,6 +1361,7 @@ mod tests {
             scale_up_max_queue: 32,
             scale_down_mean_queue: 0.5,
             cooldown: SimDuration::from_millis(250),
+            ttft_slo: None,
         });
         c.run_elastic(&trace, &mut scaler, &mut grow_factory);
         assert_eq!(c.completed(), 600, "elastic run lost requests");

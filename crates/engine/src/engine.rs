@@ -122,6 +122,10 @@ pub struct Engine {
     squashes: u64,
     completed: u64,
     kv_bytes_per_token: u64,
+    /// Isolated per-token decode cost (seconds) from the cost model,
+    /// cached at construction — the oracle behind the O(1) per-snapshot
+    /// TTFT-violation estimate.
+    isolated_secs_per_token: f64,
     // --- reusable per-step scratch (zero-alloc stepping) ------------------
     // Every buffer below is cleared and refilled in place each iteration,
     // so the steady-state event loop performs no heap allocation.
@@ -166,6 +170,12 @@ impl Engine {
         let kv_bytes_per_token = cfg.llm.kv_bytes_per_token();
         let kv = KvAllocator::new(kv_bytes_per_token, cfg.kv_block_tokens);
         let link = PcieLink::new(cfg.gpu.effective_copy_bytes_per_sec());
+        let isolated_secs_per_token = cost
+            .decode_step_time(&[DecodeItem {
+                kv_tokens: 256,
+                rank: None,
+            }])
+            .as_secs_f64();
         Engine {
             cost,
             pool,
@@ -189,6 +199,7 @@ impl Engine {
             squashes: 0,
             completed: 0,
             kv_bytes_per_token,
+            isolated_secs_per_token,
             cfg,
             probe_scratch: EngineProbe::default(),
             admit_buf: Vec::new(),
@@ -270,6 +281,16 @@ impl Engine {
         self.mem.free() + self.mem.used(Region::AdapterCache)
     }
 
+    /// Estimated TTFT, in seconds, of a request dispatched to this engine
+    /// right now: the outstanding backlog (running + queued resource
+    /// tokens) priced through the isolated-latency oracle (per-token
+    /// decode cost at batch 1). A crude but monotone estimate — exactly
+    /// what the SLO-aware autoscaler needs to see a saturated engine as a
+    /// TTFT violation in the making. O(1) per call.
+    pub fn estimated_ttft_secs(&self) -> f64 {
+        self.outstanding_tokens() as f64 * self.isolated_secs_per_token
+    }
+
     /// Adapters whose weights are on (or in flight to) this engine.
     pub fn resident_adapters(&self) -> HashSet<AdapterId> {
         self.cache
@@ -302,6 +323,7 @@ impl Engine {
             running: self.running.len(),
             outstanding_tokens: self.outstanding_tokens(),
             free_memory_bytes: self.free_memory_bytes(),
+            est_ttft_secs: self.estimated_ttft_secs(),
             resident_adapters: if with_residency {
                 self.resident_adapters()
             } else {
@@ -1104,38 +1126,61 @@ impl Engine {
             if issued >= self.cfg.prefetch_depth {
                 break;
             }
-            if self.cache.is_resident(adapter) || self.loading.contains_key(&adapter) {
-                continue;
+            if self.warm_load(adapter, now, out).is_some() {
+                issued += 1;
             }
-            let spec = self.pool.get(adapter).expect("known adapter").clone();
-            // Prefetch never evicts: it only uses genuinely free memory,
-            // and keeps headroom for a KV block.
-            if self.mem.free() < spec.bytes() + 4 * self.kv.block_bytes() {
-                continue;
-            }
-            if self
-                .mem
-                .reserve(Region::AdaptersInUse, spec.bytes())
-                .is_err()
-            {
-                continue;
-            }
-            let occupancy = self.cost.adapter_link_occupancy(spec.bytes());
-            let rec = self
-                .link
-                .transfer_with_duration(spec.bytes(), occupancy, now);
-            let ready_at = rec.start + self.cost.adapter_load_time(spec.bytes());
-            self.loading.insert(
-                adapter,
-                Loading {
-                    ready_at,
-                    bytes: spec.bytes(),
-                    waiters: 0,
-                },
-            );
-            out.push((ready_at, EngineEvent::LoadDone(adapter)));
-            issued += 1;
         }
+    }
+
+    /// Starts a speculative (no waiters) host→GPU transfer of `adapter`'s
+    /// weights, returning the bytes issued, or `None` when the adapter is
+    /// already resident or in flight, unknown, or memory is too tight.
+    ///
+    /// This is the warm-insert primitive shared by the engine's own
+    /// prefetcher and the cluster's predictive control plane
+    /// (pre-replication onto spill targets, drain-time shard handoff).
+    /// Warm loads never evict: they use only genuinely free memory and
+    /// keep headroom for KV growth, so speculation can cost queued work
+    /// nothing. The transfer is PCIe-cost-modelled — it queues on this
+    /// engine's link like any demand load and completes via the returned
+    /// [`EngineEvent::LoadDone`] pushed to `out`.
+    pub fn warm_load(
+        &mut self,
+        adapter: AdapterId,
+        now: SimTime,
+        out: &mut Vec<(SimTime, EngineEvent)>,
+    ) -> Option<u64> {
+        if self.cache.is_resident(adapter) || self.loading.contains_key(&adapter) {
+            return None;
+        }
+        let spec = self.pool.get(adapter)?.clone();
+        // Never evict for speculation: only genuinely free memory, with
+        // headroom for a few KV blocks.
+        if self.mem.free() < spec.bytes() + 4 * self.kv.block_bytes() {
+            return None;
+        }
+        if self
+            .mem
+            .reserve(Region::AdaptersInUse, spec.bytes())
+            .is_err()
+        {
+            return None;
+        }
+        let occupancy = self.cost.adapter_link_occupancy(spec.bytes());
+        let rec = self
+            .link
+            .transfer_with_duration(spec.bytes(), occupancy, now);
+        let ready_at = rec.start + self.cost.adapter_load_time(spec.bytes());
+        self.loading.insert(
+            adapter,
+            Loading {
+                ready_at,
+                bytes: spec.bytes(),
+                waiters: 0,
+            },
+        );
+        out.push((ready_at, EngineEvent::LoadDone(adapter)));
+        Some(spec.bytes())
     }
 }
 

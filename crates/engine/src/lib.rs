@@ -60,11 +60,13 @@ pub mod cluster;
 pub mod config;
 pub mod driver;
 pub mod engine;
+pub mod predictive;
 pub mod probe;
 pub mod report;
 
-pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction};
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ForecastSignal, ScaleAction, ScaleTrigger};
 pub use cluster::{Cluster, ClusterExecution};
 pub use config::EngineConfig;
 pub use engine::{Engine, EngineEvent};
+pub use predictive::PredictiveSpec;
 pub use report::EngineReport;

@@ -23,6 +23,6 @@ pub mod summary;
 
 pub use collector::Collector;
 pub use record::{RequestRecord, SizeClass};
-pub use routing::RoutingStats;
+pub use routing::{PredictiveStats, RoutingStats};
 pub use series::{BinnedSeries, MemorySample};
 pub use summary::LatencySummary;

@@ -24,6 +24,68 @@
 use chameleon_router::EngineId;
 use serde::{Deserialize, Serialize};
 
+/// Outcome counters of the predictive control plane (burst
+/// pre-replication, SLO/forecast autoscaling triggers, drain-time shard
+/// handoff). All-zero — and absent from `canonical_text` — unless the
+/// control plane was enabled for the run: prediction is a strict opt-in
+/// overlay, and the byte-level oracles for non-predictive runs must not
+/// see these fields.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictiveStats {
+    /// The control plane was active this run (gates report emission).
+    pub enabled: bool,
+    /// Warm transfers issued to spill targets ahead of predicted bursts.
+    pub prewarms_issued: u64,
+    /// Total bytes moved by pre-replication warms.
+    pub prewarm_bytes: u64,
+    /// Spill dispatches that landed on an engine holding an un-consumed
+    /// pre-replicated copy of the request's adapter — the warms that paid.
+    pub prewarm_hits: u64,
+    /// Warms never consumed by a dispatch (finalised when the run report
+    /// is assembled): `prewarms_issued - prewarm_hits`.
+    pub prewarm_wasted: u64,
+    /// Adapters pushed from a draining engine into survivors' caches.
+    pub handoff_adapters: u64,
+    /// Total bytes moved by drain-time shard handoff.
+    pub handoff_bytes: u64,
+    /// Scale-ups fired by the per-engine TTFT-violation estimate while the
+    /// queue-depth thresholds alone would have held.
+    pub slo_scaleups: u64,
+    /// Scale-ups fired by the predicted-arrivals signal while realised
+    /// queue depth alone would have held.
+    pub forecast_scaleups: u64,
+}
+
+impl PredictiveStats {
+    /// Records one pre-replication warm of `bytes`.
+    pub fn on_prewarm(&mut self, bytes: u64) {
+        self.prewarms_issued += 1;
+        self.prewarm_bytes += bytes;
+    }
+
+    /// Records a spill dispatch consuming a pre-replicated copy.
+    pub fn on_prewarm_hit(&mut self) {
+        self.prewarm_hits += 1;
+    }
+
+    /// Records `adapters` adapters (`bytes` total) handed off at drain.
+    pub fn on_handoff(&mut self, adapters: u64, bytes: u64) {
+        self.handoff_adapters += adapters;
+        self.handoff_bytes += bytes;
+    }
+
+    /// Finalises the wasted-warm count (issued warms never consumed).
+    pub fn finalize(&mut self) {
+        self.prewarm_wasted = self.prewarms_issued.saturating_sub(self.prewarm_hits);
+    }
+
+    /// Fraction of issued warms that a spill later consumed, in `[0, 1]`
+    /// (0 when none were issued).
+    pub fn prewarm_hit_rate(&self) -> f64 {
+        rate(self.prewarm_hits, self.prewarms_issued)
+    }
+}
+
 /// Aggregate routing statistics for one cluster run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RoutingStats {
@@ -50,6 +112,9 @@ pub struct RoutingStats {
     /// with minimal re-homing this is exactly the sum of the joining /
     /// departing engines' shard sizes. Zero for affinity-free policies.
     pub adapters_rehomed: u64,
+    /// Predictive-control-plane counters; default (all-zero, disabled)
+    /// unless the run opted into prediction.
+    pub predictive: PredictiveStats,
 }
 
 impl RoutingStats {
@@ -222,6 +287,35 @@ mod tests {
         assert_eq!(s.adapters_rehomed, 43);
         // The drained engine keeps its dispatch row.
         assert_eq!(s.dispatched_to(EngineId(0)), 0);
+    }
+
+    #[test]
+    fn predictive_stats_default_is_disabled_and_empty() {
+        let s = RoutingStats::new("affinity", &ids(3));
+        assert_eq!(s.predictive, PredictiveStats::default());
+        assert!(!s.predictive.enabled);
+        assert_eq!(s.predictive.prewarm_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn predictive_stats_count_and_finalize() {
+        let mut p = PredictiveStats {
+            enabled: true,
+            ..PredictiveStats::default()
+        };
+        p.on_prewarm(100);
+        p.on_prewarm(250);
+        p.on_prewarm(50);
+        p.on_prewarm_hit();
+        p.on_handoff(4, 1000);
+        p.finalize();
+        assert_eq!(p.prewarms_issued, 3);
+        assert_eq!(p.prewarm_bytes, 400);
+        assert_eq!(p.prewarm_hits, 1);
+        assert_eq!(p.prewarm_wasted, 2);
+        assert_eq!(p.handoff_adapters, 4);
+        assert_eq!(p.handoff_bytes, 1000);
+        assert!((p.prewarm_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 pub mod histogram;
 pub mod output_len;
 
-pub use histogram::HistogramLoadPredictor;
+pub use histogram::{Forecast, HistogramLoadPredictor};
 pub use output_len::{
     NoisyBucketPredictor, OraclePredictor, OutputLenPredictor, WorstCasePredictor,
 };

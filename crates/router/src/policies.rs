@@ -293,6 +293,26 @@ where
     (best.expect("non-empty").0, second.map(|s| s.0))
 }
 
+/// Where predictive pre-replication may warm an adapter: its **second**
+/// weighted-rendezvous choice — the exact engine
+/// [`AdapterAffinity`] spills to when the home saturates, so a warmed
+/// replica is guaranteed to be where the spill lands. Returns `None` for
+/// a single-engine set (there is nowhere to replicate to).
+///
+/// By construction this never returns the adapter's home: the control
+/// plane can only ever add a warm *second* replica, never re-home a
+/// primary — the property the cluster's pre-replication tests pin.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty or any weight is not positive.
+pub fn prereplication_target<I>(adapter: AdapterId, engines: I) -> Option<usize>
+where
+    I: IntoIterator<Item = (EngineId, f64)>,
+{
+    rendezvous_top2(adapter, engines).1
+}
+
 /// The HRW score of `(adapter, engine)` — a stateless 64-bit mix keyed on
 /// the engine's stable identity.
 fn rendezvous_score(adapter: AdapterId, engine: EngineId) -> u64 {
@@ -674,6 +694,67 @@ mod tests {
                         prop_assert_eq!(ha, target, "adapter {} moved away on upweight", a);
                     }
                 }
+            }
+
+            /// Pre-replication only ever targets the adapter's *second*
+            /// rendezvous choice: it never equals the home (no primary is
+            /// ever re-homed by a warm), it exists exactly when the fleet
+            /// has more than one engine, and it is the engine the spill
+            /// path would pick — warming it is what makes spills land hot.
+            #[test]
+            fn prop_prereplication_targets_only_the_second_choice(
+                raw_ids in proptest::collection::vec(0u32..500, 1..8),
+                raw_weights in proptest::collection::vec(0u8..3, 8..9),
+                adapter in 0u32..100_000,
+            ) {
+                let set = fleet(&raw_ids, &raw_weights);
+                let a = AdapterId(adapter);
+                let target = prereplication_target(a, set.iter().copied());
+                let (home, second) = rendezvous_top2(a, set.iter().copied());
+                prop_assert_eq!(target, second, "target must be the spill fallback");
+                match target {
+                    None => prop_assert_eq!(set.len(), 1),
+                    Some(t) => {
+                        prop_assert!(t < set.len());
+                        prop_assert!(
+                            t != home,
+                            "pre-replication re-homed a primary (adapter {})",
+                            adapter
+                        );
+                    }
+                }
+            }
+
+            /// The pre-replication target is deterministic and, when the
+            /// home drains, is exactly the engine the adapter re-homes to
+            /// — the warmed replica becomes the new primary.
+            #[test]
+            fn prop_prereplication_target_is_stable_and_takes_over(
+                raw_ids in proptest::collection::vec(0u32..500, 2..8),
+                raw_weights in proptest::collection::vec(0u8..3, 8..9),
+                adapter in 0u32..100_000,
+            ) {
+                let set = fleet(&raw_ids, &raw_weights);
+                if set.len() < 2 {
+                    continue;
+                }
+                let a = AdapterId(adapter);
+                let first = prereplication_target(a, set.iter().copied());
+                prop_assert_eq!(first, prereplication_target(a, set.iter().copied()));
+                let target = first.expect("≥2 engines always have a second choice");
+                let home = rendezvous_home(a, set.iter().copied());
+                let survivors: Vec<(EngineId, f64)> = set
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(pos, _)| pos != home)
+                    .map(|(_, e)| e)
+                    .collect();
+                let new_home = survivors[rendezvous_home(a, survivors.iter().copied())].0;
+                prop_assert_eq!(
+                    new_home, set[target].0,
+                    "draining the home must promote exactly the pre-replication target"
+                );
             }
 
             /// Placement (home and spill fallback) is a deterministic pure

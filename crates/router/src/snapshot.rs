@@ -53,6 +53,13 @@ pub struct EngineSnapshot {
     pub outstanding_tokens: u64,
     /// Free GPU memory in bytes, counting evictable idle cache bytes.
     pub free_memory_bytes: u64,
+    /// Estimated TTFT, in seconds, of a request dispatched to this engine
+    /// right now: the engine's outstanding backlog priced through its
+    /// isolated-latency oracle (per-token decode cost × outstanding
+    /// tokens). The SLO-aware autoscaler compares this against the TTFT
+    /// SLO to treat a saturated engine as a violation *in the making*,
+    /// before the queue-depth thresholds trip.
+    pub est_ttft_secs: f64,
     /// Adapters currently resident on the engine (cached, in use, or in
     /// flight from host memory). Only populated for routers whose
     /// [`needs_residency`](crate::Router::needs_residency) returns `true`;
@@ -70,6 +77,7 @@ impl EngineSnapshot {
             running: 0,
             outstanding_tokens: 0,
             free_memory_bytes: u64::MAX,
+            est_ttft_secs: 0.0,
             resident_adapters: HashSet::new(),
         }
     }

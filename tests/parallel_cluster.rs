@@ -11,7 +11,7 @@
 
 use chameleon_repro::cache::{AdapterCache, EvictionPolicy};
 use chameleon_repro::core::{
-    preset, sim::Simulation, workloads, ClusterExecution, RunReport, SystemConfig,
+    preset, sim::Simulation, workloads, ClusterExecution, PredictiveSpec, RunReport, SystemConfig,
 };
 use chameleon_repro::engine::{Cluster, Engine, EngineConfig, EngineReport};
 use chameleon_repro::models::{AdapterPool, GpuSpec, LlmSpec, PoolConfig};
@@ -113,6 +113,123 @@ fn elastic_fleet_with_mid_trace_scaling_is_bit_identical() {
             assert_eq!(
                 serial_text, parallel,
                 "seed {seed}, {workers} workers: elastic run diverged"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predictive control plane: every configuration must stay bit-identical
+// serial↔parallel — predictor updates, pre-replication warms, forecast
+// signals, and drain handoffs all happen at coordinator barriers.
+// ---------------------------------------------------------------------
+
+#[test]
+fn predictive_fixed_fleet_is_bit_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let serial = canonical(preset::chameleon_cluster_predictive(4), seed, 24.0, 10.0);
+        assert!(
+            serial.contains("\npredictive "),
+            "seed {seed}: control plane never reported"
+        );
+        for workers in WORKER_COUNTS {
+            let parallel = canonical(
+                preset::chameleon_cluster_predictive(4).with_parallel_cluster(workers),
+                seed,
+                24.0,
+                10.0,
+            );
+            assert_eq!(
+                serial, parallel,
+                "seed {seed}, {workers} workers: predictive fixed fleet diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn predictive_hetero_fleet_is_bit_identical_across_worker_counts() {
+    let cfg = || preset::chameleon_cluster_hetero().with_predictive(PredictiveSpec::new());
+    for seed in SEEDS {
+        let serial = canonical(cfg(), seed, 16.0, 10.0);
+        for workers in WORKER_COUNTS {
+            let parallel = canonical(cfg().with_parallel_cluster(workers), seed, 16.0, 10.0);
+            assert_eq!(
+                serial, parallel,
+                "seed {seed}, {workers} workers: predictive hetero fleet diverged"
+            );
+        }
+    }
+}
+
+/// Pre-replication + drain handoff on the elastic scenario. The SLO and
+/// forecast autoscaler signals are left off so the controller takes the
+/// reactive decisions — which are known (asserted) to both grow *and*
+/// drain mid-trace, forcing the handoff path through the barriers.
+fn predictive_drain_cfg() -> SystemConfig {
+    elastic_cfg().with_predictive(PredictiveSpec {
+        slo_autoscale: false,
+        forecast_autoscale: false,
+        ..PredictiveSpec::new()
+    })
+}
+
+#[test]
+fn predictive_elastic_with_handoff_is_bit_identical() {
+    for seed in SEEDS {
+        let mut sim = Simulation::new(predictive_drain_cfg(), seed);
+        let trace = workloads::splitwise_bursty(4.0, 60.0, 10.0, 10.0, 20.0, seed, sim.pool());
+        let serial = sim.run(&trace);
+        assert!(
+            serial.routing.engines_added > 0 && serial.routing.engines_drained > 0,
+            "seed {seed}: scenario must add and drain mid-trace: {:?}",
+            serial.routing
+        );
+        let p = &serial.routing.predictive;
+        assert!(
+            p.prewarms_issued > 0 && p.handoff_adapters > 0,
+            "seed {seed}: pre-replication and handoff must both fire: {p:?}"
+        );
+        let serial_text = serial.canonical_text();
+        for workers in WORKER_COUNTS {
+            let mut sim = Simulation::new(
+                predictive_drain_cfg().with_cluster_exec(ClusterExecution::Parallel { workers }),
+                seed,
+            );
+            let parallel = sim.run(&trace).canonical_text();
+            assert_eq!(
+                serial_text, parallel,
+                "seed {seed}, {workers} workers: predictive elastic run diverged"
+            );
+        }
+    }
+}
+
+/// The full control plane (SLO + forecast autoscaling included) on the
+/// elastic scenario: predictive scale-up decisions are barrier decisions
+/// too, so the whole run stays bit-identical.
+#[test]
+fn full_predictive_elastic_is_bit_identical() {
+    let cfg = || elastic_cfg().with_predictive(PredictiveSpec::new());
+    for seed in SEEDS {
+        let mut sim = Simulation::new(cfg(), seed);
+        let trace = workloads::splitwise_bursty(4.0, 60.0, 10.0, 10.0, 20.0, seed, sim.pool());
+        let serial = sim.run(&trace);
+        let p = &serial.routing.predictive;
+        assert!(
+            p.slo_scaleups + p.forecast_scaleups > 0,
+            "seed {seed}: a predictive signal should fire in this scenario: {p:?}"
+        );
+        let serial_text = serial.canonical_text();
+        for workers in WORKER_COUNTS {
+            let mut sim = Simulation::new(
+                cfg().with_cluster_exec(ClusterExecution::Parallel { workers }),
+                seed,
+            );
+            let parallel = sim.run(&trace).canonical_text();
+            assert_eq!(
+                serial_text, parallel,
+                "seed {seed}, {workers} workers: full predictive run diverged"
             );
         }
     }

@@ -1,0 +1,112 @@
+//! Oracle regression suite for the predictive control plane.
+//!
+//! The control plane (burst pre-replication, SLO/forecast autoscaling,
+//! drain-time shard handoff) must be a **strict opt-in overlay**: with
+//! `PredictiveSpec` disabled (the default), every cluster run is
+//! byte-for-byte what it was before the control plane existed. The
+//! digests below were captured from the pre-PR tree (commit `1aeabfa`,
+//! the commit this PR branched from) on exactly these scenarios; the
+//! tests re-run the scenarios through the current tree and compare the
+//! `canonical_text` length + FNV-1a digest against the frozen values.
+//!
+//! If one of these tests fails, the reactive cluster path changed
+//! behaviour — which this PR (and any future control-plane work) must
+//! not do. Enabling prediction and expecting different bytes is fine;
+//! changing the disabled path is not.
+
+use chameleon_repro::core::{preset, sim::Simulation, workloads, ClusterExecution, SystemConfig};
+use chameleon_repro::simcore::SimDuration;
+
+/// FNV-1a 64-bit over the canonical text — cheap, dependency-free, and
+/// collision-safe enough at three pinned scenarios × two seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn canonical(cfg: SystemConfig, seed: u64, rps: f64, secs: f64) -> String {
+    let mut sim = Simulation::new(cfg, seed);
+    let trace = workloads::splitwise(rps, secs, seed, sim.pool());
+    sim.run(&trace).canonical_text()
+}
+
+/// The elastic preset tightened exactly as the determinism suite does, so
+/// the pinned run exercises real mid-trace scale-up and drain-back.
+fn elastic_cfg() -> SystemConfig {
+    let mut cfg = preset::chameleon_cluster_elastic();
+    let auto = cfg.autoscale.as_mut().expect("elastic preset");
+    auto.controller.interval = SimDuration::from_secs(1);
+    auto.controller.cooldown = SimDuration::from_secs(3);
+    auto.controller.scale_up_mean_queue = 4.0;
+    auto.controller.scale_down_mean_queue = 0.5;
+    cfg
+}
+
+fn elastic_canonical(seed: u64) -> String {
+    let mut sim = Simulation::new(
+        elastic_cfg().with_cluster_exec(ClusterExecution::Serial),
+        seed,
+    );
+    let trace = workloads::splitwise_bursty(4.0, 60.0, 10.0, 10.0, 20.0, seed, sim.pool());
+    sim.run(&trace).canonical_text()
+}
+
+fn assert_frozen(scenario: &str, seed: u64, text: &str, len: usize, fnv: u64) {
+    assert_eq!(
+        (text.len(), fnv1a(text.as_bytes())),
+        (len, fnv),
+        "{scenario} (seed {seed}): disabled-predictive run diverged from the pre-PR oracle \
+         — the control plane must be a strict opt-in overlay"
+    );
+    assert!(
+        !text.contains("\npredictive "),
+        "{scenario} (seed {seed}): a disabled run must not emit the predictive stats line"
+    );
+}
+
+/// Fixed 4-engine homogeneous `AdapterAffinity` fleet: byte-for-byte the
+/// pre-PR output with prediction disabled.
+#[test]
+fn fixed_affinity_fleet_matches_pre_pr_bytes() {
+    for (seed, len, fnv) in [
+        (3u64, 38982usize, 0x0d21_8497_06b7_f08d_u64),
+        (11, 37372, 0x192e_35eb_ff3b_108f),
+    ] {
+        let cfg = preset::chameleon_cluster_partitioned(4);
+        assert!(cfg.predictive.is_none(), "preset must stay reactive");
+        let text = canonical(cfg, seed, 24.0, 10.0);
+        assert_frozen("fixed affinity-4", seed, &text, len, fnv);
+    }
+}
+
+/// The heterogeneous TP1/1/2/4 preset: byte-for-byte the pre-PR output.
+#[test]
+fn hetero_fleet_matches_pre_pr_bytes() {
+    for (seed, len, fnv) in [
+        (3u64, 27415usize, 0xb620_549a_7e90_96ab_u64),
+        (11, 24812, 0xeb5e_a0d6_8d62_757c),
+    ] {
+        let cfg = preset::chameleon_cluster_hetero();
+        assert!(cfg.predictive.is_none(), "preset must stay reactive");
+        let text = canonical(cfg, seed, 16.0, 10.0);
+        assert_frozen("hetero", seed, &text, len, fnv);
+    }
+}
+
+/// The elastic preset through a burst (mid-trace scale-up + drain-back):
+/// byte-for-byte the pre-PR output — the reactive autoscaler's decisions,
+/// the drain path, and the report format are all untouched.
+#[test]
+fn elastic_fleet_matches_pre_pr_bytes() {
+    for (seed, len, fnv) in [
+        (3u64, 155_160usize, 0x92a6_0071_7924_cefe_u64),
+        (11, 162_871, 0x9d1c_d6d0_bc99_6940),
+    ] {
+        let text = elastic_canonical(seed);
+        assert_frozen("elastic", seed, &text, len, fnv);
+    }
+}
