@@ -42,6 +42,44 @@ fn print_cluster_ratio(new_json: &str) {
     );
 }
 
+/// Prints the fresh report's barrier/epoch wall-clock breakdown, when
+/// the profiled scenario was measured, and its epoch-cost movement
+/// against the baseline. Baselines recorded before the profiler existed
+/// lack the scenario entirely — that is the tolerated
+/// [`GateOutcome::MissingBaseline`] case, never a failure.
+fn print_barrier_profile(old_json: &str, new_json: &str) {
+    let bench = "barrier_profile";
+    let (Some(dispatch), Some(step), Some(wait)) = (
+        parse_metric(new_json, bench, "dispatch_share"),
+        parse_metric(new_json, bench, "step_share"),
+        parse_metric(new_json, bench, "barrier_wait_share"),
+    ) else {
+        return;
+    };
+    let epochs = parse_metric(new_json, bench, "epochs").unwrap_or(0.0);
+    let pooled = parse_metric(new_json, bench, "pool_epochs").unwrap_or(0.0);
+    println!(
+        "bench-compare: {bench}: dispatch {:.1}% / step {:.1}% of run wall, \
+         barrier-wait {:.1}% of pool worker-time ({epochs:.0} epochs, {pooled:.0} pooled)",
+        dispatch * 100.0,
+        step * 100.0,
+        wait * 100.0,
+    );
+    match compare_tolerant(old_json, new_json, bench, "mean_epoch_us") {
+        Ok(GateOutcome::Compared(cmp)) => println!(
+            "bench-compare: {bench}.mean_epoch_us  {:.1} -> {:.1}  ({:+.1}%, informational)",
+            cmp.old_value,
+            cmp.new_value,
+            (cmp.ratio() - 1.0) * 100.0,
+        ),
+        Ok(GateOutcome::MissingBaseline) => println!(
+            "bench-compare: {bench} absent from baseline — profiler introduced after \
+             that trajectory point, skipping the epoch-cost comparison"
+        ),
+        Err(_) => {}
+    }
+}
+
 fn main() -> ExitCode {
     let mut dir = PathBuf::from(".");
     let mut bench = "macro_zipf600".to_string();
@@ -107,6 +145,7 @@ fn main() -> ExitCode {
                 old_path.display()
             );
             print_cluster_ratio(&new_json);
+            print_barrier_profile(&old_json, &new_json);
             return ExitCode::SUCCESS;
         }
     };
@@ -119,6 +158,7 @@ fn main() -> ExitCode {
         new_path.display(),
     );
     print_cluster_ratio(&new_json);
+    print_barrier_profile(&old_json, &new_json);
     if cmp.regressed_beyond(tolerance) {
         eprintln!(
             "bench-compare: FAIL — {bench}.{metric} regressed beyond {:.0}% \

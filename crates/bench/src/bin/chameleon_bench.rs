@@ -3,8 +3,10 @@
 //! Runs a pinned 600-adapter Zipf macro-scenario (single-engine and a
 //! 4-engine cluster routed JSQ vs AdapterAffinity) plus hot-path
 //! micro-benches (event-queue churn, eviction storm, refresh storm,
-//! parallel-vs-serial sweep) and writes the numbers as JSON, extending
-//! the PR-over-PR performance trajectory:
+//! parallel-vs-serial sweep), a profiled barrier/epoch breakdown, and a
+//! traced telemetry-series export (CSV/JSONL written next to the bench
+//! JSON), and writes the numbers as JSON, extending the PR-over-PR
+//! performance trajectory:
 //!
 //! ```text
 //! cargo run -p chameleon-bench --release --bin chameleon-bench
@@ -36,7 +38,7 @@ use std::collections::HashSet;
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR5.json".to_string();
+    let mut out_path = "BENCH_PR6.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,17 +52,29 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("PR5", smoke);
+    let mut report = BenchReport::new("PR6", smoke);
+    let cores = par::default_workers();
+    if cores == 1 {
+        report.degraded = true;
+        eprintln!(
+            "WARNING: single-core host — every parallel/serial speedup column in this \
+             report is noise, not signal. The serial events/sec columns are still valid; \
+             the report is marked \"degraded\": true so trajectory tooling can discount \
+             the ratios."
+        );
+    }
     println!("chameleon-bench ({})", if smoke { "smoke" } else { "full" });
 
     macro_scenario(&mut report, smoke);
     cluster_macro(&mut report, smoke);
     cluster16_macro(&mut report, smoke);
     predictive_burst_macro(&mut report, smoke);
+    barrier_profile_table(&mut report, smoke);
     event_queue_churn(&mut report, smoke);
     eviction_storm(&mut report, smoke);
     refresh_storm(&mut report, smoke);
     sweep_scaling(&mut report, smoke);
+    telemetry_series(&out_path, smoke);
 
     std::fs::write(&out_path, report.to_json()).expect("write bench json");
     println!("wrote {out_path}");
@@ -336,6 +350,80 @@ fn predictive_burst_macro(report: &mut BenchReport, smoke: bool) {
             .metric("predictive_p99_ttft_s", predictive.p99_ttft())
             .metric("reactive_hit_rate", reactive.hit_rate())
             .metric("predictive_hit_rate", predictive.hit_rate()),
+    );
+}
+
+/// The barrier/epoch profiler's table: one profiled parallel run of the
+/// 4-engine affinity cluster, broken into the coordinator's dispatch
+/// wall, the epoch-stepping wall, and the worker-time parked at the
+/// epoch barrier. Wall-clock only — profiling is asserted (in the engine
+/// suite) never to change simulation results — so the shares are the
+/// host-dependent baseline the barrier-amortisation roadmap item needs.
+fn barrier_profile_table(report: &mut BenchReport, smoke: bool) {
+    let engines = 4;
+    let rps = 80.0;
+    let secs = if smoke { 3.0 } else { 60.0 };
+    let cores = par::default_workers();
+    let workers = engines.min(cores.max(2));
+    let mut cfg = preset::chameleon_cluster(engines)
+        .with_adapters(600)
+        .with_label("Chameleon-DP4-Profiled")
+        .with_router(RouterPolicy::AdapterAffinity)
+        .with_parallel_cluster(workers)
+        .with_barrier_profiling();
+    cfg.rank_popularity = chameleon_models::PopularityDist::power_law();
+    let mut sim = Simulation::new(cfg, SEED);
+    let trace = chameleon_core::workloads::lmsys(rps, secs, SEED, sim.pool());
+    let (wall, run) = timed(|| sim.run(&trace));
+    let p = run.barrier_profile.expect("profiling was enabled");
+    println!(
+        "  barrier_profile     workers={} epochs={} ({} pooled)\n\
+         \x20                     dispatch {:>5.1}%  step {:>5.1}%  barrier-wait {:>5.1}% of pool worker-time\n\
+         \x20                     mean epoch {:.1}us  run wall {wall:.3}s",
+        p.workers,
+        p.epochs,
+        p.pool_epochs,
+        p.dispatch_share() * 100.0,
+        p.step_share() * 100.0,
+        p.barrier_wait_share() * 100.0,
+        p.mean_epoch_ns() / 1_000.0,
+    );
+    report.push(
+        "barrier_profile",
+        BenchResult::new()
+            .metric("engines", engines as f64)
+            .metric("workers", p.workers as f64)
+            .metric("cores", cores as f64)
+            .metric("epochs", p.epochs as f64)
+            .metric("pool_epochs", p.pool_epochs as f64)
+            .metric("run_wall_secs", p.run_wall_ns as f64 / 1e9)
+            .metric("dispatch_share", p.dispatch_share())
+            .metric("step_share", p.step_share())
+            .metric("barrier_wait_share", p.barrier_wait_share())
+            .metric("mean_epoch_us", p.mean_epoch_ns() / 1_000.0),
+    );
+}
+
+/// Runs the single-engine macro-scenario with tracing on and exports the
+/// windowed time-series (sliding P99 TTFT, occupancy, per-engine queue
+/// depth and utilisation) as CSV and JSONL next to the bench JSON.
+fn telemetry_series(out_path: &str, smoke: bool) {
+    let mut cfg = preset::chameleon().with_trace(chameleon_core::TraceSpec::new());
+    cfg.num_adapters = 600;
+    cfg = cfg.with_label("Chameleon-600-Traced");
+    let secs = if smoke { 4.0 } else { 60.0 };
+    let mut sim = Simulation::new(cfg, SEED);
+    let trace = chameleon_core::workloads::splitwise(12.0, secs, SEED, sim.pool());
+    let run = sim.run(&trace);
+    let export = chameleon_core::telemetry::collect(&run);
+    let stem = out_path.strip_suffix(".json").unwrap_or(out_path);
+    let csv_path = format!("{stem}_series.csv");
+    let jsonl_path = format!("{stem}_series.jsonl");
+    std::fs::write(&csv_path, export.to_csv()).expect("write series csv");
+    std::fs::write(&jsonl_path, export.to_jsonl()).expect("write series jsonl");
+    println!(
+        "  telemetry_series    {} samples -> {csv_path}, {jsonl_path}",
+        export.len()
     );
 }
 

@@ -48,6 +48,10 @@ pub struct BenchReport {
     pub tag: String,
     /// True for the tiny CI smoke configuration.
     pub smoke: bool,
+    /// True when the host cannot produce meaningful parallel-speedup
+    /// numbers (a single-core container): the serial columns are still
+    /// valid, but every `*_speedup` ratio should be read as noise.
+    pub degraded: bool,
     results: Vec<(String, BenchResult)>,
 }
 
@@ -57,6 +61,7 @@ impl BenchReport {
         BenchReport {
             tag: tag.into(),
             smoke,
+            degraded: false,
             results: Vec::new(),
         }
     }
@@ -81,6 +86,7 @@ impl BenchReport {
         let _ = writeln!(s, "  \"schema\": \"chameleon-bench-v1\",");
         let _ = writeln!(s, "  \"tag\": \"{}\",", self.tag);
         let _ = writeln!(s, "  \"smoke\": {},", self.smoke);
+        let _ = writeln!(s, "  \"degraded\": {},", self.degraded);
         s.push_str("  \"results\": {\n");
         for (bi, (bench, result)) in self.results.iter().enumerate() {
             let _ = writeln!(s, "    \"{bench}\": {{");
@@ -142,6 +148,7 @@ mod tests {
         assert!(json.contains("\"schema\": \"chameleon-bench-v1\""));
         assert!(json.contains("\"tag\": \"PRX\""));
         assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("\"degraded\": false"));
         assert!(json.contains("\"events\": 1000"));
         assert!(json.contains("\"wall_secs\": 0.250000"));
         assert!(json.contains("\"speedup\": 6.500000"));
@@ -150,6 +157,13 @@ mod tests {
         assert!(!json.contains(",\n    }"));
         assert!(!json.contains(",\n  }"));
         assert_eq!(rep.get("demo", "events"), Some(1000.0));
+    }
+
+    #[test]
+    fn degraded_flag_round_trips() {
+        let mut rep = BenchReport::new("PRX", false);
+        rep.degraded = true;
+        assert!(rep.to_json().contains("\"degraded\": true"));
     }
 
     #[test]

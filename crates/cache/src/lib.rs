@@ -20,4 +20,4 @@ pub mod policy;
 pub mod store;
 
 pub use policy::EvictionPolicy;
-pub use store::{AdapterCache, CacheStats};
+pub use store::{AdapterCache, CacheJournalEvent, CacheStats};

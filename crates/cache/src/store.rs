@@ -42,6 +42,38 @@ impl CacheStats {
     }
 }
 
+/// One cache-plane decision, journalled for the telemetry overlay.
+///
+/// The cache crate sits below the trace crate in the dependency order, so
+/// it cannot emit `TraceEvent`s directly; instead the engine drains this
+/// dependency-free journal after every event it handles and re-tags the
+/// entries into its own trace lane. Evict records carry the compound-score
+/// *inputs* (bytes, frequency, last-used) so a trace consumer can replay
+/// the eviction decision, not just observe its outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheJournalEvent {
+    /// An adapter's weights were admitted (freshly loaded).
+    Admit {
+        /// The admitted adapter.
+        adapter: AdapterId,
+        /// Bytes of adapter weights.
+        bytes: u64,
+        /// Reference count at admission (0 = prefetch/pre-warm).
+        refs: u32,
+    },
+    /// An idle adapter was evicted to make room.
+    Evict {
+        /// The evicted adapter.
+        adapter: AdapterId,
+        /// Bytes freed.
+        bytes: u64,
+        /// Frequency counter at eviction (compound-score input).
+        frequency: u32,
+        /// Last-use instant at eviction (compound-score input).
+        last_used: SimTime,
+    },
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     bytes: u64,
@@ -151,6 +183,9 @@ pub struct AdapterCache {
     scan_cands: Vec<Candidate>,
     scan_heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, AdapterId)>>,
     victims: Vec<AdapterId>,
+    /// Decision journal for the telemetry overlay; `None` (the default)
+    /// keeps the admit/evict paths free of any journalling work.
+    journal: Option<Vec<CacheJournalEvent>>,
 }
 
 impl AdapterCache {
@@ -168,6 +203,7 @@ impl AdapterCache {
             scan_cands: Vec::new(),
             scan_heap: std::collections::BinaryHeap::new(),
             victims: Vec::new(),
+            journal: None,
         }
     }
 
@@ -189,6 +225,22 @@ impl AdapterCache {
     /// callers never enable it.
     pub fn set_full_scan_eviction(&mut self, on: bool) {
         self.full_scan_eviction = on;
+    }
+
+    /// Turns on the admit/evict decision journal (see
+    /// [`CacheJournalEvent`]). Idempotent; journalling stays off — and
+    /// costs nothing — until this is called.
+    pub fn enable_journal(&mut self) {
+        self.journal.get_or_insert_with(Vec::new);
+    }
+
+    /// Drains journalled decisions accumulated since the last drain, in
+    /// emission order. Returns an empty vec when journalling is off.
+    pub fn drain_journal(&mut self) -> Vec<CacheJournalEvent> {
+        match self.journal.as_mut() {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
     }
 
     /// The configured eviction policy.
@@ -313,6 +365,13 @@ impl AdapterCache {
         }
         self.entries.insert(spec.id(), entry);
         self.stats.bytes_loaded += spec.bytes();
+        if let Some(j) = self.journal.as_mut() {
+            j.push(CacheJournalEvent::Admit {
+                adapter: spec.id(),
+                bytes: spec.bytes(),
+                refs: initial_refs,
+            });
+        }
         Ok(())
     }
 
@@ -584,6 +643,14 @@ impl AdapterCache {
         pool.release(Region::AdapterCache, e.bytes);
         self.stats.evictions += 1;
         self.stats.bytes_evicted += e.bytes;
+        if let Some(j) = self.journal.as_mut() {
+            j.push(CacheJournalEvent::Evict {
+                adapter: id,
+                bytes: e.bytes,
+                frequency: e.frequency,
+                last_used: e.last_used,
+            });
+        }
     }
 
     /// Halves all frequency counters — called every `T_refresh` so that
@@ -791,6 +858,41 @@ mod tests {
         let a = spec(1, 8);
         c.insert_loaded(&mut pool, &a, t(0.0), 0).unwrap();
         c.release(&mut pool, a.id(), t(1.0));
+    }
+
+    #[test]
+    fn journal_records_admits_and_evicts_with_score_inputs() {
+        let mut pool = MemoryPool::new(2 * (64 << 20));
+        let mut c = AdapterCache::new(EvictionPolicy::Lru);
+        // Off by default: a disabled cache journals nothing and drains empty.
+        let (a, b) = (spec(1, 32), spec(2, 32));
+        c.insert_loaded(&mut pool, &a, t(0.0), 0).unwrap();
+        assert!(c.drain_journal().is_empty());
+        c.enable_journal();
+        c.insert_loaded(&mut pool, &b, t(1.0), 1).unwrap();
+        c.add_ref(&mut pool, a.id(), t(2.0));
+        c.release(&mut pool, a.id(), t(3.0));
+        // Need a slot: LRU evicts a (idle); b is pinned.
+        assert!(c.make_room(&mut pool, 64 << 20, t(4.0), &HashSet::new()));
+        let journal = c.drain_journal();
+        assert_eq!(
+            journal,
+            vec![
+                CacheJournalEvent::Admit {
+                    adapter: b.id(),
+                    bytes: 64 << 20,
+                    refs: 1,
+                },
+                CacheJournalEvent::Evict {
+                    adapter: a.id(),
+                    bytes: 64 << 20,
+                    frequency: 1,
+                    last_used: t(3.0),
+                },
+            ]
+        );
+        // Drain resets; a second drain sees only new decisions.
+        assert!(c.drain_journal().is_empty());
     }
 
     proptest! {

@@ -24,6 +24,10 @@
 //! * [`par`] — the scoped-thread work pool behind the parallel sweeps.
 //! * [`ablation`] — measurable versions of the paper's un-figured design
 //!   claims (WRS degree, eviction weights, bypass, K_max).
+//! * [`telemetry`] — windowed time-series export (sliding TTFT
+//!   percentiles, queue depth, occupancy, utilisation) as CSV/JSONL,
+//!   fed by the run report and the opt-in decision trace
+//!   (`SystemConfig::trace`, flight recorder, barrier profile).
 //! * [`workloads`] — the scaled-down paper workloads (§5.1).
 //!
 //! # Quickstart
@@ -47,10 +51,12 @@ pub mod report;
 pub mod sim;
 pub mod sweep;
 pub mod system;
+pub mod telemetry;
 pub mod workloads;
 
 pub use chameleon_engine::{ClusterExecution, PredictiveSpec};
 pub use chameleon_router::{EngineId, RouterPolicy};
+pub use chameleon_trace::{BarrierProfile, FlightDump, TraceLog, TraceSpec};
 pub use report::RunReport;
 pub use sim::Simulation;
 pub use system::{AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig};

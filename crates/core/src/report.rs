@@ -10,6 +10,7 @@ use chameleon_models::LlmSpec;
 use chameleon_sched::WrsConfig;
 use chameleon_simcore::stats::percentile;
 use chameleon_simcore::{SimDuration, SimTime};
+use chameleon_trace::{BarrierProfile, FlightDump, TraceLog};
 use chameleon_workload::RequestId;
 use std::collections::HashMap;
 
@@ -51,6 +52,22 @@ pub struct RunReport {
     /// Simulation events processed by the driver (throughput denominator
     /// for the benchmark harness's events/sec).
     pub events_processed: u64,
+    /// The merged deterministic decision stream, present only when the
+    /// system opted into tracing ([`SystemConfig::trace`]). Never feeds
+    /// [`canonical_text`](RunReport::canonical_text): traced and
+    /// untraced runs of the same system are behaviourally identical.
+    ///
+    /// [`SystemConfig::trace`]: crate::SystemConfig
+    pub trace: Option<TraceLog>,
+    /// Flight-recorder dumps from the armed anomaly predicates (empty
+    /// when tracing is off or nothing fired).
+    pub flight_dumps: Vec<FlightDump>,
+    /// Total anomaly firings, including those past the dump cap.
+    pub flight_firings: u64,
+    /// Wall-clock barrier/epoch profile of cluster runs, present only
+    /// when the system opted into profiling. Host-dependent by nature —
+    /// excluded from the canonical text.
+    pub barrier_profile: Option<BarrierProfile>,
 }
 
 impl RunReport {
@@ -85,6 +102,10 @@ impl RunReport {
             offered_rps,
             scheduler: engine.scheduler,
             events_processed,
+            trace: None,
+            flight_dumps: Vec::new(),
+            flight_firings: 0,
+            barrier_profile: None,
         }
     }
 
@@ -443,6 +464,10 @@ mod tests {
             scheduler: "test",
             routing: RoutingStats::default(),
             events_processed: 0,
+            trace: None,
+            flight_dumps: Vec::new(),
+            flight_firings: 0,
+            barrier_profile: None,
         }
     }
 

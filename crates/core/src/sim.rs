@@ -13,6 +13,9 @@ use chameleon_sched::{
     StaticMlqScheduler, WrsConfig,
 };
 use chameleon_simcore::{SimDuration, SimRng};
+use chameleon_trace::{
+    AnomalyPredicate, FlightRecorder, Lane, TraceBuffer, TtftSloPredicate, WastedWarmPredicate,
+};
 use chameleon_workload::Trace;
 
 /// Runs traces through one configured serving system.
@@ -175,7 +178,9 @@ impl Simulation {
         let slo = self.slo_for(trace);
         let wrs = self.wrs_config(trace);
         let max_output = trace.summary().max_output;
-        let (engine_report, horizon, events) = if self.cfg.is_cluster() {
+        let tracing = self.cfg.trace.is_some();
+        let (engine_report, horizon, events, trace_log, barrier_profile) = if self.cfg.is_cluster()
+        {
             let initial = self.cfg.engine_count();
             let mut cluster = Cluster::with_router(
                 initial,
@@ -184,6 +189,12 @@ impl Simulation {
             );
             if let Some(spec) = &self.cfg.predictive {
                 cluster.set_predictive(*spec);
+            }
+            if tracing {
+                cluster.enable_tracing();
+            }
+            if self.cfg.profile_barriers {
+                cluster.enable_barrier_profiling();
             }
             let exec = self.cfg.cluster_exec;
             let last = match &self.cfg.autoscale {
@@ -209,12 +220,22 @@ impl Simulation {
                 None => cluster.run_with(trace, exec),
             };
             let events = cluster.events_processed();
-            (cluster.into_report(), last, events)
+            let (report, log, profile) = cluster.into_report_with_trace();
+            (report, last, events, log, profile)
         } else {
             let spec = self.cfg.engine_spec(0);
             let mut engine = self.build_engine(slo, wrs, 0, max_output, k_max, &spec);
+            if tracing {
+                engine.enable_tracing();
+            }
             let (last, events) = driver::run_engine_counted(&mut engine, trace);
-            (engine.into_report(), last, events)
+            // A lone engine is lane 0, matching its cluster EngineId.
+            let log = tracing.then(|| {
+                let mut buf = TraceBuffer::new();
+                buf.extend_lane(Lane::Engine(0), engine.take_trace_events());
+                buf.finish()
+            });
+            (engine.into_report(), last, events, log, None)
         };
         let isolated_e2e = engine_report
             .records
@@ -231,7 +252,7 @@ impl Simulation {
                 (r.id, isolated::isolated(&self.cost, &req, true).e2e)
             })
             .collect();
-        RunReport::new(
+        let mut report = RunReport::new(
             self.cfg.label.clone(),
             self.cfg.llm.clone(),
             engine_report,
@@ -241,7 +262,25 @@ impl Simulation {
             wrs,
             trace.summary().mean_rps,
             events,
-        )
+        );
+        report.barrier_profile = barrier_profile;
+        if let (Some(spec), Some(log)) = (&self.cfg.trace, trace_log) {
+            let mut predicates: Vec<Box<dyn AnomalyPredicate>> = Vec::new();
+            if let Some(trigger) = spec.ttft_slo_trigger {
+                predicates.push(Box::new(TtftSloPredicate::new(trigger)));
+            }
+            if spec.wasted_warm_trigger {
+                predicates.push(Box::new(WastedWarmPredicate::new()));
+            }
+            if !predicates.is_empty() {
+                let recorder = FlightRecorder::new(spec.flight_capacity, spec.max_dumps);
+                let (dumps, firings) = recorder.scan(&log, &mut predicates);
+                report.flight_dumps = dumps;
+                report.flight_firings = firings;
+            }
+            report.trace = Some(log);
+        }
+        report
     }
 }
 
@@ -284,6 +323,45 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tracing_harvests_a_log_and_arms_the_recorder() {
+        use chameleon_trace::{TraceEvent, TraceSpec};
+        let cfg = preset::chameleon()
+            .with_trace(TraceSpec::new().with_ttft_slo_trigger(SimDuration::from_nanos(1)));
+        let mut sim = Simulation::new(cfg, 5);
+        let trace = workloads::splitwise(5.0, 10.0, 5, sim.pool());
+        let report = sim.run(&trace);
+        let log = report.trace.as_ref().expect("traced run carries a log");
+        assert!(!log.is_empty());
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::FirstToken { .. })));
+        // Every first token beats a 1ns SLO trigger, so the recorder fires.
+        assert!(report.flight_firings > 0);
+        assert!(!report.flight_dumps.is_empty());
+        // Untraced runs carry nothing.
+        let mut plain = Simulation::new(preset::chameleon(), 5);
+        let trace = workloads::splitwise(5.0, 10.0, 5, plain.pool());
+        let r = plain.run(&trace);
+        assert!(r.trace.is_none() && r.flight_dumps.is_empty() && r.flight_firings == 0);
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let run = |traced: bool| {
+            let mut cfg = preset::chameleon();
+            cfg.data_parallel = 2;
+            if traced {
+                cfg = cfg.with_trace(chameleon_trace::TraceSpec::new());
+            }
+            let mut sim = Simulation::new(cfg, 7);
+            let trace = workloads::splitwise(6.0, 12.0, 7, sim.pool());
+            sim.run(&trace).canonical_text()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use chameleon_engine::{AutoscalerConfig, ClusterExecution, PredictiveSpec};
 use chameleon_models::{GpuSpec, LlmSpec, PoolConfig, PopularityDist};
 use chameleon_router::RouterPolicy;
 use chameleon_simcore::SimDuration;
+use chameleon_trace::TraceSpec;
 
 /// Shape of one engine in a (possibly heterogeneous) fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -216,6 +217,16 @@ pub struct SystemConfig {
     pub slo: Option<SimDuration>,
     /// Maximum concurrent requests per engine.
     pub max_batch_requests: usize,
+    /// Decision tracing and flight-recorder configuration. `None` — the
+    /// default — emits nothing and keeps every run byte-for-byte
+    /// identical to the untraced stack; `Some` records the deterministic
+    /// decision stream into [`RunReport::trace`](crate::RunReport) and
+    /// arms the spec's anomaly predicates.
+    pub trace: Option<TraceSpec>,
+    /// Measure the wall-clock barrier/epoch profile of cluster runs
+    /// (dispatch vs step vs barrier wait). Wall-clock only: never
+    /// perturbs simulation results, never part of the trace stream.
+    pub profile_barriers: bool,
 }
 
 impl SystemConfig {
@@ -245,6 +256,8 @@ impl SystemConfig {
             worst_case_predictor: false,
             slo: None,
             max_batch_requests: 256,
+            trace: None,
+            profile_barriers: false,
         }
     }
 
@@ -367,6 +380,18 @@ impl SystemConfig {
         self.label = label.into();
         self
     }
+
+    /// Builder-style: enables decision tracing with `spec`.
+    pub fn with_trace(mut self, spec: TraceSpec) -> Self {
+        self.trace = Some(spec);
+        self
+    }
+
+    /// Builder-style: enables wall-clock barrier/epoch profiling.
+    pub fn with_barrier_profiling(mut self) -> Self {
+        self.profile_barriers = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -449,6 +474,17 @@ mod tests {
         assert_eq!(p.cluster_exec.worker_count(), 3);
         // Auto resolves to at least one worker.
         assert!(ClusterExecution::parallel_auto().worker_count() >= 1);
+    }
+
+    #[test]
+    fn telemetry_axes_default_off() {
+        let c = SystemConfig::base("x");
+        assert!(c.trace.is_none() && !c.profile_barriers);
+        let t = SystemConfig::base("x")
+            .with_trace(TraceSpec::new().with_wasted_warm_trigger())
+            .with_barrier_profiling();
+        assert!(t.trace.is_some_and(|s| s.wasted_warm_trigger));
+        assert!(t.profile_barriers);
     }
 
     #[test]

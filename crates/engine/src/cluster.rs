@@ -63,8 +63,10 @@ use chameleon_predictor::{Forecast, HistogramLoadPredictor};
 use chameleon_router::{policies, EngineId, EngineSnapshot, JoinShortestQueue, Router};
 use chameleon_simcore::shard::{self, ShardPool};
 use chameleon_simcore::{EventQueue, SimDuration, SimTime};
+use chameleon_trace::{AutoscaleAction, BarrierProfile, Lane, TraceBuffer, TraceEvent, TraceLog};
 use chameleon_workload::Trace;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// How a cluster run steps its engines between barriers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -251,6 +253,16 @@ pub struct Cluster {
     outstanding_warms: HashMap<AdapterId, EngineId>,
     /// Earliest instant of the next candidate scan (scan throttling).
     next_scan: SimTime,
+    /// Decision-trace merge buffer: the coordinator pushes its own lane
+    /// directly; engine lanes are drained at retirement and finalisation.
+    /// `None` (the default) keeps every emission site one branch and all
+    /// presets byte-identical to the untraced stack.
+    tracer: Option<TraceBuffer>,
+    /// Monotone epoch counter for barrier open/close events.
+    trace_epoch: u64,
+    /// Wall-clock barrier profile; accumulated across runs. Lives outside
+    /// the deterministic trace stream by design.
+    profile: Option<BarrierProfile>,
 }
 
 impl Cluster {
@@ -301,7 +313,38 @@ impl Cluster {
             last_warm: HashMap::new(),
             outstanding_warms: HashMap::new(),
             next_scan: SimTime::ZERO,
+            tracer: None,
+            trace_epoch: 0,
+            profile: None,
         }
+    }
+
+    /// Turns on decision tracing for the whole cluster: the coordinator's
+    /// routing/scaling/barrier decisions and every engine's local events
+    /// (first tokens, cache admits/evicts, batch formations, samples)
+    /// merge into one [`TraceLog`] under the pinned `(time, lane, seq)`
+    /// total order, so serial and parallel runs emit byte-identical
+    /// streams. Engines joining later inherit tracing automatically.
+    pub fn enable_tracing(&mut self) {
+        if self.tracer.is_none() {
+            self.tracer = Some(TraceBuffer::new());
+        }
+        for slot in &mut self.slots {
+            slot.engine.enable_tracing();
+        }
+    }
+
+    /// True when [`enable_tracing`](Self::enable_tracing) was called.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Turns on the wall-clock barrier profiler: per-epoch coordinator
+    /// dispatch vs worker stepping vs barrier wait, accumulated across
+    /// runs into a [`BarrierProfile`]. Wall-clock only — profiled runs
+    /// stay bit-identical to unprofiled ones.
+    pub fn enable_barrier_profiling(&mut self) {
+        self.profile.get_or_insert_with(BarrierProfile::default);
     }
 
     /// Enables the predictive control plane: burst pre-replication onto
@@ -400,7 +443,11 @@ impl Cluster {
             self.stats.on_adapters_rehomed(moved);
         }
         self.stats.on_engine_added(id);
-        self.slots.push(EngineSlot::new(id, false, engine));
+        let mut slot = EngineSlot::new(id, false, engine);
+        if self.tracer.is_some() {
+            slot.engine.enable_tracing();
+        }
+        self.slots.push(slot);
         id
     }
 
@@ -507,6 +554,9 @@ impl Cluster {
         slot.queue.clear();
         *processed += slot.processed;
         *last = (*last).max(slot.last);
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.extend_lane(Lane::Engine(slot.id.0), slot.engine.take_trace_events());
+        }
         self.retired.push((slot.id, slot.engine.into_report()));
     }
 
@@ -551,6 +601,13 @@ impl Cluster {
                 lone = pos;
             }
         }
+        // Step-count snapshot for the barrier-close event. The slot set
+        // cannot change during an epoch (retirement happens at barriers),
+        // so positional deltas are sound.
+        let stepped_before: Option<Vec<u64>> = (self.tracer.is_some() && pending > 0)
+            .then(|| self.slots.iter().map(|s| s.processed).collect());
+        let epoch_start = self.profile.is_some().then(Instant::now);
+        let pooled = pool.is_some() && pending > 1;
         match (pool, pending) {
             (_, 0) => {}
             (_, 1) => self.slots[lone].step_to(&cmd),
@@ -560,6 +617,52 @@ impl Cluster {
                     slot.step_to(&cmd);
                 }
             }
+        }
+        if let Some(start) = epoch_start {
+            let dt = start.elapsed().as_nanos() as u64;
+            let p = self.profile.as_mut().expect("profiling enabled");
+            p.epochs += 1;
+            p.step_wall_ns += dt;
+            if pooled {
+                p.pool_epochs += 1;
+                p.pool_step_wall_ns += dt;
+            }
+        }
+        if let Some(before) = stepped_before {
+            // Event time: the barrier instant. The final (unbounded) epoch
+            // closes at the last event any engine processed — identical in
+            // both execution modes because stepping is.
+            let at = boundary.unwrap_or_else(|| {
+                self.slots
+                    .iter()
+                    .map(|s| s.last)
+                    .max()
+                    .unwrap_or(SimTime::ZERO)
+            });
+            let stepped: Vec<(u32, u64)> = self
+                .slots
+                .iter()
+                .zip(before)
+                .filter(|(slot, was)| slot.processed > *was)
+                .map(|(slot, was)| (slot.id.0, slot.processed - was))
+                .collect();
+            let epoch = self.trace_epoch;
+            self.trace_epoch += 1;
+            let tracer = self.tracer.as_mut().expect("tracing enabled");
+            tracer.push(
+                at,
+                Lane::Coordinator,
+                TraceEvent::BarrierOpen {
+                    epoch,
+                    boundary,
+                    pending: pending as u32,
+                },
+            );
+            tracer.push(
+                at,
+                Lane::Coordinator,
+                TraceEvent::BarrierClose { epoch, stepped },
+            );
         }
     }
 
@@ -629,6 +732,17 @@ impl Cluster {
                     self.last_warm.insert(f.adapter, now);
                     self.stats.predictive.on_prewarm(bytes);
                     self.outstanding_warms.insert(f.adapter, target_id);
+                    if let Some(tracer) = self.tracer.as_mut() {
+                        tracer.push(
+                            now,
+                            Lane::Coordinator,
+                            TraceEvent::PrewarmIssued {
+                                adapter: f.adapter.0,
+                                target: target_id.0,
+                                bytes,
+                            },
+                        );
+                    }
                     warms += 1;
                 }
             }
@@ -704,6 +818,17 @@ impl Cluster {
         }
         if moved > 0 {
             self.stats.predictive.on_handoff(moved, bytes_total);
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.push(
+                    now,
+                    Lane::Coordinator,
+                    TraceEvent::Handoff {
+                        from: victim.0,
+                        adapters: moved as u32,
+                        bytes: bytes_total,
+                    },
+                );
+            }
         }
     }
 
@@ -754,14 +879,35 @@ impl Cluster {
         scale: Option<(&mut Autoscaler, &mut dyn FnMut(EngineId) -> Engine)>,
         exec: ClusterExecution,
     ) -> SimTime {
-        match exec.worker_count() {
-            0 | 1 => self.run_loop(trace, scale, None),
-            workers => shard::with_shard_pool(
-                workers,
-                |cmd: &EpochCmd, slot: &mut EngineSlot| slot.step_to(cmd),
-                |pool| self.run_loop(trace, scale, Some(pool)),
-            ),
+        let workers = exec.worker_count().max(1);
+        let t0 = self.profile.is_some().then(Instant::now);
+        let horizon = match workers {
+            1 => self.run_loop(trace, scale, None),
+            workers => {
+                let profiling = self.profile.is_some();
+                shard::with_shard_pool(
+                    workers,
+                    |cmd: &EpochCmd, slot: &mut EngineSlot| slot.step_to(cmd),
+                    |pool| {
+                        if profiling {
+                            pool.enable_profiling();
+                        }
+                        let horizon = self.run_loop(trace, scale, Some(pool));
+                        if let Some(p) = self.profile.as_mut() {
+                            p.worker_busy_ns += pool.busy_ns();
+                        }
+                        horizon
+                    },
+                )
+            }
+        };
+        if let (Some(p), Some(t0)) = (self.profile.as_mut(), t0) {
+            p.run_wall_ns += t0.elapsed().as_nanos() as u64;
+            if workers > 1 {
+                p.workers = p.workers.max(workers);
+            }
         }
+        horizon
     }
 
     /// The epoch loop shared by serial and parallel execution: partition
@@ -838,15 +984,47 @@ impl Cluster {
                     "router out of bounds"
                 );
                 let pos = self.snap_slots[decision.engine];
-                let slot = &mut self.slots[pos];
-                let affinity_hit = slot.engine.is_adapter_resident(req.adapter());
-                self.stats.record(slot.id, affinity_hit, decision.spilled);
-                if affinity_hit && self.outstanding_warms.get(&req.adapter()) == Some(&slot.id) {
+                let chosen = self.slots[pos].id;
+                let affinity_hit = self.slots[pos].engine.is_adapter_resident(req.adapter());
+                self.stats.record(chosen, affinity_hit, decision.spilled);
+                let mut prewarm_hit = false;
+                if affinity_hit && self.outstanding_warms.get(&req.adapter()) == Some(&chosen) {
                     // The dispatch landed on an engine holding a
                     // pre-replicated copy: the warm paid for itself.
                     self.outstanding_warms.remove(&req.adapter());
                     self.stats.predictive.on_prewarm_hit();
+                    prewarm_hit = true;
                 }
+                if let Some(tracer) = self.tracer.as_mut() {
+                    let candidates: Vec<(u32, u64)> = self
+                        .snap_buf
+                        .iter()
+                        .map(|s| (s.id.0, s.outstanding_tokens))
+                        .collect();
+                    tracer.push(
+                        t,
+                        Lane::Coordinator,
+                        TraceEvent::RouteDecision {
+                            req: req.id().0,
+                            adapter: req.adapter().0,
+                            chosen: chosen.0,
+                            spilled: decision.spilled,
+                            affinity_hit,
+                            candidates,
+                        },
+                    );
+                    if prewarm_hit {
+                        tracer.push(
+                            t,
+                            Lane::Coordinator,
+                            TraceEvent::PrewarmHit {
+                                adapter: req.adapter().0,
+                                engine: chosen.0,
+                            },
+                        );
+                    }
+                }
+                let slot = &mut self.slots[pos];
                 slot.engine
                     .handle(t, EngineEvent::Arrival(req), &mut slot.out);
                 for (at, e) in slot.out.drain(..) {
@@ -858,7 +1036,13 @@ impl Cluster {
                 self.fill_snapshots();
                 let signal = self.forecast_signal(t, autoscaler.config().interval);
                 let draining = self.slots.len() - self.snap_buf.len();
-                match autoscaler.decide_with(t, &self.snap_buf, draining, &signal) {
+                let action = autoscaler.decide_with(t, &self.snap_buf, draining, &signal);
+                let trigger = match autoscaler.last_trigger() {
+                    Some(ScaleTrigger::SloEstimate) => "slo-estimate",
+                    Some(ScaleTrigger::Forecast) => "forecast",
+                    _ => "queue-depth",
+                };
+                match action {
                     ScaleAction::Hold => {}
                     ScaleAction::ScaleUp => {
                         // The factory sees the id the newcomer will be
@@ -883,9 +1067,34 @@ impl Cluster {
                                 _ => {}
                             }
                         }
+                        if let Some(tracer) = self.tracer.as_mut() {
+                            tracer.push(
+                                t,
+                                Lane::Coordinator,
+                                TraceEvent::AutoscaleTrigger {
+                                    action: AutoscaleAction::ScaleUp,
+                                    trigger,
+                                },
+                            );
+                        }
                     }
                     ScaleAction::Drain(victim) => {
                         if self.drain_engine(victim) {
+                            if let Some(tracer) = self.tracer.as_mut() {
+                                tracer.push(
+                                    t,
+                                    Lane::Coordinator,
+                                    TraceEvent::AutoscaleTrigger {
+                                        action: AutoscaleAction::Drain(victim.0),
+                                        trigger,
+                                    },
+                                );
+                                tracer.push(
+                                    t,
+                                    Lane::Coordinator,
+                                    TraceEvent::DrainStarted { engine: victim.0 },
+                                );
+                            }
                             if self.predictive.is_some_and(|s| s.handoff) {
                                 self.handoff_shard(victim, t);
                             }
@@ -928,6 +1137,24 @@ impl Cluster {
     /// independent of retirement timing — and therefore identical
     /// between serial and parallel execution by construction.
     pub fn into_report(self) -> EngineReport {
+        self.into_report_with_trace().0
+    }
+
+    /// [`Cluster::into_report`] plus the telemetry the run accumulated:
+    /// the merged deterministic trace log (when tracing was enabled) and
+    /// the wall-clock barrier profile (when profiling was enabled).
+    /// Live engines' buffered events are drained into their lanes before
+    /// the log is sealed, so late-run decisions are never lost.
+    pub fn into_report_with_trace(
+        mut self,
+    ) -> (EngineReport, Option<TraceLog>, Option<BarrierProfile>) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            for slot in &mut self.slots {
+                tracer.extend_lane(Lane::Engine(slot.id.0), slot.engine.take_trace_events());
+            }
+        }
+        let log = self.tracer.take().map(TraceBuffer::finish);
+        let profile = self.profile.take();
         let mut stats = self.stats;
         stats.predictive.finalize();
         let mut tagged = self.retired;
@@ -943,7 +1170,7 @@ impl Cluster {
             merged.merge(r);
         }
         merged.routing = stats;
-        merged
+        (merged, log, profile)
     }
 }
 
@@ -1380,5 +1607,58 @@ mod tests {
         let report = c.into_report();
         assert_eq!(report.records.len(), 600);
         assert!(report.records.iter().all(|r| r.is_complete()));
+    }
+
+    /// The merged trace stream is a deterministic artefact: serial and
+    /// parallel runs of the same trace produce byte-identical JSONL.
+    #[test]
+    fn trace_stream_is_identical_across_execution_modes() {
+        let run = |exec: ClusterExecution| {
+            let (mut c, trace) = cluster_and_trace(3, 120);
+            c.enable_tracing();
+            c.run_with(&trace, exec);
+            let (report, log, _) = c.into_report_with_trace();
+            (
+                format!("{:?}", report.records),
+                log.expect("tracing on").to_jsonl(),
+            )
+        };
+        let (serial_report, serial_jsonl) = run(ClusterExecution::Serial);
+        assert!(!serial_jsonl.is_empty(), "traced run produced no events");
+        assert!(serial_jsonl.contains("\"ev\":\"route\""));
+        assert!(serial_jsonl.contains("\"ev\":\"barrier_close\""));
+        for workers in [2, 7] {
+            let (report, jsonl) = run(ClusterExecution::Parallel { workers });
+            assert_eq!(
+                serial_report, report,
+                "results diverged at {workers} workers"
+            );
+            assert_eq!(serial_jsonl, jsonl, "trace diverged at {workers} workers");
+        }
+    }
+
+    /// Profiling measures wall time without perturbing simulation
+    /// results, and pool runs account their worker busy time.
+    #[test]
+    fn barrier_profile_measures_without_perturbing() {
+        let (mut plain, trace) = cluster_and_trace(3, 120);
+        plain.run_with(&trace, ClusterExecution::Parallel { workers: 2 });
+        let baseline = format!("{:?}", plain.into_report().records);
+
+        let (mut c, trace) = cluster_and_trace(3, 120);
+        c.enable_barrier_profiling();
+        c.run_with(&trace, ClusterExecution::Parallel { workers: 2 });
+        let (report, _, profile) = c.into_report_with_trace();
+        let p = profile.expect("profiling on");
+        assert_eq!(
+            format!("{:?}", report.records),
+            baseline,
+            "profiling changed results"
+        );
+        assert_eq!(p.workers, 2);
+        assert!(p.epochs > 0, "no epochs counted");
+        assert!(p.run_wall_ns > 0, "no wall time measured");
+        assert!(p.run_wall_ns >= p.step_wall_ns, "step exceeds run wall");
+        assert!(p.step_wall_ns >= p.pool_step_wall_ns);
     }
 }

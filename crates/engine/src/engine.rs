@@ -9,7 +9,7 @@
 use crate::config::EngineConfig;
 use crate::probe::EngineProbe;
 use crate::report::EngineReport;
-use chameleon_cache::AdapterCache;
+use chameleon_cache::{AdapterCache, CacheJournalEvent};
 use chameleon_gpu::cost::{DecodeItem, PrefillItem};
 use chameleon_gpu::memory::{MemoryPool, Region};
 use chameleon_gpu::{CostModel, KvAllocator, PcieLink};
@@ -18,6 +18,7 @@ use chameleon_models::{AdapterId, AdapterPool};
 use chameleon_predictor::{HistogramLoadPredictor, OutputLenPredictor};
 use chameleon_sched::{AdmissionOutcome, QueuedRequest, Scheduler, WrsConfig};
 use chameleon_simcore::{SimDuration, SimTime};
+use chameleon_trace::TraceEvent;
 use chameleon_workload::{Request, RequestId};
 use std::collections::{HashMap, HashSet};
 
@@ -143,6 +144,11 @@ pub struct Engine {
     chunks_pool: Vec<u32>,
     folded_pool: Vec<(RequestId, u32)>,
     pairs_scratch: Vec<BypassPair>,
+    /// Decision-trace buffer in this engine's own execution order; `None`
+    /// (the default) keeps every emission site a single branch. The driver
+    /// drains it via [`take_trace_events`](Self::take_trace_events) and
+    /// assigns the lane — the engine never knows its cluster id.
+    trace: Option<Vec<(SimTime, TraceEvent)>>,
 }
 
 impl Engine {
@@ -215,6 +221,30 @@ impl Engine {
             chunks_pool: Vec::new(),
             folded_pool: Vec::new(),
             pairs_scratch: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Turns on decision tracing: first-token, queue-sample, and batch
+    /// events buffer here, and the cache's admit/evict journal is enabled
+    /// and re-tagged into the same buffer. Strict opt-in overlay — until
+    /// this is called every emission site is one `is_some` branch.
+    pub fn enable_tracing(&mut self) {
+        self.trace.get_or_insert_with(Vec::new);
+        self.cache.enable_journal();
+    }
+
+    /// True when [`enable_tracing`](Self::enable_tracing) was called.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Drains buffered trace events in this engine's execution order.
+    /// Returns an empty vec when tracing is off.
+    pub fn take_trace_events(&mut self) -> Vec<(SimTime, TraceEvent)> {
+        match self.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
         }
     }
 
@@ -372,6 +402,47 @@ impl Engine {
                 self.try_dispatch(now, out);
             }
         }
+        if self.trace.is_some() {
+            self.drain_cache_journal(now);
+        }
+    }
+
+    /// Re-tags cache-journal decisions accumulated during this event into
+    /// the trace buffer. Every cache mutation happens inside `handle` (the
+    /// cluster's `warm_load` only reserves memory; the admit lands at
+    /// `LoadDone`), so draining here timestamps each decision with the
+    /// event that caused it.
+    fn drain_cache_journal(&mut self, now: SimTime) {
+        let journal = self.cache.drain_journal();
+        if journal.is_empty() {
+            return;
+        }
+        let buf = self.trace.as_mut().expect("tracing checked by caller");
+        for ev in journal {
+            let mapped = match ev {
+                CacheJournalEvent::Admit {
+                    adapter,
+                    bytes,
+                    refs,
+                } => TraceEvent::CacheAdmit {
+                    adapter: adapter.0,
+                    bytes,
+                    refs,
+                },
+                CacheJournalEvent::Evict {
+                    adapter,
+                    bytes,
+                    frequency,
+                    last_used,
+                } => TraceEvent::CacheEvict {
+                    adapter: adapter.0,
+                    bytes,
+                    frequency,
+                    last_used,
+                },
+            };
+            buf.push((now, mapped));
+        }
     }
 
     /// Finalises the engine into its report.
@@ -455,6 +526,17 @@ impl Engine {
             adapter_cache: self.mem.used(Region::AdapterCache),
             capacity: self.mem.capacity(),
         });
+        if let Some(buf) = self.trace.as_mut() {
+            buf.push((
+                now,
+                TraceEvent::QueueSample {
+                    queued: self.sched.len() as u32,
+                    running: self.running.len() as u32,
+                    kv_bytes: self.mem.used(Region::KvCache),
+                    cache_bytes: self.mem.used(Region::AdapterCache),
+                },
+            ));
+        }
     }
 
     fn on_step_done(&mut self, now: SimTime, seq: u64, out: &mut Vec<(SimTime, EngineEvent)>) {
@@ -493,14 +575,29 @@ impl Engine {
     }
 
     fn apply_prefill_progress(&mut self, id: RequestId, chunk: u32, now: SimTime) {
-        let Some(r) = self.running.iter_mut().find(|r| r.req.id() == id) else {
-            return; // squashed mid-step
-        };
-        r.prefill_remaining = r.prefill_remaining.saturating_sub(chunk);
-        if r.prefill_remaining == 0 && r.produced == 0 {
-            // Prefill completion produces the first token.
-            r.produced = 1;
+        let mut first_token_arrival = None;
+        {
+            let Some(r) = self.running.iter_mut().find(|r| r.req.id() == id) else {
+                return; // squashed mid-step
+            };
+            r.prefill_remaining = r.prefill_remaining.saturating_sub(chunk);
+            if r.prefill_remaining == 0 && r.produced == 0 {
+                // Prefill completion produces the first token.
+                r.produced = 1;
+                first_token_arrival = Some(r.req.arrival());
+            }
+        }
+        if let Some(arrival) = first_token_arrival {
             self.collector.on_token(id, now);
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push((
+                    now,
+                    TraceEvent::FirstToken {
+                        req: id.0,
+                        ttft: now.saturating_since(arrival),
+                    },
+                ));
+            }
         }
     }
 
@@ -695,6 +792,7 @@ impl Engine {
         admissions.clear();
         self.sched.form_batch_into(&probe, &mut admissions);
         self.probe_scratch = probe;
+        let mut admitted = 0u32;
         {
             let mut iter = admissions.drain(..);
             while let Some(adm) = iter.next() {
@@ -713,9 +811,22 @@ impl Engine {
                     self.requeue_buf = rest;
                     break;
                 }
+                admitted += 1;
             }
         }
         self.admit_buf = admissions;
+        if admitted > 0 {
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push((
+                    now,
+                    TraceEvent::BatchFormed {
+                        admitted,
+                        running: self.running.len() as u32,
+                        queued: self.sched.len() as u32,
+                    },
+                ));
+            }
+        }
         self.launch_step(now, out);
         // Liveness: if the engine is now completely idle but requests are
         // still queued (blocked head waiting on banked memory or an aging
@@ -1344,6 +1455,49 @@ mod tests {
         let s = &report.mem_series[0];
         assert_eq!(s.weights, LlmSpec::llama_7b().weight_bytes());
         assert!(s.kv > 0, "request holds KV during sampling");
+    }
+
+    #[test]
+    fn tracing_buffers_lifecycle_decisions() {
+        let mut e = mk_engine();
+        e.enable_tracing();
+        drive(
+            &mut e,
+            vec![
+                (
+                    SimTime::ZERO,
+                    EngineEvent::Arrival(request(0, 0.0, 256, 8, 0)),
+                ),
+                (SimTime::from_secs_f64(0.01), EngineEvent::MemSample),
+            ],
+        );
+        let events = e.take_trace_events();
+        let kinds: Vec<&str> = events.iter().map(|(_, ev)| ev.kind()).collect();
+        assert!(kinds.contains(&"batch"), "admission emits BatchFormed");
+        assert!(
+            kinds.contains(&"cache_admit"),
+            "cold load journals an admit"
+        );
+        assert!(kinds.contains(&"first_token"), "prefill emits FirstToken");
+        assert!(kinds.contains(&"queue"), "MemSample emits QueueSample");
+        // Times are non-decreasing: the buffer is in execution order.
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Drained once, the buffer restarts empty.
+        assert!(e.take_trace_events().is_empty());
+    }
+
+    #[test]
+    fn tracing_disabled_buffers_nothing() {
+        let mut e = mk_engine();
+        drive(
+            &mut e,
+            vec![(
+                SimTime::ZERO,
+                EngineEvent::Arrival(request(0, 0.0, 64, 4, 0)),
+            )],
+        );
+        assert!(!e.tracing_enabled());
+        assert!(e.take_trace_events().is_empty());
     }
 
     #[test]

@@ -216,6 +216,34 @@ mod tests {
     }
 
     #[test]
+    fn export_is_insertion_order_independent() {
+        // The records live in a HashMap; the export path must sort so
+        // derived outputs are reproducible regardless of the order the
+        // engine (or a future parallel producer) fed events in.
+        let build = |order: &[u64]| {
+            let mut c = Collector::new();
+            for &id in order {
+                arrive(&mut c, id, id as f64 * 0.5);
+            }
+            for &id in order.iter().rev() {
+                c.on_token(RequestId(id), t(100.0 + id as f64));
+                c.on_finish(RequestId(id), t(200.0 + id as f64));
+            }
+            c.into_records()
+                .iter()
+                .map(|r| (r.id, r.arrival, r.first_token, r.finished))
+                .collect::<Vec<_>>()
+        };
+        let a = build(&[1, 2, 3, 4, 5, 6, 7]);
+        let b = build(&[7, 3, 1, 6, 2, 5, 4]);
+        let c = build(&[4, 5, 6, 7, 1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        let ids: Vec<u64> = a.iter().map(|&(id, ..)| id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7], "sorted by (arrival, id)");
+    }
+
+    #[test]
     #[should_panic(expected = "unknown")]
     fn unknown_request_panics() {
         let mut c = Collector::new();

@@ -81,6 +81,12 @@ struct Shared<T, C> {
     remaining: AtomicUsize,
     /// A worker unwound mid-epoch; the coordinator re-raises.
     poisoned: AtomicBool,
+    /// When set, workers accumulate their per-epoch stepping time into
+    /// `busy_ns` (the barrier profiler's utilisation input).
+    profile: AtomicBool,
+    /// Total wall-clock nanoseconds workers spent inside the claim-and-
+    /// step loop, summed across workers and epochs.
+    busy_ns: AtomicU64,
     /// Base pointer + length of the coordinator's `&mut [T]` for the
     /// current epoch. Written by the coordinator before the epoch bump,
     /// read by workers after it.
@@ -106,6 +112,8 @@ impl<T, C> Shared<T, C> {
             next: AtomicUsize::new(0),
             remaining: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
+            profile: AtomicBool::new(false),
+            busy_ns: AtomicU64::new(0),
             shards: AtomicPtr::new(std::ptr::null_mut()),
             len: AtomicUsize::new(0),
             cmd: UnsafeCell::new(None),
@@ -123,6 +131,20 @@ impl<T: Send, C: Sync> ShardPool<'_, T, C> {
     /// Number of worker threads in the pool.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Turns on worker busy-time accounting (see [`Self::busy_ns`]).
+    /// Wall-clock measurement only — shard stepping itself is unaffected,
+    /// so profiled runs stay bit-identical to unprofiled ones.
+    pub fn enable_profiling(&self) {
+        self.shared.profile.store(true, Ordering::Relaxed);
+    }
+
+    /// Total nanoseconds workers have spent stepping shards (claim loop
+    /// included), summed across workers and epochs since profiling was
+    /// enabled. Zero when profiling is off.
+    pub fn busy_ns(&self) -> u64 {
+        self.shared.busy_ns.load(Ordering::Relaxed)
     }
 
     /// Runs one epoch: every shard in `shards` is stepped once with `cmd`
@@ -211,6 +233,10 @@ fn worker_loop<T, C>(shared: &Shared<T, C>, step: &(impl Fn(&C, &mut T) + Sync))
         // and will not touch it again until every worker decremented
         // `remaining`.
         let cmd = unsafe { (*shared.cmd.get()).as_ref().expect("epoch without cmd") };
+        let busy_since = shared
+            .profile
+            .load(Ordering::Relaxed)
+            .then(std::time::Instant::now);
         loop {
             let i = shared.next.fetch_add(1, Ordering::Relaxed);
             if i >= len {
@@ -222,6 +248,11 @@ fn worker_loop<T, C>(shared: &Shared<T, C>, step: &(impl Fn(&C, &mut T) + Sync))
             // live reference to shard `i`.
             let shard = unsafe { &mut *base.add(i) };
             step(cmd, shard);
+        }
+        if let Some(since) = busy_since {
+            shared
+                .busy_ns
+                .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         drop(guard);
     }
@@ -369,6 +400,24 @@ mod tests {
                 pool.epoch(&mut shards, ());
             },
         );
+    }
+
+    #[test]
+    fn profiling_accumulates_busy_time_without_changing_results() {
+        let step = |mul: &u64, shard: &mut u64| *shard = shard.wrapping_mul(*mul) + 1;
+        let mut reference: Vec<u64> = (0..31).collect();
+        for s in &mut reference {
+            step(&3, s);
+        }
+        let mut shards: Vec<u64> = (0..31).collect();
+        let busy = with_shard_pool(2, step, |pool| {
+            assert_eq!(pool.busy_ns(), 0, "no accounting before opt-in");
+            pool.enable_profiling();
+            pool.epoch(&mut shards, 3);
+            pool.busy_ns()
+        });
+        assert_eq!(shards, reference, "profiling must not perturb stepping");
+        assert!(busy > 0, "profiled epoch accumulated busy time");
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! The flight recorder: a bounded ring over the trace stream that dumps
+//! the last N decisions when an anomaly predicate fires.
+//!
+//! The recorder is a post-hoc scan over the merged [`TraceLog`] rather
+//! than an in-loop observer: the stream is already deterministic and
+//! complete, so scanning after the run keeps every anomaly predicate off
+//! the simulation hot path and lets new predicates run over old traces.
+
+use crate::event::{Lane, TaggedEvent, TraceEvent, TraceLog};
+use chameleon_simcore::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+
+/// A stateful anomaly detector fed the stream one event at a time.
+pub trait AnomalyPredicate {
+    /// Stable name, used in dump headers.
+    fn name(&self) -> &'static str;
+
+    /// Observes one event; returns a human-readable reason when the event
+    /// trips the anomaly (the dump covers the ring *up to and including*
+    /// this event).
+    fn observe(&mut self, ev: &TaggedEvent) -> Option<String>;
+}
+
+/// Fires when a request's time-to-first-token exceeds the SLO.
+#[derive(Debug, Clone)]
+pub struct TtftSloPredicate {
+    slo: SimDuration,
+}
+
+impl TtftSloPredicate {
+    /// Arms the predicate with the run's TTFT SLO.
+    pub fn new(slo: SimDuration) -> Self {
+        TtftSloPredicate { slo }
+    }
+}
+
+impl AnomalyPredicate for TtftSloPredicate {
+    fn name(&self) -> &'static str {
+        "ttft-over-slo"
+    }
+
+    fn observe(&mut self, ev: &TaggedEvent) -> Option<String> {
+        if let TraceEvent::FirstToken { req, ttft } = ev.event {
+            if ttft > self.slo {
+                return Some(format!(
+                    "req {req}: ttft {:.1}ms over slo {:.1}ms",
+                    ttft.as_millis_f64(),
+                    self.slo.as_millis_f64()
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Fires when an adapter that was speculatively pre-warmed onto an engine
+/// is evicted from that engine's cache *before* any routed request hit
+/// the warm replica — the wasted-warm sequence the predictive
+/// control-plane follow-on needs to see.
+#[derive(Debug, Clone, Default)]
+pub struct WastedWarmPredicate {
+    outstanding: HashMap<u32, u32>,
+}
+
+impl WastedWarmPredicate {
+    /// Creates the predicate with no outstanding warms.
+    pub fn new() -> Self {
+        WastedWarmPredicate::default()
+    }
+}
+
+impl AnomalyPredicate for WastedWarmPredicate {
+    fn name(&self) -> &'static str {
+        "prewarm-evicted-unused"
+    }
+
+    fn observe(&mut self, ev: &TaggedEvent) -> Option<String> {
+        match &ev.event {
+            TraceEvent::PrewarmIssued {
+                adapter, target, ..
+            } => {
+                self.outstanding.insert(*adapter, *target);
+            }
+            TraceEvent::PrewarmHit { adapter, .. } => {
+                self.outstanding.remove(adapter);
+            }
+            TraceEvent::CacheEvict { adapter, .. } => {
+                if let Lane::Engine(engine) = ev.lane {
+                    if self.outstanding.get(adapter) == Some(&engine) {
+                        self.outstanding.remove(adapter);
+                        return Some(format!(
+                            "adapter {adapter}: pre-warmed replica on engine {engine} \
+                             evicted before first use"
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        None
+    }
+}
+
+/// One flight-recorder firing: the reason and the ring contents (the last
+/// `capacity` decisions up to and including the trigger).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Name of the predicate that fired.
+    pub predicate: &'static str,
+    /// Human-readable firing reason.
+    pub reason: String,
+    /// Instant of the triggering event.
+    pub at: SimTime,
+    /// The ring: the last decisions before (and including) the trigger.
+    pub events: Vec<TaggedEvent>,
+}
+
+impl FlightDump {
+    /// Serialises the dump as JSONL: one header line, then the ring.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        let _ = writeln!(
+            out,
+            "{{\"flight_dump\":\"{}\",\"at\":{},\"reason\":\"{}\",\"events\":{}}}",
+            self.predicate,
+            self.at.as_nanos(),
+            escape_json(&self.reason),
+            self.events.len()
+        );
+        for ev in &self.events {
+            ev.write_jsonl(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The bounded-ring flight recorder.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightRecorder {
+    capacity: usize,
+    max_dumps: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` decisions, dumping at most
+    /// `max_dumps` times per scan (later firings still count, but a
+    /// pathological run must not clone the ring thousands of times).
+    pub fn new(capacity: usize, max_dumps: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs a non-empty ring");
+        FlightRecorder {
+            capacity,
+            max_dumps,
+        }
+    }
+
+    /// Replays `log` through `predicates`, collecting a dump per firing
+    /// (up to `max_dumps`). Returns `(dumps, total_firings)`.
+    pub fn scan(
+        &self,
+        log: &TraceLog,
+        predicates: &mut [Box<dyn AnomalyPredicate>],
+    ) -> (Vec<FlightDump>, u64) {
+        let mut ring: VecDeque<&TaggedEvent> = VecDeque::with_capacity(self.capacity);
+        let mut dumps = Vec::new();
+        let mut firings = 0u64;
+        for ev in log.events() {
+            if ring.len() == self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(ev);
+            for p in predicates.iter_mut() {
+                if let Some(reason) = p.observe(ev) {
+                    firings += 1;
+                    if dumps.len() < self.max_dumps {
+                        dumps.push(FlightDump {
+                            predicate: p.name(),
+                            reason,
+                            at: ev.at,
+                            events: ring.iter().map(|e| (*e).clone()).collect(),
+                        });
+                    }
+                }
+            }
+        }
+        (dumps, firings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceBuffer;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn burst_log() -> TraceLog {
+        let mut buf = TraceBuffer::new();
+        buf.push(
+            t(10),
+            Lane::Coordinator,
+            TraceEvent::PrewarmIssued {
+                adapter: 5,
+                target: 2,
+                bytes: 4096,
+            },
+        );
+        // A decoy eviction on a *different* engine must not fire.
+        buf.push(
+            t(20),
+            Lane::Engine(1),
+            TraceEvent::CacheEvict {
+                adapter: 5,
+                bytes: 4096,
+                frequency: 1,
+                last_used: t(15),
+            },
+        );
+        buf.push(
+            t(30),
+            Lane::Engine(2),
+            TraceEvent::CacheEvict {
+                adapter: 5,
+                bytes: 4096,
+                frequency: 0,
+                last_used: t(10),
+            },
+        );
+        buf.finish()
+    }
+
+    #[test]
+    fn wasted_warm_fires_only_on_the_warmed_engine() {
+        let rec = FlightRecorder::new(8, 4);
+        let mut preds: Vec<Box<dyn AnomalyPredicate>> = vec![Box::new(WastedWarmPredicate::new())];
+        let (dumps, firings) = rec.scan(&burst_log(), &mut preds);
+        assert_eq!(firings, 1);
+        assert_eq!(dumps.len(), 1);
+        let d = &dumps[0];
+        assert_eq!(d.predicate, "prewarm-evicted-unused");
+        assert_eq!(d.at, t(30));
+        // The ring covers the whole causal sequence: issue, decoy, evict.
+        assert_eq!(d.events.len(), 3);
+        assert!(matches!(
+            d.events[0].event,
+            TraceEvent::PrewarmIssued { adapter: 5, .. }
+        ));
+        assert!(d
+            .to_jsonl()
+            .starts_with("{\"flight_dump\":\"prewarm-evicted-unused\""));
+    }
+
+    #[test]
+    fn prewarm_hit_disarms_the_predicate() {
+        let mut buf = TraceBuffer::new();
+        buf.push(
+            t(10),
+            Lane::Coordinator,
+            TraceEvent::PrewarmIssued {
+                adapter: 5,
+                target: 2,
+                bytes: 4096,
+            },
+        );
+        buf.push(
+            t(20),
+            Lane::Coordinator,
+            TraceEvent::PrewarmHit {
+                adapter: 5,
+                engine: 2,
+            },
+        );
+        buf.push(
+            t(30),
+            Lane::Engine(2),
+            TraceEvent::CacheEvict {
+                adapter: 5,
+                bytes: 4096,
+                frequency: 3,
+                last_used: t(25),
+            },
+        );
+        let rec = FlightRecorder::new(8, 4);
+        let mut preds: Vec<Box<dyn AnomalyPredicate>> = vec![Box::new(WastedWarmPredicate::new())];
+        let (dumps, firings) = rec.scan(&buf.finish(), &mut preds);
+        assert_eq!((dumps.len(), firings), (0, 0), "a used warm is not wasted");
+    }
+
+    #[test]
+    fn ttft_predicate_and_ring_bound() {
+        let mut buf = TraceBuffer::new();
+        for i in 0..100 {
+            buf.push(
+                t(i * 10),
+                Lane::Engine(0),
+                TraceEvent::QueueSample {
+                    queued: i as u32,
+                    running: 0,
+                    kv_bytes: 0,
+                    cache_bytes: 0,
+                },
+            );
+        }
+        buf.push(
+            t(2_000_000_000),
+            Lane::Engine(0),
+            TraceEvent::FirstToken {
+                req: 9,
+                ttft: SimDuration::from_secs(2),
+            },
+        );
+        let rec = FlightRecorder::new(16, 4);
+        let mut preds: Vec<Box<dyn AnomalyPredicate>> =
+            vec![Box::new(TtftSloPredicate::new(SimDuration::from_secs(1)))];
+        let (dumps, firings) = rec.scan(&buf.finish(), &mut preds);
+        assert_eq!(firings, 1);
+        assert_eq!(dumps[0].events.len(), 16, "ring is bounded");
+        assert!(matches!(
+            dumps[0].events.last().unwrap().event,
+            TraceEvent::FirstToken { req: 9, .. }
+        ));
+        assert!(dumps[0].reason.contains("over slo"));
+    }
+
+    #[test]
+    fn max_dumps_caps_copies_not_counting() {
+        let mut buf = TraceBuffer::new();
+        for i in 0..10 {
+            buf.push(
+                t(i),
+                Lane::Engine(0),
+                TraceEvent::FirstToken {
+                    req: i,
+                    ttft: SimDuration::from_secs(5),
+                },
+            );
+        }
+        let rec = FlightRecorder::new(4, 3);
+        let mut preds: Vec<Box<dyn AnomalyPredicate>> =
+            vec![Box::new(TtftSloPredicate::new(SimDuration::from_secs(1)))];
+        let (dumps, firings) = rec.scan(&buf.finish(), &mut preds);
+        assert_eq!(dumps.len(), 3);
+        assert_eq!(firings, 10);
+    }
+}

@@ -1,0 +1,75 @@
+//! Plain-data trace configuration carried by the experiment config.
+
+use chameleon_simcore::SimDuration;
+
+/// Tracing configuration: which anomaly predicates arm the flight
+/// recorder and how much history it keeps. Tracing as a whole is opted
+/// into by the presence of this spec (`SystemConfig::trace: Option<..>`);
+/// with it absent, no layer allocates a buffer or emits an event and
+/// every run is byte-for-byte what it was before tracing existed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSpec {
+    /// Flight-recorder ring length (last N decisions per dump).
+    pub flight_capacity: usize,
+    /// Maximum dumps materialised per run (firings past this still count).
+    pub max_dumps: usize,
+    /// Arm the TTFT-over-SLO predicate with this SLO.
+    pub ttft_slo_trigger: Option<SimDuration>,
+    /// Arm the pre-warmed-adapter-evicted-before-use predicate.
+    pub wasted_warm_trigger: bool,
+}
+
+impl TraceSpec {
+    /// Tracing on, flight recorder armed with no predicates: a 64-event
+    /// ring, at most 8 dumps.
+    pub fn new() -> Self {
+        TraceSpec {
+            flight_capacity: 64,
+            max_dumps: 8,
+            ttft_slo_trigger: None,
+            wasted_warm_trigger: false,
+        }
+    }
+
+    /// Overrides the ring length.
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity;
+        self
+    }
+
+    /// Arms the TTFT-over-SLO trigger.
+    pub fn with_ttft_slo_trigger(mut self, slo: SimDuration) -> Self {
+        self.ttft_slo_trigger = Some(slo);
+        self
+    }
+
+    /// Arms the wasted-warm trigger.
+    pub fn with_wasted_warm_trigger(mut self) -> Self {
+        self.wasted_warm_trigger = true;
+        self
+    }
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_arm_triggers() {
+        let s = TraceSpec::new();
+        assert!(s.ttft_slo_trigger.is_none() && !s.wasted_warm_trigger);
+        let s = s
+            .with_flight_capacity(16)
+            .with_ttft_slo_trigger(SimDuration::from_secs(1))
+            .with_wasted_warm_trigger();
+        assert_eq!(s.flight_capacity, 16);
+        assert_eq!(s.ttft_slo_trigger, Some(SimDuration::from_secs(1)));
+        assert!(s.wasted_warm_trigger);
+    }
+}

@@ -21,6 +21,7 @@ pub use chameleon_predictor as predictor;
 pub use chameleon_router as router;
 pub use chameleon_sched as sched;
 pub use chameleon_simcore as simcore;
+pub use chameleon_trace as trace;
 pub use chameleon_workload as workload;
 
 /// Convenience prelude bringing the most common types into scope.

@@ -83,6 +83,10 @@ fn run_report(rep: EngineReport, horizon: SimTime, events: u64) -> RunReport {
         offered_rps: 0.0,
         scheduler: rep.scheduler,
         events_processed: events,
+        trace: None,
+        flight_dumps: Vec::new(),
+        flight_firings: 0,
+        barrier_profile: None,
     }
 }
 

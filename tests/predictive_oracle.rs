@@ -14,7 +14,9 @@
 //! not do. Enabling prediction and expecting different bytes is fine;
 //! changing the disabled path is not.
 
-use chameleon_repro::core::{preset, sim::Simulation, workloads, ClusterExecution, SystemConfig};
+use chameleon_repro::core::{
+    preset, sim::Simulation, workloads, ClusterExecution, SystemConfig, TraceSpec,
+};
 use chameleon_repro::simcore::SimDuration;
 
 /// FNV-1a 64-bit over the canonical text — cheap, dependency-free, and
@@ -46,13 +48,14 @@ fn elastic_cfg() -> SystemConfig {
     cfg
 }
 
-fn elastic_canonical(seed: u64) -> String {
-    let mut sim = Simulation::new(
-        elastic_cfg().with_cluster_exec(ClusterExecution::Serial),
-        seed,
-    );
+fn elastic_canonical_of(cfg: SystemConfig, seed: u64) -> String {
+    let mut sim = Simulation::new(cfg.with_cluster_exec(ClusterExecution::Serial), seed);
     let trace = workloads::splitwise_bursty(4.0, 60.0, 10.0, 10.0, 20.0, seed, sim.pool());
     sim.run(&trace).canonical_text()
+}
+
+fn elastic_canonical(seed: u64) -> String {
+    elastic_canonical_of(elastic_cfg(), seed)
 }
 
 fn assert_frozen(scenario: &str, seed: u64, text: &str, len: usize, fnv: u64) {
@@ -109,4 +112,36 @@ fn elastic_fleet_matches_pre_pr_bytes() {
         let text = elastic_canonical(seed);
         assert_frozen("elastic", seed, &text, len, fnv);
     }
+}
+
+/// Tracing is held to the same bar as the predictive overlay: arming a
+/// `TraceSpec` (flight recorder included) must leave every canonical byte
+/// exactly where the pre-PR oracle froze it. The recorder observes the
+/// run; it never steers it.
+#[test]
+fn traced_runs_match_the_same_frozen_bytes() {
+    let text = canonical(
+        preset::chameleon_cluster_partitioned(4).with_trace(TraceSpec::new()),
+        3,
+        24.0,
+        10.0,
+    );
+    assert_frozen(
+        "fixed affinity-4 (traced)",
+        3,
+        &text,
+        38982,
+        0x0d21_8497_06b7_f08d,
+    );
+
+    let text = canonical(
+        preset::chameleon_cluster_hetero().with_trace(TraceSpec::new()),
+        3,
+        16.0,
+        10.0,
+    );
+    assert_frozen("hetero (traced)", 3, &text, 27415, 0xb620_549a_7e90_96ab);
+
+    let text = elastic_canonical_of(elastic_cfg().with_trace(TraceSpec::new()), 3);
+    assert_frozen("elastic (traced)", 3, &text, 155_160, 0x92a6_0071_7924_cefe);
 }

@@ -1,0 +1,199 @@
+//! Determinism oracle for the trace plane, plus the flight-recorder
+//! end-to-end capture.
+//!
+//! The decision stream is part of the simulation contract: the merged
+//! `TraceLog` (and hence its JSONL rendering) must be **byte-identical**
+//! whether the cluster steps serially or on an epoch-synchronised worker
+//! pool, for any worker count. These tests pin that across seeds and
+//! worker counts on the fixed affinity fleet and — because autoscale,
+//! drain and handoff events ride the coordinator lane — on the elastic
+//! preset through a 20x burst.
+//!
+//! The last test closes the loop the flight recorder was built for: on
+//! the Zipf-shift burst scenario the predictive control plane issues
+//! speculative warms, some of which the cache evicts before any routed
+//! request lands on them, and the armed recorder must come back with a
+//! `prewarm-evicted-unused` dump whose ring actually contains the
+//! causal sequence.
+
+use chameleon_repro::core::{
+    preset, sim::Simulation, workloads, ClusterExecution, SystemConfig, TraceSpec,
+};
+use chameleon_repro::models::{AdapterId, AdapterPool};
+use chameleon_repro::simcore::SimDuration;
+use chameleon_repro::trace::TraceEvent;
+use chameleon_repro::workload::{Request, RequestId, Trace};
+
+const SEEDS: [u64; 2] = [3, 11];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Runs `cfg` traced under `exec` on the pinned splitwise trace and
+/// returns `(canonical_text, trace_jsonl)`.
+fn traced_run(
+    cfg: SystemConfig,
+    exec: ClusterExecution,
+    seed: u64,
+    rps: f64,
+    secs: f64,
+) -> (String, String) {
+    let mut sim = Simulation::new(cfg.with_cluster_exec(exec), seed);
+    let trace = workloads::splitwise(rps, secs, seed, sim.pool());
+    let report = sim.run(&trace);
+    let jsonl = report
+        .trace
+        .as_ref()
+        .expect("traced run carries a log")
+        .to_jsonl();
+    (report.canonical_text(), jsonl)
+}
+
+/// Fixed 4-engine affinity fleet: the serial trace stream is the oracle,
+/// and every pooled worker count must reproduce it byte-for-byte — same
+/// events, same order, same sequence numbers — across seeds.
+#[test]
+fn trace_stream_is_byte_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let cfg = preset::chameleon_cluster_partitioned(4).with_trace(TraceSpec::new());
+        let (serial_text, serial_jsonl) =
+            traced_run(cfg.clone(), ClusterExecution::Serial, seed, 24.0, 10.0);
+        assert!(!serial_jsonl.is_empty(), "traced run emitted no events");
+        assert!(serial_jsonl.contains("\"ev\":\"route\""));
+        assert!(serial_jsonl.contains("\"ev\":\"first_token\""));
+        for workers in WORKER_COUNTS {
+            let (text, jsonl) = traced_run(
+                cfg.clone(),
+                ClusterExecution::Parallel { workers },
+                seed,
+                24.0,
+                10.0,
+            );
+            assert_eq!(
+                text, serial_text,
+                "seed {seed}, {workers} workers: simulation diverged from serial"
+            );
+            assert_eq!(
+                jsonl, serial_jsonl,
+                "seed {seed}, {workers} workers: trace stream diverged from serial"
+            );
+        }
+    }
+}
+
+/// The tightened elastic preset of the determinism suite, so the traced
+/// run exercises real mid-trace scale-up and drain-back.
+fn elastic_traced_cfg() -> SystemConfig {
+    let mut cfg = preset::chameleon_cluster_elastic();
+    let auto = cfg.autoscale.as_mut().expect("elastic preset");
+    auto.controller.interval = SimDuration::from_secs(1);
+    auto.controller.cooldown = SimDuration::from_secs(3);
+    auto.controller.scale_up_mean_queue = 4.0;
+    auto.controller.scale_down_mean_queue = 0.5;
+    cfg.with_trace(TraceSpec::new())
+}
+
+fn elastic_traced_run(exec: ClusterExecution, seed: u64) -> String {
+    let mut sim = Simulation::new(elastic_traced_cfg().with_cluster_exec(exec), seed);
+    let trace = workloads::splitwise_bursty(4.0, 60.0, 10.0, 10.0, 20.0, seed, sim.pool());
+    sim.run(&trace)
+        .trace
+        .as_ref()
+        .expect("traced run carries a log")
+        .to_jsonl()
+}
+
+/// Elastic burst: the coordinator-lane events (autoscale triggers, drain
+/// starts, shard handoffs) interleave with engine-lane events in a pinned
+/// order that the worker pool must reproduce exactly.
+#[test]
+fn coordinator_lane_events_are_mode_invariant() {
+    let serial = elastic_traced_run(ClusterExecution::Serial, 3);
+    assert!(
+        serial.contains("\"ev\":\"autoscale\""),
+        "elastic burst must trip the autoscaler for this oracle to mean anything"
+    );
+    assert!(serial.contains("\"ev\":\"drain\""));
+    for workers in [2usize, 7] {
+        let pooled = elastic_traced_run(ClusterExecution::Parallel { workers }, 3);
+        assert_eq!(
+            pooled, serial,
+            "{workers} workers: coordinator-lane interleaving diverged from serial"
+        );
+    }
+}
+
+/// The Zipf-shift burst of the predictive suite: 20 s of steady traffic,
+/// then the same workload with adapter ids rotated by half the pool and
+/// an 8x burst on the shifted set.
+fn zipf_shift_burst_trace(pool: &AdapterPool, seed: u64) -> Trace {
+    let n = pool.len() as u32;
+    let phase1_secs = 20.0;
+    let phase1 = workloads::splitwise(10.0, phase1_secs, seed, pool);
+    let phase2 = workloads::splitwise_bursty(10.0, 40.0, 20.0, 10.0, 8.0, seed ^ 0x5eed, pool);
+    let offset = SimDuration::from_secs_f64(phase1_secs);
+    let mut reqs = phase1.requests().to_vec();
+    for r in phase2.iter() {
+        let shifted = AdapterId((r.adapter().0 + n / 2) % n);
+        let rank = pool.get(shifted).expect("rotated id stays in pool").rank();
+        reqs.push(Request::new(
+            RequestId(r.id().0 + 1_000_000),
+            r.arrival() + offset,
+            r.input_tokens(),
+            r.output_tokens(),
+            shifted,
+            rank,
+        ));
+    }
+    Trace::new(reqs)
+}
+
+/// End-to-end flight-recorder capture: on the predictive burst scenario
+/// the armed recorder must catch an eviction-of-a-prewarmed-adapter and
+/// hand back a dump whose ring contains the causal sequence.
+#[test]
+fn flight_recorder_captures_prewarm_eviction_on_burst() {
+    let seed = 7;
+    let cfg = preset::chameleon_cluster_predictive(4)
+        .with_trace(TraceSpec::new().with_wasted_warm_trigger());
+    let pool = Simulation::new(cfg.clone(), seed).pool().clone();
+    let trace = zipf_shift_burst_trace(&pool, seed);
+    let report = Simulation::new(cfg, seed).run(&trace);
+
+    let p = &report.routing.predictive;
+    assert!(p.prewarms_issued > 0, "scenario issued no warms");
+    assert!(
+        p.prewarm_wasted > 0,
+        "scenario wasted no warms — nothing for the recorder to catch"
+    );
+    assert!(
+        report.flight_firings > 0,
+        "recorder armed on a wasted-warm run but never fired"
+    );
+    assert!(!report.flight_dumps.is_empty());
+    let dump = &report.flight_dumps[0];
+    assert_eq!(dump.predicate, "prewarm-evicted-unused");
+    assert!(dump.reason.contains("evicted before first use"));
+    // The trigger is the eviction itself; the ring holds the decisions
+    // leading up to it.
+    assert!(matches!(
+        dump.events.last().expect("non-empty ring").event,
+        TraceEvent::CacheEvict { .. }
+    ));
+    assert!(
+        dump.events.len() > 1,
+        "ring carries context, not just the trigger"
+    );
+    assert!(dump
+        .to_jsonl()
+        .starts_with("{\"flight_dump\":\"prewarm-evicted-unused\""));
+
+    // A reactive (no predictive plane) run of the identical trace gives
+    // the recorder nothing: no warms means no wasted-warm anomaly.
+    let reactive = Simulation::new(
+        preset::chameleon_cluster_partitioned(4)
+            .with_trace(TraceSpec::new().with_wasted_warm_trigger()),
+        seed,
+    )
+    .run(&trace);
+    assert_eq!(reactive.flight_firings, 0);
+    assert!(reactive.flight_dumps.is_empty());
+}
