@@ -17,7 +17,9 @@
 //! baseline (introduced by a later PR) skips that comparison rather than
 //! failing the gate. The summary also prints the serial/parallel cluster
 //! ratio from the fresh report when the `macro_cluster16_affinity`
-//! scenario carries one.
+//! scenario carries one, the barrier/epoch breakdown when
+//! `barrier_profile` was measured, and the fault-plane recovery summary
+//! when `macro_failover` was.
 
 use chameleon_bench::compare::{compare_tolerant, parse_metric, trajectory_files, GateOutcome};
 use std::path::PathBuf;
@@ -75,6 +77,51 @@ fn print_barrier_profile(old_json: &str, new_json: &str) {
         Ok(GateOutcome::MissingBaseline) => println!(
             "bench-compare: {bench} absent from baseline — profiler introduced after \
              that trajectory point, skipping the epoch-cost comparison"
+        ),
+        Err(_) => {}
+    }
+}
+
+/// Prints the fresh report's failover summary, when the fault-plane
+/// scenario was measured, and its faulted-throughput movement against
+/// the baseline. Baselines recorded before the fault plane existed lack
+/// the scenario entirely — the tolerated [`GateOutcome::MissingBaseline`]
+/// case, never a failure.
+fn print_failover(old_json: &str, new_json: &str) {
+    let bench = "macro_failover";
+    let (Some(recovered), Some(failed), Some(availability)) = (
+        parse_metric(new_json, bench, "requests_recovered"),
+        parse_metric(new_json, bench, "requests_failed"),
+        parse_metric(new_json, bench, "availability"),
+    ) else {
+        return;
+    };
+    let shed = parse_metric(new_json, bench, "requests_shed").unwrap_or(0.0);
+    let clean_p99 = parse_metric(new_json, bench, "clean_p99_offered_s");
+    let recovery_p99 = parse_metric(new_json, bench, "recovery_p99_offered_s");
+    // An infinite P99 (unserved requests in the tail) renders as `null`
+    // in the JSON and parses as absent.
+    let p99 = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.3}s"),
+        None => "inf".to_string(),
+    };
+    println!(
+        "bench-compare: {bench}: {recovered:.0} recovered / {failed:.0} failed / {shed:.0} shed \
+         (availability {:.1}%), offered-P99 {} clean -> {} with recovery",
+        availability * 100.0,
+        p99(clean_p99),
+        p99(recovery_p99),
+    );
+    match compare_tolerant(old_json, new_json, bench, "events_per_sec") {
+        Ok(GateOutcome::Compared(cmp)) => println!(
+            "bench-compare: {bench}.events_per_sec  {:.0} -> {:.0}  ({:+.1}%, informational)",
+            cmp.old_value,
+            cmp.new_value,
+            (cmp.ratio() - 1.0) * 100.0,
+        ),
+        Ok(GateOutcome::MissingBaseline) => println!(
+            "bench-compare: {bench} absent from baseline — fault plane introduced after \
+             that trajectory point, skipping the throughput comparison"
         ),
         Err(_) => {}
     }
@@ -146,6 +193,7 @@ fn main() -> ExitCode {
             );
             print_cluster_ratio(&new_json);
             print_barrier_profile(&old_json, &new_json);
+            print_failover(&old_json, &new_json);
             return ExitCode::SUCCESS;
         }
     };
@@ -159,6 +207,7 @@ fn main() -> ExitCode {
     );
     print_cluster_ratio(&new_json);
     print_barrier_profile(&old_json, &new_json);
+    print_failover(&old_json, &new_json);
     if cmp.regressed_beyond(tolerance) {
         eprintln!(
             "bench-compare: FAIL — {bench}.{metric} regressed beyond {:.0}% \

@@ -26,7 +26,7 @@ use chameleon_bench::SEED;
 use chameleon_cache::{AdapterCache, EvictionPolicy};
 use chameleon_core::par;
 use chameleon_core::sweep::LoadSweep;
-use chameleon_core::{preset, RouterPolicy, Simulation};
+use chameleon_core::{preset, FaultSpec, RouterPolicy, RunReport, Simulation};
 use chameleon_gpu::memory::MemoryPool;
 use chameleon_models::{AdapterId, AdapterRank, AdapterSpec, LlmSpec};
 use chameleon_sched::{
@@ -38,7 +38,7 @@ use std::collections::HashSet;
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR6.json".to_string();
+    let mut out_path = "BENCH_PR7.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,7 +52,7 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("PR6", smoke);
+    let mut report = BenchReport::new("PR7", smoke);
     let cores = par::default_workers();
     if cores == 1 {
         report.degraded = true;
@@ -69,6 +69,7 @@ fn main() {
     cluster_macro(&mut report, smoke);
     cluster16_macro(&mut report, smoke);
     predictive_burst_macro(&mut report, smoke);
+    failover_macro(&mut report, smoke);
     barrier_profile_table(&mut report, smoke);
     event_queue_churn(&mut report, smoke);
     eviction_storm(&mut report, smoke);
@@ -350,6 +351,117 @@ fn predictive_burst_macro(report: &mut BenchReport, smoke: bool) {
             .metric("predictive_p99_ttft_s", predictive.p99_ttft())
             .metric("reactive_hit_rate", reactive.hit_rate())
             .metric("predictive_hit_rate", predictive.hit_rate()),
+    );
+}
+
+/// P99 TTFT over **all offered** requests: anything unserved (failed or
+/// shed) counts as an infinite sample, so abandonment shows up in the
+/// tail instead of silently improving it.
+fn p99_all_offered(report: &RunReport, offered: usize) -> f64 {
+    let mut xs: Vec<f64> = report
+        .records
+        .iter()
+        .filter_map(|r| r.ttft())
+        .map(|d| d.as_secs_f64())
+        .collect();
+    xs.resize(offered, f64::INFINITY);
+    xs.sort_by(f64::total_cmp);
+    xs[((offered as f64 * 0.99).ceil() as usize).max(1) - 1]
+}
+
+/// The fault plane's slot in the trajectory: the 4-engine affinity fleet
+/// through a mid-burst crash of one engine, run three ways on the
+/// *identical* trace — clean (no `FaultSpec`), crash + recovery (barrier
+/// timeout detection, shard re-homing, retry/backoff re-dispatch, a 20×
+/// shed gate), and a no-recovery ablation (zero retry budget, every
+/// victim abandoned). The events/sec columns track the fault plane's
+/// overhead on the dispatch path; the recovery columns pin what failover
+/// buys — victim requests re-dispatched instead of failed, and an
+/// offered-P99 that stays finite where the ablation's is infinite
+/// (rendered `null` in the JSON).
+fn failover_macro(report: &mut BenchReport, smoke: bool) {
+    let engines = 4;
+    let rps = 5.0;
+    let secs = if smoke { 6.0 } else { 60.0 };
+    // A 3x burst over the middle third; the crash lands inside it.
+    let burst_start = secs * 0.32;
+    let burst_secs = secs * 0.32;
+    let crash_at = secs * 0.4;
+    let clean_cfg = preset::chameleon_cluster_partitioned(engines);
+    let recovery_cfg = clean_cfg.clone().with_fault(
+        FaultSpec::new()
+            .with_crash(1, SimTime::from_secs_f64(crash_at))
+            .with_shedding(20.0),
+    );
+    let ablation_cfg = clean_cfg.clone().with_fault(
+        FaultSpec::new()
+            .with_crash(1, SimTime::from_secs_f64(crash_at))
+            .with_retry_policy(SimDuration::from_millis(50), SimDuration::from_secs(2), 0),
+    );
+    let pool = chameleon_models::AdapterPool::generate(&clean_cfg.llm, &clean_cfg.pool_config());
+    let trace = chameleon_core::workloads::splitwise_bursty(
+        rps,
+        secs,
+        burst_start,
+        burst_secs,
+        3.0,
+        SEED,
+        &pool,
+    );
+    let offered = trace.len();
+
+    let (t_clean, clean) = timed(|| Simulation::new(clean_cfg, SEED).run(&trace));
+    let (t_recovery, recovery) = timed(|| Simulation::new(recovery_cfg, SEED).run(&trace));
+    let (t_ablation, ablation) = timed(|| Simulation::new(ablation_cfg, SEED).run(&trace));
+    clean.assert_request_conservation(offered);
+    recovery.assert_request_conservation(offered);
+    ablation.assert_request_conservation(offered);
+
+    let f = &recovery.routing.fault;
+    assert_eq!(f.engines_failed, 1, "the scheduled crash must land");
+    let clean_eps = clean.events_processed as f64 / t_clean;
+    let recovery_eps = recovery.events_processed as f64 / t_recovery;
+    let p99_clean = p99_all_offered(&clean, offered);
+    let p99_recovery = p99_all_offered(&recovery, offered);
+    let p99_ablation = p99_all_offered(&ablation, offered);
+    println!(
+        "  macro_failover      {:>10.0} events/s clean, {:>10.0} events/s faulted \
+         ({} recovered / {} failed / {} shed, availability {:.1}%, {t_recovery:.3}s wall)",
+        clean_eps,
+        recovery_eps,
+        f.requests_recovered,
+        f.requests_failed,
+        f.requests_shed,
+        recovery.availability(offered) * 100.0,
+    );
+    report.push(
+        "macro_failover",
+        BenchResult::new()
+            .metric("engines", engines as f64)
+            .metric("offered", offered as f64)
+            .metric("offered_rps", rps)
+            .metric("trace_secs", secs)
+            .metric("completed", recovery.completed() as f64)
+            .metric("events", recovery.events_processed as f64)
+            .metric("clean_wall_secs", t_clean)
+            .metric("wall_secs", t_recovery)
+            .metric("ablation_wall_secs", t_ablation)
+            .metric("clean_events_per_sec", clean_eps)
+            .metric("events_per_sec", recovery_eps)
+            .metric("requests_recovered", f.requests_recovered as f64)
+            .metric("requests_failed", f.requests_failed as f64)
+            .metric("requests_shed", f.requests_shed as f64)
+            .metric("retries", f.retries as f64)
+            .metric("adapters_rehomed", recovery.routing.adapters_rehomed as f64)
+            .metric("availability", recovery.availability(offered))
+            .metric("ablation_availability", ablation.availability(offered))
+            .metric(
+                "ablation_failed",
+                ablation.routing.fault.requests_failed as f64,
+            )
+            .metric("clean_p99_offered_s", p99_clean)
+            .metric("recovery_p99_offered_s", p99_recovery)
+            .metric("ablation_p99_offered_s", p99_ablation),
     );
 }
 

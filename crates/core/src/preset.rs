@@ -2,9 +2,9 @@
 //! built on the routing subsystem.
 
 use crate::system::{AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig};
-use chameleon_engine::PredictiveSpec;
+use chameleon_engine::{FaultSpec, PredictiveSpec};
 use chameleon_router::RouterPolicy;
-use chameleon_simcore::SimDuration;
+use chameleon_simcore::{SimDuration, SimTime};
 
 /// S-LoRA (§5.1 baseline): FIFO iteration-level scheduling, asynchronous
 /// adapter prefetching for queued requests, **no** adapter caching
@@ -168,6 +168,24 @@ pub fn chameleon_cluster_predictive(engines: usize) -> SystemConfig {
     chameleon_cluster_partitioned(engines)
         .with_predictive(PredictiveSpec::new())
         .with_label(format!("Chameleon-DP{engines}-Predictive"))
+}
+
+/// [`chameleon_cluster_partitioned`] with the deterministic fault plane
+/// armed: engine 1 crashes ten seconds in, the coordinator's timeout
+/// detector re-dispatches its queued and in-flight requests through the
+/// router with capped exponential backoff, its adapter shard re-homes
+/// onto the survivors, and admission sheds when the whole fleet's
+/// estimated TTFT exceeds 8× the SLO. Identical to the partitioned
+/// preset in every other knob — the pair is the failover comparison the
+/// `macro_failover` bench scenario and the recovery-efficacy tests run.
+pub fn chameleon_cluster_faulted(engines: usize) -> SystemConfig {
+    chameleon_cluster_partitioned(engines)
+        .with_fault(
+            FaultSpec::new()
+                .with_crash(1, SimTime::from_secs_f64(10.0))
+                .with_shedding(8.0),
+        )
+        .with_label(format!("Chameleon-DP{engines}-Faulted"))
 }
 
 /// [`chameleon_cluster_elastic`] with the predictive control plane: the
@@ -341,6 +359,20 @@ mod tests {
     }
 
     #[test]
+    fn faulted_preset_differs_only_in_the_fault_plane() {
+        let clean = chameleon_cluster_partitioned(4);
+        let faulted = chameleon_cluster_faulted(4);
+        assert!(clean.fault.is_none());
+        let spec = faulted.fault.as_ref().expect("fault plane armed");
+        assert_eq!(spec.crashes, vec![(1, SimTime::from_secs_f64(10.0))]);
+        assert!(spec.sheds());
+        assert_eq!(faulted.router, clean.router);
+        assert_eq!(faulted.sched, clean.sched);
+        assert_eq!(faulted.cache, clean.cache);
+        assert_eq!(faulted.data_parallel, clean.data_parallel);
+    }
+
+    #[test]
     fn fleet16_preset_shape() {
         let c = chameleon_cluster16();
         assert_eq!(c.engine_count(), 16);
@@ -371,6 +403,7 @@ mod tests {
             chameleon_cluster(4),
             chameleon_cluster_partitioned(4),
             chameleon_cluster_predictive(4),
+            chameleon_cluster_faulted(4),
             chameleon_cluster_elastic_predictive(),
             chameleon_cluster_hetero(),
             chameleon_cluster_elastic(),

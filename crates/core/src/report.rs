@@ -298,6 +298,54 @@ impl RunReport {
         self.records.iter().filter(|r| r.squashes > 0).count() as f64 / self.records.len() as f64
     }
 
+    /// Requests the run finished without (shed at admission or failed
+    /// past the retry budget). Zero unless the fault plane was armed.
+    pub fn requests_lost_to_faults(&self) -> u64 {
+        self.routing.fault.requests_shed + self.routing.fault.requests_failed
+    }
+
+    /// Fraction of offered requests served (not shed, not failed) —
+    /// `1.0` for fault-free runs.
+    pub fn availability(&self, offered: usize) -> f64 {
+        self.routing.fault.availability(offered as u64)
+    }
+
+    /// Verifies request conservation against the number of requests the
+    /// trace offered: every offered request must be accounted for exactly
+    /// once — completed, still in flight at the horizon, shed at
+    /// admission, or failed past the retry budget — and no request may
+    /// appear in the records twice (a crash re-dispatch that duplicated
+    /// work would).
+    pub fn verify_request_conservation(&self, offered: usize) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::with_capacity(self.records.len());
+        for rec in &self.records {
+            if !seen.insert(rec.id) {
+                return Err(format!("request {} recorded twice", rec.id.0));
+            }
+        }
+        let accounted = self.records.len() as u64 + self.requests_lost_to_faults();
+        if accounted != offered as u64 {
+            return Err(format!(
+                "conservation violated: offered={} but records={} + shed={} + failed={} = {}",
+                offered,
+                self.records.len(),
+                self.routing.fault.requests_shed,
+                self.routing.fault.requests_failed,
+                accounted,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`verify_request_conservation`] for tests.
+    ///
+    /// [`verify_request_conservation`]: RunReport::verify_request_conservation
+    pub fn assert_request_conservation(&self, offered: usize) {
+        if let Err(e) = self.verify_request_conservation(offered) {
+            panic!("{e} (label={})", self.label);
+        }
+    }
+
     /// Canonical textual serialisation of the run: stable field order,
     /// integer nanoseconds for every instant/duration, and exact IEEE-754
     /// bit patterns for floats. Two runs are behaviourally identical iff
@@ -365,6 +413,27 @@ impl RunReport {
                 p.handoff_bytes,
                 p.slo_scaleups,
                 p.forecast_scaleups,
+            );
+        }
+        // Like the predictive line, the fault line exists only for runs
+        // that armed the fault plane: fault-free runs stay byte-identical
+        // to the pre-fault-plane format.
+        if r.fault.enabled {
+            let f = &r.fault;
+            let _ = writeln!(
+                s,
+                "fault engines_failed={} recovered={} retries={} failed={} shed={} \
+                 pcie_retries={} shard_n={} shard_bytes={} prov_delays={} prov_failures={}",
+                f.engines_failed,
+                f.requests_recovered,
+                f.retries,
+                f.requests_failed,
+                f.requests_shed,
+                f.pcie_retries,
+                f.shard_adapters_recovered,
+                f.shard_bytes_recovered,
+                f.provision_delays,
+                f.provision_failures,
             );
         }
         let opt = |t: Option<SimTime>| t.map(|t| t.as_nanos()).unwrap_or(u64::MAX);
@@ -546,6 +615,25 @@ mod tests {
         assert_eq!(series.len(), 2);
         assert!(series[0].1 >= 0.29);
         assert!((series[1].1 - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_accounts_for_shed_and_failed() {
+        let mut r = report(vec![
+            record(0, 0.0, 0.1, 1.0, 8),
+            record(1, 1.0, 0.2, 1.0, 8),
+        ]);
+        r.verify_request_conservation(2)
+            .expect("clean run conserves");
+        assert!(r.verify_request_conservation(3).is_err(), "missing request");
+        r.routing.fault.requests_shed = 1;
+        r.verify_request_conservation(3).expect("shed accounted");
+        assert!((r.availability(3) - 2.0 / 3.0).abs() < 1e-9);
+        // A duplicated record id is a conservation violation even when
+        // the totals line up.
+        let dup = r.records[0].clone();
+        r.records.push(dup);
+        assert!(r.verify_request_conservation(4).is_err(), "duplicate id");
     }
 
     #[test]

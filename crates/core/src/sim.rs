@@ -14,7 +14,8 @@ use chameleon_sched::{
 };
 use chameleon_simcore::{SimDuration, SimRng};
 use chameleon_trace::{
-    AnomalyPredicate, FlightRecorder, Lane, TraceBuffer, TtftSloPredicate, WastedWarmPredicate,
+    AnomalyPredicate, FlightRecorder, Lane, RetryStormPredicate, ShedIdlePredicate, TraceBuffer,
+    TtftSloPredicate, WastedWarmPredicate,
 };
 use chameleon_workload::Trace;
 
@@ -190,6 +191,9 @@ impl Simulation {
             if let Some(spec) = &self.cfg.predictive {
                 cluster.set_predictive(*spec);
             }
+            if let Some(spec) = &self.cfg.fault {
+                cluster.set_fault(spec.clone(), Some(slo));
+            }
             if tracing {
                 cluster.enable_tracing();
             }
@@ -271,6 +275,12 @@ impl Simulation {
             }
             if spec.wasted_warm_trigger {
                 predicates.push(Box::new(WastedWarmPredicate::new()));
+            }
+            if let Some((count, window)) = spec.retry_storm_trigger {
+                predicates.push(Box::new(RetryStormPredicate::new(count, window)));
+            }
+            if spec.shed_idle_trigger {
+                predicates.push(Box::new(ShedIdlePredicate));
             }
             if !predicates.is_empty() {
                 let recorder = FlightRecorder::new(spec.flight_capacity, spec.max_dumps);

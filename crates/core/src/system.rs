@@ -1,6 +1,6 @@
 //! System configuration: every knob of a serving system under study.
 
-use chameleon_engine::{AutoscalerConfig, ClusterExecution, PredictiveSpec};
+use chameleon_engine::{AutoscalerConfig, ClusterExecution, FaultSpec, PredictiveSpec};
 use chameleon_models::{GpuSpec, LlmSpec, PoolConfig, PopularityDist};
 use chameleon_router::RouterPolicy;
 use chameleon_simcore::SimDuration;
@@ -179,6 +179,14 @@ pub struct SystemConfig {
     /// and byte-identical to the pre-control-plane stack; ignored for
     /// single-engine runs.
     pub predictive: Option<PredictiveSpec>,
+    /// Deterministic fault-injection and recovery plane: scheduled engine
+    /// crashes, straggler windows, flaky PCIe transfers and delayed
+    /// autoscaler provisioning, recovered through timeout detection,
+    /// capped-backoff re-dispatch, shard re-homing and SLO-aware load
+    /// shedding. `None` — the default — injects nothing and keeps every
+    /// run byte-identical to the fault-free stack; ignored for
+    /// single-engine runs (faults are observed at cluster barriers).
+    pub fault: Option<FaultSpec>,
     /// Global routing policy dispatching requests across data-parallel
     /// engines (ignored for single-engine runs). The paper's two-level
     /// scheduler uses [`RouterPolicy::JoinShortestQueue`];
@@ -242,6 +250,7 @@ impl SystemConfig {
             fleet: None,
             autoscale: None,
             predictive: None,
+            fault: None,
             router: RouterPolicy::JoinShortestQueue,
             cluster_exec: ClusterExecution::Serial,
             num_adapters: 100,
@@ -317,6 +326,12 @@ impl SystemConfig {
     /// Builder-style: enables the predictive control plane.
     pub fn with_predictive(mut self, predictive: PredictiveSpec) -> Self {
         self.predictive = Some(predictive);
+        self
+    }
+
+    /// Builder-style: arms the fault-injection plane.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
         self
     }
 
@@ -485,6 +500,21 @@ mod tests {
             .with_barrier_profiling();
         assert!(t.trace.is_some_and(|s| s.wasted_warm_trigger));
         assert!(t.profile_barriers);
+    }
+
+    #[test]
+    fn fault_axis_defaults_off() {
+        use chameleon_simcore::SimTime;
+        let c = SystemConfig::base("x");
+        assert!(c.fault.is_none());
+        let f = SystemConfig::base("x").with_fault(
+            FaultSpec::new()
+                .with_crash(1, SimTime::from_secs_f64(10.0))
+                .with_shedding(8.0),
+        );
+        let spec = f.fault.expect("fault plane armed");
+        assert_eq!(spec.crashes.len(), 1);
+        assert!(spec.sheds());
     }
 
     #[test]

@@ -57,6 +57,7 @@ use crate::autoscaler::{Autoscaler, ForecastSignal, ScaleAction, ScaleTrigger};
 use crate::engine::{Engine, EngineEvent};
 use crate::predictive::PredictiveSpec;
 use crate::report::EngineReport;
+use chameleon_fault::{fault_roll, FaultAction, FaultSpec, FaultTimeline, PcieFaultInjector};
 use chameleon_metrics::RoutingStats;
 use chameleon_models::AdapterId;
 use chameleon_predictor::{Forecast, HistogramLoadPredictor};
@@ -64,9 +65,14 @@ use chameleon_router::{policies, EngineId, EngineSnapshot, JoinShortestQueue, Ro
 use chameleon_simcore::shard::{self, ShardPool};
 use chameleon_simcore::{EventQueue, SimDuration, SimTime};
 use chameleon_trace::{AutoscaleAction, BarrierProfile, Lane, TraceBuffer, TraceEvent, TraceLog};
-use chameleon_workload::Trace;
+use chameleon_workload::{Request, Trace};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Counter-hash stream for provisioning-fault rolls. Engine PCIe streams
+/// use the engine id (always below `u32::MAX`), so the coordinator's own
+/// stream can never collide with one.
+const PROVISION_STREAM: u64 = u64::MAX;
 
 /// How a cluster run steps its engines between barriers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,6 +121,43 @@ struct EpochCmd {
     arrivals_remaining: bool,
     mem_int: SimDuration,
     refresh_int: SimDuration,
+}
+
+/// The class of the next cross-engine event. Simultaneous cross events
+/// resolve by this fixed precedence — arrivals, then the autoscaler
+/// tick, then fault barriers — shared by both execution modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrossEvent {
+    Arrival,
+    Scale,
+    Fault,
+}
+
+/// One crash-recovery re-dispatch waiting out its backoff.
+#[derive(Debug, Clone, Copy)]
+struct RetryEntry {
+    due: SimTime,
+    attempt: u32,
+    req: Request,
+}
+
+/// Coordinator-owned fault-plane state ([`Cluster::set_fault`]). Every
+/// field is observed and mutated only at barriers, which is what keeps
+/// fault-armed runs bit-identical between serial and parallel execution.
+struct FaultState {
+    spec: FaultSpec,
+    /// Scheduled crashes and straggler windows, replayed in time order.
+    timeline: FaultTimeline,
+    /// TTFT SLO the shedding gate prices against (the run's SLO axis).
+    slo: Option<SimDuration>,
+    /// Pending re-dispatches, sorted by `(due, arrival, id)`.
+    retries: Vec<RetryEntry>,
+    /// Ready instants of autoscaler provisions slowed by injected delay.
+    pending_provisions: Vec<SimTime>,
+    /// Counter for the provisioning-failure roll stream.
+    provision_counter: u64,
+    /// Crash count per request id — the retry budget ledger.
+    attempts: HashMap<u64, u32>,
 }
 
 /// One engine plus its cluster-lifecycle state and its shard of the
@@ -263,6 +306,9 @@ pub struct Cluster {
     /// Wall-clock barrier profile; accumulated across runs. Lives outside
     /// the deterministic trace stream by design.
     profile: Option<BarrierProfile>,
+    /// Fault-injection and recovery plane ([`Cluster::set_fault`]);
+    /// `None` keeps every run byte-identical to the pre-fault stack.
+    fault: Option<FaultState>,
 }
 
 impl Cluster {
@@ -316,6 +362,7 @@ impl Cluster {
             tracer: None,
             trace_epoch: 0,
             profile: None,
+            fault: None,
         }
     }
 
@@ -360,6 +407,41 @@ impl Cluster {
     /// The active predictive configuration, if any.
     pub fn predictive(&self) -> Option<&PredictiveSpec> {
         self.predictive.as_ref()
+    }
+
+    /// Arms the fault-injection and recovery plane: `spec`'s scheduled
+    /// crashes and straggler windows replay at coordinator barriers,
+    /// PCIe fault injectors (seeded per engine id) attach to every
+    /// engine, and recovery — timeout-detected failover with capped
+    /// exponential backoff, warm shard re-homing, SLO-aware shedding
+    /// against `slo` — switches on. Strictly additive: a cluster without
+    /// this call behaves byte-for-byte as if the plane did not exist.
+    pub fn set_fault(&mut self, spec: FaultSpec, slo: Option<SimDuration>) {
+        let timeline = FaultTimeline::compile(&spec);
+        if spec.pcie_fail_prob > 0.0 {
+            for slot in &mut self.slots {
+                slot.engine.set_pcie_fault_injector(PcieFaultInjector::new(
+                    spec.seed,
+                    u64::from(slot.id.0),
+                    spec.pcie_fail_prob,
+                ));
+            }
+        }
+        self.stats.fault.enabled = true;
+        self.fault = Some(FaultState {
+            timeline,
+            slo,
+            spec,
+            retries: Vec::new(),
+            pending_provisions: Vec::new(),
+            provision_counter: 0,
+            attempts: HashMap::new(),
+        });
+    }
+
+    /// The active fault configuration, if any.
+    pub fn fault(&self) -> Option<&FaultSpec> {
+        self.fault.as_ref().map(|f| &f.spec)
     }
 
     /// Events processed across all run calls so far.
@@ -446,6 +528,15 @@ impl Cluster {
         let mut slot = EngineSlot::new(id, false, engine);
         if self.tracer.is_some() {
             slot.engine.enable_tracing();
+        }
+        if let Some(fs) = &self.fault {
+            if fs.spec.pcie_fail_prob > 0.0 {
+                slot.engine.set_pcie_fault_injector(PcieFaultInjector::new(
+                    fs.spec.seed,
+                    u64::from(id.0),
+                    fs.spec.pcie_fail_prob,
+                ));
+            }
         }
         self.slots.push(slot);
         id
@@ -554,6 +645,7 @@ impl Cluster {
         slot.queue.clear();
         *processed += slot.processed;
         *last = (*last).max(slot.last);
+        self.stats.fault.pcie_retries += slot.engine.pcie_fault_retries();
         if let Some(tracer) = self.tracer.as_mut() {
             tracer.extend_lane(Lane::Engine(slot.id.0), slot.engine.take_trace_events());
         }
@@ -832,6 +924,253 @@ impl Cluster {
         }
     }
 
+    /// The instant of the next fault-plane cross event: the earliest of
+    /// the scheduled-fault timeline head, the first due retry, and any
+    /// pending delayed provision. `None` when no plane is armed or it
+    /// has nothing left to do.
+    fn next_fault_time(&self) -> Option<SimTime> {
+        let fs = self.fault.as_ref()?;
+        let mut next = fs.timeline.peek();
+        if let Some(r) = fs.retries.first() {
+            next = Some(next.map_or(r.due, |n| n.min(r.due)));
+        }
+        if let Some(&p) = fs.pending_provisions.iter().min() {
+            next = Some(next.map_or(p, |n| n.min(p)));
+        }
+        next
+    }
+
+    /// One fault barrier: applies every fault-plane item due at `t`, in a
+    /// fixed order — scheduled faults (crashes, straggler windows), then
+    /// delayed provisions completing, then due re-dispatches. Runs on the
+    /// coordinator with exclusive fleet access, like every other barrier.
+    fn fault_barrier(
+        &mut self,
+        t: SimTime,
+        last: &mut SimTime,
+        processed: &mut u64,
+        scale: &mut Option<(&mut Autoscaler, &mut dyn FnMut(EngineId) -> Engine)>,
+    ) {
+        loop {
+            let action = match self.fault.as_mut() {
+                Some(fs) => fs.timeline.pop_due(t),
+                None => None,
+            };
+            let Some(action) = action else { break };
+            match action {
+                FaultAction::Crash(engine) => self.fault_crash(engine, t, last, processed),
+                FaultAction::StragglerStart(engine, factor) => {
+                    self.set_slot_slowdown(engine, factor)
+                }
+                FaultAction::StragglerEnd(engine) => self.set_slot_slowdown(engine, 1.0),
+            }
+        }
+        loop {
+            let due = {
+                let fs = self.fault.as_mut().expect("fault barrier without plane");
+                match fs.pending_provisions.iter().position(|&p| p <= t) {
+                    Some(pos) => fs.pending_provisions.remove(pos),
+                    None => break,
+                }
+            };
+            debug_assert!(due <= t);
+            let (_, grow) = scale
+                .as_mut()
+                .expect("delayed provision without autoscaler");
+            let id = self.next_engine_id();
+            let engine = grow(id);
+            let assigned = self.add_engine(engine);
+            assert_eq!(assigned, id, "engine id minted twice");
+            let (mem_int, refresh_int) = (self.mem_int, self.refresh_int);
+            let slot = self.slots.last_mut().expect("engine just added");
+            slot.queue.push(t + mem_int, EngineEvent::MemSample);
+            slot.queue.push(t + refresh_int, EngineEvent::Refresh);
+        }
+        loop {
+            let entry = {
+                let fs = self.fault.as_mut().expect("fault barrier without plane");
+                if fs.retries.first().is_some_and(|r| r.due <= t) {
+                    fs.retries.remove(0)
+                } else {
+                    break;
+                }
+            };
+            self.dispatch_retry(t, entry, last);
+        }
+    }
+
+    /// Kills engine `engine` at `t`: its shard re-homes (warm, when the
+    /// predictive handoff is armed — the same machinery a graceful drain
+    /// uses, minus the victim's cooperation), its unfinished requests are
+    /// extracted for router re-dispatch after the detection timeout plus
+    /// per-request capped exponential backoff, and the corpse is retired
+    /// (the records of requests it *completed* survive into the report).
+    /// The last active engine refuses to die — a fleet never crashes to
+    /// zero — and a crash aimed at an engine that already left is moot.
+    fn fault_crash(&mut self, engine: u32, t: SimTime, last: &mut SimTime, processed: &mut u64) {
+        let victim = EngineId(engine);
+        let Some(pos) = self.slots.iter().position(|s| s.id == victim) else {
+            return;
+        };
+        let was_draining = self.slots[pos].draining;
+        if !was_draining && self.active_engines() <= 1 {
+            return;
+        }
+        let queued = self.slots[pos].engine.queue_len() as u32;
+        let running = self.slots[pos].engine.running_len() as u32;
+        self.stats.fault.engines_failed += 1;
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.push(
+                t,
+                Lane::Coordinator,
+                TraceEvent::EngineFailed {
+                    engine,
+                    queued,
+                    running,
+                },
+            );
+        }
+        if !was_draining {
+            if self.router.uses_affinity() {
+                let moved = self.count_rehomed(&self.slots[pos].engine, None, Some(victim));
+                self.stats.on_adapters_rehomed(moved);
+            }
+            // Out of the routing candidate set before any recovery
+            // decision looks at the fleet.
+            self.slots[pos].draining = true;
+            if self.predictive.is_some_and(|s| s.handoff) {
+                self.recover_shard(victim, t);
+            }
+        }
+        let lost = self.slots[pos].engine.crash_unfinished();
+        let fs = self.fault.as_mut().expect("crash without fault plane");
+        for req in lost {
+            let attempt = {
+                let a = fs.attempts.entry(req.id().0).or_insert(0);
+                *a += 1;
+                *a
+            };
+            if attempt > fs.spec.max_retries {
+                self.stats.fault.requests_failed += 1;
+                continue;
+            }
+            self.stats.fault.requests_recovered += 1;
+            let due = t + fs.spec.detect_timeout + fs.spec.backoff_for(attempt);
+            fs.retries.push(RetryEntry { due, attempt, req });
+        }
+        fs.retries
+            .sort_by_key(|r| (r.due, r.req.arrival(), r.req.id().0));
+        self.retire_slot(pos, last, processed);
+    }
+
+    /// Sets the straggler slowdown on one engine (moot when it left).
+    fn set_slot_slowdown(&mut self, engine: u32, factor: f64) {
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.id.0 == engine) {
+            slot.engine.set_slowdown(factor);
+        }
+    }
+
+    /// Crash-time shard recovery: the dead engine's homed adapters are
+    /// warm-loaded onto their post-crash rendezvous homes among the
+    /// survivors — [`Cluster::handoff_shard`]'s placement, re-counted
+    /// into the fault ledger because here the copies race the backlog's
+    /// re-dispatch instead of a graceful drain.
+    fn recover_shard(&mut self, victim: EngineId, now: SimTime) {
+        let survivors = self.active_weights();
+        if survivors.is_empty() {
+            return;
+        }
+        let vpos = self
+            .slots
+            .iter()
+            .position(|s| s.id == victim)
+            .expect("crashed engine is present");
+        let mut before = survivors.clone();
+        before.push((victim, self.slots[vpos].engine.capacity_weight()));
+        let mut shard: Vec<AdapterId> = self.slots[vpos]
+            .engine
+            .resident_adapters()
+            .into_iter()
+            .collect();
+        shard.sort_unstable();
+        let mut moved = 0u64;
+        let mut bytes_total = 0u64;
+        for a in shard {
+            let home_before = before[policies::rendezvous_home(a, before.iter().copied())].0;
+            if home_before != victim {
+                continue;
+            }
+            let new_home = survivors[policies::rendezvous_home(a, survivors.iter().copied())].0;
+            let pos = self
+                .slots
+                .iter()
+                .position(|s| s.id == new_home)
+                .expect("survivor is present");
+            let slot = &mut self.slots[pos];
+            if let Some(bytes) = slot.engine.warm_load(a, now, &mut slot.out) {
+                for (at, e) in slot.out.drain(..) {
+                    slot.queue.push(at, e);
+                }
+                moved += 1;
+                bytes_total += bytes;
+            }
+        }
+        if moved > 0 {
+            self.stats.fault.shard_adapters_recovered += moved;
+            self.stats.fault.shard_bytes_recovered += bytes_total;
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.push(
+                    now,
+                    Lane::Coordinator,
+                    TraceEvent::ShardRecovered {
+                        from: victim.0,
+                        adapters: moved as u32,
+                        bytes: bytes_total,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Re-dispatches one recovered request through the router, exactly
+    /// like a fresh arrival (snapshots, routing stats, engine handoff) —
+    /// except it bypasses the shedding gate (the system already owes this
+    /// request) and does not feed the forecaster (its adapter's arrival
+    /// was observed once, at the original dispatch).
+    fn dispatch_retry(&mut self, t: SimTime, entry: RetryEntry, last: &mut SimTime) {
+        self.fill_snapshots();
+        let decision = self.router.route(&entry.req, &self.snap_buf);
+        assert!(
+            decision.engine < self.snap_buf.len(),
+            "router out of bounds"
+        );
+        let pos = self.snap_slots[decision.engine];
+        let chosen = self.slots[pos].id;
+        let affinity_hit = self.slots[pos]
+            .engine
+            .is_adapter_resident(entry.req.adapter());
+        self.stats.record(chosen, affinity_hit, decision.spilled);
+        self.stats.fault.retries += 1;
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.push(
+                t,
+                Lane::Coordinator,
+                TraceEvent::RequestRetried {
+                    req: entry.req.id().0,
+                    attempt: entry.attempt,
+                    target: chosen.0,
+                },
+            );
+        }
+        let slot = &mut self.slots[pos];
+        slot.engine
+            .handle(t, EngineEvent::Arrival(entry.req), &mut slot.out);
+        for (at, e) in slot.out.drain(..) {
+            slot.queue.push(at, e);
+        }
+        *last = (*last).max(t);
+    }
+
     /// Runs `trace` through the (fixed) cluster until drained, serially.
     /// Returns the instant of the last processed event.
     pub fn run(&mut self, trace: &Trace) -> SimTime {
@@ -953,20 +1292,37 @@ impl Cluster {
         let mut processed: u64 = 0;
         loop {
             let arr_t = order.get(next_arr).map(|&i| reqs[i as usize].arrival());
-            // The next cross-engine event; arrivals win equal-time ties.
-            let cross = match (arr_t, next_scale) {
-                (Some(a), Some(s)) if s < a => Some((s, false)),
-                (Some(a), _) => Some((a, true)),
-                (None, Some(s)) => Some((s, false)),
-                (None, None) => None,
-            };
-            self.run_epoch(cross.map(|(t, _)| t), arr_t.is_some(), pool);
+            let fault_t = self.next_fault_time();
+            // The next cross-engine event. Equal-time ties resolve by the
+            // fixed [`CrossEvent`] class precedence (arrivals, then the
+            // autoscaler tick, then fault barriers); the loop below keeps
+            // an earlier-listed class on a time tie.
+            let mut cross: Option<(SimTime, CrossEvent)> = None;
+            for (cand, kind) in [
+                (arr_t, CrossEvent::Arrival),
+                (next_scale, CrossEvent::Scale),
+                (fault_t, CrossEvent::Fault),
+            ] {
+                if let Some(cand) = cand {
+                    if cross.is_none_or(|(best, _)| cand < best) {
+                        cross = Some((cand, kind));
+                    }
+                }
+            }
+            // Pending re-dispatches count as future dispatches: they keep
+            // periodic ticks alive on the idle engines about to inherit
+            // the recovered work.
+            let dispatches_remaining =
+                arr_t.is_some() || self.fault.as_ref().is_some_and(|fs| !fs.retries.is_empty());
+            self.run_epoch(cross.map(|(t, _)| t), dispatches_remaining, pool);
             self.harvest_retired(&mut last, &mut processed);
-            let Some((t, is_arrival)) = cross else {
+            let Some((t, kind)) = cross else {
                 break; // final epoch drained every local queue
             };
             processed += 1;
-            if is_arrival {
+            if kind == CrossEvent::Fault {
+                self.fault_barrier(t, &mut last, &mut processed, &mut scale);
+            } else if kind == CrossEvent::Arrival {
                 let req = reqs[order[next_arr] as usize];
                 next_arr += 1;
                 last = last.max(t);
@@ -978,6 +1334,42 @@ impl Cluster {
                 }
                 // Global scheduler: delegate placement to the router.
                 self.fill_snapshots();
+                // SLO-aware load shedding: when even the least-loaded
+                // engine's estimated TTFT is past `shed_multiple` × SLO,
+                // admitting this request would both miss its own SLO and
+                // deepen everyone else's backlog — refuse it at the door
+                // and count it, rather than time it out silently.
+                if let Some(fs) = self.fault.as_ref() {
+                    if fs.spec.sheds() {
+                        if let Some(slo) = fs.slo {
+                            let min_est = self
+                                .snap_buf
+                                .iter()
+                                .map(|s| s.est_ttft_secs)
+                                .fold(f64::INFINITY, f64::min);
+                            if min_est > fs.spec.shed_multiple * slo.as_secs_f64() {
+                                let idle = self
+                                    .snap_buf
+                                    .iter()
+                                    .filter(|s| s.queue_depth == 0 && s.running == 0)
+                                    .count() as u32;
+                                self.stats.fault.requests_shed += 1;
+                                if let Some(tracer) = self.tracer.as_mut() {
+                                    tracer.push(
+                                        t,
+                                        Lane::Coordinator,
+                                        TraceEvent::RequestShed {
+                                            req: req.id().0,
+                                            est_ttft: SimDuration::from_secs_f64(min_est),
+                                            idle_engines: idle,
+                                        },
+                                    );
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
                 let decision = self.router.route(&req, &self.snap_buf);
                 assert!(
                     decision.engine < self.snap_buf.len(),
@@ -1045,6 +1437,37 @@ impl Cluster {
                 match action {
                     ScaleAction::Hold => {}
                     ScaleAction::ScaleUp => {
+                        // Provisioning faults: a scale-up can fail outright
+                        // (the controller simply retries on a later tick)
+                        // or be slowed by an injected delay, in which case
+                        // the engine joins at the fault barrier where its
+                        // provision completes.
+                        let mut skip_add = false;
+                        if let Some(fs) = self.fault.as_mut() {
+                            if fs.spec.provision_fail_prob > 0.0 {
+                                let roll = fault_roll(
+                                    fs.spec.seed,
+                                    PROVISION_STREAM,
+                                    fs.provision_counter,
+                                );
+                                fs.provision_counter += 1;
+                                if roll < fs.spec.provision_fail_prob {
+                                    self.stats.fault.provision_failures += 1;
+                                    skip_add = true;
+                                }
+                            }
+                            if !skip_add && !fs.spec.provision_delay.is_zero() {
+                                fs.pending_provisions.push(t + fs.spec.provision_delay);
+                                self.stats.fault.provision_delays += 1;
+                                skip_add = true;
+                            }
+                        }
+                        if skip_add {
+                            let work_left = next_arr < order.len()
+                                || self.slots.iter().any(|s| s.engine.has_work());
+                            next_scale = work_left.then(|| t + autoscaler.config().interval);
+                            continue;
+                        }
                         // The factory sees the id the newcomer will be
                         // registered under (per-engine RNG streams and
                         // growth specs key off it).
@@ -1156,6 +1579,11 @@ impl Cluster {
         let log = self.tracer.take().map(TraceBuffer::finish);
         let profile = self.profile.take();
         let mut stats = self.stats;
+        stats.fault.pcie_retries += self
+            .slots
+            .iter()
+            .map(|s| s.engine.pcie_fault_retries())
+            .sum::<u64>();
         stats.predictive.finalize();
         let mut tagged = self.retired;
         tagged.extend(

@@ -10,6 +10,7 @@ use crate::config::EngineConfig;
 use crate::probe::EngineProbe;
 use crate::report::EngineReport;
 use chameleon_cache::{AdapterCache, CacheJournalEvent};
+use chameleon_fault::PcieFaultInjector;
 use chameleon_gpu::cost::{DecodeItem, PrefillItem};
 use chameleon_gpu::memory::{MemoryPool, Region};
 use chameleon_gpu::{CostModel, KvAllocator, PcieLink};
@@ -149,6 +150,14 @@ pub struct Engine {
     /// drains it via [`take_trace_events`](Self::take_trace_events) and
     /// assigns the lane — the engine never knows its cluster id.
     trace: Option<Vec<(SimTime, TraceEvent)>>,
+    /// Fault plane: injected PCIe transfer failures. `None` (the default)
+    /// keeps the load path byte-identical to a fault-free build.
+    pcie_faults: Option<PcieFaultInjector>,
+    /// Fault plane: straggler slowdown multiplier applied to every step
+    /// duration. Exactly `1.0` outside an injected straggler window, and
+    /// the multiply is skipped entirely then so the fault hook cannot
+    /// perturb a healthy engine's floating-point timeline.
+    slowdown: f64,
 }
 
 impl Engine {
@@ -222,6 +231,8 @@ impl Engine {
             folded_pool: Vec::new(),
             pairs_scratch: Vec::new(),
             trace: None,
+            pcie_faults: None,
+            slowdown: 1.0,
         }
     }
 
@@ -246,6 +257,48 @@ impl Engine {
             Some(t) => std::mem::take(t),
             None => Vec::new(),
         }
+    }
+
+    /// Arms injected PCIe transfer failures. Fault plane only — never
+    /// called on a fault-free run.
+    pub fn set_pcie_fault_injector(&mut self, injector: PcieFaultInjector) {
+        self.pcie_faults = Some(injector);
+    }
+
+    /// Injected PCIe transfer failures absorbed so far (each one occupied
+    /// the link for a full transfer before the retry went through).
+    pub fn pcie_fault_retries(&self) -> u64 {
+        self.pcie_faults.as_ref().map_or(0, |f| f.failures())
+    }
+
+    /// Sets the straggler slowdown multiplier (`1.0` = healthy). Fault
+    /// plane only; the coordinator flips this at fault barriers.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        debug_assert!(factor >= 1.0, "a straggler cannot speed up");
+        self.slowdown = factor;
+    }
+
+    /// Rips every unfinished request out of a crashing engine: the queued
+    /// backlog and the running batch lose all progress, their collector
+    /// records are deleted (each will re-arrive on a surviving engine,
+    /// whose collector must register it fresh), and the requests come back
+    /// sorted by `(arrival, id)` so the re-dispatch order is independent
+    /// of internal container order. Records of requests the engine
+    /// *finished* before dying survive — that work really happened.
+    pub fn crash_unfinished(&mut self) -> Vec<Request> {
+        let mut queued = Vec::new();
+        self.sched.drain_queued_into(&mut queued);
+        let mut lost: Vec<Request> = queued.iter().map(|q| *q.request()).collect();
+        lost.extend(self.running.drain(..).map(|r| r.req));
+        self.current_step = None;
+        self.loading.clear();
+        self.bypass_pairs.clear();
+        self.poke_pending = false;
+        for req in &lost {
+            self.collector.remove(req.id());
+        }
+        lost.sort_by_key(|r| (r.arrival(), r.id()));
+        lost
     }
 
     /// The engine's WRS configuration (used by drivers for reporting).
@@ -470,9 +523,13 @@ impl Engine {
             .get(req.adapter())
             .unwrap_or_else(|| panic!("unknown adapter {}", req.adapter()))
             .clone();
+        // The ledger clocks TTFT/E2E from the request's *original* arrival
+        // (identical to `now` on every normal dispatch; later than `now`
+        // only for crash-recovery re-dispatches, whose dead-engine and
+        // backoff time must stay on the record).
         self.collector.on_arrival(
             req.id(),
-            now,
+            req.arrival(),
             req.input_tokens(),
             req.output_tokens(),
             req.adapter(),
@@ -896,11 +953,7 @@ impl Engine {
                 self.sched.requeue_front(queued.requeued_at(now));
                 return false;
             }
-            let occupancy = self.cost.adapter_link_occupancy(spec.bytes());
-            let rec = self
-                .link
-                .transfer_with_duration(spec.bytes(), occupancy, now);
-            let ready_at = rec.start + self.cost.adapter_load_time(spec.bytes());
+            let ready_at = self.issue_adapter_transfer(spec.bytes(), now);
             self.loading.insert(
                 adapter,
                 Loading {
@@ -1092,6 +1145,14 @@ impl Engine {
         let Some((plan, duration)) = plan else {
             return; // nothing executable: waiting on loads or truly idle
         };
+        // Straggler windows stretch every iteration; the healthy-path
+        // branch (factor exactly 1.0) skips the multiply so arming the
+        // fault plane elsewhere cannot perturb this engine's timeline.
+        let duration = if self.slowdown != 1.0 {
+            duration.mul_f64(self.slowdown)
+        } else {
+            duration
+        };
         self.step_seq += 1;
         self.current_step = Some(plan);
         self.busy_until = now + duration;
@@ -1211,6 +1272,23 @@ impl Engine {
         ))
     }
 
+    /// Issues the host→GPU copy for an adapter load and returns the
+    /// instant the adapter is usable. With an armed fault injector, each
+    /// failed copy still occupies the link for its full duration and the
+    /// retry queues back-to-back behind it — a flaky link shows up as
+    /// load latency and bandwidth pressure, never as lost work. Without
+    /// one this is exactly the pre-fault load path.
+    fn issue_adapter_transfer(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        let occupancy = self.cost.adapter_link_occupancy(bytes);
+        let mut rec = self.link.transfer_with_duration(bytes, occupancy, now);
+        if let Some(inj) = self.pcie_faults.as_mut() {
+            while inj.transfer_fails() {
+                rec = self.link.transfer_with_duration(bytes, occupancy, rec.end);
+            }
+        }
+        rec.start + self.cost.adapter_load_time(bytes)
+    }
+
     // ------------------------------------------------------------------
     // Prefetch
     // ------------------------------------------------------------------
@@ -1277,11 +1355,7 @@ impl Engine {
         {
             return None;
         }
-        let occupancy = self.cost.adapter_link_occupancy(spec.bytes());
-        let rec = self
-            .link
-            .transfer_with_duration(spec.bytes(), occupancy, now);
-        let ready_at = rec.start + self.cost.adapter_load_time(spec.bytes());
+        let ready_at = self.issue_adapter_transfer(spec.bytes(), now);
         self.loading.insert(
             adapter,
             Loading {

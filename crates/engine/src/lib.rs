@@ -65,6 +65,7 @@ pub mod probe;
 pub mod report;
 
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ForecastSignal, ScaleAction, ScaleTrigger};
+pub use chameleon_fault::{FaultSpec, StragglerWindow};
 pub use cluster::{Cluster, ClusterExecution};
 pub use config::EngineConfig;
 pub use engine::{Engine, EngineEvent};

@@ -114,6 +114,16 @@ impl Collector {
         self.records.get(&id)
     }
 
+    /// Removes a request from the collector entirely, returning its
+    /// partial record (crash recovery: the request re-arrives on another
+    /// engine, whose collector registers it fresh — without this the
+    /// re-dispatch would trip the arrived-twice guard or leave a duplicate
+    /// record behind on the dead engine).
+    pub fn remove(&mut self, id: RequestId) -> Option<RequestRecord> {
+        self.last_token_at.remove(&id);
+        self.records.remove(&id)
+    }
+
     /// Finalises the collector into records sorted by arrival time.
     pub fn into_records(self) -> Vec<RequestRecord> {
         let mut v: Vec<RequestRecord> = self.records.into_values().collect();

@@ -86,6 +86,48 @@ impl PredictiveStats {
     }
 }
 
+/// Outcome counters of the fault-injection and recovery plane. All-zero —
+/// and absent from `canonical_text` — unless a `FaultSpec` armed the run:
+/// like [`PredictiveStats`], faults are a strict opt-in overlay and the
+/// byte-level oracles for fault-free runs must not see these fields.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// The fault plane was active this run (gates report emission).
+    pub enabled: bool,
+    /// Engines declared dead by the failure detector.
+    pub engines_failed: u64,
+    /// Requests extracted from dead engines (queued + in-flight) and
+    /// re-dispatched through the router.
+    pub requests_recovered: u64,
+    /// Re-dispatch attempts, summed over all recovered requests.
+    pub retries: u64,
+    /// Requests that exhausted their retry budget and left the system.
+    pub requests_failed: u64,
+    /// Requests refused admission by SLO-aware shedding.
+    pub requests_shed: u64,
+    /// PCIe transfers that failed and were re-issued.
+    pub pcie_retries: u64,
+    /// Adapters from dead engines' shards re-homed onto survivors.
+    pub shard_adapters_recovered: u64,
+    /// Total bytes re-loaded by shard recovery.
+    pub shard_bytes_recovered: u64,
+    /// Scale-ups that landed late because of injected provisioning delay.
+    pub provision_delays: u64,
+    /// Scale-ups that failed outright to provision.
+    pub provision_failures: u64,
+}
+
+impl FaultStats {
+    /// Fraction of offered requests the fleet actually served:
+    /// `1 - (failed + shed) / offered` (1 when nothing was offered).
+    pub fn availability(&self, offered: u64) -> f64 {
+        if offered == 0 {
+            return 1.0;
+        }
+        1.0 - rate(self.requests_failed + self.requests_shed, offered)
+    }
+}
+
 /// Aggregate routing statistics for one cluster run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RoutingStats {
@@ -115,6 +157,9 @@ pub struct RoutingStats {
     /// Predictive-control-plane counters; default (all-zero, disabled)
     /// unless the run opted into prediction.
     pub predictive: PredictiveStats,
+    /// Fault-plane counters; default (all-zero, disabled) unless the run
+    /// armed a fault spec.
+    pub fault: FaultStats,
 }
 
 impl RoutingStats {
@@ -316,6 +361,26 @@ mod tests {
         assert_eq!(p.handoff_adapters, 4);
         assert_eq!(p.handoff_bytes, 1000);
         assert!((p.prewarm_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_stats_default_is_disabled_and_fully_available() {
+        let s = RoutingStats::new("jsq", &ids(2));
+        assert_eq!(s.fault, FaultStats::default());
+        assert!(!s.fault.enabled);
+        assert_eq!(s.fault.availability(100), 1.0);
+        assert_eq!(s.fault.availability(0), 1.0);
+    }
+
+    #[test]
+    fn fault_availability_counts_failed_and_shed() {
+        let f = FaultStats {
+            enabled: true,
+            requests_failed: 5,
+            requests_shed: 15,
+            ..FaultStats::default()
+        };
+        assert!((f.availability(100) - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -504,6 +504,12 @@ impl Scheduler for ChameleonScheduler {
         }
     }
 
+    fn drain_queued_into(&mut self, out: &mut Vec<QueuedRequest>) {
+        for q in &mut self.queues {
+            out.extend(q.drain(..));
+        }
+    }
+
     fn len(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
     }

@@ -69,6 +69,10 @@ impl Scheduler for FifoScheduler {
         }
     }
 
+    fn drain_queued_into(&mut self, out: &mut Vec<QueuedRequest>) {
+        out.extend(self.queue.drain(..));
+    }
+
     fn len(&self) -> usize {
         self.queue.len()
     }

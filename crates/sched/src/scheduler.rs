@@ -117,6 +117,13 @@ pub trait Scheduler: Send {
         out
     }
 
+    /// Removes *every* waiting request, appending them to `out` in queue
+    /// order (small queue first for multi-queue policies, FIFO within a
+    /// queue). Used by crash recovery to extract a dead engine's backlog
+    /// for re-dispatch; the scheduler is discarded afterwards, so
+    /// implementations need not unwind quota bookkeeping.
+    fn drain_queued_into(&mut self, out: &mut Vec<QueuedRequest>);
+
     /// Number of waiting requests.
     fn len(&self) -> usize;
 

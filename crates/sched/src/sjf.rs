@@ -114,6 +114,10 @@ impl Scheduler for SjfScheduler {
         }
     }
 
+    fn drain_queued_into(&mut self, out: &mut Vec<QueuedRequest>) {
+        out.append(&mut self.queue);
+    }
+
     fn len(&self) -> usize {
         self.queue.len()
     }

@@ -81,6 +81,10 @@ impl Scheduler for StaticMlqScheduler {
         self.inner.queued_adapters_into(out);
     }
 
+    fn drain_queued_into(&mut self, out: &mut Vec<QueuedRequest>) {
+        self.inner.drain_queued_into(out);
+    }
+
     fn len(&self) -> usize {
         self.inner.len()
     }

@@ -152,6 +152,45 @@ pub enum TraceEvent {
         /// Total bytes transferred.
         bytes: u64,
     },
+    /// The failure detector declared an engine dead, with the backlog it
+    /// was holding at the time.
+    EngineFailed {
+        /// The dead engine.
+        engine: u32,
+        /// Requests still waiting in its scheduler queues.
+        queued: u32,
+        /// Requests in its running batch.
+        running: u32,
+    },
+    /// A request extracted from a dead engine was re-dispatched.
+    RequestRetried {
+        /// Request id.
+        req: u64,
+        /// Retry attempt number (1 = first re-dispatch).
+        attempt: u32,
+        /// Engine the router chose this time.
+        target: u32,
+    },
+    /// SLO-aware shedding refused admission.
+    RequestShed {
+        /// Request id.
+        req: u64,
+        /// The fleet's best estimated TTFT at refusal, in nanoseconds.
+        est_ttft: SimDuration,
+        /// Active engines that were idle at refusal (shedding while
+        /// capacity idles is the anomaly the flight recorder watches for).
+        idle_engines: u32,
+    },
+    /// A dead engine's shard was re-homed onto survivors with cold/warm
+    /// reloads.
+    ShardRecovered {
+        /// The dead engine whose shard moved.
+        from: u32,
+        /// Adapters re-homed.
+        adapters: u32,
+        /// Total bytes re-loaded.
+        bytes: u64,
+    },
     /// A coordinator barrier opened: engines are about to step to
     /// `boundary` (`None` = final drain to completion).
     BarrierOpen {
@@ -187,6 +226,10 @@ impl TraceEvent {
             TraceEvent::PrewarmHit { .. } => "prewarm_hit",
             TraceEvent::DrainStarted { .. } => "drain",
             TraceEvent::Handoff { .. } => "handoff",
+            TraceEvent::EngineFailed { .. } => "engine_failed",
+            TraceEvent::RequestRetried { .. } => "retry",
+            TraceEvent::RequestShed { .. } => "shed",
+            TraceEvent::ShardRecovered { .. } => "shard_recovered",
             TraceEvent::BarrierOpen { .. } => "barrier_open",
             TraceEvent::BarrierClose { .. } => "barrier_close",
         }
@@ -319,6 +362,47 @@ impl TaggedEvent {
                 let _ = write!(out, ",\"engine\":{engine}");
             }
             TraceEvent::Handoff {
+                from,
+                adapters,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"from\":{from},\"adapters\":{adapters},\"bytes\":{bytes}"
+                );
+            }
+            TraceEvent::EngineFailed {
+                engine,
+                queued,
+                running,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"engine\":{engine},\"queued\":{queued},\"running\":{running}"
+                );
+            }
+            TraceEvent::RequestRetried {
+                req,
+                attempt,
+                target,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"req\":{req},\"attempt\":{attempt},\"target\":{target}"
+                );
+            }
+            TraceEvent::RequestShed {
+                req,
+                est_ttft,
+                idle_engines,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"req\":{req},\"est_ttft\":{},\"idle_engines\":{idle_engines}",
+                    est_ttft.as_nanos()
+                );
+            }
+            TraceEvent::ShardRecovered {
                 from,
                 adapters,
                 bytes,

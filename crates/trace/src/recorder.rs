@@ -102,6 +102,102 @@ impl AnomalyPredicate for WastedWarmPredicate {
     }
 }
 
+/// Fires when re-dispatch retries cluster into a storm: at least `count`
+/// [`TraceEvent::RequestRetried`] events inside any sliding `window` of
+/// simulated time. A single crash produces a bounded burst of retries; a
+/// storm means backoff is not spreading them, or the fleet keeps losing
+/// the same work.
+#[derive(Debug, Clone)]
+pub struct RetryStormPredicate {
+    count: u32,
+    window: SimDuration,
+    recent: VecDeque<SimTime>,
+}
+
+impl RetryStormPredicate {
+    /// Arms the predicate: `count` retries inside `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero count (it would fire on every event).
+    pub fn new(count: u32, window: SimDuration) -> Self {
+        assert!(count > 0, "retry storm needs a positive count");
+        RetryStormPredicate {
+            count,
+            window,
+            recent: VecDeque::new(),
+        }
+    }
+}
+
+impl AnomalyPredicate for RetryStormPredicate {
+    fn name(&self) -> &'static str {
+        "retry-storm"
+    }
+
+    fn observe(&mut self, ev: &TaggedEvent) -> Option<String> {
+        if !matches!(ev.event, TraceEvent::RequestRetried { .. }) {
+            return None;
+        }
+        while let Some(&front) = self.recent.front() {
+            if ev.at.saturating_since(front) > self.window {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.recent.push_back(ev.at);
+        if self.recent.len() >= self.count as usize {
+            let n = self.recent.len();
+            // Reset so one storm fires once, not once per further retry.
+            self.recent.clear();
+            return Some(format!(
+                "{n} retries within {:.1}ms (threshold {})",
+                self.window.as_millis_f64(),
+                self.count
+            ));
+        }
+        None
+    }
+}
+
+/// Fires when SLO-aware shedding refused a request while at least one
+/// active engine sat idle — shedding under pressure is working as
+/// designed; shedding beside idle capacity means the fleet-wide TTFT
+/// estimate and reality disagree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShedIdlePredicate;
+
+impl ShedIdlePredicate {
+    /// Creates the predicate.
+    pub fn new() -> Self {
+        ShedIdlePredicate
+    }
+}
+
+impl AnomalyPredicate for ShedIdlePredicate {
+    fn name(&self) -> &'static str {
+        "shed-while-idle-capacity"
+    }
+
+    fn observe(&mut self, ev: &TaggedEvent) -> Option<String> {
+        if let TraceEvent::RequestShed {
+            req,
+            est_ttft,
+            idle_engines,
+        } = ev.event
+        {
+            if idle_engines > 0 {
+                return Some(format!(
+                    "req {req} shed (est ttft {:.1}ms) with {idle_engines} idle engine(s)",
+                    est_ttft.as_millis_f64()
+                ));
+            }
+        }
+        None
+    }
+}
+
 /// One flight-recorder firing: the reason and the ring contents (the last
 /// `capacity` decisions up to and including the trigger).
 #[derive(Debug, Clone, PartialEq)]
@@ -339,6 +435,74 @@ mod tests {
             TraceEvent::FirstToken { req: 9, .. }
         ));
         assert!(dumps[0].reason.contains("over slo"));
+    }
+
+    #[test]
+    fn retry_storm_needs_count_within_window() {
+        let mut buf = TraceBuffer::new();
+        // Three retries spread over 3s: never 3 inside a 1s window.
+        for i in 0..3u64 {
+            buf.push(
+                t(i * 1_500_000_000),
+                Lane::Coordinator,
+                TraceEvent::RequestRetried {
+                    req: i,
+                    attempt: 1,
+                    target: 0,
+                },
+            );
+        }
+        // Then a genuine storm: 3 retries inside 200ms.
+        for i in 0..3u64 {
+            buf.push(
+                t(10_000_000_000 + i * 100_000_000),
+                Lane::Coordinator,
+                TraceEvent::RequestRetried {
+                    req: 100 + i,
+                    attempt: 2,
+                    target: 1,
+                },
+            );
+        }
+        let rec = FlightRecorder::new(8, 4);
+        let mut preds: Vec<Box<dyn AnomalyPredicate>> = vec![Box::new(RetryStormPredicate::new(
+            3,
+            SimDuration::from_secs(1),
+        ))];
+        let (dumps, firings) = rec.scan(&buf.finish(), &mut preds);
+        assert_eq!(firings, 1, "spread-out retries are not a storm");
+        assert_eq!(dumps[0].predicate, "retry-storm");
+        assert_eq!(dumps[0].at, t(10_200_000_000));
+        assert!(dumps[0].reason.contains("3 retries"));
+    }
+
+    #[test]
+    fn shed_idle_fires_only_with_idle_capacity() {
+        let mut buf = TraceBuffer::new();
+        buf.push(
+            t(10),
+            Lane::Coordinator,
+            TraceEvent::RequestShed {
+                req: 1,
+                est_ttft: SimDuration::from_secs(4),
+                idle_engines: 0,
+            },
+        );
+        buf.push(
+            t(20),
+            Lane::Coordinator,
+            TraceEvent::RequestShed {
+                req: 2,
+                est_ttft: SimDuration::from_secs(4),
+                idle_engines: 2,
+            },
+        );
+        let rec = FlightRecorder::new(8, 4);
+        let mut preds: Vec<Box<dyn AnomalyPredicate>> = vec![Box::new(ShedIdlePredicate::new())];
+        let (dumps, firings) = rec.scan(&buf.finish(), &mut preds);
+        assert_eq!(firings, 1, "shedding under real pressure is by design");
+        assert_eq!(dumps[0].predicate, "shed-while-idle-capacity");
+        assert!(dumps[0].reason.contains("2 idle engine(s)"));
     }
 
     #[test]

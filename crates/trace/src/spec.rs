@@ -17,6 +17,12 @@ pub struct TraceSpec {
     pub ttft_slo_trigger: Option<SimDuration>,
     /// Arm the pre-warmed-adapter-evicted-before-use predicate.
     pub wasted_warm_trigger: bool,
+    /// Arm the retry-storm predicate: fires when at least `count` retries
+    /// land within any `window` of simulated time.
+    pub retry_storm_trigger: Option<(u32, SimDuration)>,
+    /// Arm the shed-while-idle-capacity predicate (a request was shed
+    /// while at least one active engine sat idle).
+    pub shed_idle_trigger: bool,
 }
 
 impl TraceSpec {
@@ -28,6 +34,8 @@ impl TraceSpec {
             max_dumps: 8,
             ttft_slo_trigger: None,
             wasted_warm_trigger: false,
+            retry_storm_trigger: None,
+            shed_idle_trigger: false,
         }
     }
 
@@ -48,6 +56,18 @@ impl TraceSpec {
         self.wasted_warm_trigger = true;
         self
     }
+
+    /// Arms the retry-storm trigger: `count` retries inside `window`.
+    pub fn with_retry_storm_trigger(mut self, count: u32, window: SimDuration) -> Self {
+        self.retry_storm_trigger = Some((count, window));
+        self
+    }
+
+    /// Arms the shed-while-idle-capacity trigger.
+    pub fn with_shed_idle_trigger(mut self) -> Self {
+        self.shed_idle_trigger = true;
+        self
+    }
 }
 
 impl Default for TraceSpec {
@@ -64,12 +84,17 @@ mod tests {
     fn builders_arm_triggers() {
         let s = TraceSpec::new();
         assert!(s.ttft_slo_trigger.is_none() && !s.wasted_warm_trigger);
+        assert!(s.retry_storm_trigger.is_none() && !s.shed_idle_trigger);
         let s = s
             .with_flight_capacity(16)
             .with_ttft_slo_trigger(SimDuration::from_secs(1))
-            .with_wasted_warm_trigger();
+            .with_wasted_warm_trigger()
+            .with_retry_storm_trigger(5, SimDuration::from_secs(2))
+            .with_shed_idle_trigger();
         assert_eq!(s.flight_capacity, 16);
         assert_eq!(s.ttft_slo_trigger, Some(SimDuration::from_secs(1)));
         assert!(s.wasted_warm_trigger);
+        assert_eq!(s.retry_storm_trigger, Some((5, SimDuration::from_secs(2))));
+        assert!(s.shed_idle_trigger);
     }
 }

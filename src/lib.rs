@@ -14,6 +14,7 @@
 pub use chameleon_cache as cache;
 pub use chameleon_core as core;
 pub use chameleon_engine as engine;
+pub use chameleon_fault as fault;
 pub use chameleon_gpu as gpu;
 pub use chameleon_metrics as metrics;
 pub use chameleon_models as models;

@@ -30,7 +30,9 @@ const WORKER_COUNTS: [usize; 3] = [1, 2, 7];
 fn canonical(cfg: SystemConfig, seed: u64, rps: f64, secs: f64) -> String {
     let mut sim = Simulation::new(cfg, seed);
     let trace = workloads::splitwise(rps, secs, seed, sim.pool());
-    sim.run(&trace).canonical_text()
+    let report = sim.run(&trace);
+    report.assert_request_conservation(trace.len());
+    report.canonical_text()
 }
 
 #[test]
@@ -87,7 +89,9 @@ fn elastic_cfg() -> SystemConfig {
 fn elastic_report(exec: ClusterExecution, seed: u64) -> RunReport {
     let mut sim = Simulation::new(elastic_cfg().with_cluster_exec(exec), seed);
     let trace = workloads::splitwise_bursty(4.0, 60.0, 10.0, 10.0, 20.0, seed, sim.pool());
-    sim.run(&trace)
+    let report = sim.run(&trace);
+    report.assert_request_conservation(trace.len());
+    report
 }
 
 #[test]

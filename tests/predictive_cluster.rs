@@ -182,7 +182,9 @@ fn predictive_runs_are_deterministic() {
         let cfg = elastic_cfg(Some(PredictiveSpec::new()));
         let mut sim = Simulation::new(cfg, SEED);
         let trace = workloads::splitwise_bursty(4.0, 60.0, 10.0, 10.0, 20.0, SEED, sim.pool());
-        sim.run(&trace).canonical_text()
+        let report = sim.run(&trace);
+        report.assert_request_conservation(trace.len());
+        report.canonical_text()
     };
     assert_eq!(
         text(0),

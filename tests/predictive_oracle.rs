@@ -33,7 +33,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 fn canonical(cfg: SystemConfig, seed: u64, rps: f64, secs: f64) -> String {
     let mut sim = Simulation::new(cfg, seed);
     let trace = workloads::splitwise(rps, secs, seed, sim.pool());
-    sim.run(&trace).canonical_text()
+    let report = sim.run(&trace);
+    report.assert_request_conservation(trace.len());
+    report.canonical_text()
 }
 
 /// The elastic preset tightened exactly as the determinism suite does, so
@@ -51,7 +53,9 @@ fn elastic_cfg() -> SystemConfig {
 fn elastic_canonical_of(cfg: SystemConfig, seed: u64) -> String {
     let mut sim = Simulation::new(cfg.with_cluster_exec(ClusterExecution::Serial), seed);
     let trace = workloads::splitwise_bursty(4.0, 60.0, 10.0, 10.0, 20.0, seed, sim.pool());
-    sim.run(&trace).canonical_text()
+    let report = sim.run(&trace);
+    report.assert_request_conservation(trace.len());
+    report.canonical_text()
 }
 
 fn elastic_canonical(seed: u64) -> String {

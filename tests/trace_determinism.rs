@@ -39,6 +39,7 @@ fn traced_run(
     let mut sim = Simulation::new(cfg.with_cluster_exec(exec), seed);
     let trace = workloads::splitwise(rps, secs, seed, sim.pool());
     let report = sim.run(&trace);
+    report.assert_request_conservation(trace.len());
     let jsonl = report
         .trace
         .as_ref()
