@@ -127,6 +127,44 @@ fn print_failover(old_json: &str, new_json: &str) {
     }
 }
 
+/// Prints the fresh report's amortised-dispatch summary, when the
+/// batched-dispatch scenario was measured, and its batched-throughput
+/// movement against the baseline. Baselines recorded before dispatch
+/// batching existed lack the scenario entirely — the tolerated
+/// [`GateOutcome::MissingBaseline`] case, never a failure.
+fn print_batched_dispatch(old_json: &str, new_json: &str) {
+    let bench = "macro_batched_dispatch";
+    let (Some(per_arrival), Some(batched), Some(mean_batch)) = (
+        parse_metric(new_json, bench, "per_arrival_events_per_sec"),
+        parse_metric(new_json, bench, "events_per_sec"),
+        parse_metric(new_json, bench, "mean_batch"),
+    ) else {
+        return;
+    };
+    let stale = parse_metric(new_json, bench, "staleness_events_per_sec").unwrap_or(0.0);
+    let stale_batch = parse_metric(new_json, bench, "staleness_mean_batch").unwrap_or(0.0);
+    let speedup = parse_metric(new_json, bench, "batched_speedup").unwrap_or(0.0);
+    let par_speedup = parse_metric(new_json, bench, "parallel_batched_speedup").unwrap_or(0.0);
+    println!(
+        "bench-compare: {bench}: {per_arrival:.0} -> {batched:.0} events/s batched \
+         ({speedup:.2}x serial, {par_speedup:.2}x parallel, mean batch {mean_batch:.1}), \
+         {stale:.0} events/s bounded-staleness (mean batch {stale_batch:.1})"
+    );
+    match compare_tolerant(old_json, new_json, bench, "events_per_sec") {
+        Ok(GateOutcome::Compared(cmp)) => println!(
+            "bench-compare: {bench}.events_per_sec  {:.0} -> {:.0}  ({:+.1}%, informational)",
+            cmp.old_value,
+            cmp.new_value,
+            (cmp.ratio() - 1.0) * 100.0,
+        ),
+        Ok(GateOutcome::MissingBaseline) => println!(
+            "bench-compare: {bench} absent from baseline — dispatch batching introduced \
+             after that trajectory point, skipping the throughput comparison"
+        ),
+        Err(_) => {}
+    }
+}
+
 fn main() -> ExitCode {
     let mut dir = PathBuf::from(".");
     let mut bench = "macro_zipf600".to_string();
@@ -194,6 +232,7 @@ fn main() -> ExitCode {
             print_cluster_ratio(&new_json);
             print_barrier_profile(&old_json, &new_json);
             print_failover(&old_json, &new_json);
+            print_batched_dispatch(&old_json, &new_json);
             return ExitCode::SUCCESS;
         }
     };
@@ -208,6 +247,7 @@ fn main() -> ExitCode {
     print_cluster_ratio(&new_json);
     print_barrier_profile(&old_json, &new_json);
     print_failover(&old_json, &new_json);
+    print_batched_dispatch(&old_json, &new_json);
     if cmp.regressed_beyond(tolerance) {
         eprintln!(
             "bench-compare: FAIL — {bench}.{metric} regressed beyond {:.0}% \

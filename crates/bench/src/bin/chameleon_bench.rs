@@ -26,7 +26,7 @@ use chameleon_bench::SEED;
 use chameleon_cache::{AdapterCache, EvictionPolicy};
 use chameleon_core::par;
 use chameleon_core::sweep::LoadSweep;
-use chameleon_core::{preset, FaultSpec, RouterPolicy, RunReport, Simulation};
+use chameleon_core::{preset, DispatchSpec, FaultSpec, RouterPolicy, RunReport, Simulation};
 use chameleon_gpu::memory::MemoryPool;
 use chameleon_models::{AdapterId, AdapterRank, AdapterSpec, LlmSpec};
 use chameleon_sched::{
@@ -38,7 +38,7 @@ use std::collections::HashSet;
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR7.json".to_string();
+    let mut out_path = "BENCH_PR8.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,7 +52,7 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("PR7", smoke);
+    let mut report = BenchReport::new("PR8", smoke);
     let cores = par::default_workers();
     if cores == 1 {
         report.degraded = true;
@@ -67,6 +67,7 @@ fn main() {
 
     macro_scenario(&mut report, smoke);
     cluster_macro(&mut report, smoke);
+    batched_dispatch_macro(&mut report, smoke);
     cluster16_macro(&mut report, smoke);
     predictive_burst_macro(&mut report, smoke);
     failover_macro(&mut report, smoke);
@@ -170,6 +171,116 @@ fn cluster_macro(report: &mut BenchReport, smoke: bool) {
                 .metric("load_imbalance", run.load_imbalance()),
         );
     }
+}
+
+/// The amortised-dispatch scenario (PR 8's slot in the trajectory): the
+/// 4-engine fleet serving the 600-adapter Zipf workload three ways on
+/// the *identical* trace — per-arrival dispatch (one epoch barrier per
+/// request), batched dispatch under the state-independent rendezvous
+/// router (arrivals coalesce into one barrier each, byte-identity with
+/// per-arrival asserted on the spot), and bounded-staleness batching
+/// under the load-aware partitioned router (snapshots refreshed once per
+/// batch within the declared `(max_batch, max_age)` budget). The
+/// events/sec ratio is the price of per-arrival barriers; `mean_batch`
+/// is the epoch-amortisation factor (epoch count drops by ~that factor).
+fn batched_dispatch_macro(report: &mut BenchReport, smoke: bool) {
+    let engines = 4;
+    let rps = 80.0;
+    let secs = if smoke { 3.0 } else { 120.0 };
+    let mut base = preset::chameleon_cluster_rendezvous(engines)
+        .with_adapters(600)
+        .with_label("Chameleon-DP4-600-Dispatch");
+    base.rank_popularity = chameleon_models::PopularityDist::power_law();
+    let pool = chameleon_models::AdapterPool::generate(&base.llm, &base.pool_config());
+    let trace = chameleon_core::workloads::lmsys(rps, secs, SEED, &pool);
+
+    let (t_per, per_arrival) = timed(|| Simulation::new(base.clone(), SEED).run(&trace));
+    let batched_cfg = base.clone().with_dispatch(DispatchSpec::new());
+    let (t_batched, batched) = timed(|| Simulation::new(batched_cfg.clone(), SEED).run(&trace));
+    assert_eq!(
+        per_arrival.canonical_text(),
+        batched.canonical_text(),
+        "batched dispatch diverged from per-arrival under a state-independent router"
+    );
+    // The barrier cost batching amortises is mostly the worker pool's
+    // per-epoch synchronisation, so the headline comparison is the
+    // *parallel* pair: per-arrival pays one pool barrier per request,
+    // batched pays one per coalesced batch, on the identical trace.
+    let cores = par::default_workers();
+    let workers = par::workers_from_env().unwrap_or_else(|| cores.clamp(2, 8));
+    let (t_per_par, per_par) =
+        timed(|| Simulation::new(base.clone().with_parallel_cluster(workers), SEED).run(&trace));
+    let (t_batched_par, batched_par) =
+        timed(|| Simulation::new(batched_cfg.with_parallel_cluster(workers), SEED).run(&trace));
+    assert_eq!(
+        per_arrival.canonical_text(),
+        per_par.canonical_text(),
+        "parallel per-arrival run diverged from serial"
+    );
+    assert_eq!(
+        per_arrival.canonical_text(),
+        batched_par.canonical_text(),
+        "parallel batched run diverged from serial"
+    );
+    let mut stale_cfg = preset::chameleon_cluster_bounded_staleness(engines)
+        .with_adapters(600)
+        .with_label("Chameleon-DP4-600-Staleness");
+    stale_cfg.rank_popularity = chameleon_models::PopularityDist::power_law();
+    let (t_stale, stale) = timed(|| Simulation::new(stale_cfg, SEED).run(&trace));
+
+    let per_eps = per_arrival.events_processed as f64 / t_per;
+    let batched_eps = batched.events_processed as f64 / t_batched;
+    let per_par_eps = per_par.events_processed as f64 / t_per_par;
+    let batched_par_eps = batched_par.events_processed as f64 / t_batched_par;
+    let stale_eps = stale.events_processed as f64 / t_stale;
+    let d = &batched.routing.dispatch;
+    let ds = &stale.routing.dispatch;
+    println!(
+        "  macro_batched_disp  {:>10.0} events/s per-arrival, {:>10.0} events/s batched \
+         ({:.2}x serial; parallel {:>10.0} -> {:>10.0} events/s, {:.2}x, {workers} workers / \
+         {cores} cores; mean batch {:.1}, bit-identical), {:>10.0} events/s bounded-staleness \
+         (mean batch {:.1}, {} refreshes)",
+        per_eps,
+        batched_eps,
+        t_per / t_batched,
+        per_par_eps,
+        batched_par_eps,
+        t_per_par / t_batched_par,
+        d.mean_batch(),
+        stale_eps,
+        ds.mean_batch(),
+        ds.snapshot_refreshes,
+    );
+    report.push(
+        "macro_batched_dispatch",
+        BenchResult::new()
+            .metric("engines", engines as f64)
+            .metric("adapters", 600.0)
+            .metric("offered_rps", rps)
+            .metric("trace_secs", secs)
+            .metric("completed", batched.completed() as f64)
+            .metric("events", batched.events_processed as f64)
+            .metric("cores", cores as f64)
+            .metric("workers", workers as f64)
+            .metric("per_arrival_wall_secs", t_per)
+            .metric("wall_secs", t_batched)
+            .metric("staleness_wall_secs", t_stale)
+            .metric("per_arrival_events_per_sec", per_eps)
+            .metric("events_per_sec", batched_eps)
+            .metric("per_arrival_parallel_events_per_sec", per_par_eps)
+            .metric("parallel_events_per_sec", batched_par_eps)
+            .metric("staleness_events_per_sec", stale_eps)
+            .metric("batched_speedup", t_per / t_batched)
+            .metric("parallel_batched_speedup", t_per_par / t_batched_par)
+            .metric("batches", d.batches as f64)
+            .metric("batched_arrivals", d.batched_arrivals as f64)
+            .metric("mean_batch", d.mean_batch())
+            .metric("max_batch", d.max_batch as f64)
+            .metric("snapshot_refreshes", d.snapshot_refreshes as f64)
+            .metric("staleness_mean_batch", ds.mean_batch())
+            .metric("staleness_max_batch", ds.max_batch as f64)
+            .metric("staleness_refreshes", ds.snapshot_refreshes as f64),
+    );
 }
 
 /// The large-fleet scenario behind the parallel-cluster perf claim:

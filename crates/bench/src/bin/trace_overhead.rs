@@ -15,15 +15,19 @@
 //! ```
 //!
 //! `--trace-out PATH` additionally writes the traced run's merged JSONL
-//! decision stream (the CI artifact).
+//! decision stream (the CI artifact). `--batched` swaps the scenario for
+//! the 4-engine amortised-dispatch path (rendezvous routing with arrival
+//! batching enabled), so the gate also bounds observation cost on the
+//! batched dispatch plane introduced in PR 8.
 
 use chameleon_bench::perf::timed;
 use chameleon_bench::SEED;
-use chameleon_core::{preset, Simulation, TraceSpec};
+use chameleon_core::{preset, DispatchSpec, Simulation, TraceSpec};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut smoke = false;
+    let mut batched = false;
     let mut runs = 3usize;
     let mut max_overhead = 0.05f64;
     let mut trace_out: Option<String> = None;
@@ -31,6 +35,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--batched" => batched = true,
             "--runs" => {
                 runs = args
                     .next()
@@ -48,8 +53,8 @@ fn main() -> ExitCode {
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out requires a path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: trace-overhead [--smoke] [--runs N] [--max-overhead F] \
-                     [--trace-out PATH]"
+                    "usage: trace-overhead [--smoke] [--batched] [--runs N] \
+                     [--max-overhead F] [--trace-out PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -62,17 +67,30 @@ fn main() -> ExitCode {
     // the best-of-N comparison sits well above scheduler/timer noise;
     // smoke stays for quick local runs (too short to be a meaningful
     // wall-clock gate).
-    let secs = if smoke { 4.0 } else { 3000.0 };
-    let base = {
+    let (base, trace) = if batched {
+        // The amortised-dispatch path: a 4-engine rendezvous fleet with
+        // arrival batching on, so the gate prices tracing on batched
+        // barriers (dispatch_batch/retry_batch events included).
+        let secs = if smoke { 4.0 } else { 400.0 };
+        let cfg = preset::chameleon_cluster_rendezvous(4)
+            .with_adapters(600)
+            .with_dispatch(DispatchSpec::new())
+            .with_label("Chameleon-DP4-600-Batched");
+        let pool = Simulation::new(cfg.clone(), SEED).pool().clone();
+        let trace = chameleon_core::workloads::lmsys(80.0, secs, SEED, &pool);
+        (cfg, trace)
+    } else {
+        let secs = if smoke { 4.0 } else { 3000.0 };
         let mut cfg = preset::chameleon();
         cfg.num_adapters = 600;
-        cfg.with_label("Chameleon-600")
+        let cfg = cfg.with_label("Chameleon-600");
+        let pool = Simulation::new(cfg.clone(), SEED).pool().clone();
+        let trace = chameleon_core::workloads::splitwise(12.0, secs, SEED, &pool);
+        (cfg, trace)
     };
     let traced_cfg = base
         .clone()
         .with_trace(TraceSpec::new().with_wasted_warm_trigger());
-    let pool = Simulation::new(base.clone(), SEED).pool().clone();
-    let trace = chameleon_core::workloads::splitwise(12.0, secs, SEED, &pool);
 
     let mut best_plain = f64::INFINITY;
     let mut best_traced = f64::INFINITY;
@@ -112,8 +130,9 @@ fn main() -> ExitCode {
     // the wall ratio is exactly the events/sec ratio.
     let overhead = best_ratio - 1.0;
     println!(
-        "trace-overhead: untraced {best_plain:.3}s vs traced {best_traced:.3}s \
+        "trace-overhead[{}]: untraced {best_plain:.3}s vs traced {best_traced:.3}s \
          (best of {runs}) -> {:+.2}% wall overhead, best paired round (gate {:.0}%)",
+        if batched { "batched" } else { "single" },
         overhead * 100.0,
         max_overhead * 100.0,
     );

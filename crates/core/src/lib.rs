@@ -54,7 +54,9 @@ pub mod system;
 pub mod telemetry;
 pub mod workloads;
 
-pub use chameleon_engine::{ClusterExecution, FaultSpec, PredictiveSpec, StragglerWindow};
+pub use chameleon_engine::{
+    ClusterExecution, DispatchSpec, FaultSpec, PredictiveSpec, StragglerWindow,
+};
 pub use chameleon_router::{EngineId, RouterPolicy};
 pub use chameleon_trace::{BarrierProfile, FlightDump, TraceLog, TraceSpec};
 pub use report::RunReport;

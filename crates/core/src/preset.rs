@@ -2,7 +2,7 @@
 //! built on the routing subsystem.
 
 use crate::system::{AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig};
-use chameleon_engine::{FaultSpec, PredictiveSpec};
+use chameleon_engine::{DispatchSpec, FaultSpec, PredictiveSpec};
 use chameleon_router::RouterPolicy;
 use chameleon_simcore::{SimDuration, SimTime};
 
@@ -186,6 +186,44 @@ pub fn chameleon_cluster_faulted(engines: usize) -> SystemConfig {
                 .with_shedding(8.0),
         )
         .with_label(format!("Chameleon-DP{engines}-Faulted"))
+}
+
+/// Chameleon cluster on *pure* weighted-rendezvous routing: every request
+/// goes to its adapter's home engine, spill disabled. Placement reads no
+/// load state at all — the state-independent routing class — which is
+/// what makes this preset the byte-identity oracle for amortised dispatch
+/// ([`chameleon_cluster_batched`] must reproduce it exactly).
+pub fn chameleon_cluster_rendezvous(engines: usize) -> SystemConfig {
+    chameleon()
+        .with_data_parallel(engines)
+        .with_router(RouterPolicy::AdapterAffinityNoSpill)
+        .with_label(format!("Chameleon-DP{engines}-Rendezvous"))
+}
+
+/// [`chameleon_cluster_rendezvous`] with amortised dispatch barriers:
+/// consecutive arrivals coalesce into a single barrier and the whole
+/// batch routes with zero snapshot refreshes (the router is
+/// state-independent, so its staleness budget is unbounded). Identical to
+/// the rendezvous preset in every other knob — and byte-identical in
+/// results, per the determinism suite; only the barrier count drops.
+pub fn chameleon_cluster_batched(engines: usize) -> SystemConfig {
+    chameleon_cluster_rendezvous(engines)
+        .with_dispatch(DispatchSpec::new())
+        .with_label(format!("Chameleon-DP{engines}-Batched"))
+}
+
+/// [`chameleon_cluster_partitioned`] with amortised dispatch barriers
+/// under the *bounded-staleness* contract: the load-aware affinity
+/// router (spill enabled) declares a `(32 requests, 50 ms)` staleness
+/// budget, and batches route from a cached snapshot generation with the
+/// coordinator's own placements echoed in — per-engine queue-depth error
+/// is bounded by the batch size. Identical to the partitioned preset in
+/// every other knob — the pair is the per-arrival-vs-batched comparison
+/// the `macro_batched_dispatch` bench scenario runs.
+pub fn chameleon_cluster_bounded_staleness(engines: usize) -> SystemConfig {
+    chameleon_cluster_partitioned(engines)
+        .with_dispatch(DispatchSpec::new())
+        .with_label(format!("Chameleon-DP{engines}-BoundedStaleness"))
 }
 
 /// [`chameleon_cluster_elastic`] with the predictive control plane: the
@@ -373,6 +411,39 @@ mod tests {
     }
 
     #[test]
+    fn batched_presets_differ_only_in_the_dispatch_axis() {
+        let rendezvous = chameleon_cluster_rendezvous(4);
+        let batched = chameleon_cluster_batched(4);
+        assert!(rendezvous.dispatch.is_none());
+        assert_eq!(batched.dispatch, Some(DispatchSpec::new()));
+        assert_eq!(batched.router, rendezvous.router);
+        assert_eq!(rendezvous.router, RouterPolicy::AdapterAffinityNoSpill);
+        assert_eq!(batched.sched, rendezvous.sched);
+        assert_eq!(batched.cache, rendezvous.cache);
+        assert_eq!(batched.data_parallel, rendezvous.data_parallel);
+
+        let partitioned = chameleon_cluster_partitioned(4);
+        let bounded = chameleon_cluster_bounded_staleness(4);
+        assert!(partitioned.dispatch.is_none());
+        assert_eq!(bounded.dispatch, Some(DispatchSpec::new()));
+        assert_eq!(bounded.router, RouterPolicy::AdapterAffinity);
+        assert_eq!(bounded.sched, partitioned.sched);
+        assert_eq!(bounded.cache, partitioned.cache);
+
+        // Every pre-existing preset stays on per-arrival dispatch.
+        for cfg in [
+            chameleon(),
+            chameleon_cluster(4),
+            chameleon_cluster_partitioned(4),
+            chameleon_cluster_hetero(),
+            chameleon_cluster_elastic(),
+            chameleon_cluster16(),
+        ] {
+            assert!(cfg.dispatch.is_none(), "{} gained batching", cfg.label);
+        }
+    }
+
+    #[test]
     fn fleet16_preset_shape() {
         let c = chameleon_cluster16();
         assert_eq!(c.engine_count(), 16);
@@ -404,6 +475,9 @@ mod tests {
             chameleon_cluster_partitioned(4),
             chameleon_cluster_predictive(4),
             chameleon_cluster_faulted(4),
+            chameleon_cluster_rendezvous(4),
+            chameleon_cluster_batched(4),
+            chameleon_cluster_bounded_staleness(4),
             chameleon_cluster_elastic_predictive(),
             chameleon_cluster_hetero(),
             chameleon_cluster_elastic(),

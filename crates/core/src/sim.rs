@@ -194,6 +194,9 @@ impl Simulation {
             if let Some(spec) = &self.cfg.fault {
                 cluster.set_fault(spec.clone(), Some(slo));
             }
+            if let Some(spec) = &self.cfg.dispatch {
+                cluster.set_dispatch(*spec);
+            }
             if tracing {
                 cluster.enable_tracing();
             }

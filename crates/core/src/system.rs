@@ -1,6 +1,8 @@
 //! System configuration: every knob of a serving system under study.
 
-use chameleon_engine::{AutoscalerConfig, ClusterExecution, FaultSpec, PredictiveSpec};
+use chameleon_engine::{
+    AutoscalerConfig, ClusterExecution, DispatchSpec, FaultSpec, PredictiveSpec,
+};
 use chameleon_models::{GpuSpec, LlmSpec, PoolConfig, PopularityDist};
 use chameleon_router::RouterPolicy;
 use chameleon_simcore::SimDuration;
@@ -187,6 +189,13 @@ pub struct SystemConfig {
     /// run byte-identical to the fault-free stack; ignored for
     /// single-engine runs (faults are observed at cluster barriers).
     pub fault: Option<FaultSpec>,
+    /// Amortised dispatch barriers: consecutive arrivals coalesce into a
+    /// single cluster barrier, routed from one cached snapshot generation
+    /// under the router's declared staleness budget (optionally tightened
+    /// by the spec). `None` — the default — keeps the legacy
+    /// one-barrier-per-arrival dispatch loop byte-identical to the
+    /// pre-batching stack; ignored for single-engine runs.
+    pub dispatch: Option<DispatchSpec>,
     /// Global routing policy dispatching requests across data-parallel
     /// engines (ignored for single-engine runs). The paper's two-level
     /// scheduler uses [`RouterPolicy::JoinShortestQueue`];
@@ -251,6 +260,7 @@ impl SystemConfig {
             autoscale: None,
             predictive: None,
             fault: None,
+            dispatch: None,
             router: RouterPolicy::JoinShortestQueue,
             cluster_exec: ClusterExecution::Serial,
             num_adapters: 100,
@@ -332,6 +342,12 @@ impl SystemConfig {
     /// Builder-style: arms the fault-injection plane.
     pub fn with_fault(mut self, fault: FaultSpec) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Builder-style: enables amortised dispatch barriers.
+    pub fn with_dispatch(mut self, dispatch: DispatchSpec) -> Self {
+        self.dispatch = Some(dispatch);
         self
     }
 

@@ -57,9 +57,43 @@ pub fn collect(report: &RunReport) -> TelemetryExport {
 pub fn collect_windowed(report: &RunReport, window: SimDuration) -> TelemetryExport {
     let mut rows = Vec::new();
     ttft_percentile_rows(report, window, &mut rows);
+    availability_rows(report, window, &mut rows);
     memory_rows(report, &mut rows);
     queue_sample_rows(report, window, &mut rows);
     TelemetryExport { rows }
+}
+
+/// Per-window offered availability: the fraction of requests offered in
+/// each window that the fleet admitted rather than refused (aggregate).
+/// Admissions come from the request records (every record was admitted;
+/// shed requests never produce one); refusals come from the trace
+/// stream's `shed` events, so fault-armed brownouts dent the series at
+/// the window where shedding bit. Without a trace the refusal instants
+/// are unknown, so the series is emitted only when the run shed nothing
+/// (a flat 1.0 would otherwise overstate availability).
+fn availability_rows(report: &RunReport, window: SimDuration, rows: &mut Vec<TelemetryRow>) {
+    if report.trace.is_none() && report.routing.fault.requests_shed > 0 {
+        return;
+    }
+    let mut offered = BinnedSeries::new();
+    for rec in &report.records {
+        offered.push(rec.arrival, 1.0);
+    }
+    if let Some(log) = &report.trace {
+        for ev in log.events() {
+            if matches!(ev.event, TraceEvent::RequestShed { .. }) {
+                offered.push(ev.at, 0.0);
+            }
+        }
+    }
+    for (at, avail) in offered.mean_bins(window) {
+        rows.push(TelemetryRow {
+            series: "availability_window",
+            engine: None,
+            at,
+            value: avail,
+        });
+    }
 }
 
 /// Sliding-window P99 TTFT over first-token instants (aggregate).
@@ -261,6 +295,7 @@ mod tests {
             export.rows().iter().map(|r| r.series).collect();
         for expected in [
             "ttft_p99_window",
+            "availability_window",
             "kv_occupancy",
             "cache_occupancy",
             "queue_depth",
@@ -297,6 +332,51 @@ mod tests {
         assert!(jsonl.lines().all(|l| l.starts_with("{\"series\":\"")));
         assert!(jsonl.contains("\"engine\":null"));
         assert!(jsonl.contains("\"engine\":0"));
+    }
+
+    #[test]
+    fn availability_windows_expose_fault_brownouts() {
+        use crate::FaultSpec;
+        let cfg = preset::chameleon_cluster(2)
+            .with_fault(FaultSpec::new().with_shedding(0.25))
+            .with_trace(TraceSpec::new());
+        let mut sim = Simulation::new(cfg, 3);
+        let trace = workloads::splitwise(60.0, 10.0, 3, sim.pool());
+        let report = sim.run(&trace);
+        assert!(
+            report.routing.fault.requests_shed > 0,
+            "load too light to trigger shedding — the brownout check needs sheds"
+        );
+        let avail: Vec<f64> = collect(&report)
+            .rows()
+            .iter()
+            .filter(|r| r.series == "availability_window")
+            .map(|r| r.value)
+            .collect();
+        assert!(!avail.is_empty());
+        assert!(
+            avail.iter().any(|v| *v < 1.0),
+            "shed requests never dented an availability window"
+        );
+        assert!(avail.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn untraced_shedding_runs_suppress_the_availability_series() {
+        use crate::FaultSpec;
+        let cfg = preset::chameleon_cluster(2).with_fault(FaultSpec::new().with_shedding(0.25));
+        let mut sim = Simulation::new(cfg, 3);
+        let trace = workloads::splitwise(60.0, 10.0, 3, sim.pool());
+        let report = sim.run(&trace);
+        assert!(report.routing.fault.requests_shed > 0);
+        assert!(
+            collect(&report)
+                .rows()
+                .iter()
+                .all(|r| r.series != "availability_window"),
+            "refusal instants are unknown without a trace; emitting a flat \
+             series would overstate availability"
+        );
     }
 
     #[test]

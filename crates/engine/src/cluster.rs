@@ -54,6 +54,7 @@
 //! across seeds, worker counts, and mid-trace fleet changes.
 
 use crate::autoscaler::{Autoscaler, ForecastSignal, ScaleAction, ScaleTrigger};
+use crate::dispatch::DispatchSpec;
 use crate::engine::{Engine, EngineEvent};
 use crate::predictive::PredictiveSpec;
 use crate::report::EngineReport;
@@ -61,12 +62,14 @@ use chameleon_fault::{fault_roll, FaultAction, FaultSpec, FaultTimeline, PcieFau
 use chameleon_metrics::RoutingStats;
 use chameleon_models::AdapterId;
 use chameleon_predictor::{Forecast, HistogramLoadPredictor};
-use chameleon_router::{policies, EngineId, EngineSnapshot, JoinShortestQueue, Router};
+use chameleon_router::{
+    policies, EngineId, EngineSnapshot, JoinShortestQueue, Router, StalenessClass,
+};
 use chameleon_simcore::shard::{self, ShardPool};
 use chameleon_simcore::{EventQueue, SimDuration, SimTime};
 use chameleon_trace::{AutoscaleAction, BarrierProfile, Lane, TraceBuffer, TraceEvent, TraceLog};
 use chameleon_workload::{Request, Trace};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 /// Counter-hash stream for provisioning-fault rolls. Engine PCIe streams
@@ -119,6 +122,12 @@ struct EpochCmd {
     /// constant within an epoch, and the condition keeping periodic
     /// ticks alive on idle engines.
     arrivals_remaining: bool,
+    /// Batched dispatch only: the last arrival instant of the in-flight
+    /// batch being delivered this epoch. Periodic ticks at `t <
+    /// batch_until` stay alive even when `arrivals_remaining` is false —
+    /// exactly the ticks per-arrival dispatch would have kept because it
+    /// had not consumed those arrivals yet.
+    batch_until: Option<SimTime>,
     mem_int: SimDuration,
     refresh_int: SimDuration,
 }
@@ -181,6 +190,22 @@ struct EngineSlot {
     processed: u64,
     /// Instant of this slot's last processed event this run.
     last: SimTime,
+    /// Batched dispatch only: arrivals the coordinator routed here at
+    /// the last batch barrier, in arrival order, delivered by `step_to`
+    /// interleaved with local events (arrival wins an equal-time tie —
+    /// the same order per-arrival dispatch produces, where the arrival
+    /// is handled at its barrier and same-instant local events wait for
+    /// the next epoch). Kept separate from the event queue because the
+    /// queue breaks same-instant ties by insertion order, which would
+    /// put pre-existing same-time events *before* the arrival.
+    arrivals: VecDeque<(SimTime, Request)>,
+    /// Adapter-resident-at-delivery count for batched arrivals. The
+    /// residency state at delivery (all local events strictly before the
+    /// arrival instant applied) is exactly what the per-arrival path
+    /// measures at its dispatch barrier, so harvesting this into
+    /// `RoutingStats::affinity_hits` keeps batched dispatch
+    /// byte-identical to per-arrival for state-independent routers.
+    arrival_hits: u64,
 }
 
 impl EngineSlot {
@@ -194,6 +219,8 @@ impl EngineSlot {
             out: Vec::new(),
             processed: 0,
             last: SimTime::ZERO,
+            arrivals: VecDeque::new(),
+            arrival_hits: 0,
         }
     }
 
@@ -202,6 +229,8 @@ impl EngineSlot {
     /// every local queue drained or was cleared by retirement).
     fn begin_run(&mut self, mem_int: SimDuration, refresh_int: SimDuration) {
         debug_assert!(self.queue.is_empty());
+        debug_assert!(self.arrivals.is_empty());
+        debug_assert_eq!(self.arrival_hits, 0, "hits harvested at run end");
         self.processed = 0;
         self.last = SimTime::ZERO;
         self.retire_ready = false;
@@ -211,12 +240,15 @@ impl EngineSlot {
             .push(SimTime::ZERO + refresh_int, EngineEvent::Refresh);
     }
 
-    /// True when this slot has a local event due before `boundary`.
+    /// True when this slot has a local event due before `boundary` or an
+    /// undelivered batched arrival (the coordinator guarantees every
+    /// routed arrival lands at or before the boundary).
     fn has_pending(&self, boundary: Option<SimTime>) -> bool {
-        match self.queue.peek_time() {
-            Some(t) => boundary.is_none_or(|b| t < b),
-            None => false,
-        }
+        !self.arrivals.is_empty()
+            || match self.queue.peek_time() {
+                Some(t) => boundary.is_none_or(|b| t < b),
+                None => false,
+            }
     }
 
     /// Steps this engine's local events up to the epoch boundary. This is
@@ -224,7 +256,35 @@ impl EngineSlot {
     /// outside the slot, which is what makes parallel stepping sound and
     /// bit-identical to serial.
     fn step_to(&mut self, cmd: &EpochCmd) {
-        while let Some(t) = self.queue.peek_time() {
+        loop {
+            // Batched dispatch: deliver routed arrivals interleaved with
+            // local events, arrival first on an equal-time tie — the
+            // exact order the per-arrival path produces (arrival handled
+            // at its barrier, same-instant local events in the next
+            // epoch). Every pending arrival is at or before the epoch
+            // boundary by construction, so none survives the epoch.
+            let next_arrival = self.arrivals.front().map(|&(ta, _)| ta);
+            let next_local = self.queue.peek_time();
+            let deliver = match (next_arrival, next_local) {
+                (Some(ta), Some(tl)) => ta <= tl,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if deliver {
+                let (ta, req) = self.arrivals.pop_front().expect("peeked arrival");
+                if self.engine.is_adapter_resident(req.adapter()) {
+                    self.arrival_hits += 1;
+                }
+                self.engine
+                    .handle(ta, EngineEvent::Arrival(req), &mut self.out);
+                for (at, e) in self.out.drain(..) {
+                    self.queue.push(at, e);
+                }
+                self.processed += 1;
+                self.last = ta;
+                continue;
+            }
+            let Some(t) = next_local else { break };
             if let Some(b) = cmd.boundary {
                 if t >= b {
                     break;
@@ -241,7 +301,14 @@ impl EngineSlot {
                 self.queue.push(at, e);
             }
             if let Some((at, e)) = reschedule {
-                if cmd.arrivals_remaining || self.engine.has_work() {
+                // Keep periodic ticks alive while dispatches remain —
+                // including batch members not yet delivered (`t <
+                // batch_until`), which per-arrival dispatch would still
+                // count as remaining arrivals at this instant.
+                if cmd.arrivals_remaining
+                    || cmd.batch_until.is_some_and(|u| t < u)
+                    || self.engine.has_work()
+                {
                     self.queue.push(at, e);
                 }
             }
@@ -256,6 +323,10 @@ impl EngineSlot {
                 break;
             }
         }
+        debug_assert!(
+            self.arrivals.is_empty(),
+            "batched arrivals must drain within their epoch"
+        );
     }
 }
 
@@ -309,6 +380,24 @@ pub struct Cluster {
     /// Fault-injection and recovery plane ([`Cluster::set_fault`]);
     /// `None` keeps every run byte-identical to the pre-fault stack.
     fault: Option<FaultState>,
+    /// Amortised dispatch barriers ([`Cluster::set_dispatch`]): `None`
+    /// keeps the legacy one-barrier-per-arrival loop untouched; `Some`
+    /// coalesces arrival runs into batches routed from one cached
+    /// snapshot generation.
+    dispatch: Option<DispatchSpec>,
+    /// Monotone snapshot-generation counter (batched dispatch): bumped
+    /// by every [`Cluster::refresh_snapshots`], stamped into the
+    /// `DispatchBatch`/`RetryBatch` trace events so tests can assert
+    /// which placements shared a generation.
+    snap_gen: u64,
+    /// The barrier instant `snap_buf` was last filled *for batched
+    /// routing* at, or `None` when the cached generation is unusable —
+    /// any plain refill (autoscaler path) or fleet mutation
+    /// (add/drain/retire) invalidates it, because `snap_slots` positions
+    /// go stale the moment the slot vector changes. A fault barrier at
+    /// the same instant as a dispatch batch reuses the generation (and
+    /// its echoes) instead of re-snapshotting.
+    snap_filled_at: Option<SimTime>,
 }
 
 impl Cluster {
@@ -363,6 +452,9 @@ impl Cluster {
             trace_epoch: 0,
             profile: None,
             fault: None,
+            dispatch: None,
+            snap_gen: 0,
+            snap_filled_at: None,
         }
     }
 
@@ -407,6 +499,25 @@ impl Cluster {
     /// The active predictive configuration, if any.
     pub fn predictive(&self) -> Option<&PredictiveSpec> {
         self.predictive.as_ref()
+    }
+
+    /// Enables amortised dispatch barriers: consecutive arrivals
+    /// coalesce into a single barrier, routed from one cached snapshot
+    /// generation whose size/age budget is the router's declared
+    /// [`StalenessClass`] tightened by `spec`. State-independent routers
+    /// (pure rendezvous with spill off, round-robin) batch without
+    /// bounds and place byte-identically to per-arrival dispatch;
+    /// load-aware routers see coordinator-echoed snapshots whose queue
+    /// depths drift from the frozen generation by at most the batch
+    /// size per engine.
+    pub fn set_dispatch(&mut self, spec: DispatchSpec) {
+        self.dispatch = Some(spec);
+        self.stats.dispatch.enabled = true;
+    }
+
+    /// The active batched-dispatch configuration, if any.
+    pub fn dispatch(&self) -> Option<&DispatchSpec> {
+        self.dispatch.as_ref()
     }
 
     /// Arms the fault-injection and recovery plane: `spec`'s scheduled
@@ -539,6 +650,9 @@ impl Cluster {
             }
         }
         self.slots.push(slot);
+        // The cached routing generation indexes slot positions; any
+        // fleet change invalidates it.
+        self.snap_filled_at = None;
         id
     }
 
@@ -564,6 +678,7 @@ impl Cluster {
         }
         self.slots[pos].draining = true;
         self.stats.on_engine_drained(id);
+        self.snap_filled_at = None;
         true
     }
 
@@ -626,6 +741,7 @@ impl Cluster {
         let with_residency = self.router.needs_residency();
         self.snap_buf.clear();
         self.snap_slots.clear();
+        self.snap_filled_at = None;
         for (pos, slot) in self.slots.iter().enumerate() {
             if slot.draining {
                 continue;
@@ -636,15 +752,29 @@ impl Cluster {
         }
     }
 
+    /// [`Cluster::fill_snapshots`] for a batched-dispatch barrier: opens
+    /// a new snapshot *generation* at `at`, which every routing decision
+    /// of the batch (and any fault-barrier retry landing at the same
+    /// instant) reads from — with the coordinator's own placements
+    /// echoed in — instead of re-snapshotting per request.
+    fn refresh_snapshots(&mut self, at: SimTime) {
+        self.fill_snapshots();
+        self.snap_gen += 1;
+        self.snap_filled_at = Some(at);
+        self.stats.dispatch.snapshot_refreshes += 1;
+    }
+
     /// Retires slot `pos`: its report (tagged with its stable id) is
     /// stashed for the final merge, its run counters fold into the
     /// cluster's, and its pending events are discarded — exactly the
     /// stale ticks the pre-epoch single-heap loop popped and dropped.
     fn retire_slot(&mut self, pos: usize, last: &mut SimTime, processed: &mut u64) {
         let mut slot = self.slots.remove(pos);
+        self.snap_filled_at = None;
         slot.queue.clear();
         *processed += slot.processed;
         *last = (*last).max(slot.last);
+        self.stats.affinity_hits += slot.arrival_hits;
         self.stats.fault.pcie_retries += slot.engine.pcie_fault_retries();
         if let Some(tracer) = self.tracer.as_mut() {
             tracer.extend_lane(Lane::Engine(slot.id.0), slot.engine.take_trace_events());
@@ -677,11 +807,13 @@ impl Cluster {
         &mut self,
         boundary: Option<SimTime>,
         arrivals_remaining: bool,
+        batch_until: Option<SimTime>,
         pool: Option<&ShardPool<'_, EngineSlot, EpochCmd>>,
     ) {
         let cmd = EpochCmd {
             boundary,
             arrivals_remaining,
+            batch_until,
             mem_int: self.mem_int,
             refresh_int: self.refresh_int,
         };
@@ -986,6 +1118,8 @@ impl Cluster {
             slot.queue.push(t + mem_int, EngineEvent::MemSample);
             slot.queue.push(t + refresh_int, EngineEvent::Refresh);
         }
+        let mut retry_count: u32 = 0;
+        let mut retry_reused = false;
         loop {
             let entry = {
                 let fs = self.fault.as_mut().expect("fault barrier without plane");
@@ -995,7 +1129,34 @@ impl Cluster {
                     break;
                 }
             };
+            if self.dispatch.is_some() && retry_count == 0 {
+                // Batched dispatch: all retries due at this barrier share
+                // one snapshot generation — the arrival batch's when it
+                // routed at this same instant and the fleet has not
+                // changed since (crashes and provisions above invalidate
+                // it), a fresh one otherwise.
+                retry_reused = self.snap_filled_at == Some(t);
+                if retry_reused {
+                    self.stats.dispatch.retry_generation_reuses += 1;
+                } else {
+                    self.refresh_snapshots(t);
+                }
+            }
+            retry_count += 1;
             self.dispatch_retry(t, entry, last);
+        }
+        if retry_count > 0 && self.dispatch.is_some() {
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.push(
+                    t,
+                    Lane::Coordinator,
+                    TraceEvent::RetryBatch {
+                        generation: self.snap_gen,
+                        size: retry_count,
+                        reused: retry_reused,
+                    },
+                );
+            }
         }
     }
 
@@ -1137,8 +1298,15 @@ impl Cluster {
     /// except it bypasses the shedding gate (the system already owes this
     /// request) and does not feed the forecaster (its adapter's arrival
     /// was observed once, at the original dispatch).
+    ///
+    /// Under batched dispatch the caller ([`Cluster::fault_barrier`])
+    /// prepares the snapshot generation — reusing the arrival batch's
+    /// when the barrier lands at the same instant — and this routes from
+    /// the cache, echoing its placement like any other batch member.
     fn dispatch_retry(&mut self, t: SimTime, entry: RetryEntry, last: &mut SimTime) {
-        self.fill_snapshots();
+        if self.dispatch.is_none() {
+            self.fill_snapshots();
+        }
         let decision = self.router.route(&entry.req, &self.snap_buf);
         assert!(
             decision.engine < self.snap_buf.len(),
@@ -1151,6 +1319,12 @@ impl Cluster {
             .is_adapter_resident(entry.req.adapter());
         self.stats.record(chosen, affinity_hit, decision.spilled);
         self.stats.fault.retries += 1;
+        if self.dispatch.is_some() {
+            let snap = &mut self.snap_buf[decision.engine];
+            snap.queue_depth += 1;
+            snap.outstanding_tokens +=
+                u64::from(entry.req.input_tokens()) + u64::from(entry.req.output_tokens());
+        }
         if let Some(tracer) = self.tracer.as_mut() {
             tracer.push(
                 t,
@@ -1290,6 +1464,20 @@ impl Cluster {
         // neither `last` nor the processed total.
         let mut last = SimTime::ZERO;
         let mut processed: u64 = 0;
+        // Amortised dispatch: the effective `(batch size, age)` budget —
+        // the router's declared staleness class tightened by the spec.
+        // `None` runs the legacy one-barrier-per-arrival path untouched.
+        let budget: Option<(u32, SimDuration)> = self.dispatch.map(|spec| {
+            let (declared_batch, declared_age) = match self.router.staleness() {
+                StalenessClass::StateIndependent => (u32::MAX, SimDuration::MAX),
+                StalenessClass::BoundedStaleness { max_batch, max_age } => (max_batch, max_age),
+            };
+            spec.effective(declared_batch, declared_age)
+        });
+        // Last arrival instant of the batch routed at the previous
+        // barrier, handed to the next epoch so its deliveries keep
+        // periodic ticks alive exactly as undispatched arrivals would.
+        let mut batch_until: Option<SimTime> = None;
         loop {
             let arr_t = order.get(next_arr).map(|&i| reqs[i as usize].arrival());
             let fault_t = self.next_fault_time();
@@ -1314,15 +1502,170 @@ impl Cluster {
             // the recovered work.
             let dispatches_remaining =
                 arr_t.is_some() || self.fault.as_ref().is_some_and(|fs| !fs.retries.is_empty());
-            self.run_epoch(cross.map(|(t, _)| t), dispatches_remaining, pool);
+            self.run_epoch(
+                cross.map(|(t, _)| t),
+                dispatches_remaining,
+                batch_until.take(),
+                pool,
+            );
             self.harvest_retired(&mut last, &mut processed);
             let Some((t, kind)) = cross else {
                 break; // final epoch drained every local queue
             };
-            processed += 1;
             if kind == CrossEvent::Fault {
+                processed += 1;
                 self.fault_barrier(t, &mut last, &mut processed, &mut scale);
+            } else if kind == CrossEvent::Arrival && budget.is_some() {
+                // Amortised dispatch: open one snapshot generation at
+                // this barrier and route every coalescible arrival from
+                // it — the run of consecutive arrivals up to the next
+                // non-coalescible cross event (autoscaler tick or fault
+                // barrier; inclusive, since the arrival class wins an
+                // equal-time tie) and within the staleness budget's size
+                // and age caps. Routed placements land in per-engine
+                // queues and are handled *inside* the next epoch at
+                // their own arrival instants; sheds stay coordinator
+                // events. Delivered members count into `processed` at
+                // delivery (`EngineSlot::step_to`), sheds here — the
+                // same totals per-arrival dispatch produces.
+                let (max_batch, max_age) = budget.expect("budget checked");
+                let limit = match (next_scale, fault_t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                self.refresh_snapshots(t);
+                let generation = self.snap_gen;
+                let mut size: u32 = 0;
+                let mut batch_end = t;
+                while let Some(&idx) = order.get(next_arr) {
+                    let req = reqs[idx as usize];
+                    let ta = req.arrival();
+                    if size > 0
+                        && (limit.is_some_and(|l| ta > l)
+                            || size >= max_batch
+                            || ta.saturating_since(t) > max_age)
+                    {
+                        break;
+                    }
+                    next_arr += 1;
+                    size += 1;
+                    batch_end = ta;
+                    last = last.max(ta);
+                    if self.predictive.is_some() {
+                        self.forecaster.observe(req.adapter(), ta);
+                    }
+                    // The shedding gate prices against the generation's
+                    // frozen TTFT estimates (echoes bump queue depth and
+                    // outstanding tokens, not the estimate), so a
+                    // brownout verdict holds for the whole batch.
+                    if let Some(fs) = self.fault.as_ref() {
+                        if fs.spec.sheds() {
+                            if let Some(slo) = fs.slo {
+                                let min_est = self
+                                    .snap_buf
+                                    .iter()
+                                    .map(|s| s.est_ttft_secs)
+                                    .fold(f64::INFINITY, f64::min);
+                                if min_est > fs.spec.shed_multiple * slo.as_secs_f64() {
+                                    let idle =
+                                        self.snap_buf
+                                            .iter()
+                                            .filter(|s| s.queue_depth == 0 && s.running == 0)
+                                            .count() as u32;
+                                    self.stats.fault.requests_shed += 1;
+                                    processed += 1;
+                                    if let Some(tracer) = self.tracer.as_mut() {
+                                        tracer.push(
+                                            ta,
+                                            Lane::Coordinator,
+                                            TraceEvent::RequestShed {
+                                                req: req.id().0,
+                                                est_ttft: SimDuration::from_secs_f64(min_est),
+                                                idle_engines: idle,
+                                            },
+                                        );
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    let decision = self.router.route(&req, &self.snap_buf);
+                    assert!(
+                        decision.engine < self.snap_buf.len(),
+                        "router out of bounds"
+                    );
+                    let pos = self.snap_slots[decision.engine];
+                    let chosen = self.slots[pos].id;
+                    // Residency as of the generation barrier. The stats
+                    // affinity-hit counter is measured at delivery time
+                    // inside the slot (`EngineSlot::arrival_hits`) —
+                    // the same measurement point per-arrival dispatch
+                    // uses — so the generation view here drives only
+                    // prewarm accounting and the trace.
+                    let resident = self.slots[pos].engine.is_adapter_resident(req.adapter());
+                    self.stats.record(chosen, false, decision.spilled);
+                    let mut prewarm_hit = false;
+                    if resident && self.outstanding_warms.get(&req.adapter()) == Some(&chosen) {
+                        self.outstanding_warms.remove(&req.adapter());
+                        self.stats.predictive.on_prewarm_hit();
+                        prewarm_hit = true;
+                    }
+                    if let Some(tracer) = self.tracer.as_mut() {
+                        let candidates: Vec<(u32, u64)> = self
+                            .snap_buf
+                            .iter()
+                            .map(|s| (s.id.0, s.outstanding_tokens))
+                            .collect();
+                        tracer.push(
+                            ta,
+                            Lane::Coordinator,
+                            TraceEvent::RouteDecision {
+                                req: req.id().0,
+                                adapter: req.adapter().0,
+                                chosen: chosen.0,
+                                spilled: decision.spilled,
+                                affinity_hit: resident,
+                                candidates,
+                            },
+                        );
+                        if prewarm_hit {
+                            tracer.push(
+                                ta,
+                                Lane::Coordinator,
+                                TraceEvent::PrewarmHit {
+                                    adapter: req.adapter().0,
+                                    engine: chosen.0,
+                                },
+                            );
+                        }
+                    }
+                    // Echo the placement into the cached generation so
+                    // later batch members observe it — what keeps the
+                    // bounded-staleness queue-depth error within the
+                    // batch budget.
+                    let snap = &mut self.snap_buf[decision.engine];
+                    snap.queue_depth += 1;
+                    snap.outstanding_tokens +=
+                        u64::from(req.input_tokens()) + u64::from(req.output_tokens());
+                    self.slots[pos].arrivals.push_back((ta, req));
+                }
+                self.stats.dispatch.on_batch(u64::from(size));
+                if let Some(tracer) = self.tracer.as_mut() {
+                    tracer.push(
+                        t,
+                        Lane::Coordinator,
+                        TraceEvent::DispatchBatch {
+                            generation,
+                            size,
+                            span: batch_end.saturating_since(t),
+                        },
+                    );
+                }
+                self.pre_replicate(t);
+                batch_until = Some(batch_end);
             } else if kind == CrossEvent::Arrival {
+                processed += 1;
                 let req = reqs[order[next_arr] as usize];
                 next_arr += 1;
                 last = last.max(t);
@@ -1424,6 +1767,7 @@ impl Cluster {
                 }
                 self.pre_replicate(t);
             } else {
+                processed += 1;
                 let (autoscaler, grow) = scale.as_mut().expect("scale event without scaler");
                 self.fill_snapshots();
                 let signal = self.forecast_signal(t, autoscaler.config().interval);
@@ -1539,9 +1883,11 @@ impl Cluster {
         }
         // Fold the run counters of the engines still in the fleet
         // (retired engines folded at retirement).
-        for slot in &self.slots {
+        for slot in &mut self.slots {
             processed += slot.processed;
             last = last.max(slot.last);
+            self.stats.affinity_hits += slot.arrival_hits;
+            slot.arrival_hits = 0;
         }
         self.events_processed += processed;
         last
@@ -2088,5 +2434,135 @@ mod tests {
         assert!(p.run_wall_ns > 0, "no wall time measured");
         assert!(p.run_wall_ns >= p.step_wall_ns, "step exceeds run wall");
         assert!(p.step_wall_ns >= p.pool_step_wall_ns);
+    }
+
+    /// A cluster run's observable fingerprint for batched-vs-per-arrival
+    /// comparisons: per-request timings, routing counters, processed
+    /// totals.
+    fn fingerprint(c: Cluster) -> (Vec<u64>, u64, u64, u64, u64, String) {
+        let counts = c.dispatch_counts().to_vec();
+        let events = c.events_processed();
+        let stats = c.routing_stats();
+        let (hits, spills, dispatched) = (stats.affinity_hits, stats.spills, stats.dispatched);
+        let report = c.into_report();
+        let records = format!(
+            "{:?}",
+            report
+                .records
+                .iter()
+                .map(|r| (r.id, r.first_token, r.finished))
+                .collect::<Vec<_>>()
+        );
+        (counts, events, hits, spills, dispatched, records)
+    }
+
+    /// Tentpole oracle (engine level): with a state-independent router —
+    /// pure weighted rendezvous, spill disabled — batched dispatch
+    /// produces the same placements, timings, affinity hits, and event
+    /// totals as per-arrival dispatch. Zero snapshot refreshes per
+    /// arrival become one per batch.
+    #[test]
+    fn batched_dispatch_matches_per_arrival_for_state_independent_router() {
+        for policy in [
+            RouterPolicy::AdapterAffinityNoSpill,
+            RouterPolicy::RoundRobin,
+        ] {
+            let run = |batched: bool| {
+                let (factory, trace) = factory_and_trace_at(200.0, 300);
+                let mut c = Cluster::with_router(3, factory, policy.build(0));
+                if batched {
+                    c.set_dispatch(DispatchSpec::new());
+                }
+                c.run(&trace);
+                let stats = c.routing_stats();
+                assert_eq!(stats.dispatch.enabled, batched);
+                if batched {
+                    assert!(
+                        stats.dispatch.mean_batch() > 1.0,
+                        "{}: arrivals at 200 rps should coalesce (mean {})",
+                        policy.name(),
+                        stats.dispatch.mean_batch()
+                    );
+                    assert_eq!(stats.dispatch.snapshot_refreshes, stats.dispatch.batches);
+                }
+                fingerprint(c)
+            };
+            assert_eq!(
+                run(false),
+                run(true),
+                "{}: batched dispatch diverged from per-arrival",
+                policy.name()
+            );
+        }
+    }
+
+    /// Bounded-staleness batching (the default JSQ router) stays a
+    /// complete, balanced run: every request finishes, batches form, and
+    /// the per-engine queue-depth error is bounded by the batch budget
+    /// (the router property suite covers the bound itself; here the
+    /// end-to-end run must not lose or duplicate work).
+    #[test]
+    fn bounded_staleness_batching_completes_everything() {
+        let (factory, trace) = factory_and_trace_at(200.0, 300);
+        let mut c = Cluster::new(3, factory);
+        c.set_dispatch(DispatchSpec::new());
+        c.run(&trace);
+        assert_eq!(c.completed(), 300);
+        let stats = c.routing_stats();
+        assert_eq!(stats.dispatched, 300);
+        assert_eq!(stats.dispatch.batched_arrivals, 300);
+        assert!(stats.dispatch.batches < 300, "no coalescing happened");
+        assert!(
+            stats.dispatch.max_batch <= 32,
+            "JSQ's declared budget (32) was exceeded: {}",
+            stats.dispatch.max_batch
+        );
+        let report = c.into_report();
+        assert!(report.records.iter().all(|r| r.is_complete()));
+    }
+
+    /// The spec's overrides tighten the router's declared budget: a
+    /// max_batch of 1 degenerates to per-arrival barriers (one batch per
+    /// request) even though JSQ declares 32.
+    #[test]
+    fn spec_budget_caps_batch_size() {
+        let (factory, trace) = factory_and_trace_at(200.0, 120);
+        let mut c = Cluster::new(3, factory);
+        c.set_dispatch(DispatchSpec::with_budget(1, SimDuration::from_secs(3600)));
+        c.run(&trace);
+        let stats = c.routing_stats();
+        assert_eq!(stats.dispatch.max_batch, 1);
+        assert_eq!(stats.dispatch.batches, 120);
+    }
+
+    /// Batched runs emit `dispatch_batch` coordinator events carrying
+    /// the generation, and route decisions at each member's own arrival
+    /// instant — and stay bit-identical between serial and parallel
+    /// execution.
+    #[test]
+    fn batched_trace_is_identical_across_execution_modes() {
+        let run = |exec: ClusterExecution| {
+            let (factory, trace) = factory_and_trace_at(200.0, 200);
+            let mut c = Cluster::new(3, factory);
+            c.set_dispatch(DispatchSpec::new());
+            c.enable_tracing();
+            c.run_with(&trace, exec);
+            let (report, log, _) = c.into_report_with_trace();
+            (
+                format!("{:?}", report.records),
+                log.expect("tracing on").to_jsonl(),
+            )
+        };
+        let (serial_report, serial_jsonl) = run(ClusterExecution::Serial);
+        assert!(serial_jsonl.contains("\"ev\":\"dispatch_batch\""));
+        assert!(serial_jsonl.contains("\"ev\":\"route\""));
+        for workers in [2, 7] {
+            let (report, jsonl) = run(ClusterExecution::Parallel { workers });
+            assert_eq!(
+                serial_report, report,
+                "results diverged at {workers} workers"
+            );
+            assert_eq!(serial_jsonl, jsonl, "trace diverged at {workers} workers");
+        }
     }
 }

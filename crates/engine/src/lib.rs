@@ -58,6 +58,7 @@
 pub mod autoscaler;
 pub mod cluster;
 pub mod config;
+pub mod dispatch;
 pub mod driver;
 pub mod engine;
 pub mod predictive;
@@ -68,6 +69,7 @@ pub use autoscaler::{Autoscaler, AutoscalerConfig, ForecastSignal, ScaleAction, 
 pub use chameleon_fault::{FaultSpec, StragglerWindow};
 pub use cluster::{Cluster, ClusterExecution};
 pub use config::EngineConfig;
+pub use dispatch::DispatchSpec;
 pub use engine::{Engine, EngineEvent};
 pub use predictive::PredictiveSpec;
 pub use report::EngineReport;

@@ -25,6 +25,6 @@ pub mod summary;
 
 pub use collector::Collector;
 pub use record::{RequestRecord, SizeClass};
-pub use routing::{FaultStats, PredictiveStats, RoutingStats};
+pub use routing::{DispatchStats, FaultStats, PredictiveStats, RoutingStats};
 pub use series::{BinnedSeries, MemorySample, MonotonicTimeError, WindowedSeries};
 pub use summary::LatencySummary;

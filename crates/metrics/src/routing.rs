@@ -128,6 +128,44 @@ impl FaultStats {
     }
 }
 
+/// Outcome counters of the amortised-dispatch (batched-barrier) path.
+/// All-zero — and absent from `canonical_text`, like the trace and
+/// barrier-profile planes — unless the run opted into batched dispatch
+/// via `DispatchSpec`: the state-independent byte-identity oracle
+/// compares batched against per-arrival digests, so batching must never
+/// add a report line of its own.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DispatchStats {
+    /// Batched dispatch was active this run.
+    pub enabled: bool,
+    /// Arrival barriers executed (each coalesced ≥1 arrivals).
+    pub batches: u64,
+    /// Arrivals routed (or shed) through batched barriers.
+    pub batched_arrivals: u64,
+    /// Snapshot generations filled for routing (arrival barriers plus
+    /// fault-barrier retry refreshes; generation reuse refreshes nothing).
+    pub snapshot_refreshes: u64,
+    /// Fault-barrier retry batches that reused an arrival barrier's
+    /// snapshot generation instead of refreshing.
+    pub retry_generation_reuses: u64,
+    /// Largest single batch observed.
+    pub max_batch: u64,
+}
+
+impl DispatchStats {
+    /// Records one arrival batch of `size` members.
+    pub fn on_batch(&mut self, size: u64) {
+        self.batches += 1;
+        self.batched_arrivals += size;
+        self.max_batch = self.max_batch.max(size);
+    }
+
+    /// Mean arrivals coalesced per barrier (0 when nothing was batched).
+    pub fn mean_batch(&self) -> f64 {
+        rate(self.batched_arrivals, self.batches)
+    }
+}
+
 /// Aggregate routing statistics for one cluster run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RoutingStats {
@@ -160,6 +198,9 @@ pub struct RoutingStats {
     /// Fault-plane counters; default (all-zero, disabled) unless the run
     /// armed a fault spec.
     pub fault: FaultStats,
+    /// Batched-dispatch counters; default (all-zero, disabled) unless the
+    /// run opted into amortised dispatch barriers.
+    pub dispatch: DispatchStats,
 }
 
 impl RoutingStats {
@@ -381,6 +422,30 @@ mod tests {
             ..FaultStats::default()
         };
         assert!((f.availability(100) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispatch_stats_default_is_disabled_and_empty() {
+        let s = RoutingStats::new("jsq", &ids(2));
+        assert_eq!(s.dispatch, DispatchStats::default());
+        assert!(!s.dispatch.enabled);
+        assert_eq!(s.dispatch.mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn dispatch_stats_track_batches() {
+        let mut d = DispatchStats {
+            enabled: true,
+            ..DispatchStats::default()
+        };
+        d.on_batch(1);
+        d.on_batch(7);
+        d.on_batch(4);
+        d.snapshot_refreshes = 3;
+        assert_eq!(d.batches, 3);
+        assert_eq!(d.batched_arrivals, 12);
+        assert_eq!(d.max_batch, 7);
+        assert!((d.mean_batch() - 4.0).abs() < 1e-12);
     }
 
     #[test]

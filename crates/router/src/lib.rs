@@ -52,7 +52,59 @@ pub use policies::{
 };
 pub use snapshot::{EngineId, EngineSnapshot};
 
+use chameleon_simcore::SimDuration;
 use chameleon_workload::Request;
+
+/// How sensitive a policy's placement decisions are to snapshot age — the
+/// contract that lets the cluster coalesce consecutive arrivals into one
+/// dispatch barrier instead of refreshing `snap_buf` per request.
+///
+/// The coordinator consults this once per run (policies never change
+/// class mid-run) and sizes arrival batches accordingly:
+///
+/// * [`StateIndependent`](StalenessClass::StateIndependent) — placement
+///   reads no load fields (queue depth, outstanding tokens, free memory,
+///   TTFT estimates), only stable facts that change exclusively at true
+///   barriers: fleet membership, identities, and capacity weights. Whole
+///   arrival batches route from one snapshot generation with zero
+///   refreshes and the result is byte-identical to per-arrival dispatch.
+/// * [`BoundedStaleness`](StalenessClass::BoundedStaleness) — placement
+///   reads load fields, so routing from a cached generation admits
+///   bounded error: at most `max_batch` arrivals (and no more than
+///   `max_age` of trace time) are placed between refreshes. Because the
+///   coordinator echoes its own placements into the cached snapshots
+///   (queue depth +1, outstanding tokens += request estimate per
+///   placement), the only state a batch member cannot see is work that
+///   *completed* since the refresh — so the cached queue depth
+///   over-counts the live engine by at most the batch size, and never
+///   under-counts it. Per-engine queue-depth error is therefore bounded
+///   by the declared batch budget (property-tested in
+///   `policies::properties`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StalenessClass {
+    /// Placement depends only on fleet membership and capacity weights;
+    /// batches are unbounded (the next non-coalescible barrier ends them).
+    StateIndependent,
+    /// Placement reads load fields; refresh the snapshots after
+    /// `max_batch` placements or `max_age` of trace time, whichever
+    /// comes first.
+    BoundedStaleness {
+        /// Maximum placements per snapshot generation.
+        max_batch: u32,
+        /// Maximum trace-time age of a snapshot generation.
+        max_age: SimDuration,
+    },
+}
+
+impl StalenessClass {
+    /// Default staleness budget for load-aware policies: small enough
+    /// that queue-depth error stays well inside one scheduling quantum,
+    /// large enough to amortise the barrier.
+    pub const DEFAULT_BOUNDED: StalenessClass = StalenessClass::BoundedStaleness {
+        max_batch: 32,
+        max_age: SimDuration::from_millis(50),
+    };
+}
 
 /// Where a request was placed, and whether the placement was a spill
 /// (an affinity router diverted the request away from its home engine
@@ -111,6 +163,14 @@ pub trait Router {
         false
     }
 
+    /// How stale a snapshot this policy tolerates (see [`StalenessClass`]).
+    /// The conservative default declares a small bounded budget; policies
+    /// whose placement ignores load fields override this to
+    /// [`StalenessClass::StateIndependent`] and batch without limit.
+    fn staleness(&self) -> StalenessClass {
+        StalenessClass::DEFAULT_BOUNDED
+    }
+
     /// Policy label for reports.
     fn name(&self) -> &'static str;
 }
@@ -128,15 +188,20 @@ pub enum RouterPolicy {
     /// Weighted-rendezvous-hash the adapter to a home engine; spill to its
     /// second rendezvous choice when the home is saturated.
     AdapterAffinity,
+    /// Pure weighted-rendezvous placement — [`AdapterAffinity`] with the
+    /// spill branch disabled. Placement never reads load state, so it is
+    /// [`StalenessClass::StateIndependent`] and batches without limit.
+    AdapterAffinityNoSpill,
 }
 
 impl RouterPolicy {
     /// Every built-in policy, in presentation order.
-    pub const ALL: [RouterPolicy; 4] = [
+    pub const ALL: [RouterPolicy; 5] = [
         RouterPolicy::RoundRobin,
         RouterPolicy::JoinShortestQueue,
         RouterPolicy::PowerOfTwoChoices,
         RouterPolicy::AdapterAffinity,
+        RouterPolicy::AdapterAffinityNoSpill,
     ];
 
     /// Instantiates the policy. `seed` feeds the randomised policies'
@@ -147,6 +212,7 @@ impl RouterPolicy {
             RouterPolicy::JoinShortestQueue => Box::new(JoinShortestQueue::new()),
             RouterPolicy::PowerOfTwoChoices => Box::new(PowerOfTwoChoices::new(seed)),
             RouterPolicy::AdapterAffinity => Box::new(AdapterAffinity::new()),
+            RouterPolicy::AdapterAffinityNoSpill => Box::new(AdapterAffinity::without_spill()),
         }
     }
 
@@ -157,6 +223,7 @@ impl RouterPolicy {
             RouterPolicy::JoinShortestQueue => "join-shortest-queue",
             RouterPolicy::PowerOfTwoChoices => "power-of-two",
             RouterPolicy::AdapterAffinity => "adapter-affinity",
+            RouterPolicy::AdapterAffinityNoSpill => "adapter-affinity-nospill",
         }
     }
 }
@@ -218,8 +285,36 @@ mod tests {
     #[test]
     fn only_affinity_declares_homes() {
         for p in RouterPolicy::ALL {
-            let expects = p == RouterPolicy::AdapterAffinity;
+            let expects =
+                p == RouterPolicy::AdapterAffinity || p == RouterPolicy::AdapterAffinityNoSpill;
             assert_eq!(p.build(1).uses_affinity(), expects, "{}", p.name());
         }
+    }
+
+    #[test]
+    fn staleness_classes_match_what_each_policy_reads() {
+        for p in RouterPolicy::ALL {
+            let state_independent = matches!(
+                p,
+                RouterPolicy::RoundRobin | RouterPolicy::AdapterAffinityNoSpill
+            );
+            let expects = if state_independent {
+                StalenessClass::StateIndependent
+            } else {
+                StalenessClass::DEFAULT_BOUNDED
+            };
+            assert_eq!(p.build(1).staleness(), expects, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn bounded_budget_is_positive() {
+        let StalenessClass::BoundedStaleness { max_batch, max_age } =
+            StalenessClass::DEFAULT_BOUNDED
+        else {
+            panic!("default budget must be bounded");
+        };
+        assert!(max_batch > 0);
+        assert!(!max_age.is_zero());
     }
 }

@@ -1,7 +1,7 @@
 //! The built-in placement policies.
 
 use crate::snapshot::{EngineId, EngineSnapshot};
-use crate::{RouteDecision, Router};
+use crate::{RouteDecision, Router, StalenessClass};
 use chameleon_models::AdapterId;
 use chameleon_simcore::SimRng;
 use chameleon_workload::Request;
@@ -25,6 +25,12 @@ impl Router for RoundRobin {
         let engine = self.next % engines.len();
         self.next = (engine + 1) % engines.len();
         RouteDecision::to(engine)
+    }
+
+    /// The cursor reads only the fleet *size*, which changes exclusively
+    /// at true (non-coalescible) barriers — no load field is consulted.
+    fn staleness(&self) -> StalenessClass {
+        StalenessClass::StateIndependent
     }
 
     fn name(&self) -> &'static str {
@@ -54,6 +60,14 @@ impl Router for JoinShortestQueue {
             .map(|(i, _)| i)
             .expect("non-empty cluster");
         RouteDecision::to(engine)
+    }
+
+    /// Reads `outstanding_tokens`, so it tolerates only the default
+    /// bounded staleness budget: between refreshes the cached snapshots
+    /// drift from the live engines by at most the batch size per engine
+    /// (the coordinator echoes its own placements into the cache).
+    fn staleness(&self) -> StalenessClass {
+        StalenessClass::DEFAULT_BOUNDED
     }
 
     fn name(&self) -> &'static str {
@@ -101,6 +115,12 @@ impl Router for PowerOfTwoChoices {
         RouteDecision::to(engine)
     }
 
+    /// Samples `outstanding_tokens` of its pair, so it declares the same
+    /// bounded budget as JSQ.
+    fn staleness(&self) -> StalenessClass {
+        StalenessClass::DEFAULT_BOUNDED
+    }
+
     fn name(&self) -> &'static str {
         "power-of-two"
     }
@@ -141,6 +161,10 @@ pub struct AdapterAffinity {
     spill_slack: u64,
     /// Where spilled requests go.
     spill_target: SpillTarget,
+    /// When false, the spill branch is disabled entirely: placement is
+    /// pure weighted rendezvous on `(id, weight)` and never reads a load
+    /// field, making the policy state-independent.
+    spill: bool,
 }
 
 impl Default for AdapterAffinity {
@@ -158,6 +182,20 @@ impl AdapterAffinity {
             spill_factor: 2.0,
             spill_slack: 4096,
             spill_target: SpillTarget::SecondChoice,
+            spill: true,
+        }
+    }
+
+    /// Pure weighted-rendezvous placement: every request goes to its
+    /// adapter's home engine unconditionally. Placement depends only on
+    /// fleet identity and capacity weights, so the policy declares
+    /// [`StalenessClass::StateIndependent`] and whole arrival batches
+    /// route from a single snapshot generation byte-identically to
+    /// per-arrival dispatch.
+    pub fn without_spill() -> Self {
+        AdapterAffinity {
+            spill: false,
+            ..AdapterAffinity::new()
         }
     }
 
@@ -185,6 +223,9 @@ impl Router for AdapterAffinity {
     fn route(&mut self, req: &Request, engines: &[EngineSnapshot]) -> RouteDecision {
         let (home, second) =
             rendezvous_top2(req.adapter(), engines.iter().map(|s| (s.id, s.weight)));
+        if !self.spill {
+            return RouteDecision::to(home);
+        }
         let target = match self.spill_target {
             SpillTarget::SecondChoice => second,
             SpillTarget::LeastLoaded => engines
@@ -215,8 +256,23 @@ impl Router for AdapterAffinity {
         true
     }
 
+    /// With spill enabled the policy reads `outstanding_tokens` and keeps
+    /// the conservative bounded budget; with spill disabled it is pure
+    /// rendezvous and state-independent.
+    fn staleness(&self) -> StalenessClass {
+        if self.spill {
+            StalenessClass::DEFAULT_BOUNDED
+        } else {
+            StalenessClass::StateIndependent
+        }
+    }
+
     fn name(&self) -> &'static str {
-        "adapter-affinity"
+        if self.spill {
+            "adapter-affinity"
+        } else {
+            "adapter-affinity-nospill"
+        }
     }
 }
 
@@ -461,6 +517,33 @@ mod tests {
         let d = r.route(&req(1, a.0), &snaps_with_loads(&[30, 10, 20, 25]));
         assert_eq!(d.engine, 0);
         assert!(!d.spilled);
+    }
+
+    #[test]
+    fn no_spill_variant_is_pure_rendezvous_even_when_saturated() {
+        let mut r = AdapterAffinity::without_spill();
+        assert_eq!(r.name(), "adapter-affinity-nospill");
+        assert_eq!(r.staleness(), StalenessClass::StateIndependent);
+        assert!(r.uses_affinity());
+        // A grotesquely overloaded home still receives its shard: the load
+        // columns are never consulted.
+        for a in 0..50 {
+            let mut loads = [10u64; 4];
+            let home = rendezvous_home(AdapterId(a), uniform(4));
+            loads[home] = u64::MAX / 4;
+            let d = r.route(&req(u64::from(a), a), &snaps_with_loads(&loads));
+            assert_eq!(d.engine, home);
+            assert!(!d.spilled);
+        }
+    }
+
+    #[test]
+    fn spilling_affinity_keeps_the_bounded_budget() {
+        assert_eq!(
+            AdapterAffinity::new().staleness(),
+            StalenessClass::DEFAULT_BOUNDED
+        );
+        assert_eq!(AdapterAffinity::new().name(), "adapter-affinity");
     }
 
     #[test]
@@ -754,6 +837,78 @@ mod tests {
                 prop_assert_eq!(
                     new_home, set[target].0,
                     "draining the home must promote exactly the pre-replication target"
+                );
+            }
+
+            /// The bounded-staleness contract ([`StalenessClass`]): route a
+            /// batch of `k ≤ max_batch` requests through JSQ from one
+            /// frozen snapshot generation, echoing each placement into the
+            /// cache (queue depth +1, outstanding tokens += charge) the way
+            /// the cluster coordinator does. Per engine, the cached view
+            /// drifts from the frozen generation by exactly its share of
+            /// the batch — never more than the declared budget — and the
+            /// true queue depth (initial + placements, completions being
+            /// the only unobservable) never exceeds the cached view.
+            #[test]
+            fn prop_bounded_staleness_drift_never_exceeds_the_batch_budget(
+                initial in proptest::collection::vec(0u64..5_000, 2..8),
+                charges in proptest::collection::vec(1u64..2_048, 1..33),
+            ) {
+                let StalenessClass::BoundedStaleness { max_batch, .. } =
+                    StalenessClass::DEFAULT_BOUNDED
+                else {
+                    unreachable!("default budget is bounded");
+                };
+                prop_assert!(charges.len() as u32 <= max_batch);
+                let mut snaps = snaps_with_loads(&initial);
+                let depth0: Vec<usize> = snaps.iter().map(|s| s.queue_depth).collect();
+                let mut placed = vec![0usize; snaps.len()];
+                let mut r = JoinShortestQueue::new();
+                for (i, &charge) in charges.iter().enumerate() {
+                    let d = r.route(&req(i as u64, i as u32), &snaps);
+                    prop_assert!(d.engine < snaps.len());
+                    placed[d.engine] += 1;
+                    snaps[d.engine].queue_depth += 1;
+                    snaps[d.engine].outstanding_tokens += charge;
+                }
+                for (e, snap) in snaps.iter().enumerate() {
+                    let drift = snap.queue_depth - depth0[e];
+                    prop_assert_eq!(drift, placed[e], "echo must track placements exactly");
+                    prop_assert!(
+                        drift <= charges.len(),
+                        "engine {} drifted {} > batch size {}", e, drift, charges.len()
+                    );
+                    prop_assert!(
+                        drift as u32 <= max_batch,
+                        "engine {} drifted past the declared budget", e
+                    );
+                }
+            }
+
+            /// With equal initial loads and equal charges, echoed JSQ
+            /// spreads a batch evenly: no engine receives more than one
+            /// request over its fair share, so batching cannot manufacture
+            /// imbalance beyond the documented bound.
+            #[test]
+            fn prop_echoed_jsq_spreads_a_uniform_batch_evenly(
+                n in 2usize..8,
+                k in 1usize..33,
+                base in 0u64..1_000,
+            ) {
+                let mut snaps = snaps_with_loads(&vec![base; n]);
+                let mut placed = vec![0usize; n];
+                let mut r = JoinShortestQueue::new();
+                for i in 0..k {
+                    let d = r.route(&req(i as u64, 0), &snaps);
+                    placed[d.engine] += 1;
+                    snaps[d.engine].queue_depth += 1;
+                    snaps[d.engine].outstanding_tokens += 512;
+                }
+                let max = *placed.iter().max().unwrap();
+                let min = *placed.iter().min().unwrap();
+                prop_assert!(
+                    max - min <= 1,
+                    "uniform batch spread {:?} is lumpier than round-robin", placed
                 );
             }
 

@@ -209,6 +209,28 @@ pub enum TraceEvent {
         /// `(engine_id, events_stepped)` for engines that did work.
         stepped: Vec<(u32, u64)>,
     },
+    /// Amortised dispatch coalesced consecutive arrivals into one barrier
+    /// (only emitted when batched dispatch is enabled).
+    DispatchBatch {
+        /// Snapshot generation the batch routed from.
+        generation: u64,
+        /// Arrivals routed (or shed) in the batch.
+        size: u32,
+        /// Trace time between the first and last member.
+        span: SimDuration,
+    },
+    /// A fault barrier re-dispatched due retries as one batch from a
+    /// single snapshot generation (only emitted when batched dispatch is
+    /// enabled).
+    RetryBatch {
+        /// Snapshot generation the retries routed from.
+        generation: u64,
+        /// Retries dispatched at this barrier.
+        size: u32,
+        /// The generation was inherited from an arrival batch at the same
+        /// instant instead of refreshing the snapshots.
+        reused: bool,
+    },
 }
 
 impl TraceEvent {
@@ -232,6 +254,8 @@ impl TraceEvent {
             TraceEvent::ShardRecovered { .. } => "shard_recovered",
             TraceEvent::BarrierOpen { .. } => "barrier_open",
             TraceEvent::BarrierClose { .. } => "barrier_close",
+            TraceEvent::DispatchBatch { .. } => "dispatch_batch",
+            TraceEvent::RetryBatch { .. } => "retry_batch",
         }
     }
 }
@@ -433,6 +457,27 @@ impl TaggedEvent {
                     let _ = write!(out, "{comma}[{id},{n}]");
                 }
                 out.push(']');
+            }
+            TraceEvent::DispatchBatch {
+                generation,
+                size,
+                span,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"generation\":{generation},\"size\":{size},\"span\":{}",
+                    span.as_nanos()
+                );
+            }
+            TraceEvent::RetryBatch {
+                generation,
+                size,
+                reused,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"generation\":{generation},\"size\":{size},\"reused\":{reused}"
+                );
             }
         }
         out.push('}');
@@ -636,9 +681,31 @@ mod tests {
                 pending: 2,
             },
         );
+        buf.push(
+            t(4_000),
+            Lane::Coordinator,
+            TraceEvent::DispatchBatch {
+                generation: 9,
+                size: 17,
+                span: SimDuration::from_nanos(250),
+            },
+        );
+        buf.push(
+            t(5_000),
+            Lane::Coordinator,
+            TraceEvent::RetryBatch {
+                generation: 9,
+                size: 3,
+                reused: true,
+            },
+        );
         let jsonl = buf.finish().to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 5);
+        assert!(lines[3].contains("\"ev\":\"dispatch_batch\""));
+        assert!(lines[3].contains("\"generation\":9,\"size\":17,\"span\":250"));
+        assert!(lines[4].contains("\"ev\":\"retry_batch\""));
+        assert!(lines[4].contains("\"generation\":9,\"size\":3,\"reused\":true"));
         assert_eq!(
             lines[0],
             "{\"at\":1000,\"lane\":\"coord\",\"seq\":0,\"ev\":\"route\",\"req\":42,\
