@@ -105,12 +105,23 @@ fn print_failover(old_json: &str, new_json: &str) {
         Some(x) => format!("{x:.3}s"),
         None => "inf".to_string(),
     };
+    // MTTR columns arrived with the fault-domain work; baselines recorded
+    // before then lack them and render "n/a" rather than failing the gate.
+    let mttr = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.3}s"),
+        None => "n/a".to_string(),
+    };
+    let mttr_redispatch = parse_metric(new_json, bench, "mttr_redispatch_secs");
+    let mttr_complete = parse_metric(new_json, bench, "mttr_complete_secs");
     println!(
         "bench-compare: {bench}: {recovered:.0} recovered / {failed:.0} failed / {shed:.0} shed \
-         (availability {:.1}%), offered-P99 {} clean -> {} with recovery",
+         (availability {:.1}%), offered-P99 {} clean -> {} with recovery, \
+         MTTR {} redispatch / {} complete",
         availability * 100.0,
         p99(clean_p99),
         p99(recovery_p99),
+        mttr(mttr_redispatch),
+        mttr(mttr_complete),
     );
     match compare_tolerant(old_json, new_json, bench, "events_per_sec") {
         Ok(GateOutcome::Compared(cmp)) => println!(
@@ -121,6 +132,46 @@ fn print_failover(old_json: &str, new_json: &str) {
         ),
         Ok(GateOutcome::MissingBaseline) => println!(
             "bench-compare: {bench} absent from baseline — fault plane introduced after \
+             that trajectory point, skipping the throughput comparison"
+        ),
+        Err(_) => {}
+    }
+}
+
+/// Prints the fresh report's correlated-failure summary, when the
+/// domain-failover scenario was measured, and its faulted-throughput
+/// movement against the baseline. Baselines recorded before fault
+/// domains existed lack the scenario entirely — the tolerated
+/// [`GateOutcome::MissingBaseline`] case, never a failure.
+fn print_domain_failover(old_json: &str, new_json: &str) {
+    let bench = "macro_domain_failover";
+    let (Some(lost), Some(blind_lost), Some(availability)) = (
+        parse_metric(new_json, bench, "requests_lost"),
+        parse_metric(new_json, bench, "blind_requests_lost"),
+        parse_metric(new_json, bench, "availability"),
+    ) else {
+        return;
+    };
+    let mttr = |name: &str| match parse_metric(new_json, bench, name) {
+        Some(x) => format!("{x:.3}s"),
+        None => "n/a".to_string(),
+    };
+    println!(
+        "bench-compare: {bench}: {lost:.0} lost with anti-affinity vs {blind_lost:.0} \
+         topology-blind (availability {:.1}%), MTTR {} redispatch / {} complete",
+        availability * 100.0,
+        mttr("mttr_redispatch_secs"),
+        mttr("mttr_complete_secs"),
+    );
+    match compare_tolerant(old_json, new_json, bench, "events_per_sec") {
+        Ok(GateOutcome::Compared(cmp)) => println!(
+            "bench-compare: {bench}.events_per_sec  {:.0} -> {:.0}  ({:+.1}%, informational)",
+            cmp.old_value,
+            cmp.new_value,
+            (cmp.ratio() - 1.0) * 100.0,
+        ),
+        Ok(GateOutcome::MissingBaseline) => println!(
+            "bench-compare: {bench} absent from baseline — fault domains introduced after \
              that trajectory point, skipping the throughput comparison"
         ),
         Err(_) => {}
@@ -232,6 +283,7 @@ fn main() -> ExitCode {
             print_cluster_ratio(&new_json);
             print_barrier_profile(&old_json, &new_json);
             print_failover(&old_json, &new_json);
+            print_domain_failover(&old_json, &new_json);
             print_batched_dispatch(&old_json, &new_json);
             return ExitCode::SUCCESS;
         }
@@ -247,6 +299,7 @@ fn main() -> ExitCode {
     print_cluster_ratio(&new_json);
     print_barrier_profile(&old_json, &new_json);
     print_failover(&old_json, &new_json);
+    print_domain_failover(&old_json, &new_json);
     print_batched_dispatch(&old_json, &new_json);
     if cmp.regressed_beyond(tolerance) {
         eprintln!(

@@ -26,7 +26,10 @@ use chameleon_bench::SEED;
 use chameleon_cache::{AdapterCache, EvictionPolicy};
 use chameleon_core::par;
 use chameleon_core::sweep::LoadSweep;
-use chameleon_core::{preset, DispatchSpec, FaultSpec, RouterPolicy, RunReport, Simulation};
+use chameleon_core::{
+    preset, DispatchSpec, FaultSpec, FleetSpec, RouterPolicy, RunReport, Simulation, TopologySpec,
+};
+use chameleon_fault::fault_roll;
 use chameleon_gpu::memory::MemoryPool;
 use chameleon_models::{AdapterId, AdapterRank, AdapterSpec, LlmSpec};
 use chameleon_sched::{
@@ -38,7 +41,7 @@ use std::collections::HashSet;
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR8.json".to_string();
+    let mut out_path = "BENCH_PR9.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,7 +55,7 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("PR8", smoke);
+    let mut report = BenchReport::new("PR9", smoke);
     let cores = par::default_workers();
     if cores == 1 {
         report.degraded = true;
@@ -71,6 +74,8 @@ fn main() {
     cluster16_macro(&mut report, smoke);
     predictive_burst_macro(&mut report, smoke);
     failover_macro(&mut report, smoke);
+    domain_failover_macro(&mut report, smoke);
+    chaos_sweep_macro(&mut report, smoke);
     barrier_profile_table(&mut report, smoke);
     event_queue_churn(&mut report, smoke);
     eviction_storm(&mut report, smoke);
@@ -537,12 +542,15 @@ fn failover_macro(report: &mut BenchReport, smoke: bool) {
     let p99_ablation = p99_all_offered(&ablation, offered);
     println!(
         "  macro_failover      {:>10.0} events/s clean, {:>10.0} events/s faulted \
-         ({} recovered / {} failed / {} shed, availability {:.1}%, {t_recovery:.3}s wall)",
+         ({} recovered / {} failed / {} shed, MTTR {:.3}s redispatch / {:.3}s complete, \
+         availability {:.1}%, {t_recovery:.3}s wall)",
         clean_eps,
         recovery_eps,
         f.requests_recovered,
         f.requests_failed,
         f.requests_shed,
+        f.mttr_redispatch,
+        f.mttr_complete,
         recovery.availability(offered) * 100.0,
     );
     report.push(
@@ -564,6 +572,8 @@ fn failover_macro(report: &mut BenchReport, smoke: bool) {
             .metric("requests_shed", f.requests_shed as f64)
             .metric("retries", f.retries as f64)
             .metric("adapters_rehomed", recovery.routing.adapters_rehomed as f64)
+            .metric("mttr_redispatch_secs", f.mttr_redispatch)
+            .metric("mttr_complete_secs", f.mttr_complete)
             .metric("availability", recovery.availability(offered))
             .metric("ablation_availability", ablation.availability(offered))
             .metric(
@@ -574,6 +584,223 @@ fn failover_macro(report: &mut BenchReport, smoke: bool) {
             .metric("recovery_p99_offered_s", p99_recovery)
             .metric("ablation_p99_offered_s", p99_ablation),
     );
+}
+
+/// The correlated-failure slot: the 4-engine two-rack domain fleet
+/// through a whole-rack crash landing mid-burst, run twice on the
+/// *identical* trace — domain-aware anti-affinity placement vs the
+/// topology-blind ablation (same racks, but spill/replica second choices
+/// ignore them, so ~a third of the warm copies share the primary's rack
+/// and die with it). The MTTR columns come from the recovery ledger:
+/// mean time from each crash to the last victim re-dispatch and to the
+/// last victim completion. The efficacy ordering (anti-affinity strictly
+/// beats blind on offered P99 and requests lost) is pinned at this exact
+/// full-length scenario by `tests/fault_domains.rs`; the bench records
+/// the trajectory numbers.
+fn domain_failover_macro(report: &mut BenchReport, smoke: bool) {
+    // The pinned efficacy scenario: seed 7, a 2x burst over the second
+    // quarter of the trace, the rack-1 crash landing mid-burst.
+    let seed = 7;
+    let engines = 4;
+    let rps = 6.0;
+    let secs = if smoke { 10.0 } else { 40.0 };
+    let burst_start = secs * 0.25;
+    let burst_secs = secs * 0.25;
+    let crash_at = secs * 0.35;
+    let fault = || {
+        FaultSpec::new()
+            .with_domain_crash(1, SimTime::from_secs_f64(crash_at))
+            .with_shedding(16.0)
+    };
+    let affine_cfg = preset::chameleon_cluster_domains(engines).with_fault(fault());
+    let blind_cfg = {
+        let mut cfg = preset::chameleon_cluster_domains(engines).with_fault(fault());
+        let fleet = cfg.fleet.as_mut().expect("domains preset carries a fleet");
+        let topo = fleet
+            .topology
+            .take()
+            .expect("domains preset carries a topology");
+        fleet.topology = Some(topo.without_anti_affinity());
+        cfg.with_label("Chameleon-DP4-DomainsBlind")
+    };
+    let pool = chameleon_models::AdapterPool::generate(&affine_cfg.llm, &affine_cfg.pool_config());
+    let trace = chameleon_core::workloads::splitwise_bursty(
+        rps,
+        secs,
+        burst_start,
+        burst_secs,
+        2.0,
+        seed,
+        &pool,
+    );
+    let offered = trace.len();
+
+    let (t_affine, affine) = timed(|| Simulation::new(affine_cfg, seed).run(&trace));
+    let (t_blind, blind) = timed(|| Simulation::new(blind_cfg, seed).run(&trace));
+    affine.assert_request_conservation(offered);
+    blind.assert_request_conservation(offered);
+    for (arm, run) in [("affine", &affine), ("blind", &blind)] {
+        let f = &run.routing.fault;
+        assert_eq!(f.domains_failed, 1, "{arm}: the rack crash must land");
+        assert_eq!(
+            f.engines_failed, 2,
+            "{arm}: the crash takes both rack members"
+        );
+    }
+
+    let f = &affine.routing.fault;
+    let affine_eps = affine.events_processed as f64 / t_affine;
+    println!(
+        "  macro_domain_failover {:>8.0} events/s ({} lost affine vs {} lost blind, \
+         MTTR {:.3}s redispatch / {:.3}s complete, availability {:.1}% vs {:.1}%, \
+         {t_affine:.3}s wall)",
+        affine_eps,
+        affine.requests_lost_to_faults(),
+        blind.requests_lost_to_faults(),
+        f.mttr_redispatch,
+        f.mttr_complete,
+        affine.availability(offered) * 100.0,
+        blind.availability(offered) * 100.0,
+    );
+    report.push(
+        "macro_domain_failover",
+        BenchResult::new()
+            .metric("engines", engines as f64)
+            .metric("offered", offered as f64)
+            .metric("offered_rps", rps)
+            .metric("trace_secs", secs)
+            .metric("events", affine.events_processed as f64)
+            .metric("wall_secs", t_affine)
+            .metric("blind_wall_secs", t_blind)
+            .metric("events_per_sec", affine_eps)
+            .metric("requests_recovered", f.requests_recovered as f64)
+            .metric("requests_lost", affine.requests_lost_to_faults() as f64)
+            .metric(
+                "blind_requests_lost",
+                blind.requests_lost_to_faults() as f64,
+            )
+            .metric(
+                "prewarm_hits",
+                affine.routing.predictive.prewarm_hits as f64,
+            )
+            .metric(
+                "blind_prewarm_hits",
+                blind.routing.predictive.prewarm_hits as f64,
+            )
+            .metric("mttr_redispatch_secs", f.mttr_redispatch)
+            .metric("mttr_complete_secs", f.mttr_complete)
+            .metric("availability", affine.availability(offered))
+            .metric("blind_availability", blind.availability(offered))
+            .metric("p99_offered_s", p99_all_offered(&affine, offered))
+            .metric("blind_p99_offered_s", p99_all_offered(&blind, offered)),
+    );
+}
+
+/// Chaos mode: seeded random fault schedules over the three-rack,
+/// six-engine domain fleet, each derived deterministically from its seed
+/// through the fault plane's counter-hashed dice — the same generator the
+/// `chaos_sweep` integration suite pins for bit-identity. The bench runs
+/// the sweep serially and records the fault plane's aggregate cost
+/// (events/sec across all schedules) plus the availability envelope, so
+/// a chaos-handling regression shows up in the trajectory even when every
+/// invariant still holds.
+fn chaos_sweep_macro(report: &mut BenchReport, smoke: bool) {
+    let schedules: u64 = if smoke { 2 } else { 8 };
+    let rps = 16.0;
+    let secs = if smoke { 4.0 } else { 30.0 };
+    let fleet_cfg = || {
+        preset::chameleon_cluster_predictive(6)
+            .with_fleet(
+                FleetSpec::homogeneous(6, 1)
+                    .with_topology(TopologySpec::racks(&[0, 0, 1, 1, 2, 2])),
+            )
+            .with_label("Chameleon-DP6-Chaos")
+    };
+
+    let mut total_events = 0u64;
+    let mut total_wall = 0.0f64;
+    let mut min_availability = f64::INFINITY;
+    let mut availability_sum = 0.0f64;
+    let mut correlated = 0u64;
+    for seed in 0..schedules {
+        let cfg = fleet_cfg().with_fault(chaos_schedule(seed));
+        let mut sim = Simulation::new(cfg, seed);
+        let trace = chameleon_core::workloads::splitwise(rps, secs, seed, sim.pool());
+        let offered = trace.len();
+        let (wall, run) = timed(|| sim.run(&trace));
+        run.assert_request_conservation(offered);
+        let availability = run.availability(offered);
+        total_events += run.events_processed;
+        total_wall += wall;
+        min_availability = min_availability.min(availability);
+        availability_sum += availability;
+        correlated += run.routing.fault.domains_failed + run.routing.fault.partitions;
+    }
+    let eps = total_events as f64 / total_wall;
+    let mean_availability = availability_sum / schedules as f64;
+    println!(
+        "  macro_chaos_sweep   {:>10.0} events/s over {schedules} schedules \
+         ({correlated} correlated faults landed, availability min {:.1}% / mean {:.1}%, \
+         {total_wall:.3}s wall)",
+        eps,
+        min_availability * 100.0,
+        mean_availability * 100.0,
+    );
+    report.push(
+        "macro_chaos_sweep",
+        BenchResult::new()
+            .metric("schedules", schedules as f64)
+            .metric("offered_rps", rps)
+            .metric("trace_secs", secs)
+            .metric("events", total_events as f64)
+            .metric("wall_secs", total_wall)
+            .metric("events_per_sec", eps)
+            .metric("correlated_faults", correlated as f64)
+            .metric("min_availability", min_availability)
+            .metric("mean_availability", mean_availability),
+    );
+}
+
+/// One seeded random chaos schedule — the generator the `chaos_sweep`
+/// suite pins, reproduced here so the bench exercises the identical
+/// distribution. Streams partition the dice so adding a fault class
+/// never perturbs another's draws.
+fn chaos_schedule(seed: u64) -> FaultSpec {
+    let roll = |stream: u64, counter: u64| fault_roll(seed, stream, counter);
+    let mut spec = FaultSpec::new().with_shedding(8.0);
+    let crash_rack = (roll(1, 0) * 3.0) as u32;
+    if roll(1, 1) < 0.75 {
+        let at = 3.0 + roll(1, 2) * 5.0;
+        spec = spec.with_domain_crash(crash_rack, SimTime::from_secs_f64(at));
+    }
+    if roll(2, 0) < 0.6 {
+        let rack = (crash_rack + 1 + (roll(2, 1) * 2.0) as u32) % 3;
+        let from = 2.0 + roll(2, 2) * 4.0;
+        let until = from + 1.0 + roll(2, 3) * 3.0;
+        spec = spec.with_partition(
+            rack,
+            SimTime::from_secs_f64(from),
+            SimTime::from_secs_f64(until),
+        );
+    }
+    if roll(3, 0) < 0.5 {
+        let rack = (roll(3, 1) * 3.0) as u32;
+        let from = 1.0 + roll(3, 2) * 3.0;
+        let until = from + 2.0 + roll(3, 3) * 4.0;
+        let factor = 1.5 + roll(3, 4) * 4.0;
+        spec = spec.with_domain_brownout(
+            rack,
+            SimTime::from_secs_f64(from),
+            SimTime::from_secs_f64(until),
+            factor,
+        );
+    }
+    if roll(4, 0) < 0.4 {
+        let engine = (roll(4, 1) * 6.0) as u32;
+        let at = 4.0 + roll(4, 2) * 4.0;
+        spec = spec.with_crash(engine, SimTime::from_secs_f64(at));
+    }
+    spec
 }
 
 /// The barrier/epoch profiler's table: one profiled parallel run of the

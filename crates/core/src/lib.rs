@@ -61,4 +61,7 @@ pub use chameleon_router::{EngineId, RouterPolicy};
 pub use chameleon_trace::{BarrierProfile, FlightDump, TraceLog, TraceSpec};
 pub use report::RunReport;
 pub use sim::Simulation;
-pub use system::{AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig};
+pub use system::{
+    AutoscaleSpec, CachePolicy, EngineSpec, FaultDomain, FleetSpec, SchedPolicy, SystemConfig,
+    TopologySpec,
+};

@@ -1,7 +1,9 @@
 //! Named systems from the paper's evaluation, plus cluster-scale variants
 //! built on the routing subsystem.
 
-use crate::system::{AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig};
+use crate::system::{
+    AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig, TopologySpec,
+};
 use chameleon_engine::{DispatchSpec, FaultSpec, PredictiveSpec};
 use chameleon_router::RouterPolicy;
 use chameleon_simcore::{SimDuration, SimTime};
@@ -186,6 +188,27 @@ pub fn chameleon_cluster_faulted(engines: usize) -> SystemConfig {
                 .with_shedding(8.0),
         )
         .with_label(format!("Chameleon-DP{engines}-Faulted"))
+}
+
+/// [`chameleon_cluster_predictive`] on a two-rack topology with
+/// domain-aware anti-affinity placement: the fleet's first half lives on
+/// rack 0, the second on rack 1, and every second-choice placement —
+/// affinity spill, burst pre-replication — prefers the best-ranked
+/// engine *outside* the primary's rack, so a whole-domain failure can
+/// never take the primary and its warm replica together. Identical to
+/// the predictive preset in every other knob; pair it with
+/// `FaultSpec::with_domain_crash` (or `.without_anti_affinity()` on the
+/// topology) for the correlated-failure efficacy comparison.
+///
+/// # Panics
+///
+/// Panics if `engines < 2` (a topology needs two racks to matter).
+pub fn chameleon_cluster_domains(engines: usize) -> SystemConfig {
+    assert!(engines >= 2, "a two-rack topology needs at least 2 engines");
+    let racks: Vec<u32> = (0..engines).map(|i| u32::from(i >= engines / 2)).collect();
+    chameleon_cluster_predictive(engines)
+        .with_fleet(FleetSpec::homogeneous(engines, 1).with_topology(TopologySpec::racks(&racks)))
+        .with_label(format!("Chameleon-DP{engines}-Domains"))
 }
 
 /// Chameleon cluster on *pure* weighted-rendezvous routing: every request
@@ -459,6 +482,23 @@ mod tests {
     }
 
     #[test]
+    fn domains_preset_shape() {
+        let c = chameleon_cluster_domains(4);
+        let topo = c.topology().expect("topology attached");
+        assert!(topo.anti_affinity);
+        assert_eq!(topo.rack_count(), 2);
+        assert_eq!(
+            topo.domains.iter().map(|d| d.rack).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1]
+        );
+        assert!(
+            c.predictive.is_some(),
+            "pre-replication exercises anti-affinity"
+        );
+        assert_eq!(c.router, RouterPolicy::AdapterAffinity);
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let labels: Vec<String> = [
             slora(),
@@ -475,6 +515,7 @@ mod tests {
             chameleon_cluster_partitioned(4),
             chameleon_cluster_predictive(4),
             chameleon_cluster_faulted(4),
+            chameleon_cluster_domains(4),
             chameleon_cluster_rendezvous(4),
             chameleon_cluster_batched(4),
             chameleon_cluster_bounded_staleness(4),

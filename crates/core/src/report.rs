@@ -420,10 +420,15 @@ impl RunReport {
         // to the pre-fault-plane format.
         if r.fault.enabled {
             let f = &r.fault;
+            // MTTR means print as bit patterns: byte-for-byte f64
+            // equality is exactly the serial↔parallel claim, and a
+            // decimal rendering could round two different means onto the
+            // same text.
             let _ = writeln!(
                 s,
                 "fault engines_failed={} recovered={} retries={} failed={} shed={} \
-                 pcie_retries={} shard_n={} shard_bytes={} prov_delays={} prov_failures={}",
+                 pcie_retries={} shard_n={} shard_bytes={} prov_delays={} prov_failures={} \
+                 domains_failed={} partitions={} mttr_redispatch={:016x} mttr_complete={:016x}",
                 f.engines_failed,
                 f.requests_recovered,
                 f.retries,
@@ -434,6 +439,10 @@ impl RunReport {
                 f.shard_bytes_recovered,
                 f.provision_delays,
                 f.provision_failures,
+                f.domains_failed,
+                f.partitions,
+                f.mttr_redispatch.to_bits(),
+                f.mttr_complete.to_bits(),
             );
         }
         let opt = |t: Option<SimTime>| t.map(|t| t.as_nanos()).unwrap_or(u64::MAX);

@@ -14,8 +14,8 @@ use chameleon_sched::{
 };
 use chameleon_simcore::{SimDuration, SimRng};
 use chameleon_trace::{
-    AnomalyPredicate, FlightRecorder, Lane, RetryStormPredicate, ShedIdlePredicate, TraceBuffer,
-    TtftSloPredicate, WastedWarmPredicate,
+    AnomalyPredicate, FlightRecorder, Lane, ReplicaColocatedPredicate, RetryStormPredicate,
+    ShedIdlePredicate, TraceBuffer, TtftSloPredicate, WastedWarmPredicate,
 };
 use chameleon_workload::Trace;
 
@@ -188,6 +188,12 @@ impl Simulation {
                 |i| self.build_engine(slo, wrs, i, max_output, k_max, &self.cfg.engine_spec(i)),
                 self.cfg.router.build(self.seed),
             );
+            if let Some(topo) = self.cfg.topology() {
+                cluster.set_topology(
+                    &topo.domains.iter().map(|d| d.rack).collect::<Vec<_>>(),
+                    topo.anti_affinity,
+                );
+            }
             if let Some(spec) = &self.cfg.predictive {
                 cluster.set_predictive(*spec);
             }
@@ -284,6 +290,23 @@ impl Simulation {
             }
             if spec.shed_idle_trigger {
                 predicates.push(Box::new(ShedIdlePredicate));
+            }
+            if spec.colocated_replica_trigger {
+                // Resolves racks from the fleet topology; without one
+                // every engine is a singleton domain and the predicate
+                // never fires.
+                let racks = self
+                    .cfg
+                    .topology()
+                    .map(|t| {
+                        t.domains
+                            .iter()
+                            .enumerate()
+                            .map(|(i, d)| (i as u32, d.rack))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                predicates.push(Box::new(ReplicaColocatedPredicate::new(racks)));
             }
             if !predicates.is_empty() {
                 let recorder = FlightRecorder::new(spec.flight_capacity, spec.max_dumps);

@@ -27,6 +27,74 @@ impl EngineSpec {
     }
 }
 
+/// The correlated failure unit an engine lives in: a host within a rack.
+/// Correlated fault injections ([`FaultSpec::with_domain_crash`] and
+/// friends) take out every engine sharing a rack, and domain-aware
+/// placement keeps spill / pre-replication copies *outside* the primary's
+/// rack so exactly those copies survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDomain {
+    /// Host index within the rack.
+    pub host: u32,
+    /// Rack (power/network domain) index — the correlated failure unit.
+    pub rack: u32,
+}
+
+/// Physical topology of the initial fleet: one [`FaultDomain`] per engine
+/// in `EngineId` order. Engines added by the autoscaler are placed in
+/// fresh singleton domains (nothing else fails with them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySpec {
+    /// One domain per engine, in `EngineId` order.
+    pub domains: Vec<FaultDomain>,
+    /// When true (the default) the weighted-rendezvous *second* choice —
+    /// the spill / pre-replication / failover target — prefers the
+    /// best-ranked engine outside the primary's rack whenever one exists.
+    /// `false` attaches domains (so correlated injections and the
+    /// flight-recorder colocation predicate still resolve rack members)
+    /// but keeps placement topology-blind — the efficacy ablation.
+    pub anti_affinity: bool,
+}
+
+impl TopologySpec {
+    /// One domain per entry of `racks`: engine `i` is host `i` in rack
+    /// `racks[i]`.
+    pub fn racks(racks: &[u32]) -> Self {
+        TopologySpec {
+            domains: racks
+                .iter()
+                .enumerate()
+                .map(|(i, &rack)| FaultDomain {
+                    host: i as u32,
+                    rack,
+                })
+                .collect(),
+            anti_affinity: true,
+        }
+    }
+
+    /// Builder-style: keeps the domains but makes placement ignore them
+    /// (the topology-blind ablation).
+    pub fn without_anti_affinity(mut self) -> Self {
+        self.anti_affinity = false;
+        self
+    }
+
+    /// The domain of initial-fleet engine `i`; `None` past the fleet
+    /// (autoscaled engines live in fresh singleton domains).
+    pub fn domain_of(&self, i: usize) -> Option<FaultDomain> {
+        self.domains.get(i).copied()
+    }
+
+    /// Number of distinct racks in the topology.
+    pub fn rack_count(&self) -> usize {
+        let mut racks: Vec<u32> = self.domains.iter().map(|d| d.rack).collect();
+        racks.sort_unstable();
+        racks.dedup();
+        racks.len()
+    }
+}
+
 /// Per-engine description of a data-parallel fleet — the heterogeneous
 /// generalisation of a bare engine count. The §5.6 tensor-parallel
 /// evaluation becomes a fleet axis: `FleetSpec::mixed_tp(&[1, 1, 2, 4])`
@@ -36,6 +104,10 @@ impl EngineSpec {
 pub struct FleetSpec {
     /// One spec per engine, in `EngineId` order.
     pub engines: Vec<EngineSpec>,
+    /// Physical fault-domain layout of the fleet. `None` — the default —
+    /// treats every engine as its own domain and keeps placement
+    /// byte-identical to the topology-less stack.
+    pub topology: Option<TopologySpec>,
 }
 
 impl FleetSpec {
@@ -43,6 +115,7 @@ impl FleetSpec {
     pub fn homogeneous(n: usize, tp_degree: u32) -> Self {
         FleetSpec {
             engines: vec![EngineSpec::tp(tp_degree); n],
+            topology: None,
         }
     }
 
@@ -50,7 +123,20 @@ impl FleetSpec {
     pub fn mixed_tp(tps: &[u32]) -> Self {
         FleetSpec {
             engines: tps.iter().map(|&tp| EngineSpec::tp(tp)).collect(),
+            topology: None,
         }
+    }
+
+    /// Builder-style: attaches a fault-domain topology (one domain per
+    /// engine; must match the fleet size).
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        assert_eq!(
+            topology.domains.len(),
+            self.engines.len(),
+            "topology must name one fault domain per engine"
+        );
+        self.topology = Some(topology);
+        self
     }
 
     /// Number of engines in the initial fleet.
@@ -351,6 +437,12 @@ impl SystemConfig {
         self
     }
 
+    /// The fault-domain topology of the initial fleet, when one is
+    /// attached via [`FleetSpec::with_topology`].
+    pub fn topology(&self) -> Option<&TopologySpec> {
+        self.fleet.as_ref().and_then(|f| f.topology.as_ref())
+    }
+
     /// Number of engines the initial fleet is built with.
     pub fn engine_count(&self) -> usize {
         self.fleet
@@ -531,6 +623,29 @@ mod tests {
         let spec = f.fault.expect("fault plane armed");
         assert_eq!(spec.crashes.len(), 1);
         assert!(spec.sheds());
+    }
+
+    #[test]
+    fn topology_attaches_fault_domains_per_engine() {
+        let c = SystemConfig::base("x");
+        assert!(c.topology().is_none(), "no fleet, no topology");
+        let t = SystemConfig::base("x").with_fleet(
+            FleetSpec::homogeneous(4, 1).with_topology(TopologySpec::racks(&[0, 0, 1, 1])),
+        );
+        let topo = t.topology().expect("topology attached");
+        assert!(topo.anti_affinity, "anti-affinity defaults on");
+        assert_eq!(topo.rack_count(), 2);
+        assert_eq!(topo.domain_of(1), Some(FaultDomain { host: 1, rack: 0 }));
+        assert_eq!(topo.domain_of(3), Some(FaultDomain { host: 3, rack: 1 }));
+        assert_eq!(topo.domain_of(4), None, "autoscaled engines: singleton");
+        let blind = TopologySpec::racks(&[0, 1]).without_anti_affinity();
+        assert!(!blind.anti_affinity);
+    }
+
+    #[test]
+    #[should_panic(expected = "one fault domain per engine")]
+    fn topology_must_cover_the_fleet() {
+        let _ = FleetSpec::homogeneous(3, 1).with_topology(TopologySpec::racks(&[0, 1]));
     }
 
     #[test]

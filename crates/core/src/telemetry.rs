@@ -66,25 +66,20 @@ pub fn collect_windowed(report: &RunReport, window: SimDuration) -> TelemetryExp
 /// Per-window offered availability: the fraction of requests offered in
 /// each window that the fleet admitted rather than refused (aggregate).
 /// Admissions come from the request records (every record was admitted;
-/// shed requests never produce one); refusals come from the trace
-/// stream's `shed` events, so fault-armed brownouts dent the series at
-/// the window where shedding bit. Without a trace the refusal instants
-/// are unknown, so the series is emitted only when the run shed nothing
-/// (a flat 1.0 would otherwise overstate availability).
+/// shed requests never produce one); refusals come from the fault
+/// ledger's shed instants (`FaultStats::shed_times`), recorded whenever
+/// the fault plane is armed — trace on or off — so fault-armed
+/// brownouts dent the series at the window where shedding bit. Traced
+/// runs carry the same instants as `RequestShed` events; the ledger is
+/// preferred so both flavours emit identically (and neither
+/// double-counts).
 fn availability_rows(report: &RunReport, window: SimDuration, rows: &mut Vec<TelemetryRow>) {
-    if report.trace.is_none() && report.routing.fault.requests_shed > 0 {
-        return;
-    }
     let mut offered = BinnedSeries::new();
     for rec in &report.records {
         offered.push(rec.arrival, 1.0);
     }
-    if let Some(log) = &report.trace {
-        for ev in log.events() {
-            if matches!(ev.event, TraceEvent::RequestShed { .. }) {
-                offered.push(ev.at, 0.0);
-            }
-        }
+    for &at in &report.routing.fault.shed_times {
+        offered.push(at, 0.0);
     }
     for (at, avail) in offered.mean_bins(window) {
         rows.push(TelemetryRow {
@@ -362,21 +357,42 @@ mod tests {
     }
 
     #[test]
-    fn untraced_shedding_runs_suppress_the_availability_series() {
+    fn untraced_shedding_runs_emit_the_availability_series_from_the_ledger() {
         use crate::FaultSpec;
-        let cfg = preset::chameleon_cluster(2).with_fault(FaultSpec::new().with_shedding(0.25));
-        let mut sim = Simulation::new(cfg, 3);
-        let trace = workloads::splitwise(60.0, 10.0, 3, sim.pool());
-        let report = sim.run(&trace);
+        let run = |traced: bool| {
+            let mut cfg =
+                preset::chameleon_cluster(2).with_fault(FaultSpec::new().with_shedding(0.25));
+            if traced {
+                cfg = cfg.with_trace(TraceSpec::new());
+            }
+            let mut sim = Simulation::new(cfg, 3);
+            let trace = workloads::splitwise(60.0, 10.0, 3, sim.pool());
+            sim.run(&trace)
+        };
+        let report = run(false);
         assert!(report.routing.fault.requests_shed > 0);
-        assert!(
-            collect(&report)
+        assert_eq!(
+            report.routing.fault.shed_times.len(),
+            report.routing.fault.requests_shed as usize,
+            "one ledger instant per shed, trace on or off"
+        );
+        let series = |r: &RunReport| -> Vec<(SimTime, f64)> {
+            collect(r)
                 .rows()
                 .iter()
-                .all(|r| r.series != "availability_window"),
-            "refusal instants are unknown without a trace; emitting a flat \
-             series would overstate availability"
+                .filter(|row| row.series == "availability_window")
+                .map(|row| (row.at, row.value))
+                .collect()
+        };
+        let untraced = series(&report);
+        assert!(
+            untraced.iter().any(|&(_, v)| v < 1.0),
+            "sheds must dent the untraced series: the ledger carries the \
+             refusal instants even without a trace stream"
         );
+        // The ledger and the trace stream describe the same instants, so
+        // both flavours emit the identical series.
+        assert_eq!(untraced, series(&run(true)));
     }
 
     #[test]

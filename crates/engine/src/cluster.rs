@@ -69,7 +69,7 @@ use chameleon_simcore::shard::{self, ShardPool};
 use chameleon_simcore::{EventQueue, SimDuration, SimTime};
 use chameleon_trace::{AutoscaleAction, BarrierProfile, Lane, TraceBuffer, TraceEvent, TraceLog};
 use chameleon_workload::{Request, Trace};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::time::Instant;
 
 /// Counter-hash stream for provisioning-fault rolls. Engine PCIe streams
@@ -150,6 +150,35 @@ struct RetryEntry {
     req: Request,
 }
 
+/// The MTTR ledger entry for one recovery episode: a crash (or a
+/// partition's victim extraction) and the fate of the requests it
+/// orphaned. `mttr_redispatch` closes when the last victim re-enters an
+/// engine; `mttr_complete` is settled from the merged report, where the
+/// victims' completion instants live.
+struct RecoveryEpisode {
+    /// The barrier the victims were extracted at.
+    at: SimTime,
+    /// Victims still waiting out detection + backoff.
+    outstanding: u32,
+    /// Instant the last victim so far was re-dispatched.
+    redispatch_last: Option<SimTime>,
+    /// Request ids extracted into the retry ledger by this episode.
+    victims: Vec<u64>,
+}
+
+/// Engine-id → fault-domain map pinned by [`Cluster::set_topology`].
+/// Engines provisioned after the pin (autoscaler growth) are absent —
+/// each is its own singleton domain, which anti-affinity treats as
+/// "always a different rack".
+struct ClusterTopology {
+    racks: HashMap<u32, u32>,
+    /// Whether placement (spill / pre-replication second choices) should
+    /// see the racks. Fault scoping (domain crash, brownout, partition
+    /// membership) reads the map regardless — a topology-blind ablation
+    /// still lives on real racks.
+    anti_affinity: bool,
+}
+
 /// Coordinator-owned fault-plane state ([`Cluster::set_fault`]). Every
 /// field is observed and mutated only at barriers, which is what keeps
 /// fault-armed runs bit-identical between serial and parallel execution.
@@ -167,6 +196,14 @@ struct FaultState {
     provision_counter: u64,
     /// Crash count per request id — the retry budget ledger.
     attempts: HashMap<u64, u32>,
+    /// Racks currently cut off from the coordinator. Members leave the
+    /// routing candidate set until the partition heals.
+    partitioned: BTreeSet<u32>,
+    /// MTTR ledger: one entry per crash / partition that orphaned work.
+    episodes: Vec<RecoveryEpisode>,
+    /// Victim request id → index into `episodes` (latest extraction wins;
+    /// removed when the victim re-dispatches).
+    victim_episode: HashMap<u64, usize>,
 }
 
 /// One engine plus its cluster-lifecycle state and its shard of the
@@ -398,6 +435,10 @@ pub struct Cluster {
     /// the same instant as a dispatch batch reuses the generation (and
     /// its echoes) instead of re-snapshotting.
     snap_filled_at: Option<SimTime>,
+    /// Fault-domain topology ([`Cluster::set_topology`]); `None` keeps
+    /// every placement and fault byte-identical to the topology-free
+    /// stack.
+    topology: Option<ClusterTopology>,
 }
 
 impl Cluster {
@@ -455,6 +496,7 @@ impl Cluster {
             dispatch: None,
             snap_gen: 0,
             snap_filled_at: None,
+            topology: None,
         }
     }
 
@@ -547,7 +589,77 @@ impl Cluster {
             pending_provisions: Vec::new(),
             provision_counter: 0,
             attempts: HashMap::new(),
+            partitioned: BTreeSet::new(),
+            episodes: Vec::new(),
+            victim_episode: HashMap::new(),
         });
+    }
+
+    /// Pins each engine to a fault domain (rack), in slot order — one
+    /// rack id per engine currently in the fleet. With `anti_affinity`
+    /// on, second-choice placement (affinity spill, pre-replication)
+    /// prefers the best-ranked engine *outside* the primary's rack;
+    /// with it off the racks scope only correlated faults (domain
+    /// crash, brownout, partition) — the topology-blind ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `racks` does not name exactly one domain per engine.
+    pub fn set_topology(&mut self, racks: &[u32], anti_affinity: bool) {
+        assert_eq!(
+            racks.len(),
+            self.slots.len(),
+            "topology must name one fault domain per engine"
+        );
+        let map = self
+            .slots
+            .iter()
+            .zip(racks)
+            .map(|(s, &r)| (s.id.0, r))
+            .collect();
+        self.topology = Some(ClusterTopology {
+            racks: map,
+            anti_affinity,
+        });
+        self.snap_filled_at = None;
+    }
+
+    /// The rack engine `id` lives on, for fault scoping. `None` when no
+    /// topology is pinned or the engine joined after the pin (a
+    /// singleton domain correlated with nothing).
+    fn rack_of(&self, id: EngineId) -> Option<u32> {
+        self.topology
+            .as_ref()
+            .and_then(|t| t.racks.get(&id.0).copied())
+    }
+
+    /// The rack placement decisions see: [`Cluster::rack_of`] when
+    /// anti-affinity is armed, `None` (topology-blind) otherwise.
+    fn placement_rack(&self, id: EngineId) -> Option<u32> {
+        match &self.topology {
+            Some(t) if t.anti_affinity => t.racks.get(&id.0).copied(),
+            _ => None,
+        }
+    }
+
+    /// True while engine `id`'s rack is cut off from the coordinator.
+    fn slot_unreachable(&self, id: EngineId) -> bool {
+        match self.fault.as_ref() {
+            Some(fs) if !fs.partitioned.is_empty() => self
+                .rack_of(id)
+                .is_some_and(|r| fs.partitioned.contains(&r)),
+            _ => false,
+        }
+    }
+
+    /// Engines the coordinator can currently dispatch to: active and not
+    /// behind a partition. Equals [`Cluster::active_engines`] whenever no
+    /// partition is in flight.
+    fn reachable_active(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !s.draining && !self.slot_unreachable(s.id))
+            .count()
     }
 
     /// The active fault configuration, if any.
@@ -672,6 +784,12 @@ impl Cluster {
         if self.slots[pos].draining || self.active_engines() <= 1 {
             return false;
         }
+        // Draining the last engine the coordinator can still reach would
+        // leave arrivals with an empty candidate set for as long as the
+        // partition lasts. (Without partitions this is the check above.)
+        if !self.slot_unreachable(id) && self.reachable_active() <= 1 {
+            return false;
+        }
         if self.router.uses_affinity() {
             let moved = self.count_rehomed(&self.slots[pos].engine, None, Some(id));
             self.stats.on_adapters_rehomed(moved);
@@ -684,11 +802,12 @@ impl Cluster {
 
     /// The `(id, capacity weight)` pairs of the engines currently
     /// accepting dispatches — the candidate set every placement and
-    /// re-homing computation works over.
+    /// re-homing computation works over. Engines behind a partition are
+    /// unreachable and drop out until the heal.
     fn active_weights(&self) -> Vec<(EngineId, f64)> {
         self.slots
             .iter()
-            .filter(|s| !s.draining)
+            .filter(|s| !s.draining && !self.slot_unreachable(s.id))
             .map(|s| (s.id, s.engine.capacity_weight()))
             .collect()
     }
@@ -743,11 +862,15 @@ impl Cluster {
         self.snap_slots.clear();
         self.snap_filled_at = None;
         for (pos, slot) in self.slots.iter().enumerate() {
-            if slot.draining {
+            if slot.draining || self.slot_unreachable(slot.id) {
                 continue;
             }
-            self.snap_buf
-                .push(slot.engine.snapshot(slot.id, with_residency));
+            let mut snap = slot.engine.snapshot(slot.id, with_residency);
+            // Racks ride along only under an anti-affinity topology, so
+            // the blind ablation routes byte-identically to the
+            // topology-free stack.
+            snap.rack = self.placement_rack(slot.id);
+            self.snap_buf.push(snap);
             self.snap_slots.push(pos);
         }
     }
@@ -931,12 +1054,20 @@ impl Cluster {
                 }
                 // Only ever the second rendezvous choice: pre-replication
                 // adds a warm spill replica, never re-homes a primary
-                // (property-tested in chameleon-router).
-                let Some(target) =
-                    policies::prereplication_target(f.adapter, weights.iter().copied())
-                else {
+                // (property-tested in chameleon-router). Under an
+                // anti-affinity topology the replica prefers the best
+                // engine outside the primary's rack, so a whole-domain
+                // failure cannot take both copies.
+                let (home, target) = policies::rendezvous_top2_domains(
+                    f.adapter,
+                    weights
+                        .iter()
+                        .map(|&(id, w)| (id, w, self.placement_rack(id))),
+                );
+                let Some(target) = target else {
                     continue;
                 };
+                let home_id = weights[home].0;
                 let target_id = weights[target].0;
                 let pos = self
                     .slots
@@ -963,6 +1094,7 @@ impl Cluster {
                             TraceEvent::PrewarmIssued {
                                 adapter: f.adapter.0,
                                 target: target_id.0,
+                                home: home_id.0,
                                 bytes,
                             },
                         );
@@ -1095,6 +1227,11 @@ impl Cluster {
                     self.set_slot_slowdown(engine, factor)
                 }
                 FaultAction::StragglerEnd(engine) => self.set_slot_slowdown(engine, 1.0),
+                FaultAction::DomainCrash(rack) => self.fault_domain_crash(rack, t, last, processed),
+                FaultAction::BrownoutStart(rack, factor) => self.set_domain_slowdown(rack, factor),
+                FaultAction::BrownoutEnd(rack) => self.set_domain_slowdown(rack, 1.0),
+                FaultAction::PartitionStart(rack, heal) => self.partition_start(rack, heal, t),
+                FaultAction::PartitionEnd(rack) => self.partition_end(rack, t),
             }
         }
         loop {
@@ -1174,7 +1311,10 @@ impl Cluster {
             return;
         };
         let was_draining = self.slots[pos].draining;
-        if !was_draining && self.active_engines() <= 1 {
+        if !was_draining
+            && (self.active_engines() <= 1
+                || (!self.slot_unreachable(victim) && self.reachable_active() <= 1))
+        {
             return;
         }
         let queued = self.slots[pos].engine.queue_len() as u32;
@@ -1204,8 +1344,19 @@ impl Cluster {
             }
         }
         let lost = self.slots[pos].engine.crash_unfinished();
-        let fs = self.fault.as_mut().expect("crash without fault plane");
-        for req in lost {
+        self.enqueue_victims(lost, t, None);
+        self.retire_slot(pos, last, processed);
+    }
+
+    /// Pushes extracted victims into the retry ledger — detection
+    /// timeout plus per-request capped exponential backoff, clamped to
+    /// `heal` when the victims sit behind a partition (whichever the
+    /// coordinator observes first re-dispatches them) — and opens one
+    /// MTTR episode over those that stayed within their retry budget.
+    fn enqueue_victims(&mut self, victims: Vec<Request>, t: SimTime, heal: Option<SimTime>) {
+        let fs = self.fault.as_mut().expect("victims without fault plane");
+        let mut recovered: Vec<u64> = Vec::new();
+        for req in victims {
             let attempt = {
                 let a = fs.attempts.entry(req.id().0).or_insert(0);
                 *a += 1;
@@ -1216,12 +1367,145 @@ impl Cluster {
                 continue;
             }
             self.stats.fault.requests_recovered += 1;
-            let due = t + fs.spec.detect_timeout + fs.spec.backoff_for(attempt);
+            let mut due = t + fs.spec.detect_timeout + fs.spec.backoff_for(attempt);
+            if let Some(heal) = heal {
+                due = due.min(heal);
+            }
+            recovered.push(req.id().0);
             fs.retries.push(RetryEntry { due, attempt, req });
+        }
+        if !recovered.is_empty() {
+            // A victim crashed out of an earlier episode re-keys to this
+            // one: its earlier re-dispatch already closed it there.
+            let ep = fs.episodes.len();
+            for &id in &recovered {
+                fs.victim_episode.insert(id, ep);
+            }
+            fs.episodes.push(RecoveryEpisode {
+                at: t,
+                outstanding: recovered.len() as u32,
+                redispatch_last: None,
+                victims: recovered,
+            });
         }
         fs.retries
             .sort_by_key(|r| (r.due, r.req.arrival(), r.req.id().0));
-        self.retire_slot(pos, last, processed);
+    }
+
+    /// Kills every engine of `rack` at `t`, in slot order — the
+    /// correlated failure anti-affinity placement exists to survive. A
+    /// rack with no members (engines all retired, or topology absent) is
+    /// moot; the last-engine refusal in [`Cluster::fault_crash`] still
+    /// applies per member, so a rack holding the whole fleet loses all
+    /// but one engine.
+    fn fault_domain_crash(
+        &mut self,
+        rack: u32,
+        t: SimTime,
+        last: &mut SimTime,
+        processed: &mut u64,
+    ) {
+        let members: Vec<u32> = self
+            .slots
+            .iter()
+            .filter(|s| self.rack_of(s.id) == Some(rack))
+            .map(|s| s.id.0)
+            .collect();
+        if members.is_empty() {
+            return;
+        }
+        self.stats.fault.domains_failed += 1;
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.push(
+                t,
+                Lane::Coordinator,
+                TraceEvent::DomainFailed {
+                    rack,
+                    engines: members.len() as u32,
+                },
+            );
+        }
+        for engine in members {
+            self.fault_crash(engine, t, last, processed);
+        }
+    }
+
+    /// Applies a brownout slowdown to every engine of `rack` (`1.0`
+    /// heals it).
+    fn set_domain_slowdown(&mut self, rack: u32, factor: f64) {
+        let members: Vec<u32> = self
+            .slots
+            .iter()
+            .filter(|s| self.rack_of(s.id) == Some(rack))
+            .map(|s| s.id.0)
+            .collect();
+        for engine in members {
+            self.set_slot_slowdown(engine, factor);
+        }
+    }
+
+    /// Cuts `rack` off from the coordinator until `heal`: its engines
+    /// leave the routing candidate set (traffic routes around the
+    /// domain), and their in-flight work — which the coordinator must
+    /// presume lost — is evacuated into the retry ledger, due at the
+    /// heal or the detection timeout, whichever lands first. The engines
+    /// themselves stay up and rejoin at [`Cluster::partition_end`]. A
+    /// partition that would leave the coordinator with no reachable
+    /// engine is refused, as is one for a memberless or already-cut rack.
+    fn partition_start(&mut self, rack: u32, heal: SimTime, t: SimTime) {
+        let members: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| self.rack_of(s.id) == Some(rack))
+            .map(|(pos, _)| pos)
+            .collect();
+        if members.is_empty() {
+            return;
+        }
+        let remaining = self
+            .slots
+            .iter()
+            .filter(|s| {
+                !s.draining && !self.slot_unreachable(s.id) && self.rack_of(s.id) != Some(rack)
+            })
+            .count();
+        if remaining == 0 {
+            return;
+        }
+        {
+            let fs = self.fault.as_mut().expect("partition without fault plane");
+            if !fs.partitioned.insert(rack) {
+                return;
+            }
+        }
+        self.stats.fault.partitions += 1;
+        self.snap_filled_at = None;
+        let mut victims: Vec<Request> = Vec::new();
+        for &pos in &members {
+            victims.extend(self.slots[pos].engine.evacuate_unfinished(t));
+        }
+        self.enqueue_victims(victims, t, Some(heal));
+    }
+
+    /// Heals the partition on `rack`: its engines rejoin the candidate
+    /// set at the next snapshot fill, and the victims whose retry clamp
+    /// was this heal re-dispatch at this same barrier (actions run
+    /// before due retries).
+    fn partition_end(&mut self, rack: u32, t: SimTime) {
+        let healed = self
+            .fault
+            .as_mut()
+            .expect("partition without fault plane")
+            .partitioned
+            .remove(&rack);
+        if !healed {
+            return;
+        }
+        self.snap_filled_at = None;
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.push(t, Lane::Coordinator, TraceEvent::PartitionHealed { rack });
+        }
     }
 
     /// Sets the straggler slowdown on one engine (moot when it left).
@@ -1319,6 +1603,14 @@ impl Cluster {
             .is_adapter_resident(entry.req.adapter());
         self.stats.record(chosen, affinity_hit, decision.spilled);
         self.stats.fault.retries += 1;
+        if let Some(fs) = self.fault.as_mut() {
+            // Close the victim's MTTR episode leg: re-dispatched.
+            if let Some(ep) = fs.victim_episode.remove(&entry.req.id().0) {
+                let e = &mut fs.episodes[ep];
+                e.outstanding = e.outstanding.saturating_sub(1);
+                e.redispatch_last = Some(e.redispatch_last.map_or(t, |p| p.max(t)));
+            }
+        }
         if self.dispatch.is_some() {
             let snap = &mut self.snap_buf[decision.engine];
             snap.queue_depth += 1;
@@ -1573,6 +1865,7 @@ impl Cluster {
                                             .filter(|s| s.queue_depth == 0 && s.running == 0)
                                             .count() as u32;
                                     self.stats.fault.requests_shed += 1;
+                                    self.stats.fault.shed_times.push(ta);
                                     processed += 1;
                                     if let Some(tracer) = self.tracer.as_mut() {
                                         tracer.push(
@@ -1697,6 +1990,7 @@ impl Cluster {
                                     .filter(|s| s.queue_depth == 0 && s.running == 0)
                                     .count() as u32;
                                 self.stats.fault.requests_shed += 1;
+                                self.stats.fault.shed_times.push(t);
                                 if let Some(tracer) = self.tracer.as_mut() {
                                     tracer.push(
                                         t,
@@ -1924,6 +2218,7 @@ impl Cluster {
         }
         let log = self.tracer.take().map(TraceBuffer::finish);
         let profile = self.profile.take();
+        let fault = self.fault.take();
         let mut stats = self.stats;
         stats.fault.pcie_retries += self
             .slots
@@ -1942,6 +2237,44 @@ impl Cluster {
         let mut merged = reports.next().expect("non-empty cluster");
         for r in reports {
             merged.merge(r);
+        }
+        // Settle the MTTR ledger. Redispatch legs closed during the run;
+        // completion legs need the merged records, where every victim's
+        // finish instant lives regardless of which engine it landed on.
+        if let Some(fs) = fault {
+            let redis: Vec<f64> = fs
+                .episodes
+                .iter()
+                .filter(|e| e.outstanding == 0)
+                .filter_map(|e| {
+                    e.redispatch_last
+                        .map(|r| r.saturating_since(e.at).as_secs_f64())
+                })
+                .collect();
+            if !redis.is_empty() {
+                stats.fault.mttr_redispatch = redis.iter().sum::<f64>() / redis.len() as f64;
+            }
+            if !fs.episodes.is_empty() {
+                let finished: HashMap<u64, SimTime> = merged
+                    .records
+                    .iter()
+                    .filter_map(|r| r.finished.map(|f| (r.id.0, f)))
+                    .collect();
+                let spans: Vec<f64> = fs
+                    .episodes
+                    .iter()
+                    .filter_map(|e| {
+                        e.victims
+                            .iter()
+                            .filter_map(|v| finished.get(v).copied())
+                            .max()
+                            .map(|f| f.saturating_since(e.at).as_secs_f64())
+                    })
+                    .collect();
+                if !spans.is_empty() {
+                    stats.fault.mttr_complete = spans.iter().sum::<f64>() / spans.len() as f64;
+                }
+            }
         }
         merged.routing = stats;
         (merged, log, profile)

@@ -301,6 +301,48 @@ impl Engine {
         lost
     }
 
+    /// [`Engine::crash_unfinished`] for an engine that *survives* the
+    /// event — a network partition: the coordinator presumes the work
+    /// lost and re-dispatches it elsewhere, while the engine itself
+    /// stays up and rejoins the fleet at the heal. Beyond the
+    /// extraction, every reservation the unfinished work held — KV
+    /// blocks, scheduler quota, adapter-cache references, in-flight load
+    /// reservations — is released, so the survivor comes back idle and
+    /// consistent, able to admit fresh work. Events the dead work left
+    /// in flight (step or load completions) are ignored as stale when
+    /// they land.
+    pub fn evacuate_unfinished(&mut self, now: SimTime) -> Vec<Request> {
+        for idx in 0..self.running.len() {
+            let (id, queue_index, charged) = {
+                let r = &self.running[idx];
+                (r.req.id(), r.queue_index, r.charged_tokens)
+            };
+            self.kv.free(&mut self.mem, id);
+            self.sched.on_finish(queue_index, charged);
+        }
+        // Cache references: a running request holds one on its adapter
+        // unless it is still waiting on an in-flight load (that
+        // reference would only have materialised at the LoadDone that is
+        // now stale).
+        let mut held: Vec<AdapterId> = self
+            .running
+            .iter()
+            .map(|r| r.req.adapter())
+            .filter(|a| !self.loading.contains_key(a))
+            .collect();
+        held.sort_unstable();
+        for a in held {
+            self.cache.release(&mut self.mem, a, now);
+        }
+        // In-flight load reservations die with their waiters.
+        let mut loads: Vec<u64> = self.loading.values().map(|l| l.bytes).collect();
+        loads.sort_unstable();
+        for bytes in loads {
+            self.mem.release(Region::AdaptersInUse, bytes);
+        }
+        self.crash_unfinished()
+    }
+
     /// The engine's WRS configuration (used by drivers for reporting).
     pub fn wrs_config(&self) -> &WrsConfig {
         &self.wrs_cfg
@@ -412,6 +454,9 @@ impl Engine {
             } else {
                 HashSet::new()
             },
+            // The engine does not know where it is racked; the cluster
+            // stamps the fault domain when a topology is attached.
+            rack: None,
         }
     }
 

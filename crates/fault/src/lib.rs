@@ -41,6 +41,37 @@ pub struct StragglerWindow {
     pub factor: f64,
 }
 
+/// One domain-scoped brownout window: between `from` and `until` every
+/// engine in the rack runs its steps `factor`× slower — the correlated
+/// generalisation of a [`StragglerWindow`] (a shared power cap, a top-of-
+/// rack switch melting down).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutWindow {
+    /// Rack (fault domain) the brownout covers.
+    pub rack: u32,
+    /// Window start (inclusive), observed at the first barrier ≥ `from`.
+    pub from: SimTime,
+    /// Window end, observed at the first barrier ≥ `until`.
+    pub until: SimTime,
+    /// Per-step slowdown factor applied to every engine in the rack.
+    pub factor: f64,
+}
+
+/// One coordinator↔domain partition window: between `from` and `until`
+/// the rack is unreachable — dispatch and retry traffic routes around it,
+/// in-flight victims are pulled into the retry ledger (re-dispatched on
+/// heal or timeout, whichever is sooner) and the engines rejoin intact
+/// when the partition heals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionWindow {
+    /// Rack (fault domain) cut off from the coordinator.
+    pub rack: u32,
+    /// Partition start (inclusive), observed at the first barrier ≥ `from`.
+    pub from: SimTime,
+    /// Heal time, observed at the first barrier ≥ `until`.
+    pub until: SimTime,
+}
+
 /// A seeded, deterministic fault schedule plus the recovery policy.
 ///
 /// Constructed with [`FaultSpec::new`] (recovery armed with sane defaults,
@@ -57,6 +88,14 @@ pub struct FaultSpec {
     pub crashes: Vec<(u32, SimTime)>,
     /// Transient straggler windows (per-step slowdown factors).
     pub stragglers: Vec<StragglerWindow>,
+    /// Whole-domain crashes: `(rack, crash time)` — every engine in the
+    /// rack crashes at once. Requires a fleet topology; racks no engine
+    /// lives in are no-ops.
+    pub domain_crashes: Vec<(u32, SimTime)>,
+    /// Domain-scoped brownout windows (correlated slowdowns).
+    pub brownouts: Vec<BrownoutWindow>,
+    /// Coordinator↔domain partition windows.
+    pub partitions: Vec<PartitionWindow>,
     /// Probability that any single PCIe adapter transfer fails and must
     /// be re-issued (the failed attempt still occupies the link).
     pub pcie_fail_prob: f64,
@@ -92,6 +131,9 @@ impl FaultSpec {
             seed: 0,
             crashes: Vec::new(),
             stragglers: Vec::new(),
+            domain_crashes: Vec::new(),
+            brownouts: Vec::new(),
+            partitions: Vec::new(),
             pcie_fail_prob: 0.0,
             detect_timeout: SimDuration::from_millis(100),
             retry_backoff: SimDuration::from_millis(50),
@@ -135,6 +177,49 @@ impl FaultSpec {
             until,
             factor,
         });
+        self
+    }
+
+    /// Schedules a whole-domain crash: every engine in `rack` crashes at
+    /// `at` (correlated failure of a host/rack/power domain).
+    pub fn with_domain_crash(mut self, rack: u32, at: SimTime) -> Self {
+        self.domain_crashes.push((rack, at));
+        self
+    }
+
+    /// Schedules a domain-scoped brownout: every engine in `rack` runs
+    /// `factor`× slower between `from` and `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window or a factor below 1.
+    pub fn with_domain_brownout(
+        mut self,
+        rack: u32,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> Self {
+        assert!(from < until, "empty brownout window");
+        assert!(factor >= 1.0 && factor.is_finite(), "slowdown factor < 1");
+        self.brownouts.push(BrownoutWindow {
+            rack,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Schedules a coordinator↔domain partition: `rack` is unreachable
+    /// between `from` and `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window.
+    pub fn with_partition(mut self, rack: u32, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "empty partition window");
+        self.partitions.push(PartitionWindow { rack, from, until });
         self
     }
 
@@ -226,6 +311,18 @@ pub enum FaultAction {
     StragglerStart(u32, f64),
     /// The straggler window ends; the engine runs at full speed again.
     StragglerEnd(u32),
+    /// Every engine in the rack crashes at once.
+    DomainCrash(u32),
+    /// Every engine in the rack slows down by the factor from now on.
+    BrownoutStart(u32, f64),
+    /// The brownout lifts; the rack runs at full speed again.
+    BrownoutEnd(u32),
+    /// The rack becomes unreachable: traffic routes around it and
+    /// in-flight victims enter the retry ledger, due at the carried heal
+    /// instant or their retry timeout, whichever is sooner.
+    PartitionStart(u32, SimTime),
+    /// The partition heals: the rack's engines rejoin the fleet intact.
+    PartitionEnd(u32),
 }
 
 /// The spec's scheduled faults compiled into one sorted, replayable event
@@ -238,16 +335,35 @@ pub struct FaultTimeline {
 }
 
 impl FaultTimeline {
-    /// Compiles the spec's crashes and straggler windows, sorted by time
-    /// (stable: spec order breaks ties).
+    /// Compiles the spec's crashes, straggler windows and correlated
+    /// domain faults, sorted by time (stable: spec order breaks ties, and
+    /// the correlated kinds are appended after the PR 7 kinds so legacy
+    /// same-instant orderings are unchanged).
     pub fn compile(spec: &FaultSpec) -> Self {
-        let mut events = Vec::with_capacity(spec.crashes.len() + 2 * spec.stragglers.len());
+        let mut events = Vec::with_capacity(
+            spec.crashes.len()
+                + 2 * spec.stragglers.len()
+                + spec.domain_crashes.len()
+                + 2 * spec.brownouts.len()
+                + 2 * spec.partitions.len(),
+        );
         for w in &spec.stragglers {
             events.push((w.from, FaultAction::StragglerStart(w.engine, w.factor)));
             events.push((w.until, FaultAction::StragglerEnd(w.engine)));
         }
         for &(engine, at) in &spec.crashes {
             events.push((at, FaultAction::Crash(engine)));
+        }
+        for &(rack, at) in &spec.domain_crashes {
+            events.push((at, FaultAction::DomainCrash(rack)));
+        }
+        for w in &spec.brownouts {
+            events.push((w.from, FaultAction::BrownoutStart(w.rack, w.factor)));
+            events.push((w.until, FaultAction::BrownoutEnd(w.rack)));
+        }
+        for w in &spec.partitions {
+            events.push((w.from, FaultAction::PartitionStart(w.rack, w.until)));
+            events.push((w.until, FaultAction::PartitionEnd(w.rack)));
         }
         events.sort_by_key(|&(t, _)| t);
         FaultTimeline { events, next: 0 }
@@ -417,6 +533,63 @@ mod tests {
             Some(FaultAction::StragglerEnd(0))
         );
         assert_eq!(t.peek(), None);
+    }
+
+    #[test]
+    fn correlated_faults_compile_onto_the_timeline() {
+        let s = FaultSpec::new()
+            .with_domain_crash(1, SimTime::from_secs_f64(4.0))
+            .with_domain_brownout(
+                0,
+                SimTime::from_secs_f64(1.0),
+                SimTime::from_secs_f64(2.0),
+                3.0,
+            )
+            .with_partition(1, SimTime::from_secs_f64(5.0), SimTime::from_secs_f64(7.0));
+        assert_eq!(s.domain_crashes, vec![(1, SimTime::from_secs_f64(4.0))]);
+        assert_eq!(s.brownouts.len(), 1);
+        assert_eq!(s.partitions.len(), 1);
+        let mut t = FaultTimeline::compile(&s);
+        assert_eq!(t.remaining(), 5);
+        assert_eq!(
+            t.pop_due(SimTime::from_secs_f64(1.0)),
+            Some(FaultAction::BrownoutStart(0, 3.0))
+        );
+        assert_eq!(
+            t.pop_due(SimTime::from_secs_f64(2.0)),
+            Some(FaultAction::BrownoutEnd(0))
+        );
+        assert_eq!(
+            t.pop_due(SimTime::from_secs_f64(4.0)),
+            Some(FaultAction::DomainCrash(1))
+        );
+        assert_eq!(
+            t.pop_due(SimTime::from_secs_f64(5.0)),
+            Some(FaultAction::PartitionStart(1, SimTime::from_secs_f64(7.0))),
+            "partition start carries its heal instant"
+        );
+        assert_eq!(
+            t.pop_due(SimTime::from_secs_f64(7.0)),
+            Some(FaultAction::PartitionEnd(1))
+        );
+    }
+
+    #[test]
+    fn same_instant_correlated_faults_sort_after_legacy_kinds() {
+        // A crash and a domain crash at the same instant: the stable sort
+        // must keep the PR 7 kind first, preserving legacy tie orderings.
+        let at = SimTime::from_secs_f64(2.0);
+        let s = FaultSpec::new().with_domain_crash(9, at).with_crash(0, at);
+        let mut t = FaultTimeline::compile(&s);
+        assert_eq!(t.pop_due(at), Some(FaultAction::Crash(0)));
+        assert_eq!(t.pop_due(at), Some(FaultAction::DomainCrash(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty partition window")]
+    fn rejects_empty_partition_window() {
+        let at = SimTime::from_secs_f64(1.0);
+        let _ = FaultSpec::new().with_partition(0, at, at);
     }
 
     #[test]

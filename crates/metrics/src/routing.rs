@@ -22,6 +22,7 @@
 //! folded in.
 
 use chameleon_router::EngineId;
+use chameleon_simcore::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Outcome counters of the predictive control plane (burst
@@ -115,6 +116,22 @@ pub struct FaultStats {
     pub provision_delays: u64,
     /// Scale-ups that failed outright to provision.
     pub provision_failures: u64,
+    /// Whole fault domains (racks) crashed by correlated injections.
+    pub domains_failed: u64,
+    /// Coordinator↔domain partitions opened.
+    pub partitions: u64,
+    /// Mean time-to-redispatch in seconds over closed recovery episodes:
+    /// crash (or partition) barrier → last victim re-dispatched. `0.0`
+    /// when no episode produced victims or none closed.
+    pub mttr_redispatch: f64,
+    /// Mean time-to-complete in seconds over recovery episodes whose
+    /// victims finished: crash barrier → last victim completed.
+    pub mttr_complete: f64,
+    /// Barrier instants at which SLO-aware shedding refused a request —
+    /// the fault plane's own shed ledger, recorded whether or not tracing
+    /// is on so telemetry can derive availability windows without a trace
+    /// stream. One entry per shed request, in shed order.
+    pub shed_times: Vec<SimTime>,
 }
 
 impl FaultStats {

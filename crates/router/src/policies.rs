@@ -221,8 +221,13 @@ impl AdapterAffinity {
 
 impl Router for AdapterAffinity {
     fn route(&mut self, req: &Request, engines: &[EngineSnapshot]) -> RouteDecision {
-        let (home, second) =
-            rendezvous_top2(req.adapter(), engines.iter().map(|s| (s.id, s.weight)));
+        // Racks are `None` unless the cluster stamped a fault-domain
+        // topology, in which case the spill fallback is anti-affine: the
+        // best-ranked engine outside the home's rack.
+        let (home, second) = rendezvous_top2_domains(
+            req.adapter(),
+            engines.iter().map(|s| (s.id, s.weight, s.rack)),
+        );
         if !self.spill {
             return RouteDecision::to(home);
         }
@@ -306,6 +311,24 @@ pub fn rendezvous_top2<I>(adapter: AdapterId, engines: I) -> (usize, Option<usiz
 where
     I: IntoIterator<Item = (EngineId, f64)>,
 {
+    rendezvous_top2_domains(adapter, engines.into_iter().map(|(id, w)| (id, w, None)))
+}
+
+/// Domain-aware top two: the home is the plain weighted-rendezvous argmax
+/// (identical to [`rendezvous_top2`] — homes never move when a topology is
+/// attached, preserving minimal re-homing), but the second choice prefers
+/// the best-ranked engine *outside the home's fault domain* whenever one
+/// exists. Engines racked `None` are singleton domains, so an all-`None`
+/// set reproduces [`rendezvous_top2`] exactly; a single-domain fleet
+/// degrades gracefully to the plain (same-domain) second choice.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty or any weight is not positive.
+pub fn rendezvous_top2_domains<I>(adapter: AdapterId, engines: I) -> (usize, Option<usize>)
+where
+    I: IntoIterator<Item = (EngineId, f64, Option<u32>)>,
+{
     // Score = weight / -ln(h), h ∈ (0,1) from the 64-bit mix — the
     // standard weighted-HRW construction: an engine's win probability is
     // proportional to its weight, and scores for surviving engines are
@@ -313,10 +336,26 @@ where
     // mantissa collapse of nearby hashes) break on the raw hash, which
     // makes the equal-weight case order engines *exactly* like the
     // pre-weight refactor's raw-u64 argmax.
-    let mut best: Option<(usize, f64, u64)> = None;
+    let beats = |a: &(usize, f64, u64), b: &(usize, f64, u64)| {
+        // Later entries win exact ties, matching `Iterator::max_by_key`
+        // over the raw hashes.
+        (a.1, a.2) >= (b.1, b.2)
+    };
+    // `None` racks are singleton domains: only two engines in the *same*
+    // `Some` rack count as co-located.
+    let same_domain = |a: Option<u32>, b: Option<u32>| a.is_some() && a == b;
+    let mut best: Option<((usize, f64, u64), Option<u32>)> = None;
+    // Plain runner-up (the topology-blind second) — the fallback when no
+    // other domain exists.
     let mut second: Option<(usize, f64, u64)> = None;
+    // Best candidate outside `best`'s domain. When the overall best moves
+    // to a *different* domain the dethroned best dominates every other
+    // seen candidate and is itself eligible, so it takes this slot; when
+    // the best is merely replaced within its own domain the eligible set
+    // is unchanged.
+    let mut other: Option<(usize, f64, u64)> = None;
     let mut n = 0usize;
-    for (pos, (id, weight)) in engines.into_iter().enumerate() {
+    for (pos, (id, weight, rack)) in engines.into_iter().enumerate() {
         assert!(
             weight > 0.0 && weight.is_finite(),
             "engine {id} has non-positive weight {weight}"
@@ -328,25 +367,29 @@ where
         let h = ((raw >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
         let score = weight / -h.ln();
         let cand = (pos, score, raw);
-        let beats = |a: &(usize, f64, u64), b: &(usize, f64, u64)| {
-            // Later entries win exact ties, matching `Iterator::max_by_key`
-            // over the raw hashes.
-            (a.1, a.2) >= (b.1, b.2)
-        };
         match best {
-            Some(b) if !beats(&cand, &b) => {
+            Some((b, dom)) if !beats(&cand, &b) => {
                 if second.is_none_or(|s| beats(&cand, &s)) {
                     second = Some(cand);
                 }
+                if !same_domain(rack, dom) && other.is_none_or(|o| beats(&cand, &o)) {
+                    other = Some(cand);
+                }
             }
-            _ => {
-                second = best;
-                best = Some(cand);
+            Some((b, dom)) => {
+                second = Some(b);
+                if !same_domain(rack, dom) {
+                    other = Some(b);
+                }
+                best = Some((cand, rack));
+            }
+            None => {
+                best = Some((cand, rack));
             }
         }
     }
     assert!(n > 0, "empty cluster");
-    (best.expect("non-empty").0, second.map(|s| s.0))
+    (best.expect("non-empty").0 .0, other.or(second).map(|s| s.0))
 }
 
 /// Where predictive pre-replication may warm an adapter: its **second**
@@ -367,6 +410,23 @@ where
     I: IntoIterator<Item = (EngineId, f64)>,
 {
     rendezvous_top2(adapter, engines).1
+}
+
+/// Domain-aware pre-replication target: like [`prereplication_target`],
+/// but over `(id, weight, rack)` triples — the warm replica prefers the
+/// best-ranked engine *outside the home's fault domain*, so a whole-rack
+/// failure never takes the primary and its warm copy together. Falls back
+/// to the plain second choice when the fleet is single-domain, and is
+/// byte-identical to [`prereplication_target`] when every rack is `None`.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty or any weight is not positive.
+pub fn prereplication_target_domains<I>(adapter: AdapterId, engines: I) -> Option<usize>
+where
+    I: IntoIterator<Item = (EngineId, f64, Option<u32>)>,
+{
+    rendezvous_top2_domains(adapter, engines).1
 }
 
 /// The HRW score of `(adapter, engine)` — a stateless 64-bit mix keyed on
@@ -672,6 +732,83 @@ mod tests {
         }
     }
 
+    fn uniform_racked(racks: &[u32]) -> Vec<(EngineId, f64, Option<u32>)> {
+        racks
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (EngineId(i as u32), 1.0, Some(r)))
+            .collect()
+    }
+
+    #[test]
+    fn all_none_racks_reproduce_plain_top2_exactly() {
+        for n in 1..9usize {
+            for a in 0..400 {
+                let plain = rendezvous_top2(AdapterId(a), uniform(n));
+                let domained = rendezvous_top2_domains(
+                    AdapterId(a),
+                    uniform(n).into_iter().map(|(id, w)| (id, w, None)),
+                );
+                assert_eq!(plain, domained, "adapter {a} over {n} unracked engines");
+            }
+        }
+    }
+
+    #[test]
+    fn anti_affine_second_leaves_the_home_rack() {
+        let racks = [0u32, 0, 1, 1];
+        let set = uniform_racked(&racks);
+        for a in 0..400 {
+            let (home, second) = rendezvous_top2_domains(AdapterId(a), set.iter().copied());
+            let second = second.expect("4 engines");
+            // Homes are topology-blind: identical to plain rendezvous.
+            assert_eq!(home, rendezvous_home(AdapterId(a), uniform(4)));
+            assert_ne!(
+                racks[home], racks[second],
+                "adapter {a}: warm/spill target colocated with its primary"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rack_fleet_degrades_to_plain_second() {
+        let set = uniform_racked(&[7, 7, 7, 7, 7]);
+        for a in 0..300 {
+            assert_eq!(
+                rendezvous_top2_domains(AdapterId(a), set.iter().copied()),
+                rendezvous_top2(AdapterId(a), uniform(5)),
+                "adapter {a}: one rack means nothing to avoid"
+            );
+        }
+    }
+
+    #[test]
+    fn affinity_spill_prefers_the_other_rack() {
+        let mut r = AdapterAffinity::with_spill(2.0, 100);
+        let racks = [0u32, 0, 1, 1];
+        // An adapter homed in rack 0 whose *plain* second choice is also in
+        // rack 0 — anti-affinity must divert the spill to rack 1.
+        let adapter = (0..2000)
+            .map(AdapterId)
+            .find(|&a| {
+                let (home, second) = rendezvous_top2(a, uniform(4));
+                home < 2 && second.expect("4 engines") < 2
+            })
+            .expect("some adapter has both top choices in rack 0");
+        let mut snaps = snaps_with_loads(&[10, 10, 10, 10]);
+        for (s, &rack) in snaps.iter_mut().zip(racks.iter()) {
+            s.rack = Some(rack);
+        }
+        let home = rendezvous_home(adapter, uniform(4));
+        snaps[home].outstanding_tokens = 50_000;
+        let d = r.route(&req(0, adapter.0), &snaps);
+        assert!(d.spilled);
+        assert!(
+            racks[d.engine] != racks[home],
+            "spill landed in the home's rack"
+        );
+    }
+
     #[test]
     fn rendezvous_is_deterministic() {
         for a in 0..100 {
@@ -700,6 +837,18 @@ mod tests {
 
         fn home_id(adapter: AdapterId, set: &[(EngineId, f64)]) -> EngineId {
             set[rendezvous_home(adapter, set.iter().copied())].0
+        }
+
+        /// Attaches racks (drawn from a small pool) to a fleet.
+        fn rack_fleet(
+            set: &[(EngineId, f64)],
+            raw_racks: &[u8],
+            rack_pool: u8,
+        ) -> Vec<(EngineId, f64, Option<u32>)> {
+            set.iter()
+                .zip(raw_racks.iter().cycle())
+                .map(|(&(id, w), &r)| (id, w, Some(u32::from(r % rack_pool.max(1)))))
+                .collect()
         }
 
         proptest! {
@@ -910,6 +1059,125 @@ mod tests {
                     max - min <= 1,
                     "uniform batch spread {:?} is lumpier than round-robin", placed
                 );
+            }
+
+            /// Anti-affinity never selects a same-domain spill or
+            /// pre-replication target while another domain has capacity:
+            /// whenever the fleet spans ≥2 racks, the second choice lives
+            /// outside the home's rack — and the home itself is exactly
+            /// the topology-blind rendezvous home (homes never move when a
+            /// topology is attached).
+            #[test]
+            fn prop_anti_affinity_never_colocates_while_another_domain_has_capacity(
+                raw_ids in proptest::collection::vec(0u32..500, 2..8),
+                raw_weights in proptest::collection::vec(0u8..3, 8..9),
+                raw_racks in proptest::collection::vec(0u8..4, 8..9),
+                rack_pool in 2u8..4,
+                adapter in 0u32..100_000,
+            ) {
+                let set = fleet(&raw_ids, &raw_weights);
+                if set.len() < 2 {
+                    continue;
+                }
+                let racked = rack_fleet(&set, &raw_racks, rack_pool);
+                let a = AdapterId(adapter);
+                let (home, second) =
+                    rendezvous_top2_domains(a, racked.iter().copied());
+                prop_assert_eq!(
+                    home,
+                    rendezvous_home(a, set.iter().copied()),
+                    "topology moved a home"
+                );
+                let second = second.expect("≥2 engines have a second choice");
+                prop_assert_eq!(
+                    prereplication_target_domains(a, racked.iter().copied()),
+                    Some(second)
+                );
+                let racks: std::collections::HashSet<_> =
+                    racked.iter().map(|e| e.2).collect();
+                if racks.len() >= 2 {
+                    prop_assert!(
+                        racked[second].2 != racked[home].2,
+                        "adapter {} colocated with its primary while rack capacity existed",
+                        adapter
+                    );
+                }
+            }
+
+            /// A single-domain fleet degrades gracefully: the domain-aware
+            /// top-2 equals the plain top-2 exactly, both when every
+            /// engine shares one rack and when no engine is racked at all.
+            #[test]
+            fn prop_single_domain_degrades_to_plain_top2(
+                raw_ids in proptest::collection::vec(0u32..500, 1..8),
+                raw_weights in proptest::collection::vec(0u8..3, 8..9),
+                rack in 0u32..8,
+                adapter in 0u32..100_000,
+            ) {
+                let set = fleet(&raw_ids, &raw_weights);
+                let a = AdapterId(adapter);
+                let plain = rendezvous_top2(a, set.iter().copied());
+                let one_rack: Vec<_> =
+                    set.iter().map(|&(id, w)| (id, w, Some(rack))).collect();
+                prop_assert_eq!(
+                    rendezvous_top2_domains(a, one_rack.iter().copied()),
+                    plain,
+                    "single-rack fleet diverged from plain rendezvous"
+                );
+                let unracked: Vec<_> =
+                    set.iter().map(|&(id, w)| (id, w, None)).collect();
+                prop_assert_eq!(
+                    rendezvous_top2_domains(a, unracked.iter().copied()),
+                    plain,
+                    "unracked fleet diverged from plain rendezvous"
+                );
+            }
+
+            /// Add/drain re-homing stays minimal with a topology attached:
+            /// because domain-aware homes equal plain homes, growing the
+            /// racked fleet moves only the newcomer's shard and draining
+            /// an engine moves exactly its shard.
+            #[test]
+            fn prop_rehoming_stays_minimal_with_topology_attached(
+                raw_ids in proptest::collection::vec(0u32..500, 2..8),
+                raw_weights in proptest::collection::vec(0u8..3, 8..9),
+                raw_racks in proptest::collection::vec(0u8..4, 9..10),
+                rack_pool in 1u8..4,
+                pick in 0usize..8,
+            ) {
+                let set = fleet(&raw_ids, &raw_weights);
+                if set.len() < 2 {
+                    continue;
+                }
+                let racked = rack_fleet(&set, &raw_racks, rack_pool);
+                let home_of = |a: AdapterId, s: &[(EngineId, f64, Option<u32>)]| {
+                    s[rendezvous_top2_domains(a, s.iter().copied()).0].0
+                };
+                // Grow: only the newcomer attracts adapters.
+                let mut grown = racked.clone();
+                grown.push((EngineId(999), 2.0, Some(u32::from(rack_pool))));
+                for a in 0..120 {
+                    let (hb, ha) = (home_of(AdapterId(a), &racked), home_of(AdapterId(a), &grown));
+                    if ha != hb {
+                        prop_assert_eq!(ha, EngineId(999), "adapter {} moved off a survivor", a);
+                    }
+                }
+                // Drain: exactly the victim's shard moves.
+                let victim = racked[pick % racked.len()].0;
+                let drained: Vec<_> = racked
+                    .iter()
+                    .copied()
+                    .filter(|&(id, _, _)| id != victim)
+                    .collect();
+                for a in 0..120 {
+                    let (hb, ha) =
+                        (home_of(AdapterId(a), &racked), home_of(AdapterId(a), &drained));
+                    if hb == victim {
+                        prop_assert!(ha != victim, "adapter {} stayed on drained engine", a);
+                    } else {
+                        prop_assert_eq!(ha, hb, "adapter {} moved off a survivor", a);
+                    }
+                }
             }
 
             /// Placement (home and spill fallback) is a deterministic pure

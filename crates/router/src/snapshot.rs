@@ -65,6 +65,12 @@ pub struct EngineSnapshot {
     /// [`needs_residency`](crate::Router::needs_residency) returns `true`;
     /// empty otherwise, so queue-depth-only policies pay nothing for it.
     pub resident_adapters: HashSet<AdapterId>,
+    /// Rack (correlated fault domain) this engine lives in. `None` — the
+    /// default — means the engine is its own singleton domain, which
+    /// makes domain-aware placement coincide exactly with the
+    /// topology-blind policy. Only stamped by the cluster when a fleet
+    /// topology with anti-affinity is attached.
+    pub rack: Option<u32>,
 }
 
 impl EngineSnapshot {
@@ -79,6 +85,7 @@ impl EngineSnapshot {
             free_memory_bytes: u64::MAX,
             est_ttft_secs: 0.0,
             resident_adapters: HashSet::new(),
+            rack: None,
         }
     }
 

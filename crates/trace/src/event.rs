@@ -127,6 +127,10 @@ pub enum TraceEvent {
         adapter: u32,
         /// Target engine (the adapter's spill fallback).
         target: u32,
+        /// The adapter's home (primary) engine at issue time — lets the
+        /// flight recorder check the warm landed outside the primary's
+        /// fault domain.
+        home: u32,
         /// Bytes in flight.
         bytes: u64,
     },
@@ -180,6 +184,19 @@ pub enum TraceEvent {
         /// Active engines that were idle at refusal (shedding while
         /// capacity idles is the anomaly the flight recorder watches for).
         idle_engines: u32,
+    },
+    /// A correlated injection crashed a whole fault domain (rack).
+    DomainFailed {
+        /// The rack that failed.
+        rack: u32,
+        /// Engines the domain crash took down.
+        engines: u32,
+    },
+    /// A coordinator↔domain partition healed; the rack's engines rejoined
+    /// the reachable fleet.
+    PartitionHealed {
+        /// The rack that rejoined.
+        rack: u32,
     },
     /// A dead engine's shard was re-homed onto survivors with cold/warm
     /// reloads.
@@ -251,6 +268,8 @@ impl TraceEvent {
             TraceEvent::EngineFailed { .. } => "engine_failed",
             TraceEvent::RequestRetried { .. } => "retry",
             TraceEvent::RequestShed { .. } => "shed",
+            TraceEvent::DomainFailed { .. } => "domain_failed",
+            TraceEvent::PartitionHealed { .. } => "partition_healed",
             TraceEvent::ShardRecovered { .. } => "shard_recovered",
             TraceEvent::BarrierOpen { .. } => "barrier_open",
             TraceEvent::BarrierClose { .. } => "barrier_close",
@@ -372,11 +391,12 @@ impl TaggedEvent {
             TraceEvent::PrewarmIssued {
                 adapter,
                 target,
+                home,
                 bytes,
             } => {
                 let _ = write!(
                     out,
-                    ",\"adapter\":{adapter},\"target\":{target},\"bytes\":{bytes}"
+                    ",\"adapter\":{adapter},\"target\":{target},\"home\":{home},\"bytes\":{bytes}"
                 );
             }
             TraceEvent::PrewarmHit { adapter, engine } => {
@@ -425,6 +445,12 @@ impl TaggedEvent {
                     ",\"req\":{req},\"est_ttft\":{},\"idle_engines\":{idle_engines}",
                     est_ttft.as_nanos()
                 );
+            }
+            TraceEvent::DomainFailed { rack, engines } => {
+                let _ = write!(out, ",\"rack\":{rack},\"engines\":{engines}");
+            }
+            TraceEvent::PartitionHealed { rack } => {
+                let _ = write!(out, ",\"rack\":{rack}");
             }
             TraceEvent::ShardRecovered {
                 from,

@@ -40,7 +40,7 @@ pub mod spec;
 pub use event::{AutoscaleAction, Lane, TaggedEvent, TraceBuffer, TraceEvent, TraceLog};
 pub use profile::BarrierProfile;
 pub use recorder::{
-    AnomalyPredicate, FlightDump, FlightRecorder, RetryStormPredicate, ShedIdlePredicate,
-    TtftSloPredicate, WastedWarmPredicate,
+    AnomalyPredicate, FlightDump, FlightRecorder, ReplicaColocatedPredicate, RetryStormPredicate,
+    ShedIdlePredicate, TtftSloPredicate, WastedWarmPredicate,
 };
 pub use spec::TraceSpec;

@@ -198,6 +198,63 @@ impl AnomalyPredicate for ShedIdlePredicate {
     }
 }
 
+/// Fires when the predictive control plane places a pre-replicated warm
+/// *inside the primary's fault domain* while another domain has capacity
+/// — the replica and the primary can then be taken out by one correlated
+/// failure, which defeats the availability purpose of replicating at all.
+/// Built from the fleet topology (`engine id → rack`); engines absent
+/// from the map are singleton domains and never co-located.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaColocatedPredicate {
+    racks: HashMap<u32, u32>,
+}
+
+impl ReplicaColocatedPredicate {
+    /// Arms the predicate with the fleet's `engine id → rack` map.
+    pub fn new(racks: HashMap<u32, u32>) -> Self {
+        ReplicaColocatedPredicate { racks }
+    }
+
+    /// True when the topology spans more than one rack — i.e. another
+    /// domain existed that the replica could have landed in.
+    fn another_domain_exists(&self) -> bool {
+        let mut racks = self.racks.values();
+        match racks.next() {
+            None => false,
+            Some(first) => racks.any(|r| r != first),
+        }
+    }
+}
+
+impl AnomalyPredicate for ReplicaColocatedPredicate {
+    fn name(&self) -> &'static str {
+        "replica-colocated-with-primary"
+    }
+
+    fn observe(&mut self, ev: &TaggedEvent) -> Option<String> {
+        if let TraceEvent::PrewarmIssued {
+            adapter,
+            target,
+            home,
+            ..
+        } = ev.event
+        {
+            let (Some(&target_rack), Some(&home_rack)) =
+                (self.racks.get(&target), self.racks.get(&home))
+            else {
+                return None;
+            };
+            if target_rack == home_rack && self.another_domain_exists() {
+                return Some(format!(
+                    "adapter {adapter}: warm replica on engine {target} shares rack \
+                     {home_rack} with primary engine {home} while another domain had capacity"
+                ));
+            }
+        }
+        None
+    }
+}
+
 /// One flight-recorder firing: the reason and the ring contents (the last
 /// `capacity` decisions up to and including the trigger).
 #[derive(Debug, Clone, PartialEq)]
@@ -317,6 +374,7 @@ mod tests {
             TraceEvent::PrewarmIssued {
                 adapter: 5,
                 target: 2,
+                home: 0,
                 bytes: 4096,
             },
         );
@@ -374,6 +432,7 @@ mod tests {
             TraceEvent::PrewarmIssued {
                 adapter: 5,
                 target: 2,
+                home: 0,
                 bytes: 4096,
             },
         );
@@ -503,6 +562,38 @@ mod tests {
         assert_eq!(firings, 1, "shedding under real pressure is by design");
         assert_eq!(dumps[0].predicate, "shed-while-idle-capacity");
         assert!(dumps[0].reason.contains("2 idle engine(s)"));
+    }
+
+    #[test]
+    fn colocated_replica_fires_only_in_the_primary_rack_with_alternatives() {
+        let racks: HashMap<u32, u32> = [(0, 0), (1, 0), (2, 1), (3, 1)].into_iter().collect();
+        let issue = |target: u32, home: u32| TraceEvent::PrewarmIssued {
+            adapter: 7,
+            target,
+            home,
+            bytes: 4096,
+        };
+        let mut buf = TraceBuffer::new();
+        buf.push(t(10), Lane::Coordinator, issue(2, 0)); // cross-rack: fine
+        buf.push(t(20), Lane::Coordinator, issue(1, 0)); // same rack: anomaly
+        buf.push(t(30), Lane::Coordinator, issue(9, 0)); // unknown engine: singleton
+        let rec = FlightRecorder::new(8, 4);
+        let mut preds: Vec<Box<dyn AnomalyPredicate>> =
+            vec![Box::new(ReplicaColocatedPredicate::new(racks))];
+        let (dumps, firings) = rec.scan(&buf.finish(), &mut preds);
+        assert_eq!(firings, 1);
+        assert_eq!(dumps[0].predicate, "replica-colocated-with-primary");
+        assert_eq!(dumps[0].at, t(20));
+        assert!(dumps[0].reason.contains("shares rack 0"));
+
+        // Single-domain fleet: nowhere else to go, never an anomaly.
+        let one_rack: HashMap<u32, u32> = [(0, 3), (1, 3)].into_iter().collect();
+        let mut buf = TraceBuffer::new();
+        buf.push(t(10), Lane::Coordinator, issue(1, 0));
+        let mut preds: Vec<Box<dyn AnomalyPredicate>> =
+            vec![Box::new(ReplicaColocatedPredicate::new(one_rack))];
+        let (_, firings) = rec.scan(&buf.finish(), &mut preds);
+        assert_eq!(firings, 0, "single-domain colocations are unavoidable");
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct TraceSpec {
     /// Arm the shed-while-idle-capacity predicate (a request was shed
     /// while at least one active engine sat idle).
     pub shed_idle_trigger: bool,
+    /// Arm the replica-colocated-with-primary predicate: a pre-replicated
+    /// warm landed in the primary's fault domain while another domain had
+    /// capacity. Needs a fleet topology to resolve racks; a no-op without
+    /// one.
+    pub colocated_replica_trigger: bool,
 }
 
 impl TraceSpec {
@@ -36,6 +41,7 @@ impl TraceSpec {
             wasted_warm_trigger: false,
             retry_storm_trigger: None,
             shed_idle_trigger: false,
+            colocated_replica_trigger: false,
         }
     }
 
@@ -68,6 +74,12 @@ impl TraceSpec {
         self.shed_idle_trigger = true;
         self
     }
+
+    /// Arms the replica-colocated-with-primary trigger.
+    pub fn with_colocated_replica_trigger(mut self) -> Self {
+        self.colocated_replica_trigger = true;
+        self
+    }
 }
 
 impl Default for TraceSpec {
@@ -85,12 +97,15 @@ mod tests {
         let s = TraceSpec::new();
         assert!(s.ttft_slo_trigger.is_none() && !s.wasted_warm_trigger);
         assert!(s.retry_storm_trigger.is_none() && !s.shed_idle_trigger);
+        assert!(!s.colocated_replica_trigger);
         let s = s
             .with_flight_capacity(16)
             .with_ttft_slo_trigger(SimDuration::from_secs(1))
             .with_wasted_warm_trigger()
             .with_retry_storm_trigger(5, SimDuration::from_secs(2))
-            .with_shed_idle_trigger();
+            .with_shed_idle_trigger()
+            .with_colocated_replica_trigger();
+        assert!(s.colocated_replica_trigger);
         assert_eq!(s.flight_capacity, 16);
         assert_eq!(s.ttft_slo_trigger, Some(SimDuration::from_secs(1)));
         assert!(s.wasted_warm_trigger);

@@ -106,6 +106,51 @@ fn elastic_fault_runs_are_bit_identical() {
     }
 }
 
+/// Correlated injections on a domain fleet — a rack-scoped brownout, a
+/// coordinator↔domain partition and a whole-domain crash — ride the same
+/// barrier-observed timeline as engine-scoped faults, so these runs too
+/// must be byte-identical across worker counts and seeds, MTTR aggregates
+/// included (the canonical text prints them as exact bit patterns).
+#[test]
+fn correlated_fault_runs_are_bit_identical() {
+    for seed in SEEDS {
+        let cfg = preset::chameleon_cluster_domains(6).with_fault(
+            FaultSpec::new()
+                .with_domain_brownout(
+                    1,
+                    SimTime::from_secs_f64(1.0),
+                    SimTime::from_secs_f64(6.0),
+                    3.0,
+                )
+                .with_partition(0, SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(5.0))
+                .with_domain_crash(1, SimTime::from_secs_f64(7.0))
+                .with_shedding(8.0),
+        );
+        let serial = run_text(cfg.clone(), ClusterExecution::Serial, seed, 24.0, 12.0);
+        assert!(
+            serial.contains("domains_failed=1"),
+            "seed {seed}: the domain crash never landed"
+        );
+        assert!(
+            serial.contains("partitions=1"),
+            "seed {seed}: the partition never opened"
+        );
+        for workers in WORKER_COUNTS {
+            let pooled = run_text(
+                cfg.clone(),
+                ClusterExecution::Parallel { workers },
+                seed,
+                24.0,
+                12.0,
+            );
+            assert_eq!(
+                pooled, serial,
+                "seed {seed}, {workers} workers: correlated-fault run diverged from serial"
+            );
+        }
+    }
+}
+
 /// A trace-armed crash run: the merged JSONL decision stream — including
 /// the `engine_failed`, `retry` and `shard_recovered` events — is
 /// byte-identical across execution modes.

@@ -1,0 +1,362 @@
+//! Behavioural oracle for correlated-failure resilience: fault domains,
+//! domain-aware anti-affinity placement, whole-domain crashes, partitions,
+//! brownouts, MTTR accounting, and the colocated-replica flight predicate.
+//!
+//! The headline claims, each pinned here:
+//!
+//! * a whole-domain crash takes every member engine and still loses
+//!   nothing — victims are re-dispatched (or deliberately counted failed)
+//!   with finite mean time to re-dispatch;
+//! * anti-affinity placement **strictly beats** the topology-blind
+//!   ablation on offered-P99 TTFT and requests lost to faults under the
+//!   identical domain-crash schedule and trace — the replica that
+//!   survives the rack is the one that pays off;
+//! * a coordinator↔domain partition routes traffic around the dark rack
+//!   and re-dispatches the stranded work, and the rack rejoins on heal;
+//! * the `replica-colocated-with-primary` flight predicate catches blind
+//!   placement putting both copies in one blast radius, and stays silent
+//!   under anti-affinity.
+
+use chameleon_repro::core::{
+    preset, report::RunReport, sim::Simulation, workloads, FaultSpec, FleetSpec, SystemConfig,
+    TopologySpec, TraceSpec,
+};
+use chameleon_repro::models::{AdapterId, AdapterPool};
+use chameleon_repro::simcore::{SimDuration, SimTime};
+use chameleon_repro::trace::TraceEvent;
+use chameleon_repro::workload::{Request, RequestId, Trace};
+
+const SEED: u64 = 7;
+
+/// P99 TTFT over **all offered** requests: anything the system never
+/// served counts as an infinite sample — the honest way to compare a run
+/// that drops work against one that doesn't.
+fn p99_ttft_all_offered(report: &RunReport, offered: usize) -> f64 {
+    let mut xs: Vec<f64> = report
+        .records
+        .iter()
+        .filter_map(|r| r.ttft())
+        .map(|d| d.as_secs_f64())
+        .collect();
+    assert!(xs.len() <= offered);
+    xs.resize(offered, f64::INFINITY);
+    xs.sort_by(f64::total_cmp);
+    let idx = ((offered as f64 * 0.99).ceil() as usize).max(1) - 1;
+    xs[idx]
+}
+
+/// The topology-blind ablation: identical fleet and racks, anti-affinity
+/// off. Placement ignores domains, but the correlated injections still
+/// hit whole racks — so the comparison isolates the placement policy.
+fn without_anti_affinity(mut cfg: SystemConfig) -> SystemConfig {
+    let fleet = cfg.fleet.as_mut().expect("domains preset carries a fleet");
+    let topo = fleet
+        .topology
+        .take()
+        .expect("domains preset carries a topology");
+    fleet.topology = Some(topo.without_anti_affinity());
+    cfg.with_label("Chameleon-DP-DomainsBlind")
+}
+
+/// The Zipf-shift burst of the predictive suite: 20 s of steady traffic,
+/// then the same workload with adapter ids rotated by half the pool and
+/// an 8x burst on the shifted set — enough churn that the forecaster
+/// issues pre-replicated warms and affinity routing actually spills.
+fn zipf_shift_burst_trace(pool: &AdapterPool, seed: u64) -> Trace {
+    let n = pool.len() as u32;
+    let phase1_secs = 20.0;
+    let phase1 = workloads::splitwise(10.0, phase1_secs, seed, pool);
+    let phase2 = workloads::splitwise_bursty(10.0, 40.0, 20.0, 10.0, 8.0, seed ^ 0x5eed, pool);
+    let offset = SimDuration::from_secs_f64(phase1_secs);
+    let mut reqs = phase1.requests().to_vec();
+    for r in phase2.iter() {
+        let shifted = AdapterId((r.adapter().0 + n / 2) % n);
+        let rank = pool.get(shifted).expect("rotated id stays in pool").rank();
+        reqs.push(Request::new(
+            RequestId(r.id().0 + 1_000_000),
+            r.arrival() + offset,
+            r.input_tokens(),
+            r.output_tokens(),
+            shifted,
+            rank,
+        ));
+    }
+    Trace::new(reqs)
+}
+
+fn run_faulted(cfg: SystemConfig, seed: u64, rps: f64, secs: f64) -> (RunReport, usize) {
+    let mut sim = Simulation::new(cfg, seed);
+    let trace = workloads::splitwise(rps, secs, seed, sim.pool());
+    let n = trace.len();
+    (sim.run(&trace), n)
+}
+
+/// A whole-domain crash takes both member engines down at one barrier,
+/// emits a single `DomainFailed` event ahead of the per-engine failures,
+/// and still loses nothing: every victim is re-dispatched and completes,
+/// with a finite MTTR ledger.
+#[test]
+fn domain_crash_kills_every_member_and_loses_nothing() {
+    let cfg = preset::chameleon_cluster_domains(4)
+        .with_fault(
+            FaultSpec::new()
+                .with_domain_crash(1, SimTime::from_secs_f64(10.0))
+                .with_shedding(8.0),
+        )
+        .with_trace(TraceSpec::new());
+    let (report, offered) = run_faulted(cfg, SEED, 12.0, 25.0);
+    let f = &report.routing.fault;
+    assert_eq!(f.domains_failed, 1, "the scheduled domain crash must land");
+    assert_eq!(f.engines_failed, 2, "both rack-1 members must die");
+    assert!(
+        f.requests_recovered > 0,
+        "crash hit an idle rack — scenario too light"
+    );
+    assert_eq!(f.requests_failed, 0, "default budget recovers everything");
+    report.assert_request_conservation(offered);
+    assert_eq!(
+        report.completed() as u64 + f.requests_shed,
+        offered as u64,
+        "recovered requests must finish, not linger incomplete"
+    );
+
+    // MTTR: the episode opened at the crash barrier closes when the last
+    // victim re-dispatches, and completion trails re-dispatch.
+    assert!(
+        f.mttr_redispatch > 0.0 && f.mttr_redispatch.is_finite(),
+        "re-dispatch MTTR must be finite and positive: {}",
+        f.mttr_redispatch
+    );
+    assert!(
+        f.mttr_complete >= f.mttr_redispatch,
+        "victims cannot complete before they re-dispatch ({} < {})",
+        f.mttr_complete,
+        f.mttr_redispatch
+    );
+
+    // One DomainFailed event naming the rack and its member count, pushed
+    // before any of the member EngineFailed events.
+    let log = report.trace.as_ref().expect("traced run");
+    let events = log.events();
+    let domain_at = events
+        .iter()
+        .position(|e| {
+            matches!(
+                e.event,
+                TraceEvent::DomainFailed {
+                    rack: 1,
+                    engines: 2
+                }
+            )
+        })
+        .expect("domain crash emits a DomainFailed event");
+    let first_engine = events
+        .iter()
+        .position(|e| matches!(e.event, TraceEvent::EngineFailed { .. }))
+        .expect("members emit EngineFailed events");
+    assert!(
+        domain_at < first_engine,
+        "the correlated event must precede its member crashes"
+    );
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::EngineFailed { .. }))
+            .count(),
+        2
+    );
+}
+
+/// The efficacy pin the tentpole exists for: on the identical trace and
+/// domain-crash schedule, anti-affinity placement strictly beats the
+/// topology-blind ablation on offered-P99 TTFT and on requests lost to
+/// faults. Blind placement lets burst spill and warm replicas share the
+/// primary's rack, so the mid-burst rack crash takes more queued work
+/// (and its warm copies) with it — the survivors inherit a deeper,
+/// colder backlog, shed more arrivals, and push the offered tail out;
+/// anti-affinity keeps a live foothold outside the blast radius.
+#[test]
+fn anti_affinity_strictly_beats_blind_placement_under_a_domain_crash() {
+    let fault = || {
+        FaultSpec::new()
+            .with_domain_crash(1, SimTime::from_secs_f64(14.0))
+            .with_shedding(16.0)
+    };
+    let affine_cfg = preset::chameleon_cluster_domains(4).with_fault(fault());
+    let blind_cfg = without_anti_affinity(preset::chameleon_cluster_domains(4)).with_fault(fault());
+
+    // A 2x burst over 10-20 s; the rack dies mid-burst with deep queues,
+    // so where the spilled work sat (and where the replicas lived) is
+    // exactly what separates the two arms.
+    let pool = Simulation::new(affine_cfg.clone(), SEED).pool().clone();
+    let trace = workloads::splitwise_bursty(6.0, 40.0, 10.0, 10.0, 2.0, SEED, &pool);
+    let offered = trace.len();
+
+    let affine = Simulation::new(affine_cfg, SEED).run(&trace);
+    let blind = Simulation::new(blind_cfg, SEED).run(&trace);
+    affine.assert_request_conservation(offered);
+    blind.assert_request_conservation(offered);
+    for (name, r) in [("affine", &affine), ("blind", &blind)] {
+        assert_eq!(r.routing.fault.domains_failed, 1, "{name}: crash missed");
+        assert_eq!(r.routing.fault.engines_failed, 2, "{name}: partial crash");
+        assert!(
+            r.routing.predictive.prewarms_issued > 0,
+            "{name}: no replicas were ever placed — comparison is vacuous"
+        );
+    }
+
+    let p99_affine = p99_ttft_all_offered(&affine, offered);
+    let p99_blind = p99_ttft_all_offered(&blind, offered);
+    assert!(
+        p99_affine < p99_blind,
+        "anti-affinity ({p99_affine:.3}s) must strictly beat blind ({p99_blind:.3}s) on offered P99"
+    );
+    assert!(
+        affine.requests_lost_to_faults() < blind.requests_lost_to_faults(),
+        "anti-affinity ({}) must strictly beat blind ({}) on requests lost",
+        affine.requests_lost_to_faults(),
+        blind.requests_lost_to_faults()
+    );
+
+    // MTTR is finite with 100% of victims re-dispatched.
+    let f = &affine.routing.fault;
+    assert!(f.requests_recovered > 0);
+    assert_eq!(f.requests_failed, 0, "every victim must re-dispatch");
+    assert!(f.retries >= f.requests_recovered);
+    assert!(f.mttr_redispatch > 0.0 && f.mttr_redispatch.is_finite());
+}
+
+/// A coordinator↔domain partition makes the rack unreachable without
+/// retiring it: stranded work is evacuated and re-dispatched around the
+/// dark rack, nothing is lost, and the rack rejoins at heal (pinned by
+/// the `PartitionHealed` trace event).
+#[test]
+fn partition_routes_around_the_dark_rack_and_heals() {
+    let cfg = preset::chameleon_cluster_domains(4)
+        .with_fault(FaultSpec::new().with_partition(
+            1,
+            SimTime::from_secs_f64(5.0),
+            SimTime::from_secs_f64(9.0),
+        ))
+        .with_trace(TraceSpec::new());
+    let (report, offered) = run_faulted(cfg, 9, 16.0, 15.0);
+    let f = &report.routing.fault;
+    assert_eq!(f.partitions, 1, "the scheduled partition must open");
+    assert_eq!(f.engines_failed, 0, "a partition retires nothing");
+    assert!(
+        f.requests_recovered > 0,
+        "partition caught no in-flight work — scenario too light"
+    );
+    assert_eq!(f.requests_failed, 0);
+    report.assert_request_conservation(offered);
+    assert_eq!(
+        report.completed(),
+        offered,
+        "work stranded in the dark rack must still finish"
+    );
+    assert!(
+        f.mttr_redispatch > 0.0 && f.mttr_redispatch.is_finite(),
+        "partition victims must re-dispatch in finite time"
+    );
+    let log = report.trace.as_ref().expect("traced run");
+    assert!(
+        log.events()
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::PartitionHealed { rack: 1 })),
+        "the heal must be traced so operators can see the rack rejoin"
+    );
+}
+
+/// A domain-scoped brownout slows every member (and therefore the tail)
+/// without losing or duplicating anything.
+#[test]
+fn domain_brownout_degrades_the_tail_but_loses_nothing() {
+    let seed = 5;
+    let clean_cfg = preset::chameleon_cluster_domains(4);
+    let slow_cfg = clean_cfg
+        .clone()
+        .with_fault(FaultSpec::new().with_domain_brownout(
+            0,
+            SimTime::from_secs_f64(2.0),
+            SimTime::from_secs_f64(12.0),
+            8.0,
+        ));
+    let pool = Simulation::new(clean_cfg.clone(), seed).pool().clone();
+    let trace = workloads::splitwise(18.0, 15.0, seed, &pool);
+    let offered = trace.len();
+    let clean = Simulation::new(clean_cfg, seed).run(&trace);
+    let slow = Simulation::new(slow_cfg, seed).run(&trace);
+    slow.assert_request_conservation(offered);
+    assert_eq!(
+        slow.completed(),
+        clean.completed(),
+        "brownout lost requests"
+    );
+    assert!(
+        slow.p99_ttft() > clean.p99_ttft(),
+        "an 8x whole-rack brownout must show up in the tail ({} vs {})",
+        slow.p99_ttft(),
+        clean.p99_ttft()
+    );
+}
+
+/// Single-domain degradation: when every engine shares one rack, a
+/// domain crash may not take the fleet to zero — the guard spares the
+/// last reachable engine and the run still drains.
+#[test]
+fn single_rack_domain_crash_spares_the_last_engine() {
+    let cfg = preset::chameleon_cluster_predictive(2)
+        .with_fleet(FleetSpec::homogeneous(2, 1).with_topology(TopologySpec::racks(&[0, 0])))
+        .with_fault(FaultSpec::new().with_domain_crash(0, SimTime::from_secs_f64(5.0)))
+        .with_label("Chameleon-DP2-OneRack");
+    let (report, offered) = run_faulted(cfg, 3, 8.0, 12.0);
+    let f = &report.routing.fault;
+    assert_eq!(f.domains_failed, 1);
+    assert_eq!(f.engines_failed, 1, "the guard must spare the last engine");
+    report.assert_request_conservation(offered);
+    assert_eq!(report.completed(), offered);
+}
+
+/// End-to-end flight-recorder capture for the colocated-replica
+/// predicate: blind placement on the burst scenario eventually parks a
+/// warm replica in its primary's rack and the armed recorder catches it
+/// with the `PrewarmIssued` trigger in the ring; the anti-affinity run
+/// of the identical trace never gives it anything.
+#[test]
+fn colocated_replica_predicate_fires_only_on_blind_placement() {
+    let blind_cfg = without_anti_affinity(preset::chameleon_cluster_domains(4))
+        .with_trace(TraceSpec::new().with_colocated_replica_trigger());
+    let pool = Simulation::new(blind_cfg.clone(), SEED).pool().clone();
+    let trace = zipf_shift_burst_trace(&pool, SEED);
+
+    let blind = Simulation::new(blind_cfg, SEED).run(&trace);
+    assert!(
+        blind.routing.predictive.prewarms_issued > 0,
+        "scenario issued no warms — nothing for the predicate to judge"
+    );
+    assert!(
+        blind.flight_firings > 0,
+        "blind placement never colocated a replica with its primary"
+    );
+    let dump = blind
+        .flight_dumps
+        .iter()
+        .find(|d| d.predicate == "replica-colocated-with-primary")
+        .expect("colocated-replica dump captured");
+    assert!(dump.reason.contains("shares rack"));
+    assert!(matches!(
+        dump.events.last().expect("non-empty ring").event,
+        TraceEvent::PrewarmIssued { .. }
+    ));
+
+    // Anti-affinity on the identical trace: every replica lands outside
+    // its primary's rack, so the predicate stays silent.
+    let affine_cfg = preset::chameleon_cluster_domains(4)
+        .with_trace(TraceSpec::new().with_colocated_replica_trigger());
+    let affine = Simulation::new(affine_cfg, SEED).run(&trace);
+    assert!(affine.routing.predictive.prewarms_issued > 0);
+    assert_eq!(
+        affine.flight_firings, 0,
+        "anti-affinity placed a replica inside its primary's rack"
+    );
+}

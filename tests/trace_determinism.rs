@@ -17,10 +17,10 @@
 //! causal sequence.
 
 use chameleon_repro::core::{
-    preset, sim::Simulation, workloads, ClusterExecution, SystemConfig, TraceSpec,
+    preset, sim::Simulation, workloads, ClusterExecution, FaultSpec, SystemConfig, TraceSpec,
 };
 use chameleon_repro::models::{AdapterId, AdapterPool};
-use chameleon_repro::simcore::SimDuration;
+use chameleon_repro::simcore::{SimDuration, SimTime};
 use chameleon_repro::trace::TraceEvent;
 use chameleon_repro::workload::{Request, RequestId, Trace};
 
@@ -118,6 +118,44 @@ fn coordinator_lane_events_are_mode_invariant() {
         assert_eq!(
             pooled, serial,
             "{workers} workers: coordinator-lane interleaving diverged from serial"
+        );
+    }
+}
+
+/// Correlated-fault trace events — `domain_failed` at the whole-rack
+/// crash and `partition_healed` when the coordinator↔domain link comes
+/// back — ride the coordinator lane and must interleave identically
+/// across worker counts.
+#[test]
+fn correlated_fault_events_are_mode_invariant() {
+    let cfg = preset::chameleon_cluster_domains(4)
+        .with_fault(
+            FaultSpec::new()
+                .with_partition(0, SimTime::from_secs_f64(3.0), SimTime::from_secs_f64(6.0))
+                .with_domain_crash(1, SimTime::from_secs_f64(8.0)),
+        )
+        .with_trace(TraceSpec::new());
+    let run = |exec: ClusterExecution| {
+        let mut sim = Simulation::new(cfg.clone().with_cluster_exec(exec), 5);
+        let trace = workloads::splitwise(24.0, 12.0, 5, sim.pool());
+        let n = trace.len();
+        let report = sim.run(&trace);
+        report.assert_request_conservation(n);
+        report
+            .trace
+            .as_ref()
+            .expect("traced run carries a log")
+            .to_jsonl()
+    };
+    let serial = run(ClusterExecution::Serial);
+    assert!(serial.contains("\"ev\":\"domain_failed\""));
+    assert!(serial.contains("\"ev\":\"partition_healed\""));
+    assert!(serial.contains("\"ev\":\"engine_failed\""));
+    for workers in WORKER_COUNTS {
+        assert_eq!(
+            run(ClusterExecution::Parallel { workers }),
+            serial,
+            "{workers} workers: correlated-fault trace stream diverged from serial"
         );
     }
 }
