@@ -216,6 +216,50 @@ fn print_batched_dispatch(old_json: &str, new_json: &str) {
     }
 }
 
+/// Prints the fresh report's GPU-memory-economy summary, when the
+/// KV-pressure scenario was measured, and its guarded-throughput movement
+/// against the baseline. Baselines recorded before the memory economy
+/// existed lack the scenario entirely — the tolerated
+/// [`GateOutcome::MissingBaseline`] case, never a failure.
+fn print_kv_pressure(old_json: &str, new_json: &str) {
+    let bench = "macro_kv_pressure";
+    let (Some(observed_storms), Some(storms), Some(refused)) = (
+        parse_metric(new_json, bench, "observed_storms"),
+        parse_metric(new_json, bench, "storms"),
+        parse_metric(new_json, bench, "refused"),
+    ) else {
+        return;
+    };
+    let demotions = parse_metric(new_json, bench, "demotions").unwrap_or(0.0);
+    let restores = parse_metric(new_json, bench, "restores").unwrap_or(0.0);
+    // An infinite P99 (unserved requests in the tail) renders as `null`
+    // in the JSON and parses as absent.
+    let p99 = |name: &str| match parse_metric(new_json, bench, name) {
+        Some(x) => format!("{x:.3}s"),
+        None => "inf".to_string(),
+    };
+    println!(
+        "bench-compare: {bench}: {observed_storms:.0} requeue-front storms -> {storms:.0} \
+         guarded ({refused:.0} refused, {demotions:.0} demoted / {restores:.0} restored), \
+         offered-P99 {} optimistic -> {} guarded",
+        p99("observed_p99_offered_s"),
+        p99("p99_offered_s"),
+    );
+    match compare_tolerant(old_json, new_json, bench, "events_per_sec") {
+        Ok(GateOutcome::Compared(cmp)) => println!(
+            "bench-compare: {bench}.events_per_sec  {:.0} -> {:.0}  ({:+.1}%, informational)",
+            cmp.old_value,
+            cmp.new_value,
+            (cmp.ratio() - 1.0) * 100.0,
+        ),
+        Ok(GateOutcome::MissingBaseline) => println!(
+            "bench-compare: {bench} absent from baseline — the memory economy was \
+             introduced after that trajectory point, skipping the throughput comparison"
+        ),
+        Err(_) => {}
+    }
+}
+
 fn main() -> ExitCode {
     let mut dir = PathBuf::from(".");
     let mut bench = "macro_zipf600".to_string();
@@ -285,6 +329,7 @@ fn main() -> ExitCode {
             print_failover(&old_json, &new_json);
             print_domain_failover(&old_json, &new_json);
             print_batched_dispatch(&old_json, &new_json);
+            print_kv_pressure(&old_json, &new_json);
             return ExitCode::SUCCESS;
         }
     };
@@ -301,6 +346,7 @@ fn main() -> ExitCode {
     print_failover(&old_json, &new_json);
     print_domain_failover(&old_json, &new_json);
     print_batched_dispatch(&old_json, &new_json);
+    print_kv_pressure(&old_json, &new_json);
     if cmp.regressed_beyond(tolerance) {
         eprintln!(
             "bench-compare: FAIL — {bench}.{metric} regressed beyond {:.0}% \

@@ -41,7 +41,7 @@ use std::collections::HashSet;
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR9.json".to_string();
+    let mut out_path = "BENCH_PR10.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -55,7 +55,7 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("PR9", smoke);
+    let mut report = BenchReport::new("PR10", smoke);
     let cores = par::default_workers();
     if cores == 1 {
         report.degraded = true;
@@ -76,6 +76,7 @@ fn main() {
     failover_macro(&mut report, smoke);
     domain_failover_macro(&mut report, smoke);
     chaos_sweep_macro(&mut report, smoke);
+    kv_pressure_macro(&mut report, smoke);
     barrier_profile_table(&mut report, smoke);
     event_queue_churn(&mut report, smoke);
     eviction_storm(&mut report, smoke);
@@ -473,6 +474,83 @@ fn predictive_burst_macro(report: &mut BenchReport, smoke: bool) {
 /// P99 TTFT over **all offered** requests: anything unserved (failed or
 /// shed) counts as an infinite sample, so abandonment shows up in the
 /// tail instead of silently improving it.
+/// The GPU-memory economy's slot in the trajectory: a memory-starved A40
+/// (Llama-7B's weights leave roughly 1 GiB of KV headroom) under the
+/// KV-bound Splitwise workload, run twice on the *identical* trace —
+/// once with the economy only metering (the optimistic baseline:
+/// allocate, fail halfway, unwind via requeue-front) and once guarded
+/// (KV-aware admission refusing incompletable footprints up front, plus
+/// the hybrid cache demoting running requests to hidden-state proxies
+/// under pressure). The headline columns pin what the economy buys:
+/// zero requeue-front storms where the baseline suffers hundreds, at an
+/// offered-P99 TTFT no worse than the baseline's.
+fn kv_pressure_macro(report: &mut BenchReport, smoke: bool) {
+    let rps = 8.0;
+    let secs = if smoke { 8.0 } else { 120.0 };
+    let tight = || chameleon_models::GpuSpec::a40().with_memory_bytes(15 * (1 << 30));
+    let observed_cfg = preset::chameleon_kv_observed().with_gpu(tight());
+    // Threshold 0.5 so the hybrid cache engages well before the region is
+    // exhausted; the admission criterion is unchanged.
+    let guarded_cfg = preset::chameleon_kv_guarded()
+        .with_gpu(tight())
+        .with_kv(chameleon_core::KvSpec::new().with_pressure_threshold(0.5));
+    let pool =
+        chameleon_models::AdapterPool::generate(&observed_cfg.llm, &observed_cfg.pool_config());
+    let trace = chameleon_core::workloads::splitwise(rps, secs, SEED, &pool);
+    let offered = trace.len();
+
+    let (t_observed, observed) = timed(|| Simulation::new(observed_cfg, SEED).run(&trace));
+    let (t_guarded, guarded) = timed(|| Simulation::new(guarded_cfg, SEED).run(&trace));
+    observed.assert_request_conservation(offered);
+    guarded.assert_request_conservation(offered);
+    assert_eq!(
+        guarded.kv.storms, 0,
+        "admission control let an optimistic unwind through"
+    );
+    if !smoke {
+        assert!(observed.kv.storms > 0, "load is not KV-bound");
+        assert!(guarded.kv.refused > 0, "admission control never engaged");
+        assert!(guarded.kv.demotions > 0, "the hybrid cache never engaged");
+    }
+
+    let observed_eps = observed.events_processed as f64 / t_observed;
+    let guarded_eps = guarded.events_processed as f64 / t_guarded;
+    let p99_observed = p99_all_offered(&observed, offered);
+    let p99_guarded = p99_all_offered(&guarded, offered);
+    println!(
+        "  macro_kv_pressure   {observed_eps:>10.0} events/s optimistic, {guarded_eps:>10.0} \
+         events/s guarded ({} storms -> 0, {} refused, {} demoted/{} restored, \
+         offered-P99 {p99_observed:.3}s -> {p99_guarded:.3}s, {t_guarded:.3}s wall)",
+        observed.kv.storms, guarded.kv.refused, guarded.kv.demotions, guarded.kv.restores,
+    );
+    report.push(
+        "macro_kv_pressure",
+        BenchResult::new()
+            .metric("offered", offered as f64)
+            .metric("offered_rps", rps)
+            .metric("trace_secs", secs)
+            .metric("completed", guarded.completed() as f64)
+            .metric("events", guarded.events_processed as f64)
+            .metric("observed_wall_secs", t_observed)
+            .metric("wall_secs", t_guarded)
+            .metric("observed_events_per_sec", observed_eps)
+            .metric("events_per_sec", guarded_eps)
+            .metric("observed_storms", observed.kv.storms as f64)
+            .metric("storms", guarded.kv.storms as f64)
+            .metric("refused", guarded.kv.refused as f64)
+            .metric("demotions", guarded.kv.demotions as f64)
+            .metric("restores", guarded.kv.restores as f64)
+            .metric("restore_bytes", guarded.kv.restore_bytes as f64)
+            .metric("proxy_bytes_peak", guarded.kv.proxy_bytes_peak as f64)
+            .metric("observed_pressure_peak", observed.kv.pressure_peak)
+            .metric("pressure_peak", guarded.kv.pressure_peak)
+            .metric("observed_squashes", observed.squashes as f64)
+            .metric("squashes", guarded.squashes as f64)
+            .metric("observed_p99_offered_s", p99_observed)
+            .metric("p99_offered_s", p99_guarded),
+    );
+}
+
 fn p99_all_offered(report: &RunReport, offered: usize) -> f64 {
     let mut xs: Vec<f64> = report
         .records

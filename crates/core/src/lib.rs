@@ -55,7 +55,7 @@ pub mod telemetry;
 pub mod workloads;
 
 pub use chameleon_engine::{
-    ClusterExecution, DispatchSpec, FaultSpec, PredictiveSpec, StragglerWindow,
+    ClusterExecution, DispatchSpec, FaultSpec, KvSpec, PredictiveSpec, StragglerWindow,
 };
 pub use chameleon_router::{EngineId, RouterPolicy};
 pub use chameleon_trace::{BarrierProfile, FlightDump, TraceLog, TraceSpec};

@@ -4,7 +4,7 @@
 use crate::system::{
     AutoscaleSpec, CachePolicy, EngineSpec, FleetSpec, SchedPolicy, SystemConfig, TopologySpec,
 };
-use chameleon_engine::{DispatchSpec, FaultSpec, PredictiveSpec};
+use chameleon_engine::{DispatchSpec, FaultSpec, KvSpec, PredictiveSpec};
 use chameleon_router::RouterPolicy;
 use chameleon_simcore::{SimDuration, SimTime};
 
@@ -308,6 +308,33 @@ pub fn chameleon_cluster16() -> SystemConfig {
         .with_label("Chameleon-Fleet16")
 }
 
+/// Chameleon with the unified GPU-memory economy armed: KV-aware
+/// admission (batch formation refuses admissions whose block-rounded KV
+/// footprint — input plus predicted output, consulting the release
+/// schedule — cannot complete, instead of optimistically allocating and
+/// unwinding through requeue-front) plus the Apt-Serve-style hybrid
+/// cache (under pressure a running request's full KV demotes to a
+/// compact hidden-state proxy; restoration is a modelled PCIe
+/// transfer). Identical to [`chameleon`] in every other knob — the pair
+/// is the optimistic-vs-guarded comparison the `macro_kv_pressure`
+/// bench scenario runs.
+pub fn chameleon_kv_guarded() -> SystemConfig {
+    chameleon()
+        .with_kv(KvSpec::new())
+        .with_label("Chameleon-KvGuarded")
+}
+
+/// [`chameleon_kv_guarded`]'s observe-only arm: the KV economy's meters
+/// run (pressure, storm, and refusal-candidate accounting) but neither
+/// admission control nor hybrid demotion intervenes — behaviourally the
+/// optimistic baseline, with the `kv` canonical line attached. This is
+/// the control arm of the bench comparison.
+pub fn chameleon_kv_observed() -> SystemConfig {
+    chameleon()
+        .with_kv(KvSpec::observe())
+        .with_label("Chameleon-KvObserved")
+}
+
 /// Chameleon with the WRS reduced to predicted output length only
 /// (Figure 19 "OutputOnly").
 pub fn chameleon_output_only() -> SystemConfig {
@@ -467,6 +494,36 @@ mod tests {
     }
 
     #[test]
+    fn kv_presets_differ_only_in_the_memory_economy() {
+        let optimistic = chameleon();
+        let guarded = chameleon_kv_guarded();
+        let observed = chameleon_kv_observed();
+        assert!(optimistic.kv.is_none());
+        let g = guarded.kv.expect("guarded arm armed");
+        assert!(g.admission && g.hybrid);
+        let o = observed.kv.expect("observed arm metered");
+        assert!(!o.admission && !o.hybrid);
+        for armed in [&guarded, &observed] {
+            assert_eq!(armed.sched, optimistic.sched);
+            assert_eq!(armed.cache, optimistic.cache);
+            assert_eq!(armed.router, optimistic.router);
+            assert_eq!(armed.data_parallel, optimistic.data_parallel);
+        }
+        // Every pre-existing preset stays unmetered.
+        for cfg in [
+            slora(),
+            chameleon(),
+            chameleon_cluster(4),
+            chameleon_cluster_partitioned(4),
+            chameleon_cluster_hetero(),
+            chameleon_cluster_elastic(),
+            chameleon_cluster16(),
+        ] {
+            assert!(cfg.kv.is_none(), "{} gained KV metering", cfg.label);
+        }
+    }
+
+    #[test]
     fn fleet16_preset_shape() {
         let c = chameleon_cluster16();
         assert_eq!(c.engine_count(), 16);
@@ -523,6 +580,8 @@ mod tests {
             chameleon_cluster_hetero(),
             chameleon_cluster_elastic(),
             chameleon_cluster16(),
+            chameleon_kv_guarded(),
+            chameleon_kv_observed(),
             static_mlq(),
             chameleon_output_only(),
             chameleon_linear_wrs(),

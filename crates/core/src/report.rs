@@ -4,7 +4,9 @@ use chameleon_cache::CacheStats;
 use chameleon_engine::EngineReport;
 use chameleon_gpu::pcie::TransferRecord;
 use chameleon_metrics::series::BinnedSeries;
-use chameleon_metrics::{LatencySummary, MemorySample, RequestRecord, RoutingStats, SizeClass};
+use chameleon_metrics::{
+    KvStats, LatencySummary, MemorySample, RequestRecord, RoutingStats, SizeClass,
+};
 use chameleon_models::adapter::adapter_bytes;
 use chameleon_models::LlmSpec;
 use chameleon_sched::WrsConfig;
@@ -49,6 +51,11 @@ pub struct RunReport {
     pub scheduler: &'static str,
     /// Cluster-routing statistics (empty for single-engine runs).
     pub routing: RoutingStats,
+    /// KV-memory-economy counters (admission refusals, requeue-front
+    /// storms, demotions/restores, peak pressure). Disabled — and absent
+    /// from [`canonical_text`](RunReport::canonical_text) — unless the
+    /// run armed a `KvSpec`.
+    pub kv: KvStats,
     /// Simulation events processed by the driver (throughput denominator
     /// for the benchmark harness's events/sec).
     pub events_processed: u64,
@@ -88,6 +95,7 @@ impl RunReport {
             label,
             llm,
             routing: engine.routing,
+            kv: engine.kv,
             records: engine.records,
             cache_stats: engine.cache_stats,
             pcie_total_bytes: engine.pcie_total_bytes,
@@ -445,6 +453,27 @@ impl RunReport {
                 f.mttr_complete.to_bits(),
             );
         }
+        // Like predictive and fault, the kv line exists only for runs
+        // that armed the KV-economy axis: unmetered runs stay
+        // byte-identical to the pre-KV-plane format. Peak pressure is a
+        // float, so it prints as its IEEE-754 bit pattern.
+        if self.kv.enabled {
+            let k = &self.kv;
+            let _ = writeln!(
+                s,
+                "kv admission={} hybrid={} refused={} storms={} demotions={} restores={} \
+                 restore_bytes={} proxy_peak={} pressure_bits={:016x}",
+                k.admission,
+                k.hybrid,
+                k.refused,
+                k.storms,
+                k.demotions,
+                k.restores,
+                k.restore_bytes,
+                k.proxy_bytes_peak,
+                k.pressure_peak.to_bits(),
+            );
+        }
         let opt = |t: Option<SimTime>| t.map(|t| t.as_nanos()).unwrap_or(u64::MAX);
         for rec in &self.records {
             let tbt_ns: u64 = rec.tbt_gaps.iter().map(|d| d.as_nanos()).sum();
@@ -541,6 +570,7 @@ mod tests {
             offered_rps: 1.0,
             scheduler: "test",
             routing: RoutingStats::default(),
+            kv: KvStats::default(),
             events_processed: 0,
             trace: None,
             flight_dumps: Vec::new(),
@@ -643,6 +673,20 @@ mod tests {
         let dup = r.records[0].clone();
         r.records.push(dup);
         assert!(r.verify_request_conservation(4).is_err(), "duplicate id");
+    }
+
+    #[test]
+    fn canonical_text_kv_line_is_armed_only() {
+        let mut r = report(vec![record(0, 0.0, 0.1, 1.0, 8)]);
+        let off = r.canonical_text();
+        assert!(!off.contains("\nkv "), "unmetered runs carry no kv line");
+        r.kv.enabled = true;
+        r.kv.admission = true;
+        r.kv.refused = 3;
+        r.kv.pressure_peak = 0.9;
+        let on = r.canonical_text();
+        assert!(on.contains("kv admission=true hybrid=false refused=3"));
+        assert!(on.contains(&format!("pressure_bits={:016x}", 0.9f64.to_bits())));
     }
 
     #[test]

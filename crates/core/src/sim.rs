@@ -147,6 +147,9 @@ impl Simulation {
         ecfg.chunked_prefill = self.cfg.chunked_prefill;
         ecfg.prefetch_queued = self.cfg.prefetch_queued;
         ecfg.predictive_prefetch = self.cfg.predictive_prefetch;
+        // The KV-economy axis applies per engine, so single-engine and
+        // cluster paths both honour it through this shared constructor.
+        ecfg.kv = self.cfg.kv;
         // Systems without the Chameleon cache follow S-LoRA's synchronous
         // load-before-batch semantics (§2); the cache manager is async.
         ecfg.block_on_load = matches!(self.cfg.cache, crate::system::CachePolicy::Discard);

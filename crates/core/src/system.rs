@@ -1,7 +1,7 @@
 //! System configuration: every knob of a serving system under study.
 
 use chameleon_engine::{
-    AutoscalerConfig, ClusterExecution, DispatchSpec, FaultSpec, PredictiveSpec,
+    AutoscalerConfig, ClusterExecution, DispatchSpec, FaultSpec, KvSpec, PredictiveSpec,
 };
 use chameleon_models::{GpuSpec, LlmSpec, PoolConfig, PopularityDist};
 use chameleon_router::RouterPolicy;
@@ -282,6 +282,15 @@ pub struct SystemConfig {
     /// one-barrier-per-arrival dispatch loop byte-identical to the
     /// pre-batching stack; ignored for single-engine runs.
     pub dispatch: Option<DispatchSpec>,
+    /// Unified GPU-memory economy: KV-aware admission control (refuse
+    /// admissions whose block-rounded KV footprint cannot complete,
+    /// instead of optimistically allocating and unwinding) and the
+    /// Apt-Serve-style hybrid cache (demote running requests to compact
+    /// hidden-state proxies under pressure instead of squashing). `None`
+    /// — the default — keeps every engine byte-identical to the
+    /// optimistic baseline. Applies per engine, single-engine and cluster
+    /// runs alike.
+    pub kv: Option<KvSpec>,
     /// Global routing policy dispatching requests across data-parallel
     /// engines (ignored for single-engine runs). The paper's two-level
     /// scheduler uses [`RouterPolicy::JoinShortestQueue`];
@@ -347,6 +356,7 @@ impl SystemConfig {
             predictive: None,
             fault: None,
             dispatch: None,
+            kv: None,
             router: RouterPolicy::JoinShortestQueue,
             cluster_exec: ClusterExecution::Serial,
             num_adapters: 100,
@@ -434,6 +444,13 @@ impl SystemConfig {
     /// Builder-style: enables amortised dispatch barriers.
     pub fn with_dispatch(mut self, dispatch: DispatchSpec) -> Self {
         self.dispatch = Some(dispatch);
+        self
+    }
+
+    /// Builder-style: arms the unified GPU-memory economy (KV-aware
+    /// admission + hybrid cache).
+    pub fn with_kv(mut self, kv: KvSpec) -> Self {
+        self.kv = Some(kv);
         self
     }
 
@@ -646,6 +663,17 @@ mod tests {
     #[should_panic(expected = "one fault domain per engine")]
     fn topology_must_cover_the_fleet() {
         let _ = FleetSpec::homogeneous(3, 1).with_topology(TopologySpec::racks(&[0, 1]));
+    }
+
+    #[test]
+    fn kv_axis_defaults_off() {
+        let c = SystemConfig::base("x");
+        assert!(c.kv.is_none());
+        let armed = SystemConfig::base("x").with_kv(KvSpec::new());
+        let spec = armed.kv.expect("kv plane armed");
+        assert!(spec.admission && spec.hybrid);
+        let observed = SystemConfig::base("x").with_kv(KvSpec::observe());
+        assert!(observed.kv.is_some_and(|s| !s.admission && !s.hybrid));
     }
 
     #[test]

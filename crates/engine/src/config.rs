@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::kv_spec::KvSpec;
 use chameleon_models::{GpuSpec, LlmSpec};
 use chameleon_simcore::SimDuration;
 
@@ -48,6 +49,11 @@ pub struct EngineConfig {
     pub refresh_interval: SimDuration,
     /// Memory-occupancy sampling period (Figure 6).
     pub mem_sample_interval: SimDuration,
+    /// Unified GPU-memory economy: KV-aware admission control and the
+    /// Apt-Serve-style hybrid cache. `None` (the default) keeps the
+    /// optimistic allocate-then-unwind baseline byte-identical to the
+    /// digest-pinned oracles.
+    pub kv: Option<KvSpec>,
 }
 
 impl EngineConfig {
@@ -70,6 +76,7 @@ impl EngineConfig {
             activation_headroom: 0.04,
             refresh_interval: SimDuration::from_secs(300),
             mem_sample_interval: SimDuration::from_secs(1),
+            kv: None,
         }
     }
 

@@ -61,6 +61,7 @@ pub mod config;
 pub mod dispatch;
 pub mod driver;
 pub mod engine;
+pub mod kv_spec;
 pub mod predictive;
 pub mod probe;
 pub mod report;
@@ -71,5 +72,6 @@ pub use cluster::{Cluster, ClusterExecution};
 pub use config::EngineConfig;
 pub use dispatch::DispatchSpec;
 pub use engine::{Engine, EngineEvent};
+pub use kv_spec::KvSpec;
 pub use predictive::PredictiveSpec;
 pub use report::EngineReport;

@@ -23,6 +23,12 @@ pub struct EngineProbe {
     /// sorted by finish time — answers "when do `bytes` free up?".
     pub(crate) mem_release_schedule: Vec<(SimTime, u64)>,
     pub(crate) total_token_capacity: u64,
+    /// Free pool memory plus reclaimable idle adapter cache — the ceiling
+    /// of what a new admission's KV footprint can claim.
+    pub(crate) free_kv_bytes: u64,
+    /// KV bytes per token and per block, for block-rounded footprints.
+    pub(crate) kv_bytes_per_token: u64,
+    pub(crate) kv_block_bytes: u64,
 }
 
 impl Default for EngineProbe {
@@ -40,6 +46,9 @@ impl Default for EngineProbe {
             prefill_secs_per_token: 0.0,
             mem_release_schedule: Vec::new(),
             total_token_capacity: 0,
+            free_kv_bytes: 0,
+            kv_bytes_per_token: 0,
+            kv_block_bytes: 0,
         }
     }
 }
@@ -85,6 +94,18 @@ impl ResourceProbe for EngineProbe {
     fn total_token_capacity(&self) -> u64 {
         self.total_token_capacity
     }
+
+    fn free_kv_bytes(&self) -> u64 {
+        self.free_kv_bytes
+    }
+
+    fn kv_bytes_for(&self, tokens: u64) -> u64 {
+        let raw = tokens * self.kv_bytes_per_token;
+        if self.kv_block_bytes == 0 {
+            return raw;
+        }
+        raw.div_ceil(self.kv_block_bytes) * self.kv_block_bytes
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +126,9 @@ mod tests {
                 (SimTime::from_secs_f64(15.0), 300),
             ],
             total_token_capacity: 10_000,
+            free_kv_bytes: 4096,
+            kv_bytes_per_token: 64,
+            kv_block_bytes: 1024,
         }
     }
 
@@ -131,6 +155,16 @@ mod tests {
         let in_heavy = p.estimate_service(1000, 10);
         let out_heavy = p.estimate_service(10, 1000);
         assert!(out_heavy > in_heavy * 5);
+    }
+
+    #[test]
+    fn kv_footprints_are_block_rounded() {
+        let p = probe();
+        assert_eq!(p.free_kv_bytes(), 4096);
+        // 17 tokens × 64 B = 1088 B → 2 × 1024 B blocks.
+        assert_eq!(p.kv_bytes_for(17), 2048);
+        assert_eq!(p.kv_bytes_for(16), 1024);
+        assert_eq!(p.kv_bytes_for(0), 0);
     }
 
     #[test]

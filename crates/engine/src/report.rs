@@ -2,7 +2,7 @@
 
 use chameleon_cache::CacheStats;
 use chameleon_gpu::pcie::TransferRecord;
-use chameleon_metrics::{MemorySample, RequestRecord, RoutingStats};
+use chameleon_metrics::{KvStats, MemorySample, RequestRecord, RoutingStats};
 use chameleon_simcore::SimDuration;
 
 /// Everything one engine measured over a run. The core crate aggregates
@@ -28,6 +28,10 @@ pub struct EngineReport {
     /// Cluster-routing statistics. Default (empty) for single-engine runs;
     /// the cluster stamps the merged report with its dispatcher's stats.
     pub routing: RoutingStats,
+    /// KV-memory-economy counters (admission refusals, requeue-front
+    /// storms, demotions/restores, peak pressure). Default (disabled)
+    /// unless a `KvSpec` armed the run.
+    pub kv: KvStats,
 }
 
 impl EngineReport {
@@ -61,6 +65,7 @@ impl EngineReport {
         self.pcie_history.extend(other.pcie_history);
         self.mem_series.extend(other.mem_series);
         self.squashes += other.squashes;
+        self.kv.merge(&other.kv);
     }
 }
 
@@ -99,6 +104,7 @@ mod tests {
             squashes: squashed as u64,
             scheduler: "test",
             routing: RoutingStats::default(),
+            kv: KvStats::default(),
         }
     }
 

@@ -36,6 +36,10 @@ pub struct KvAllocator {
     /// Per-sequence (token count, block count).
     seqs: HashMap<RequestId, (u32, u32)>,
     total_blocks: u64,
+    /// Hybrid-cache proxy entries: demoted sequences holding a compact
+    /// hidden-state proxy (bytes) instead of full block-granular KV.
+    proxies: HashMap<RequestId, u64>,
+    proxy_bytes_total: u64,
 }
 
 impl KvAllocator {
@@ -52,6 +56,8 @@ impl KvAllocator {
             block_tokens,
             seqs: HashMap::new(),
             total_blocks: 0,
+            proxies: HashMap::new(),
+            proxy_bytes_total: 0,
         }
     }
 
@@ -142,6 +148,90 @@ impl KvAllocator {
         self.total_blocks -= u64::from(blocks);
     }
 
+    /// Demotes a full sequence to a compact hidden-state proxy entry
+    /// (Apt-Serve's hybrid cache): all blocks are released and
+    /// `ratio` of the freed bytes (at least one) stays resident as the
+    /// proxy. Returns `(full_bytes_freed, proxy_bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a registered sequence, already holds a
+    /// proxy, or `ratio` is not in `(0, 1)`.
+    pub fn demote(&mut self, mem: &mut MemoryPool, id: RequestId, ratio: f64) -> (u64, u64) {
+        assert!(ratio > 0.0 && ratio < 1.0, "proxy ratio must be in (0,1)");
+        assert!(!self.proxies.contains_key(&id), "{id} already demoted");
+        let (_, blocks) = self
+            .seqs
+            .remove(&id)
+            .unwrap_or_else(|| panic!("{id} unknown"));
+        let full = u64::from(blocks) * self.block_bytes();
+        mem.release(Region::KvCache, full);
+        self.total_blocks -= u64::from(blocks);
+        let proxy = ((full as f64 * ratio) as u64).max(1);
+        // Always fits: strictly less than the bytes just released.
+        mem.reserve(Region::KvCache, proxy)
+            .expect("proxy smaller than freed KV");
+        self.proxies.insert(id, proxy);
+        self.proxy_bytes_total += proxy;
+        (full, proxy)
+    }
+
+    /// Restores a demoted sequence to full residency at `tokens` tokens.
+    /// The full footprint is reserved *before* the proxy is dropped, so a
+    /// failed restore leaves the proxy (and the pool) untouched. Returns
+    /// the proxy bytes released (the PCIe transfer the caller models).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the full footprint doesn't fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` holds no proxy or is somehow still a full sequence.
+    pub fn restore(
+        &mut self,
+        mem: &mut MemoryPool,
+        id: RequestId,
+        tokens: u32,
+    ) -> Result<u64, OutOfMemory> {
+        assert!(self.proxies.contains_key(&id), "{id} holds no proxy");
+        assert!(!self.seqs.contains_key(&id), "{id} still has full KV");
+        let blocks = self.blocks_for(tokens);
+        mem.reserve(Region::KvCache, u64::from(blocks) * self.block_bytes())?;
+        let proxy = self.proxies.remove(&id).unwrap();
+        mem.release(Region::KvCache, proxy);
+        self.proxy_bytes_total -= proxy;
+        self.seqs.insert(id, (tokens, blocks));
+        self.total_blocks += u64::from(blocks);
+        Ok(proxy)
+    }
+
+    /// Discards a proxy without restoring it (crash / evacuation paths).
+    /// Returns the bytes released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` holds no proxy.
+    pub fn drop_proxy(&mut self, mem: &mut MemoryPool, id: RequestId) -> u64 {
+        let proxy = self
+            .proxies
+            .remove(&id)
+            .unwrap_or_else(|| panic!("{id} holds no proxy"));
+        mem.release(Region::KvCache, proxy);
+        self.proxy_bytes_total -= proxy;
+        proxy
+    }
+
+    /// Whether a sequence currently holds a proxy entry.
+    pub fn has_proxy(&self, id: RequestId) -> bool {
+        self.proxies.contains_key(&id)
+    }
+
+    /// Total bytes held by proxy entries.
+    pub fn proxy_bytes(&self) -> u64 {
+        self.proxy_bytes_total
+    }
+
     /// Tokens currently held by a sequence, if registered.
     pub fn tokens_of(&self, id: RequestId) -> Option<u32> {
         self.seqs.get(&id).map(|&(t, _)| t)
@@ -157,9 +247,11 @@ impl KvAllocator {
         self.total_blocks
     }
 
-    /// Total KV bytes currently allocated.
+    /// Total KV bytes currently allocated: full block-granular sequences
+    /// plus resident proxy entries — by construction always equal to the
+    /// pool's [`Region::KvCache`] usage.
     pub fn total_bytes(&self) -> u64 {
-        self.total_blocks * self.block_bytes()
+        self.total_blocks * self.block_bytes() + self.proxy_bytes_total
     }
 }
 
@@ -215,6 +307,53 @@ mod tests {
     }
 
     #[test]
+    fn demote_restore_roundtrip() {
+        let (mut mem, mut kv) = setup();
+        kv.allocate(&mut mem, RequestId(1), 33).unwrap(); // 3 blocks
+        assert_eq!(mem.used(Region::KvCache), 3072);
+        let (full, proxy) = kv.demote(&mut mem, RequestId(1), 0.125);
+        assert_eq!(full, 3072);
+        assert_eq!(proxy, 384);
+        assert!(kv.has_proxy(RequestId(1)));
+        assert_eq!(kv.tokens_of(RequestId(1)), None);
+        assert_eq!(kv.proxy_bytes(), 384);
+        assert_eq!(mem.used(Region::KvCache), 384);
+        assert_eq!(kv.total_bytes(), mem.used(Region::KvCache));
+        let moved = kv.restore(&mut mem, RequestId(1), 40).unwrap(); // 3 blocks
+        assert_eq!(moved, 384);
+        assert!(!kv.has_proxy(RequestId(1)));
+        assert_eq!(kv.tokens_of(RequestId(1)), Some(40));
+        assert_eq!(kv.proxy_bytes(), 0);
+        assert_eq!(mem.used(Region::KvCache), 3072);
+        assert_eq!(kv.total_bytes(), mem.used(Region::KvCache));
+        kv.free(&mut mem, RequestId(1));
+        assert_eq!(mem.used(Region::KvCache), 0);
+    }
+
+    #[test]
+    fn failed_restore_keeps_the_proxy() {
+        let mut mem = MemoryPool::new(4096); // 4 blocks
+        let mut kv = KvAllocator::new(64, 16);
+        kv.allocate(&mut mem, RequestId(1), 48).unwrap(); // 3 blocks
+        kv.demote(&mut mem, RequestId(1), 0.5);
+        // Eat the freed memory so the full footprint no longer fits.
+        mem.reserve(Region::Activations, mem.free()).unwrap();
+        assert!(kv.restore(&mut mem, RequestId(1), 48).is_err());
+        assert!(kv.has_proxy(RequestId(1)));
+        assert_eq!(kv.total_bytes(), mem.used(Region::KvCache));
+        assert_eq!(kv.drop_proxy(&mut mem, RequestId(1)), 1536);
+        assert_eq!(mem.used(Region::KvCache), 0);
+        assert_eq!(kv.total_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no proxy")]
+    fn restore_without_proxy_panics() {
+        let (mut mem, mut kv) = setup();
+        let _ = kv.restore(&mut mem, RequestId(7), 16);
+    }
+
+    #[test]
     #[should_panic(expected = "already has KV state")]
     fn double_allocate_panics() {
         let (mut mem, mut kv) = setup();
@@ -230,17 +369,18 @@ mod tests {
     }
 
     proptest! {
-        /// Arbitrary allocate/grow/free interleavings: the allocator's view
-        /// and the memory pool never diverge, and everything frees cleanly.
+        /// Arbitrary allocate/grow/free/demote/restore interleavings: the
+        /// allocator's view and the memory pool never diverge, and
+        /// everything frees cleanly.
         #[test]
-        fn prop_no_leaks(ops in proptest::collection::vec((0u64..8, 0u8..3, 1u32..100), 1..200)) {
+        fn prop_no_leaks(ops in proptest::collection::vec((0u64..8, 0u8..5, 1u32..100), 1..200)) {
             let mut mem = MemoryPool::new(1 << 24);
             let mut kv = KvAllocator::new(64, 16);
             for (id, op, tokens) in ops {
                 let id = RequestId(id);
                 match op {
                     0 => {
-                        if kv.tokens_of(id).is_none() {
+                        if kv.tokens_of(id).is_none() && !kv.has_proxy(id) {
                             let _ = kv.allocate(&mut mem, id, tokens);
                         }
                     }
@@ -249,9 +389,19 @@ mod tests {
                             let _ = kv.grow(&mut mem, id, tokens);
                         }
                     }
-                    _ => {
+                    2 => {
                         if kv.tokens_of(id).is_some() {
                             kv.free(&mut mem, id);
+                        }
+                    }
+                    3 => {
+                        if kv.tokens_of(id).is_some() {
+                            kv.demote(&mut mem, id, 0.125);
+                        }
+                    }
+                    _ => {
+                        if kv.has_proxy(id) {
+                            let _ = kv.restore(&mut mem, id, tokens);
                         }
                     }
                 }
@@ -261,9 +411,12 @@ mod tests {
             for id in ids {
                 if kv.tokens_of(id).is_some() {
                     kv.free(&mut mem, id);
+                } else if kv.has_proxy(id) {
+                    kv.drop_proxy(&mut mem, id);
                 }
             }
             prop_assert_eq!(mem.used(Region::KvCache), 0);
+            prop_assert_eq!(kv.total_bytes(), 0);
         }
     }
 }

@@ -1,0 +1,174 @@
+//! KV-memory-economy outcome statistics.
+//!
+//! Counters of the unified GPU-memory economy (KV-aware admission control
+//! and the Apt-Serve-style hybrid cache). All-zero — and absent from
+//! `canonical_text` — unless a `KvSpec` armed the run: like the
+//! predictive, fault, and dispatch planes, the KV plane is a strict
+//! opt-in overlay and the byte-level oracles for unmetered runs must not
+//! see these fields.
+//!
+//! Unlike the sibling planes these counters are *engine*-scoped: each
+//! engine meters its own admissions and demotions, and data-parallel
+//! clusters sum per-engine stats when reports merge.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome counters of the KV plane for one run (or one engine, before
+/// cluster merge).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KvStats {
+    /// The KV plane was active this run (gates report emission).
+    pub enabled: bool,
+    /// KV-aware admission control was on (vs observe-only metering).
+    pub admission: bool,
+    /// Hybrid demote-to-proxy mode was on.
+    pub hybrid: bool,
+    /// Admissions refused *before* touching the allocator because the
+    /// block-rounded KV footprint (input + predicted output) could not be
+    /// met even by evicting every idle cached adapter.
+    pub refused: u64,
+    /// Requeue-front storms: optimistic allocations that failed after the
+    /// scheduler had already dequeued and charged the request, forcing an
+    /// unwind (the failure mode admission control exists to eliminate —
+    /// an armed run should report zero).
+    pub storms: u64,
+    /// Running requests demoted to a compact hidden-state proxy entry
+    /// instead of being squashed outright.
+    pub demotions: u64,
+    /// Demoted requests restored to full KV residency.
+    pub restores: u64,
+    /// Total proxy bytes moved back over PCIe by restores.
+    pub restore_bytes: u64,
+    /// Peak bytes held by proxy entries at any instant.
+    pub proxy_bytes_peak: u64,
+    /// Peak KV pressure observed: KV-cache bytes over usable (non-weight,
+    /// non-activation) memory, in `[0, 1]`.
+    pub pressure_peak: f64,
+}
+
+impl KvStats {
+    /// Records one clean admission refusal.
+    pub fn on_refused(&mut self) {
+        self.refused += 1;
+    }
+
+    /// Records one optimistic-allocate unwind (requeue-front storm).
+    pub fn on_storm(&mut self) {
+        self.storms += 1;
+    }
+
+    /// Records a demotion leaving `proxy_total` bytes of proxies resident.
+    pub fn on_demoted(&mut self, proxy_total: u64) {
+        self.demotions += 1;
+        self.proxy_bytes_peak = self.proxy_bytes_peak.max(proxy_total);
+    }
+
+    /// Records a restore that moved `bytes` of proxy state back over PCIe.
+    pub fn on_restored(&mut self, bytes: u64) {
+        self.restores += 1;
+        self.restore_bytes += bytes;
+    }
+
+    /// Folds an observed KV-pressure sample into the peak.
+    pub fn note_pressure(&mut self, pressure: f64) {
+        if pressure > self.pressure_peak {
+            self.pressure_peak = pressure;
+        }
+    }
+
+    /// Merges another engine's counters (cluster report aggregation).
+    pub fn merge(&mut self, other: &KvStats) {
+        self.enabled |= other.enabled;
+        self.admission |= other.admission;
+        self.hybrid |= other.hybrid;
+        self.refused += other.refused;
+        self.storms += other.storms;
+        self.demotions += other.demotions;
+        self.restores += other.restores;
+        self.restore_bytes += other.restore_bytes;
+        self.proxy_bytes_peak = self.proxy_bytes_peak.max(other.proxy_bytes_peak);
+        self.pressure_peak = self.pressure_peak.max(other.pressure_peak);
+    }
+
+    /// Fraction of demotions that were eventually restored, in `[0, 1]`
+    /// (0 when nothing was demoted).
+    pub fn restore_rate(&self) -> f64 {
+        if self.demotions == 0 {
+            0.0
+        } else {
+            self.restores as f64 / self.demotions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_and_empty() {
+        let s = KvStats::default();
+        assert!(!s.enabled);
+        assert_eq!(s.refused, 0);
+        assert_eq!(s.restore_rate(), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = KvStats {
+            enabled: true,
+            admission: true,
+            hybrid: true,
+            ..KvStats::default()
+        };
+        s.on_refused();
+        s.on_refused();
+        s.on_storm();
+        s.on_demoted(1000);
+        s.on_demoted(600);
+        s.on_restored(400);
+        s.note_pressure(0.7);
+        s.note_pressure(0.4);
+        assert_eq!(s.refused, 2);
+        assert_eq!(s.storms, 1);
+        assert_eq!(s.demotions, 2);
+        assert_eq!(s.restores, 1);
+        assert_eq!(s.restore_bytes, 400);
+        assert_eq!(s.proxy_bytes_peak, 1000);
+        assert!((s.pressure_peak - 0.7).abs() < 1e-12);
+        assert!((s.restore_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_peaks() {
+        let mut a = KvStats {
+            enabled: true,
+            admission: true,
+            refused: 3,
+            demotions: 1,
+            proxy_bytes_peak: 100,
+            pressure_peak: 0.5,
+            ..KvStats::default()
+        };
+        let b = KvStats {
+            enabled: true,
+            hybrid: true,
+            refused: 2,
+            storms: 4,
+            restores: 1,
+            restore_bytes: 50,
+            proxy_bytes_peak: 300,
+            pressure_peak: 0.3,
+            ..KvStats::default()
+        };
+        a.merge(&b);
+        assert!(a.enabled && a.admission && a.hybrid);
+        assert_eq!(a.refused, 5);
+        assert_eq!(a.storms, 4);
+        assert_eq!(a.demotions, 1);
+        assert_eq!(a.restores, 1);
+        assert_eq!(a.restore_bytes, 50);
+        assert_eq!(a.proxy_bytes_peak, 300);
+        assert!((a.pressure_peak - 0.5).abs() < 1e-12);
+    }
+}

@@ -18,12 +18,14 @@
 //!   load-imbalance coefficient of the global dispatcher.
 
 pub mod collector;
+pub mod kv;
 pub mod record;
 pub mod routing;
 pub mod series;
 pub mod summary;
 
 pub use collector::Collector;
+pub use kv::KvStats;
 pub use record::{RequestRecord, SizeClass};
 pub use routing::{DispatchStats, FaultStats, PredictiveStats, RoutingStats};
 pub use series::{BinnedSeries, MemorySample, MonotonicTimeError, WindowedSeries};

@@ -44,6 +44,25 @@ pub trait ResourceProbe {
     /// Total token capacity of the engine when idle (for quota assignment,
     /// §4.3.5's `Tok_total`).
     fn total_token_capacity(&self) -> u64;
+
+    /// Bytes the KV allocator could claim right now: genuinely free pool
+    /// memory plus memory reclaimable by evicting idle cached adapters.
+    /// The KV-aware admission contract — an admission whose
+    /// [`kv_bytes_for`](Self::kv_bytes_for) footprint exceeds this cannot
+    /// complete and will be refused rather than unwound. Default
+    /// `u64::MAX` (KV never constrains) keeps probes that predate the KV
+    /// plane working unchanged.
+    fn free_kv_bytes(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Block-rounded bytes `tokens` of KV state occupy — what the
+    /// allocator actually reserves, not the naive per-token product.
+    /// Default: token count taken as bytes, for probes without a block
+    /// model.
+    fn kv_bytes_for(&self, tokens: u64) -> u64 {
+        tokens
+    }
 }
 
 /// The effective token charge of a request given current residency: a
@@ -261,5 +280,12 @@ mod tests {
         assert_eq!(probe.estimate_exec(2000), SimDuration::from_secs(2));
         assert_eq!(probe.estimate_mem_wait(1 << 20), SimDuration::from_secs(10));
         assert!(!probe.adapter_resident(AdapterId(0)));
+    }
+
+    #[test]
+    fn kv_metering_defaults_never_constrain() {
+        let probe = StaticProbe::default();
+        assert_eq!(probe.free_kv_bytes(), u64::MAX);
+        assert_eq!(probe.kv_bytes_for(42), 42);
     }
 }

@@ -248,6 +248,38 @@ pub enum TraceEvent {
         /// instant instead of refreshing the snapshots.
         reused: bool,
     },
+    /// KV-aware admission control refused an admission whose block-rounded
+    /// KV footprint could not complete (only emitted when the KV plane is
+    /// armed).
+    AdmissionRefused {
+        /// Request id.
+        req: u64,
+        /// Block-rounded KV bytes the admission needed.
+        need_bytes: u64,
+        /// Free + reclaimable bytes at refusal.
+        free_bytes: u64,
+        /// Wait the release schedule predicts until the deficit frees.
+        est_wait: SimDuration,
+    },
+    /// A running request's full KV was demoted to a compact hidden-state
+    /// proxy entry under pressure (hybrid cache mode).
+    KvDemoted {
+        /// Request id.
+        req: u64,
+        /// Full block-granular bytes released.
+        full_bytes: u64,
+        /// Proxy bytes left resident.
+        proxy_bytes: u64,
+    },
+    /// A demoted request was restored to full KV residency over PCIe.
+    KvRestored {
+        /// Request id.
+        req: u64,
+        /// Full bytes re-reserved.
+        kv_bytes: u64,
+        /// Time the request spent demoted.
+        stalled: SimDuration,
+    },
 }
 
 impl TraceEvent {
@@ -275,6 +307,9 @@ impl TraceEvent {
             TraceEvent::BarrierClose { .. } => "barrier_close",
             TraceEvent::DispatchBatch { .. } => "dispatch_batch",
             TraceEvent::RetryBatch { .. } => "retry_batch",
+            TraceEvent::AdmissionRefused { .. } => "admission_refused",
+            TraceEvent::KvDemoted { .. } => "kv_demoted",
+            TraceEvent::KvRestored { .. } => "kv_restored",
         }
     }
 }
@@ -505,6 +540,40 @@ impl TaggedEvent {
                     ",\"generation\":{generation},\"size\":{size},\"reused\":{reused}"
                 );
             }
+            TraceEvent::AdmissionRefused {
+                req,
+                need_bytes,
+                free_bytes,
+                est_wait,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"req\":{req},\"need_bytes\":{need_bytes},\"free_bytes\":{free_bytes},\
+                     \"est_wait\":{}",
+                    est_wait.as_nanos()
+                );
+            }
+            TraceEvent::KvDemoted {
+                req,
+                full_bytes,
+                proxy_bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"req\":{req},\"full_bytes\":{full_bytes},\"proxy_bytes\":{proxy_bytes}"
+                );
+            }
+            TraceEvent::KvRestored {
+                req,
+                kv_bytes,
+                stalled,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"req\":{req},\"kv_bytes\":{kv_bytes},\"stalled\":{}",
+                    stalled.as_nanos()
+                );
+            }
         }
         out.push('}');
     }
@@ -670,6 +739,50 @@ mod tests {
                 assert_eq!((*a, *b), (1, 2));
             }
             other => panic!("unexpected events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kv_events_jsonl_shape() {
+        let mut buf = TraceBuffer::new();
+        buf.push(
+            t(1_000),
+            Lane::Engine(0),
+            TraceEvent::AdmissionRefused {
+                req: 5,
+                need_bytes: 4096,
+                free_bytes: 1024,
+                est_wait: SimDuration::from_nanos(500),
+            },
+        );
+        buf.push(
+            t(2_000),
+            Lane::Engine(0),
+            TraceEvent::KvDemoted {
+                req: 6,
+                full_bytes: 8192,
+                proxy_bytes: 1024,
+            },
+        );
+        buf.push(
+            t(3_000),
+            Lane::Engine(0),
+            TraceEvent::KvRestored {
+                req: 6,
+                kv_bytes: 8192,
+                stalled: SimDuration::from_nanos(1_000),
+            },
+        );
+        let jsonl = buf.finish().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"ev\":\"admission_refused\""));
+        assert!(lines[0].contains("\"need_bytes\":4096,\"free_bytes\":1024,\"est_wait\":500"));
+        assert!(lines[1].contains("\"ev\":\"kv_demoted\""));
+        assert!(lines[1].contains("\"full_bytes\":8192,\"proxy_bytes\":1024"));
+        assert!(lines[2].contains("\"ev\":\"kv_restored\""));
+        assert!(lines[2].contains("\"kv_bytes\":8192,\"stalled\":1000"));
+        for line in lines {
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
         }
     }
 

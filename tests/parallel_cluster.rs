@@ -272,6 +272,7 @@ fn run_report(rep: EngineReport, horizon: SimTime, events: u64) -> RunReport {
         pcie_history: rep.pcie_history,
         mem_series: rep.mem_series,
         squashes: rep.squashes,
+        kv: rep.kv,
         slo: SimDuration::from_secs(5),
         horizon,
         isolated_e2e: HashMap::new(),

@@ -109,9 +109,12 @@ fn hetero_fleet_matches_pre_pr_bytes() {
 /// the drain path, and the report format are all untouched.
 #[test]
 fn elastic_fleet_matches_pre_pr_bytes() {
+    // Seed 11 re-pinned when the KV-accounting bug sweep (spurious-squash
+    // fix in `ensure_kv_growth`, block-rounded release schedule, squash
+    // rule counting predicted output) moved the reactive baseline.
     for (seed, len, fnv) in [
         (3u64, 155_160usize, 0x92a6_0071_7924_cefe_u64),
-        (11, 162_871, 0x9d1c_d6d0_bc99_6940),
+        (11, 162_883, 0xc9db_d416_071c_a930),
     ] {
         let text = elastic_canonical(seed);
         assert_frozen("elastic", seed, &text, len, fnv);
